@@ -1,0 +1,1 @@
+//! Criterion benches and experiment binaries for the xnf workspace.

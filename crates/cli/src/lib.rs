@@ -1,0 +1,507 @@
+//! # `xnf-cli` — the `xnf-tool` command line front end
+//!
+//! Subcommands (all file arguments are paths; FDs use the text syntax
+//! `courses.course.@cno -> courses.course`, one per line, `#` comments):
+//!
+//! ```text
+//! xnf-tool parse-dtd  <dtd>                  # echo + classify (simple/disjunctive/general, N_D)
+//! xnf-tool paths      <dtd>                  # list paths(D), marking EPaths
+//! xnf-tool tuples     <dtd> <xml>            # print the tuples_D(T) relation
+//! xnf-tool check      <dtd> <xml> <fds>      # conformance + per-FD satisfaction
+//! xnf-tool implies    <dtd> <fds> <fd…>      # (D,Σ) ⊢ φ, with witness on refutation
+//! xnf-tool is-xnf     <dtd> <fds>            # XNF test, listing anomalous FDs
+//! xnf-tool normalize  <dtd> <fds> [--sigma-only] [--doc <xml>]
+//!                                            # run the Figure 4 algorithm
+//! xnf-tool keys       <dtd> <fds> <elem-path> [max-size]
+//!                                            # discover minimal (relative) keys
+//! xnf-tool mvd        <dtd> <xml> <mvd…>     # check MVDs ("lhs ->> dep | indep")
+//! ```
+//!
+//! The command logic lives in [`run`] so it is unit-testable; `main` only
+//! forwards `std::env::args` and prints.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::fs;
+use xnf_core::lossless::{transform_document, verify_lossless};
+use xnf_core::{normalize, NormalizeOptions, XmlFd, XmlFdSet};
+use xnf_dtd::classify::{DtdClass, DtdShapes};
+use xnf_dtd::Dtd;
+use xnf_core::implication::{CounterexampleSearch, Implication};
+
+/// CLI errors: usage problems, I/O, or any library error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong arguments; the string is the usage text.
+    Usage(String),
+    /// File read failure.
+    Io(String, std::io::Error),
+    /// An error from the xnf libraries.
+    Lib(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(u) => write!(f, "usage: {u}"),
+            CliError::Io(path, e) => write!(f, "cannot read `{path}`: {e}"),
+            CliError::Lib(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<xnf_dtd::DtdError> for CliError {
+    fn from(e: xnf_dtd::DtdError) -> Self {
+        CliError::Lib(e.to_string())
+    }
+}
+
+impl From<xnf_core::CoreError> for CliError {
+    fn from(e: xnf_core::CoreError) -> Self {
+        CliError::Lib(e.to_string())
+    }
+}
+
+impl From<xnf_xml::XmlError> for CliError {
+    fn from(e: xnf_xml::XmlError) -> Self {
+        CliError::Lib(e.to_string())
+    }
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::Io(path.to_string(), e))
+}
+
+fn load_dtd(path: &str) -> Result<Dtd, CliError> {
+    Ok(xnf_dtd::parse_dtd(&read(path)?)?)
+}
+
+fn load_fds(path: &str) -> Result<XmlFdSet, CliError> {
+    Ok(XmlFdSet::parse(&read(path)?)?)
+}
+
+fn load_xml(path: &str) -> Result<xnf_xml::XmlTree, CliError> {
+    Ok(xnf_xml::parse(&read(path)?)?)
+}
+
+const USAGE: &str =
+    "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|normalize|keys|mvd> …";
+
+/// Runs one CLI invocation (without the program name) and returns the
+/// output text.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut out = String::new();
+    use std::fmt::Write;
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "parse-dtd" => {
+            let [_, dtd_path] = args else {
+                return Err(CliError::Usage("xnf-tool parse-dtd <dtd>".into()));
+            };
+            let dtd = load_dtd(dtd_path)?;
+            let shapes = DtdShapes::analyze(&dtd);
+            writeln!(out, "{dtd}").expect("string write");
+            writeln!(out, "root: {}", dtd.root_name()).expect("string write");
+            writeln!(out, "elements: {}", dtd.num_elements()).expect("string write");
+            writeln!(out, "size |D|: {}", dtd.size()).expect("string write");
+            writeln!(out, "recursive: {}", dtd.is_recursive()).expect("string write");
+            let class = match shapes.class() {
+                DtdClass::Simple => "simple".to_string(),
+                DtdClass::Disjunctive { nd } => format!("disjunctive (N_D = {nd})"),
+                DtdClass::General => "general (not disjunctive)".to_string(),
+            };
+            writeln!(out, "class: {class}").expect("string write");
+        }
+        "paths" => {
+            let [_, dtd_path] = args else {
+                return Err(CliError::Usage("xnf-tool paths <dtd>".into()));
+            };
+            let dtd = load_dtd(dtd_path)?;
+            let paths = dtd.paths()?;
+            for p in paths.iter() {
+                let kind = if paths.is_element_path(p) { "E" } else { " " };
+                writeln!(out, "{kind} {}", paths.format(p)).expect("string write");
+            }
+        }
+        "tuples" => {
+            let [_, dtd_path, xml_path] = args else {
+                return Err(CliError::Usage("xnf-tool tuples <dtd> <xml>".into()));
+            };
+            let dtd = load_dtd(dtd_path)?;
+            let tree = load_xml(xml_path)?;
+            let paths = dtd.paths()?;
+            let rel = xnf_core::tuples_relation(&tree, &dtd, &paths)?;
+            writeln!(out, "{rel}").expect("string write");
+            writeln!(out, "{} tuple(s)", rel.len()).expect("string write");
+        }
+        "check" => {
+            let [_, dtd_path, xml_path, fds_path] = args else {
+                return Err(CliError::Usage("xnf-tool check <dtd> <xml> <fds>".into()));
+            };
+            let dtd = load_dtd(dtd_path)?;
+            let tree = load_xml(xml_path)?;
+            let fds = load_fds(fds_path)?;
+            match xnf_xml::conforms(&tree, &dtd) {
+                Ok(()) => writeln!(out, "conforms: yes").expect("string write"),
+                Err(e) => writeln!(out, "conforms: NO — {e}").expect("string write"),
+            }
+            let paths = dtd.paths()?;
+            for fd in fds.iter() {
+                let ok = fd.satisfied_by(&tree, &dtd, &paths)?;
+                writeln!(out, "{}  {fd}", if ok { "holds   " } else { "VIOLATED" })
+                    .expect("string write");
+            }
+        }
+        "implies" => {
+            if args.len() < 4 {
+                return Err(CliError::Usage(
+                    "xnf-tool implies <dtd> <fds> <fd> [<fd>…]".into(),
+                ));
+            }
+            let dtd = load_dtd(&args[1])?;
+            let sigma = load_fds(&args[2])?;
+            let paths = dtd.paths()?;
+            let resolved = sigma.resolve(&paths)?;
+            let search = CounterexampleSearch::new(&dtd, &paths);
+            for fd_text in &args[3..] {
+                let fd: XmlFd = fd_text.parse()?;
+                let r = fd.resolve(&paths)?;
+                if search.chase().implies(&resolved, &r) {
+                    writeln!(out, "implied      {fd}").expect("string write");
+                } else if let Some(w) = search.find(&resolved, &r) {
+                    writeln!(out, "NOT implied  {fd}; witness:").expect("string write");
+                    out.push_str(&xnf_xml::to_string_pretty(&w.tree));
+                } else {
+                    writeln!(out, "NOT implied  {fd} (no small witness constructed)")
+                        .expect("string write");
+                }
+            }
+        }
+        "is-xnf" => {
+            let [_, dtd_path, fds_path] = args else {
+                return Err(CliError::Usage("xnf-tool is-xnf <dtd> <fds>".into()));
+            };
+            let dtd = load_dtd(dtd_path)?;
+            let sigma = load_fds(fds_path)?;
+            let violations = xnf_core::anomalous_fds(&dtd, &sigma)?;
+            if violations.is_empty() {
+                writeln!(out, "in XNF: yes").expect("string write");
+            } else {
+                writeln!(out, "in XNF: NO — {} anomalous FD(s):", violations.len())
+                    .expect("string write");
+                for v in violations {
+                    writeln!(out, "  {}", v.fd).expect("string write");
+                }
+            }
+        }
+        "normalize" => {
+            if args.len() < 3 {
+                return Err(CliError::Usage(
+                    "xnf-tool normalize <dtd> <fds> [--sigma-only] [--doc <xml>]".into(),
+                ));
+            }
+            let dtd = load_dtd(&args[1])?;
+            let sigma = load_fds(&args[2])?;
+            let mut options = NormalizeOptions::default();
+            let mut doc_path: Option<&str> = None;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--sigma-only" => options.use_implication = false,
+                    "--doc" => {
+                        i += 1;
+                        doc_path = Some(args.get(i).map(String::as_str).ok_or_else(|| {
+                            CliError::Usage("--doc needs a file".into())
+                        })?);
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag `{other}`")));
+                    }
+                }
+                i += 1;
+            }
+            let result = normalize(&dtd, &sigma, &options)?;
+            writeln!(out, "=== steps ({}) ===", result.steps.len()).expect("string write");
+            for s in &result.steps {
+                writeln!(out, "{s:?}").expect("string write");
+            }
+            writeln!(out, "=== revised DTD ===\n{}", result.dtd).expect("string write");
+            writeln!(out, "=== revised FDs ===\n{}", result.sigma).expect("string write");
+            if let Some(doc_path) = doc_path {
+                let tree = load_xml(doc_path)?;
+                let transformed = transform_document(&dtd, &result, &tree)?;
+                writeln!(out, "=== transformed document ===").expect("string write");
+                out.push_str(&xnf_xml::to_string_pretty(&transformed));
+                let report = verify_lossless(&dtd, &result, &tree)?;
+                writeln!(
+                    out,
+                    "lossless round-trip: {}",
+                    if report.ok() { "verified" } else { "FAILED" }
+                )
+                .expect("string write");
+            }
+        }
+        "keys" => {
+            if args.len() < 4 {
+                return Err(CliError::Usage(
+                    "xnf-tool keys <dtd> <fds> <elem-path> [max-size]".into(),
+                ));
+            }
+            let dtd = load_dtd(&args[1])?;
+            let sigma = load_fds(&args[2])?;
+            let target: xnf_dtd::Path = args[3]
+                .parse()
+                .map_err(|e: xnf_dtd::DtdError| CliError::Lib(e.to_string()))?;
+            let max_size: usize = args
+                .get(4)
+                .map(|s| s.parse().map_err(|_| CliError::Usage("max-size must be a number".into())))
+                .transpose()?
+                .unwrap_or(2);
+            let keys = xnf_core::keys::find_keys(&dtd, &sigma, &target, max_size)?;
+            if keys.is_empty() {
+                writeln!(out, "no keys of size <= {max_size} for {target}").expect("string write");
+            }
+            for k in keys {
+                writeln!(out, "{k}").expect("string write");
+            }
+        }
+        "mvd" => {
+            if args.len() < 4 {
+                return Err(CliError::Usage(
+                    "xnf-tool mvd <dtd> <xml> <mvd> [<mvd>…]".into(),
+                ));
+            }
+            let dtd = load_dtd(&args[1])?;
+            let tree = load_xml(&args[2])?;
+            let paths = dtd.paths()?;
+            for mvd_text in &args[3..] {
+                let mvd: xnf_core::mvd::XmlMvd = mvd_text.parse()?;
+                let ok = mvd.satisfied_by(&tree, &dtd, &paths)?;
+                writeln!(out, "{}  {mvd}", if ok { "holds   " } else { "VIOLATED" })
+                    .expect("string write");
+            }
+        }
+        "" | "-h" | "--help" | "help" => {
+            writeln!(out, "usage: {USAGE}").expect("string write");
+        }
+        other => {
+            return Err(CliError::Usage(format!("unknown command `{other}`; {USAGE}")));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn write_tmp(name: &str, content: &str) -> String {
+        let mut p = PathBuf::from(std::env::temp_dir());
+        p.push("xnf-cli-tests");
+        std::fs::create_dir_all(&p).unwrap();
+        p.push(name);
+        std::fs::write(&p, content).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    const DBLP_DTD: &str = "<!ELEMENT db (conf*)>
+<!ELEMENT conf (title, issue+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT issue (inproceedings+)>
+<!ELEMENT inproceedings (author+, title, booktitle)>
+<!ATTLIST inproceedings key CDATA #REQUIRED pages CDATA #REQUIRED year CDATA #REQUIRED>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>";
+
+    const DBLP_FDS: &str = "db.conf.title.S -> db.conf
+db.conf.issue -> db.conf.issue.inproceedings.@year";
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args).expect("command succeeds")
+    }
+
+    #[test]
+    fn parse_dtd_reports_class() {
+        let dtd = write_tmp("d1.dtd", DBLP_DTD);
+        let out = run_ok(&["parse-dtd", &dtd]);
+        assert!(out.contains("class: simple"));
+        assert!(out.contains("root: db"));
+    }
+
+    #[test]
+    fn paths_lists_epaths() {
+        let dtd = write_tmp("d2.dtd", DBLP_DTD);
+        let out = run_ok(&["paths", &dtd]);
+        assert!(out.contains("E db.conf.issue"));
+        assert!(out.contains("  db.conf.issue.inproceedings.@year"));
+    }
+
+    #[test]
+    fn is_xnf_detects_violation() {
+        let dtd = write_tmp("d3.dtd", DBLP_DTD);
+        let fds = write_tmp("d3.fds", DBLP_FDS);
+        let out = run_ok(&["is-xnf", &dtd, &fds]);
+        assert!(out.contains("in XNF: NO"));
+        assert!(out.contains("@year"));
+    }
+
+    #[test]
+    fn normalize_moves_year() {
+        let dtd = write_tmp("d4.dtd", DBLP_DTD);
+        let fds = write_tmp("d4.fds", DBLP_FDS);
+        let out = run_ok(&["normalize", &dtd, &fds]);
+        assert!(out.contains("MoveAttribute"));
+        assert!(out.contains("<!ATTLIST issue\n    year CDATA #REQUIRED>"));
+    }
+
+    #[test]
+    fn normalize_with_document_verifies_losslessness() {
+        let dtd = write_tmp("d5.dtd", DBLP_DTD);
+        let fds = write_tmp("d5.fds", DBLP_FDS);
+        let xml = write_tmp(
+            "d5.xml",
+            r#"<db><conf><title>PODS</title><issue>
+                <inproceedings key="p1" pages="1-10" year="2002">
+                  <author>A</author><title>T</title><booktitle>B</booktitle>
+                </inproceedings>
+              </issue></conf></db>"#,
+        );
+        let out = run_ok(&["normalize", &dtd, &fds, "--doc", &xml]);
+        assert!(out.contains("lossless round-trip: verified"));
+        assert!(out.contains(r#"<issue year="2002">"#));
+    }
+
+    #[test]
+    fn implies_prints_witness() {
+        let dtd = write_tmp("d6.dtd", DBLP_DTD);
+        let fds = write_tmp("d6.fds", DBLP_FDS);
+        let out = run_ok(&[
+            "implies",
+            &dtd,
+            &fds,
+            "db.conf.issue -> db.conf.issue.inproceedings.@year",
+            "db.conf.issue -> db.conf.issue.inproceedings",
+        ]);
+        assert!(out.contains("implied      db.conf.issue -> db.conf.issue.inproceedings.@year"));
+        assert!(out.contains("NOT implied  db.conf.issue -> db.conf.issue.inproceedings"));
+        assert!(out.contains("<db>") || out.contains("<db"));
+    }
+
+    #[test]
+    fn check_reports_conformance_and_fds() {
+        let dtd = write_tmp("d7.dtd", DBLP_DTD);
+        let fds = write_tmp("d7.fds", DBLP_FDS);
+        let xml = write_tmp(
+            "d7.xml",
+            r#"<db><conf><title>PODS</title><issue>
+                <inproceedings key="p1" pages="1" year="2001">
+                  <author>A</author><title>T</title><booktitle>B</booktitle>
+                </inproceedings>
+                <inproceedings key="p2" pages="2" year="2002">
+                  <author>B</author><title>T2</title><booktitle>B</booktitle>
+                </inproceedings>
+              </issue></conf></db>"#,
+        );
+        let out = run_ok(&["check", &dtd, &xml, &fds]);
+        assert!(out.contains("conforms: yes"));
+        assert!(out.contains("VIOLATED"));
+        assert!(out.contains("holds"));
+    }
+
+    #[test]
+    fn tuples_prints_relation() {
+        let dtd = write_tmp("d8.dtd", DBLP_DTD);
+        let xml = write_tmp(
+            "d8.xml",
+            r#"<db><conf><title>PODS</title><issue>
+                <inproceedings key="p1" pages="1" year="2001">
+                  <author>A</author><author>B</author><title>T</title><booktitle>B</booktitle>
+                </inproceedings>
+              </issue></conf></db>"#,
+        );
+        let out = run_ok(&["tuples", &dtd, &xml]);
+        assert!(out.contains("2 tuple(s)"));
+        assert!(out.contains("db.conf.issue.inproceedings.@year"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            run(&["nonsense".to_string()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["parse-dtd".to_string(), "/nonexistent".to_string()]),
+            Err(CliError::Io(..))
+        ));
+        let bad = write_tmp("bad.dtd", "<!ELEMENT r (unclosed>");
+        assert!(matches!(
+            run(&["parse-dtd".to_string(), bad]),
+            Err(CliError::Lib(_))
+        ));
+    }
+
+    #[test]
+    fn keys_discovers_relative_key() {
+        let dtd = write_tmp("d9.dtd", "<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ATTLIST course cno CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (name, grade)>
+<!ATTLIST student sno CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT grade (#PCDATA)>");
+        let fds = write_tmp("d9.fds", "courses.course.@cno -> courses.course
+courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student");
+        let out = run_ok(&["keys", &dtd, &fds, "courses.course.taken_by.student", "2"]);
+        assert!(out.contains(
+            "{courses.course, courses.course.taken_by.student.@sno} -> courses.course.taken_by.student"
+        ));
+        let out = run_ok(&["keys", &dtd, &fds, "courses.course"]);
+        assert!(out.contains("{courses.course.@cno} -> courses.course"));
+    }
+
+    #[test]
+    fn mvd_command_checks_swap_semantics() {
+        let dtd = write_tmp("d10.dtd", "<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ATTLIST course cno CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (name, grade)>
+<!ATTLIST student sno CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT grade (#PCDATA)>");
+        let xml = write_tmp(
+            "d10.xml",
+            r#"<courses><course cno="c1"><title>T</title><taken_by>
+               <student sno="s1"><name>N1</name><grade>A</grade></student>
+               <student sno="s2"><name>N2</name><grade>B</grade></student>
+               </taken_by></course></courses>"#,
+        );
+        let out = run_ok(&[
+            "mvd",
+            &dtd,
+            &xml,
+            // Structural independence: title vs taken_by subtrees.
+            "courses.course ->> courses.course.title.S | courses.course.taken_by.student.@sno",
+            // Name and grade are tied through the student choice.
+            "courses.course ->> courses.course.taken_by.student.name.S | courses.course.taken_by.student.grade.S",
+        ]);
+        assert!(out.contains("holds"));
+        assert!(out.contains("VIOLATED"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_ok(&["help"]);
+        assert!(out.contains("usage:"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `xnf-tool` — see the crate docs of `xnf-cli` for the subcommands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match xnf_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("xnf-tool: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The codings of Section 5: relational and nested relational schemas as
+//! DTDs, connecting XNF to BCNF (Proposition 4) and to NNF
+//! (Proposition 5).
+
+use crate::fd::{XmlFd, XmlFdSet};
+use crate::Result;
+use xnf_dtd::{Dtd, Path, Regex};
+use xnf_relational::fd::{FdSet, RelSchema};
+use xnf_relational::nested::{NestedSchema, NestedTuple};
+use xnf_relational::table::Relation;
+use xnf_xml::XmlTree;
+
+/// Codes a relational schema `G(A₁, …, Aₙ)` as the DTD `D_G` of
+/// Example 5.3: `<!ELEMENT db (G*)>`, `<!ELEMENT G EMPTY>` with one
+/// attribute per column.
+pub fn relational_to_dtd(schema: &RelSchema) -> Result<Dtd> {
+    Ok(Dtd::builder("db")
+        .elem("db", Regex::elem(schema.name()).star())
+        .empty_elem(schema.name(), schema.attrs().iter().cloned())
+        .build()?)
+}
+
+/// Codes a relational FD set `F` as the XML FD set `Σ_F`: each
+/// `A_{i₁} … A_{iₘ} → A_j` becomes `{db.G.@A_{i₁}, …} → db.G.@A_j`, plus
+/// the duplicate-avoidance key `{db.G.@A₁, …, db.G.@Aₙ} → db.G`.
+pub fn relational_fds_to_xml(schema: &RelSchema, fds: &FdSet) -> Result<XmlFdSet> {
+    let g_path = Path::root("db").child_elem(schema.name());
+    let attr_path =
+        |i: usize| -> Path { g_path.child_attr(schema.attrs()[i].as_str()) };
+    let mut out = Vec::new();
+    for fd in fds.iter() {
+        let lhs: Vec<Path> = fd.lhs.iter().map(attr_path).collect();
+        for a in fd.rhs.iter() {
+            out.push(XmlFd::new(lhs.clone(), [attr_path(a)])?);
+        }
+    }
+    let all: Vec<Path> = (0..schema.arity()).map(attr_path).collect();
+    out.push(XmlFd::new(all, [g_path])?);
+    Ok(XmlFdSet::from_fds(out))
+}
+
+/// Codes a relation instance as a document conforming to
+/// [`relational_to_dtd`]. Null values are not representable (the coding
+/// uses `#REQUIRED` attributes) and are rejected.
+pub fn relation_to_tree(schema: &RelSchema, rel: &Relation) -> Result<XmlTree> {
+    let mut tree = XmlTree::new("db");
+    for row in rel.rows() {
+        let g = tree.add_child(tree.root(), schema.name());
+        for (attr, value) in schema.attrs().iter().zip(row) {
+            match value {
+                xnf_relational::Value::Str(s) => tree.set_attr(g, attr.as_str(), s.clone()),
+                other => {
+                    return Err(crate::CoreError::UnrepresentableNull {
+                        path: format!("db.{}.@{attr} = {other}", schema.name()),
+                    })
+                }
+            }
+        }
+    }
+    Ok(tree)
+}
+
+/// Codes a nested relational schema as a DTD (Section 5): each subschema
+/// `G = X(G₁)*…(Gₙ)*` becomes an element type with `P(G) = G₁*, …, Gₙ*`
+/// (`EMPTY` for leaves) and one attribute per atomic attribute of `X`; the
+/// root is a fresh `db` with `P(db) = G₁*`.
+pub fn nested_to_dtd(schema: &NestedSchema) -> Result<Dtd> {
+    fn declare(b: xnf_dtd::DtdBuilder, s: &NestedSchema) -> xnf_dtd::DtdBuilder {
+        let content = Regex::seq(
+            s.children()
+                .iter()
+                .map(|c| Regex::elem(c.name()).star()),
+        );
+        let mut b = b.elem_attrs(s.name(), content, s.atomic().iter().cloned());
+        for c in s.children() {
+            b = declare(b, c);
+        }
+        b
+    }
+    let b = Dtd::builder("db").elem("db", Regex::elem(schema.name()).star());
+    Ok(declare(b, schema).build()?)
+}
+
+/// `path(Gᵢ)` / `path(A)` of Section 5: the element path from `db` to a
+/// subschema, or the attribute path of an atomic attribute.
+pub fn nested_path(schema: &NestedSchema, target: &str) -> Option<Path> {
+    // Element target?
+    if let Some(names) = schema.path_to(target) {
+        let mut p = Path::root("db");
+        for n in names {
+            p = p.child_elem(n);
+        }
+        return Some(p);
+    }
+    // Attribute target.
+    let holder = schema.schema_of_attr(target)?;
+    let mut p = Path::root("db");
+    for n in schema.path_to(holder.name())? {
+        p = p.child_elem(n);
+    }
+    Some(p.child_attr(target))
+}
+
+/// Codes a nested-relational FD set as `Σ_FD` (Section 5): the given FDs
+/// via `path(·)`, plus the PNF-enforcing FDs — for each subschema `Gᵢ`
+/// with parent `Gⱼ`, `{path(Gⱼ)} ∪ {path(A) : A atomic in Gᵢ} → path(Gᵢ)`,
+/// and for the root schema `{path(B) : B atomic in G₁} → path(G₁)`.
+pub fn nested_fds_to_xml(
+    schema: &NestedSchema,
+    flat: &RelSchema,
+    fds: &FdSet,
+) -> Result<XmlFdSet> {
+    let path_of = |attr: &str| -> Result<Path> {
+        nested_path(schema, attr).ok_or_else(|| {
+            crate::CoreError::BadFdPath(format!("attribute `{attr}` is not in the schema"))
+        })
+    };
+    let mut out = Vec::new();
+    // The given FDs, attribute-wise.
+    for fd in fds.iter() {
+        let lhs: Vec<Path> = fd
+            .lhs
+            .iter()
+            .map(|i| path_of(&flat.attrs()[i]))
+            .collect::<Result<_>>()?;
+        for a in fd.rhs.iter() {
+            out.push(XmlFd::new(lhs.clone(), [path_of(&flat.attrs()[a])?])?);
+        }
+    }
+    // PNF FDs, recursively.
+    fn pnf_fds(
+        schema: &NestedSchema,
+        node: &NestedSchema,
+        parent: Option<&NestedSchema>,
+        out: &mut Vec<XmlFd>,
+    ) -> Result<()> {
+        let node_path = nested_path(schema, node.name()).expect("node is in the schema");
+        let mut lhs: Vec<Path> = Vec::new();
+        if let Some(p) = parent {
+            lhs.push(nested_path(schema, p.name()).expect("parent is in the schema"));
+        }
+        for a in node.atomic() {
+            lhs.push(nested_path(schema, a).expect("attribute is in the schema"));
+        }
+        if !lhs.is_empty() {
+            out.push(XmlFd::new(lhs, [node_path])?);
+        }
+        for c in node.children() {
+            pnf_fds(schema, c, Some(node), out)?;
+        }
+        Ok(())
+    }
+    pnf_fds(schema, schema, None, &mut out)?;
+    Ok(XmlFdSet::from_fds(out))
+}
+
+/// Codes a nested relation instance as a document conforming to
+/// [`nested_to_dtd`].
+pub fn nested_instance_to_tree(
+    schema: &NestedSchema,
+    tuples: &[NestedTuple],
+) -> Result<XmlTree> {
+    fn emit(
+        tree: &mut XmlTree,
+        parent: xnf_xml::NodeId,
+        schema: &NestedSchema,
+        t: &NestedTuple,
+    ) {
+        let node = tree.add_child(parent, schema.name());
+        for (attr, value) in schema.atomic().iter().zip(&t.atomic) {
+            tree.set_attr(node, attr.as_str(), value.clone());
+        }
+        for (cs, sub) in schema.children().iter().zip(&t.children) {
+            for s in sub {
+                emit(tree, node, cs, s);
+            }
+        }
+    }
+    let mut tree = XmlTree::new("db");
+    let root = tree.root();
+    for t in tuples {
+        emit(&mut tree, root, schema, t);
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xnf::is_xnf;
+    use xnf_relational::bcnf::is_bcnf;
+    use xnf_relational::fd::Fd;
+    use xnf_relational::fd::AttrSet;
+    use xnf_relational::nested::{is_nnf, unnest};
+
+    fn s(ixs: &[usize]) -> AttrSet {
+        let mut a = AttrSet::empty();
+        for &i in ixs {
+            a.insert(i);
+        }
+        a
+    }
+
+    #[test]
+    fn example_5_3_coding() {
+        let schema = RelSchema::new("G", ["A", "B", "C"]).unwrap();
+        let dtd = relational_to_dtd(&schema).unwrap();
+        assert_eq!(
+            dtd.to_string(),
+            "<!ELEMENT db (G*)>\n<!ELEMENT G EMPTY>\n<!ATTLIST G\n    A CDATA #REQUIRED\n    B CDATA #REQUIRED\n    C CDATA #REQUIRED>\n"
+        );
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1]))]);
+        let xml_fds = relational_fds_to_xml(&schema, &fds).unwrap();
+        let rendered: Vec<String> = xml_fds.iter().map(|f| f.to_string()).collect();
+        assert!(rendered.contains(&"db.G.@A -> db.G.@B".to_string()));
+        assert!(rendered.contains(&"db.G.@A, db.G.@B, db.G.@C -> db.G".to_string()));
+    }
+
+    #[test]
+    fn proposition_4_bcnf_iff_xnf() {
+        // Sweep small schemas with one or two FDs and compare the two
+        // normal-form tests.
+        let schema = RelSchema::new("G", ["A", "B", "C"]).unwrap();
+        let all = AttrSet::full(3);
+        let singles: Vec<AttrSet> = (0..3).map(|i| s(&[i])).collect();
+        let mut cases: Vec<FdSet> = Vec::new();
+        for l in &singles {
+            for r in &singles {
+                if l != r {
+                    cases.push(FdSet::from_fds([Fd::new(*l, *r)]));
+                    for l2 in &singles {
+                        for r2 in &singles {
+                            if l2 != r2 {
+                                cases.push(FdSet::from_fds([
+                                    Fd::new(*l, *r),
+                                    Fd::new(*l2, *r2),
+                                ]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Also some two-attribute LHS cases.
+        cases.push(FdSet::from_fds([Fd::new(s(&[0, 1]), s(&[2]))]));
+        cases.push(FdSet::from_fds([
+            Fd::new(s(&[0, 1]), s(&[2])),
+            Fd::new(s(&[2]), s(&[0])),
+        ]));
+        let dtd = relational_to_dtd(&schema).unwrap();
+        for fds in cases {
+            let xml_fds = relational_fds_to_xml(&schema, &fds).unwrap();
+            let bcnf = is_bcnf(&fds, all);
+            let xnf = is_xnf(&dtd, &xml_fds).unwrap();
+            assert_eq!(
+                bcnf,
+                xnf,
+                "Proposition 4 violated for {:?}",
+                fds.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn relation_instance_round_trips_fd_satisfaction() {
+        let schema = RelSchema::new("G", ["A", "B"]).unwrap();
+        let mut rel = Relation::new(["A", "B"]).unwrap();
+        rel.insert(vec![
+            xnf_relational::Value::str("a1"),
+            xnf_relational::Value::str("b1"),
+        ])
+        .unwrap();
+        rel.insert(vec![
+            xnf_relational::Value::str("a1"),
+            xnf_relational::Value::str("b2"),
+        ])
+        .unwrap();
+        let dtd = relational_to_dtd(&schema).unwrap();
+        let tree = relation_to_tree(&schema, &rel).unwrap();
+        assert!(xnf_xml::conforms(&tree, &dtd).is_ok());
+        // A → B fails on the instance and on the coding alike.
+        let ps = dtd.paths().unwrap();
+        let fd: XmlFd = "db.G.@A -> db.G.@B".parse().unwrap();
+        assert!(!fd.satisfied_by(&tree, &dtd, &ps).unwrap());
+        assert!(!rel.satisfies_fd(&["A"], &["B"]).unwrap());
+    }
+
+    fn figure3_schema() -> NestedSchema {
+        NestedSchema::new(
+            "H1",
+            ["Country"],
+            [NestedSchema::new(
+                "H2",
+                ["State"],
+                [NestedSchema::leaf("H3", ["City"])],
+            )],
+        )
+    }
+
+    #[test]
+    fn nested_dtd_matches_paper() {
+        let dtd = nested_to_dtd(&figure3_schema()).unwrap();
+        // Exactly the DTD printed in Section 5.
+        assert_eq!(
+            dtd.to_string(),
+            "<!ELEMENT db (H1*)>\n<!ELEMENT H1 (H2*)>\n<!ATTLIST H1\n    Country CDATA #REQUIRED>\n<!ELEMENT H2 (H3*)>\n<!ATTLIST H2\n    State CDATA #REQUIRED>\n<!ELEMENT H3 EMPTY>\n<!ATTLIST H3\n    City CDATA #REQUIRED>\n"
+        );
+    }
+
+    #[test]
+    fn nested_paths_match_paper() {
+        let schema = figure3_schema();
+        assert_eq!(
+            nested_path(&schema, "H2").unwrap().to_string(),
+            "db.H1.H2"
+        );
+        assert_eq!(
+            nested_path(&schema, "City").unwrap().to_string(),
+            "db.H1.H2.H3.@City"
+        );
+        assert!(nested_path(&schema, "Ghost").is_none());
+    }
+
+    #[test]
+    fn pnf_fds_match_paper() {
+        // The three FDs displayed in Section 5 for the Figure 3 schema.
+        let schema = figure3_schema();
+        let flat = schema.unnested_schema().unwrap();
+        let xml_fds = nested_fds_to_xml(&schema, &flat, &FdSet::new()).unwrap();
+        let rendered: Vec<String> = xml_fds.iter().map(|f| f.to_string()).collect();
+        assert!(rendered.contains(&"db.H1.@Country -> db.H1".to_string()));
+        assert!(rendered.contains(&"db.H1, db.H1.H2.@State -> db.H1.H2".to_string()));
+        assert!(rendered
+            .contains(&"db.H1.H2, db.H1.H2.H3.@City -> db.H1.H2.H3".to_string()));
+        assert_eq!(xml_fds.len(), 3);
+    }
+
+    #[test]
+    fn proposition_5_nnf_iff_xnf() {
+        let schema = figure3_schema();
+        let flat = schema.unnested_schema().unwrap();
+        let dtd = nested_to_dtd(&schema).unwrap();
+        // Sweep all single-FD sets with singleton sides over the three
+        // attributes.
+        for l in 0..3usize {
+            for r in 0..3usize {
+                if l == r {
+                    continue;
+                }
+                let fds = FdSet::from_fds([Fd::new(s(&[l]), s(&[r]))]);
+                let nnf = is_nnf(&schema, &flat, &fds).unwrap();
+                let xml_fds = nested_fds_to_xml(&schema, &flat, &fds).unwrap();
+                let xnf = is_xnf(&dtd, &xml_fds).unwrap();
+                assert_eq!(
+                    nnf, xnf,
+                    "Proposition 5 violated for A{l} -> A{r} \
+                     ({} -> {})",
+                    flat.attrs()[l], flat.attrs()[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_instance_coding_conforms_and_satisfies_pnf_fds() {
+        let schema = figure3_schema();
+        let flat = schema.unnested_schema().unwrap();
+        let inst = vec![NestedTuple::new(
+            ["United States"],
+            [vec![
+                NestedTuple::new(
+                    ["Texas"],
+                    [vec![
+                        NestedTuple::leaf(["Houston"]),
+                        NestedTuple::leaf(["Dallas"]),
+                    ]],
+                ),
+                NestedTuple::new(
+                    ["Ohio"],
+                    [vec![
+                        NestedTuple::leaf(["Columbus"]),
+                        NestedTuple::leaf(["Cleveland"]),
+                    ]],
+                ),
+            ]],
+        )];
+        let dtd = nested_to_dtd(&schema).unwrap();
+        let tree = nested_instance_to_tree(&schema, &inst).unwrap();
+        assert!(xnf_xml::conforms(&tree, &dtd).is_ok());
+        let xml_fds = nested_fds_to_xml(&schema, &flat, &FdSet::new()).unwrap();
+        let ps = dtd.paths().unwrap();
+        assert!(xml_fds.satisfied_by(&tree, &dtd, &ps).unwrap());
+        // The document's tuple relation is the complete unnesting, plus
+        // node columns: same cardinality as Figure 3(b).
+        let rel = crate::tuples::tuples_relation(&tree, &dtd, &ps).unwrap();
+        let unnested = unnest(&schema, &inst).unwrap();
+        assert_eq!(rel.len(), unnested.len());
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn state_country_fd_holds_on_coding() {
+        let schema = figure3_schema();
+        let dtd = nested_to_dtd(&schema).unwrap();
+        let ps = dtd.paths().unwrap();
+        let inst = vec![NestedTuple::new(
+            ["United States"],
+            [vec![NestedTuple::new(
+                ["Texas"],
+                [vec![NestedTuple::leaf(["Houston"])]],
+            )]],
+        )];
+        let tree = nested_instance_to_tree(&schema, &inst).unwrap();
+        let fd: XmlFd = "db.H1.H2.@State -> db.H1.@Country".parse().unwrap();
+        assert!(fd.satisfied_by(&tree, &dtd, &ps).unwrap());
+    }
+}

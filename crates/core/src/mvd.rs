@@ -1,0 +1,272 @@
+//! Multivalued dependencies for XML — the paper's Section 8 direction
+//! ("extending XNF … by taking into account multivalued dependencies
+//! which are naturally induced by the tree structure"), made executable.
+//!
+//! Following the paper's own methodology for FDs, an XML MVD
+//! `S₁ ↠ S₂ | S₃` is given semantics on the tree-tuple relation: for all
+//! `t₁, t₂ ∈ tuples_D(T)` with `t₁.S₁ = t₂.S₁ ≠ ⊥`, there is a
+//! `t₃ ∈ tuples_D(T)` with `t₃.S₁ = t₁.S₁`, `t₃.S₂ = t₁.S₂` and
+//! `t₃.S₃ = t₂.S₃` — the swap semantics of relational MVDs, with the
+//! ⊥-on-LHS guard of Section 4.
+//!
+//! The "naturally induced" part is [`structural_mvd`]: in any conforming
+//! tree, two *independent* branch points below a common element path give
+//! an MVD for free — e.g. in the DBLP DTD every `conf` node chooses its
+//! `issue` independently of nothing else, while in a schema with two
+//! starred children `a*, b*` under `e`, `e ↠ subtree(a) | subtree(b)`
+//! holds in **every** conforming document. This is the XML analogue of
+//! the fact that unnesting a nested relation yields MVDs.
+
+use crate::tuple::TreeTuple;
+use crate::tuples::tuples_d;
+use crate::{CoreError, Result};
+use std::collections::HashSet;
+use xnf_dtd::{Dtd, Path, PathId, PathSet};
+use xnf_xml::XmlTree;
+
+/// An XML multivalued dependency `S₁ ↠ S₂ | S₃` (the third component is
+/// explicit, as the complement is not canonical over paths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlMvd {
+    /// The determinant `S₁`.
+    pub lhs: Vec<Path>,
+    /// The dependent group `S₂`.
+    pub dep: Vec<Path>,
+    /// The independent group `S₃` (swapped against `S₂`).
+    pub indep: Vec<Path>,
+}
+
+impl XmlMvd {
+    /// Creates `lhs ↠ dep | indep`; all three sides must be non-empty.
+    pub fn new(
+        lhs: impl IntoIterator<Item = Path>,
+        dep: impl IntoIterator<Item = Path>,
+        indep: impl IntoIterator<Item = Path>,
+    ) -> Result<XmlMvd> {
+        let lhs: Vec<Path> = lhs.into_iter().collect();
+        let dep: Vec<Path> = dep.into_iter().collect();
+        let indep: Vec<Path> = indep.into_iter().collect();
+        if lhs.is_empty() || dep.is_empty() || indep.is_empty() {
+            return Err(CoreError::EmptyFd);
+        }
+        Ok(XmlMvd { lhs, dep, indep })
+    }
+
+    fn resolve_side(side: &[Path], paths: &PathSet) -> Result<Vec<PathId>> {
+        side.iter()
+            .map(|p| {
+                paths
+                    .resolve(p)
+                    .ok_or_else(|| xnf_dtd::DtdError::NoSuchPath(p.to_string()).into())
+            })
+            .collect()
+    }
+
+    /// Whether `T` satisfies this MVD (swap semantics over
+    /// `tuples_D(T)`).
+    pub fn satisfied_by(&self, tree: &XmlTree, dtd: &Dtd, paths: &PathSet) -> Result<bool> {
+        let lhs = Self::resolve_side(&self.lhs, paths)?;
+        let dep = Self::resolve_side(&self.dep, paths)?;
+        let indep = Self::resolve_side(&self.indep, paths)?;
+        let tuples = tuples_d(tree, dtd, paths)?;
+        Ok(check_mvd(&tuples, &lhs, &dep, &indep))
+    }
+}
+
+impl std::str::FromStr for XmlMvd {
+    type Err = CoreError;
+
+    /// Parses `"p1, p2 ->> q1, q2 | r1, r2"`.
+    fn from_str(s: &str) -> Result<XmlMvd> {
+        let (lhs, rest) = s
+            .split_once("->>")
+            .ok_or_else(|| CoreError::BadFdPath(format!("`{s}` has no `->>`")))?;
+        let (dep, indep) = rest
+            .split_once('|')
+            .ok_or_else(|| CoreError::BadFdPath(format!("`{s}` has no `|` separator")))?;
+        let parse_side = |side: &str| -> Result<Vec<Path>> {
+            side.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(|p| p.parse::<Path>().map_err(CoreError::from))
+                .collect()
+        };
+        XmlMvd::new(parse_side(lhs)?, parse_side(dep)?, parse_side(indep)?)
+    }
+}
+
+impl std::fmt::Display for XmlMvd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let join = |side: &[Path]| {
+            side.iter()
+                .map(Path::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        write!(
+            f,
+            "{} ->> {} | {}",
+            join(&self.lhs),
+            join(&self.dep),
+            join(&self.indep)
+        )
+    }
+}
+
+/// The swap check on a materialized tuple set.
+fn check_mvd(
+    tuples: &[TreeTuple],
+    lhs: &[PathId],
+    dep: &[PathId],
+    indep: &[PathId],
+) -> bool {
+    // Index the (lhs, dep, indep) projections for O(1) swap lookups.
+    let project = |t: &TreeTuple, side: &[PathId]| -> Vec<xnf_relational::Value> {
+        side.iter().map(|&p| t.get(p).clone()).collect()
+    };
+    let index: HashSet<(Vec<_>, Vec<_>, Vec<_>)> = tuples
+        .iter()
+        .map(|t| (project(t, lhs), project(t, dep), project(t, indep)))
+        .collect();
+    for t1 in tuples {
+        if !t1.non_null_on(lhs) {
+            continue;
+        }
+        for t2 in tuples {
+            if !t1.agree_on(t2, lhs) {
+                continue;
+            }
+            let swapped = (
+                project(t1, lhs),
+                project(t1, dep),
+                project(t2, indep),
+            );
+            if !index.contains(&swapped) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The structurally induced MVD at an element path `q` with two distinct
+/// repeatable children `a` and `b`: `q ↠ subtree(a) | subtree(b)`.
+///
+/// Holds in *every* tree conforming to the DTD whenever the choices at
+/// `a` and `b` are independent (distinct letters are always picked
+/// independently by maximal tuples), which is exactly the tree-structure
+/// phenomenon Section 8 refers to.
+pub fn structural_mvd(paths: &PathSet, q: PathId, a: PathId, b: PathId) -> Result<XmlMvd> {
+    if !paths.is_element_path(q) || !paths.is_element_path(a) || !paths.is_element_path(b) {
+        return Err(CoreError::BadFdPath(
+            "structural MVDs need element paths".to_string(),
+        ));
+    }
+    if paths.parent(a) != Some(q) || paths.parent(b) != Some(q) || a == b {
+        return Err(CoreError::BadFdPath(
+            "a and b must be distinct children of q".to_string(),
+        ));
+    }
+    let subtree = |root: PathId| -> Vec<Path> {
+        paths
+            .iter()
+            .filter(|&p| paths.is_prefix(root, p))
+            .map(|p| paths.path(p))
+            .collect()
+    };
+    XmlMvd::new([paths.path(q)], subtree(a), subtree(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure_1a, university_dtd};
+
+    #[test]
+    fn structural_mvd_holds_on_any_conforming_tree() {
+        // course has children title and taken_by: the tuple choices below
+        // them are independent, so course ↠ title-side | student-side
+        // holds on Figure 1(a) (and provably on every conforming tree).
+        let dtd = university_dtd();
+        let paths = dtd.paths().unwrap();
+        let course = paths.resolve_str("courses.course").unwrap();
+        let title = paths.resolve_str("courses.course.title").unwrap();
+        let taken_by = paths.resolve_str("courses.course.taken_by").unwrap();
+        let mvd = structural_mvd(&paths, course, title, taken_by).unwrap();
+        assert!(mvd.satisfied_by(&figure_1a(), &dtd, &paths).unwrap());
+    }
+
+    #[test]
+    fn student_choices_are_independent_across_courses() {
+        // courses ↠ subtree(course-1 pick) — here: the root determines
+        // nothing, but picks below distinct course nodes swap freely:
+        // state the MVD at the root between the course subtree and…
+        // there is only one starred child, so instead check the swap
+        // semantics detects a *violation* when the groups are NOT
+        // independent: name.S vs grade.S under the same student pick are
+        // tied through the student choice.
+        let dtd = university_dtd();
+        let paths = dtd.paths().unwrap();
+        let mvd = XmlMvd::new(
+            ["courses.course".parse().unwrap()],
+            ["courses.course.taken_by.student.name.S".parse().unwrap()],
+            ["courses.course.taken_by.student.grade.S".parse().unwrap()],
+        )
+        .unwrap();
+        // In Figure 1(a), csc200 has (Deere, A+) and (Smith, B-): the
+        // swap (Deere, B-) is not a tuple → violated.
+        assert!(!mvd.satisfied_by(&figure_1a(), &dtd, &paths).unwrap());
+    }
+
+    #[test]
+    fn mvd_with_student_node_on_lhs_restores_independence() {
+        // Adding the student node to the LHS pins the choice: trivially
+        // satisfied (dep and indep are functions of the student).
+        let dtd = university_dtd();
+        let paths = dtd.paths().unwrap();
+        let mvd = XmlMvd::new(
+            ["courses.course.taken_by.student".parse().unwrap()],
+            ["courses.course.taken_by.student.name.S".parse().unwrap()],
+            ["courses.course.taken_by.student.grade.S".parse().unwrap()],
+        )
+        .unwrap();
+        assert!(mvd.satisfied_by(&figure_1a(), &dtd, &paths).unwrap());
+    }
+
+    #[test]
+    fn display_and_validation() {
+        let mvd = XmlMvd::new(
+            ["a".parse::<Path>().unwrap()],
+            ["a.b".parse().unwrap()],
+            ["a.c".parse().unwrap()],
+        )
+        .unwrap();
+        assert_eq!(mvd.to_string(), "a ->> a.b | a.c");
+        assert!(XmlMvd::new(
+            Vec::<Path>::new(),
+            ["a.b".parse().unwrap()],
+            ["a.c".parse().unwrap()]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn mvd_parse_roundtrip() {
+        let text = "courses.course ->> courses.course.title | courses.course.taken_by";
+        let mvd: XmlMvd = text.parse().unwrap();
+        assert_eq!(mvd.to_string(), text);
+        assert!("a -> b".parse::<XmlMvd>().is_err());
+        assert!("a ->> b".parse::<XmlMvd>().is_err()); // no | part
+    }
+
+    #[test]
+    fn structural_mvd_rejects_non_children() {
+        let dtd = university_dtd();
+        let paths = dtd.paths().unwrap();
+        let root = paths.root();
+        let title = paths.resolve_str("courses.course.title").unwrap();
+        let taken_by = paths.resolve_str("courses.course.taken_by").unwrap();
+        assert!(structural_mvd(&paths, root, title, taken_by).is_err());
+        assert!(structural_mvd(&paths, root, title, title).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! Tree tuples — Definition 4 — and their tree representation `tree_D(t)`
+//! — Definition 5.
+//!
+//! A tree tuple `t` in a DTD `D` assigns to every path of `paths(D)` a
+//! vertex, a string, or `⊥`, such that: element paths get vertices (the
+//! root is non-null), non-element paths get strings, distinct paths never
+//! share a vertex, nulls propagate downward, and only finitely many paths
+//! are non-null. We represent a tuple densely over an enumerated
+//! [`PathSet`], using [`Value`] from the relational layer so that sets of
+//! tuples *are* Codd tables.
+
+use crate::{CoreError, Result};
+use std::collections::HashMap;
+use xnf_dtd::{PathId, PathSet, Step};
+use xnf_relational::Value;
+use xnf_xml::XmlTree;
+
+/// A tree tuple: one [`Value`] per path of the enumerated path set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TreeTuple {
+    values: Vec<Value>,
+}
+
+impl TreeTuple {
+    /// The all-null tuple over a path set of `n` paths (not itself a valid
+    /// tree tuple — the root must be set before use).
+    pub fn empty(n: usize) -> TreeTuple {
+        TreeTuple {
+            values: vec![Value::Null; n],
+        }
+    }
+
+    /// Builds a tuple from a dense value vector.
+    pub fn from_values(values: Vec<Value>) -> TreeTuple {
+        TreeTuple { values }
+    }
+
+    /// `t.p` — the value at path `p`.
+    pub fn get(&self, p: PathId) -> &Value {
+        &self.values[p.index()]
+    }
+
+    /// Sets the value at path `p`.
+    pub fn set(&mut self, p: PathId, v: Value) {
+        self.values[p.index()] = v;
+    }
+
+    /// The dense value vector, aligned with the path set's id order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Whether `t.S = t'.S` for a set of paths (value equality; `⊥ = ⊥`).
+    pub fn agree_on(&self, other: &TreeTuple, paths: &[PathId]) -> bool {
+        paths.iter().all(|&p| self.get(p) == other.get(p))
+    }
+
+    /// Whether `t.S ≠ ⊥`: all the given paths are non-null.
+    pub fn non_null_on(&self, paths: &[PathId]) -> bool {
+        paths.iter().all(|&p| !self.get(p).is_null())
+    }
+
+    /// Whether `self ⊑ other` in the information ordering: wherever `self`
+    /// is non-null, `other` has the same value.
+    pub fn subsumed_by(&self, other: &TreeTuple) -> bool {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| a.is_null() || a == b)
+    }
+
+    /// Validates the Definition 4 conditions against `paths`:
+    /// element paths hold vertices (root non-null), non-element paths hold
+    /// strings, vertices are not shared between distinct paths, and nulls
+    /// propagate downward.
+    pub fn validate(&self, paths: &PathSet) -> Result<()> {
+        if self.values.len() != paths.len() {
+            return Err(CoreError::InconsistentTuples(format!(
+                "tuple has {} values for {} paths",
+                self.values.len(),
+                paths.len()
+            )));
+        }
+        if self.get(paths.root()).is_null() {
+            return Err(CoreError::InconsistentTuples("t(r) = ⊥".to_string()));
+        }
+        let mut seen_verts: HashMap<u64, PathId> = HashMap::new();
+        for p in paths.iter() {
+            match (paths.is_element_path(p), self.get(p)) {
+                (true, Value::Str(_)) => {
+                    return Err(CoreError::InconsistentTuples(format!(
+                        "element path {} holds a string",
+                        paths.format(p)
+                    )))
+                }
+                (false, Value::Vert(_)) => {
+                    return Err(CoreError::InconsistentTuples(format!(
+                        "non-element path {} holds a vertex",
+                        paths.format(p)
+                    )))
+                }
+                (true, Value::Vert(v)) => {
+                    if let Some(prev) = seen_verts.insert(*v, p) {
+                        return Err(CoreError::InconsistentTuples(format!(
+                            "vertex v{} shared by {} and {}",
+                            v,
+                            paths.format(prev),
+                            paths.format(p)
+                        )));
+                    }
+                }
+                _ => {}
+            }
+            if let Some(parent) = paths.parent(p) {
+                if self.get(parent).is_null() && !self.get(p).is_null() {
+                    return Err(CoreError::InconsistentTuples(format!(
+                        "null does not propagate: {} is null but {} is not",
+                        paths.format(parent),
+                        paths.format(p)
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `tree_D(t)` (Definition 5): the XML tree over the tuple's non-null
+    /// values. Children are ordered lexicographically by path id, matching
+    /// the definition's lexicographic ordering.
+    ///
+    /// Also returns the mapping from created tree nodes back to the
+    /// tuple's vertex values.
+    pub fn tree(&self, paths: &PathSet) -> Result<(XmlTree, HashMap<u64, xnf_xml::NodeId>)> {
+        self.validate(paths)?;
+        let root_vert = match self.get(paths.root()) {
+            Value::Vert(v) => *v,
+            _ => return Err(CoreError::InconsistentTuples("root is not a vertex".into())),
+        };
+        let root_label = match paths.step(paths.root()) {
+            Step::Elem(n) => n.clone(),
+            _ => unreachable!("the root path is an element path"),
+        };
+        let mut tree = XmlTree::new(root_label);
+        let mut node_of: HashMap<u64, xnf_xml::NodeId> = HashMap::new();
+        node_of.insert(root_vert, tree.root());
+        // Path ids are BFS-ordered, so parents are processed before
+        // children.
+        for p in paths.iter() {
+            if p == paths.root() || self.get(p).is_null() {
+                continue;
+            }
+            let parent = paths.parent(p).expect("non-root has a parent");
+            let parent_vert = match self.get(parent) {
+                Value::Vert(v) => *v,
+                _ => unreachable!("validate() guarantees vertex parents"),
+            };
+            let parent_node = node_of[&parent_vert];
+            match (paths.step(p), self.get(p)) {
+                (Step::Elem(name), Value::Vert(v)) => {
+                    let node = tree.add_child(parent_node, name.clone());
+                    node_of.insert(*v, node);
+                }
+                (Step::Attr(name), Value::Str(s)) => {
+                    tree.set_attr(parent_node, name.clone(), s.clone());
+                }
+                (Step::Text, Value::Str(s)) => {
+                    tree.set_text(parent_node, s.clone());
+                }
+                _ => unreachable!("validate() guarantees sort consistency"),
+            }
+        }
+        Ok((tree, node_of))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::university_dtd;
+
+    fn paths() -> PathSet {
+        university_dtd().paths().unwrap()
+    }
+
+    /// Builds the tree tuple of Figure 2(a).
+    fn figure2_tuple(ps: &PathSet) -> TreeTuple {
+        let mut t = TreeTuple::empty(ps.len());
+        let set = |t: &mut TreeTuple, path: &str, v: Value| {
+            t.set(ps.resolve_str(path).unwrap(), v);
+        };
+        set(&mut t, "courses", Value::Vert(0));
+        set(&mut t, "courses.course", Value::Vert(1));
+        set(&mut t, "courses.course.@cno", Value::str("csc200"));
+        set(&mut t, "courses.course.title", Value::Vert(2));
+        set(
+            &mut t,
+            "courses.course.title.S",
+            Value::str("Automata Theory"),
+        );
+        set(&mut t, "courses.course.taken_by", Value::Vert(3));
+        set(&mut t, "courses.course.taken_by.student", Value::Vert(4));
+        set(
+            &mut t,
+            "courses.course.taken_by.student.@sno",
+            Value::str("st1"),
+        );
+        set(
+            &mut t,
+            "courses.course.taken_by.student.name",
+            Value::Vert(5),
+        );
+        set(
+            &mut t,
+            "courses.course.taken_by.student.name.S",
+            Value::str("Deere"),
+        );
+        set(
+            &mut t,
+            "courses.course.taken_by.student.grade",
+            Value::Vert(6),
+        );
+        set(
+            &mut t,
+            "courses.course.taken_by.student.grade.S",
+            Value::str("A+"),
+        );
+        t
+    }
+
+    #[test]
+    fn figure2_tuple_is_valid() {
+        let ps = paths();
+        figure2_tuple(&ps).validate(&ps).unwrap();
+    }
+
+    #[test]
+    fn figure2_tree_matches_figure_2b() {
+        let ps = paths();
+        let (tree, node_of) = figure2_tuple(&ps).tree(&ps).unwrap();
+        // The tree of Figure 2(b): one course, one student.
+        let expected = xnf_xml::parse(
+            r#"<courses><course cno="csc200"><title>Automata Theory</title>
+               <taken_by><student sno="st1"><name>Deere</name><grade>A+</grade></student>
+               </taken_by></course></courses>"#,
+        )
+        .unwrap();
+        assert!(xnf_xml::unordered_eq(&tree, &expected));
+        assert_eq!(node_of.len(), 7);
+        assert_eq!(tree.num_nodes(), 7);
+    }
+
+    #[test]
+    fn root_must_be_non_null() {
+        let ps = paths();
+        let t = TreeTuple::empty(ps.len());
+        assert!(matches!(
+            t.validate(&ps),
+            Err(CoreError::InconsistentTuples(_))
+        ));
+    }
+
+    #[test]
+    fn null_propagation_checked() {
+        let ps = paths();
+        let mut t = TreeTuple::empty(ps.len());
+        t.set(ps.resolve_str("courses").unwrap(), Value::Vert(0));
+        // course is null but its title is set: invalid.
+        t.set(ps.resolve_str("courses.course.title").unwrap(), Value::Vert(2));
+        assert!(t.validate(&ps).is_err());
+    }
+
+    #[test]
+    fn vertex_sharing_rejected() {
+        let ps = paths();
+        let mut t = figure2_tuple(&ps);
+        t.set(
+            ps.resolve_str("courses.course.title").unwrap(),
+            Value::Vert(0), // shared with the root
+        );
+        assert!(t.validate(&ps).is_err());
+    }
+
+    #[test]
+    fn sort_mismatch_rejected() {
+        let ps = paths();
+        let mut t = figure2_tuple(&ps);
+        t.set(ps.resolve_str("courses.course").unwrap(), Value::str("oops"));
+        assert!(t.validate(&ps).is_err());
+        let mut t = figure2_tuple(&ps);
+        t.set(
+            ps.resolve_str("courses.course.@cno").unwrap(),
+            Value::Vert(99),
+        );
+        assert!(t.validate(&ps).is_err());
+    }
+
+    #[test]
+    fn information_ordering() {
+        let ps = paths();
+        let full = figure2_tuple(&ps);
+        let mut partial = full.clone();
+        partial.set(
+            ps.resolve_str("courses.course.taken_by.student.grade").unwrap(),
+            Value::Null,
+        );
+        partial.set(
+            ps.resolve_str("courses.course.taken_by.student.grade.S").unwrap(),
+            Value::Null,
+        );
+        assert!(partial.subsumed_by(&full));
+        assert!(!full.subsumed_by(&partial));
+        assert!(full.subsumed_by(&full));
+    }
+
+    #[test]
+    fn agree_and_non_null_helpers() {
+        let ps = paths();
+        let t = figure2_tuple(&ps);
+        let mut t2 = t.clone();
+        let sno = ps.resolve_str("courses.course.taken_by.student.@sno").unwrap();
+        let cno = ps.resolve_str("courses.course.@cno").unwrap();
+        assert!(t.agree_on(&t2, &[sno, cno]));
+        t2.set(sno, Value::str("st9"));
+        assert!(!t.agree_on(&t2, &[sno]));
+        assert!(t.non_null_on(&[sno, cno]));
+        let mut t3 = t.clone();
+        t3.set(sno, Value::Null);
+        assert!(!t3.non_null_on(&[sno]));
+        // ⊥ = ⊥ counts as agreement.
+        let mut t4 = t.clone();
+        t4.set(sno, Value::Null);
+        assert!(t3.agree_on(&t4, &[sno]));
+    }
+}

@@ -1,0 +1,297 @@
+//! NFA membership testing for content models.
+//!
+//! Conformance checking (Definition 3) requires deciding whether the string
+//! of children labels of a node belongs to the regular language of its
+//! element's content model. We compile [`Regex`] into a Thompson NFA once
+//! per element declaration and run a subset simulation per node; words
+//! (child sequences) are typically short, and the construction is linear in
+//! the size of the expression.
+
+use crate::regex::Regex;
+use std::collections::HashMap;
+
+/// A compiled matcher for one content-model regular expression.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    /// Alphabet interning: element name → symbol index.
+    alphabet: HashMap<Box<str>, usize>,
+    /// `eps[s]` = ε-successors of state `s`.
+    eps: Vec<Vec<u32>>,
+    /// `trans[s]` = list of `(symbol, target)` transitions out of `s`.
+    trans: Vec<Vec<(usize, u32)>>,
+    start: u32,
+    accept: u32,
+}
+
+struct Builder {
+    eps: Vec<Vec<u32>>,
+    trans: Vec<Vec<(usize, u32)>>,
+}
+
+impl Builder {
+    fn state(&mut self) -> u32 {
+        self.eps.push(Vec::new());
+        self.trans.push(Vec::new());
+        (self.eps.len() - 1) as u32
+    }
+
+    /// Thompson construction: returns `(start, accept)` for `re`.
+    fn compile(&mut self, re: &Regex, alphabet: &HashMap<Box<str>, usize>) -> (u32, u32) {
+        match re {
+            Regex::Epsilon => {
+                let s = self.state();
+                let a = self.state();
+                self.eps[s as usize].push(a);
+                (s, a)
+            }
+            Regex::Elem(name) => {
+                let s = self.state();
+                let a = self.state();
+                let sym = alphabet[name];
+                self.trans[s as usize].push((sym, a));
+                (s, a)
+            }
+            Regex::Seq(parts) => {
+                debug_assert!(!parts.is_empty());
+                let mut iter = parts.iter();
+                let (start, mut acc) = self.compile(iter.next().expect("non-empty"), alphabet);
+                for p in iter {
+                    let (s2, a2) = self.compile(p, alphabet);
+                    self.eps[acc as usize].push(s2);
+                    acc = a2;
+                }
+                (start, acc)
+            }
+            Regex::Alt(parts) => {
+                let s = self.state();
+                let a = self.state();
+                for p in parts {
+                    let (ps, pa) = self.compile(p, alphabet);
+                    self.eps[s as usize].push(ps);
+                    self.eps[pa as usize].push(a);
+                }
+                (s, a)
+            }
+            Regex::Star(r) => {
+                let s = self.state();
+                let a = self.state();
+                let (rs, ra) = self.compile(r, alphabet);
+                self.eps[s as usize].push(rs);
+                self.eps[s as usize].push(a);
+                self.eps[ra as usize].push(rs);
+                self.eps[ra as usize].push(a);
+                (s, a)
+            }
+            Regex::Opt(r) => {
+                let s = self.state();
+                let a = self.state();
+                let (rs, ra) = self.compile(r, alphabet);
+                self.eps[s as usize].push(rs);
+                self.eps[s as usize].push(a);
+                self.eps[ra as usize].push(a);
+                (s, a)
+            }
+            Regex::Plus(r) => {
+                let (rs, ra) = self.compile(r, alphabet);
+                let a = self.state();
+                self.eps[ra as usize].push(rs);
+                self.eps[ra as usize].push(a);
+                (rs, a)
+            }
+        }
+    }
+}
+
+impl Matcher {
+    /// Compiles `re` into an NFA matcher.
+    pub fn new(re: &Regex) -> Self {
+        let mut alphabet: HashMap<Box<str>, usize> = HashMap::new();
+        re.visit_leaves(&mut |name| {
+            let next = alphabet.len();
+            alphabet.entry(name.into()).or_insert(next);
+        });
+        let mut b = Builder {
+            eps: Vec::new(),
+            trans: Vec::new(),
+        };
+        let (start, accept) = b.compile(re, &alphabet);
+        Matcher {
+            alphabet,
+            eps: b.eps,
+            trans: b.trans,
+            start,
+            accept,
+        }
+    }
+
+    fn closure(&self, set: &mut [bool], stack: &mut Vec<u32>) {
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s as usize] {
+                if !set[t as usize] {
+                    set[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+    }
+
+    /// Whether the word (a sequence of element names) belongs to the
+    /// language of the compiled expression.
+    pub fn matches<'a>(&self, word: impl IntoIterator<Item = &'a str>) -> bool {
+        let n = self.eps.len();
+        let mut current = vec![false; n];
+        current[self.start as usize] = true;
+        let mut stack = vec![self.start];
+        self.closure(&mut current, &mut stack);
+
+        for sym_name in word {
+            let Some(&sym) = self.alphabet.get(sym_name) else {
+                return false; // symbol outside the alphabet: no word matches
+            };
+            let mut next = vec![false; n];
+            let mut stack = Vec::new();
+            for (s, active) in current.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                for &(t_sym, t) in &self.trans[s] {
+                    if t_sym == sym && !next[t as usize] {
+                        next[t as usize] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+            if stack.is_empty() {
+                return false;
+            }
+            self.closure(&mut next, &mut stack);
+            current = next;
+        }
+        current[self.accept as usize]
+    }
+
+    /// Number of NFA states (for diagnostics and size accounting).
+    pub fn num_states(&self) -> usize {
+        self.eps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn m(re: &Regex) -> Matcher {
+        Matcher::new(re)
+    }
+
+    fn a() -> Regex {
+        Regex::elem("a")
+    }
+    fn b() -> Regex {
+        Regex::elem("b")
+    }
+    fn c() -> Regex {
+        Regex::elem("c")
+    }
+
+    #[test]
+    fn epsilon_matches_only_empty() {
+        let m = m(&Regex::Epsilon);
+        assert!(m.matches([]));
+        assert!(!m.matches(["a"]));
+    }
+
+    #[test]
+    fn single_letter() {
+        let m = m(&a());
+        assert!(m.matches(["a"]));
+        assert!(!m.matches([]));
+        assert!(!m.matches(["a", "a"]));
+        assert!(!m.matches(["b"]));
+    }
+
+    #[test]
+    fn sequence() {
+        let m = m(&Regex::seq([a(), b(), c()]));
+        assert!(m.matches(["a", "b", "c"]));
+        assert!(!m.matches(["a", "b"]));
+        assert!(!m.matches(["a", "c", "b"]));
+    }
+
+    #[test]
+    fn alternation() {
+        let m = m(&Regex::alt([a(), Regex::seq([b(), c()])]));
+        assert!(m.matches(["a"]));
+        assert!(m.matches(["b", "c"]));
+        assert!(!m.matches(["a", "b", "c"]));
+        assert!(!m.matches(["b"]));
+    }
+
+    #[test]
+    fn star() {
+        let m = m(&a().star());
+        assert!(m.matches([]));
+        assert!(m.matches(["a"]));
+        assert!(m.matches(["a", "a", "a", "a"]));
+        assert!(!m.matches(["a", "b"]));
+    }
+
+    #[test]
+    fn plus_and_opt() {
+        let m_plus = m(&a().plus());
+        assert!(!m_plus.matches([]));
+        assert!(m_plus.matches(["a"]));
+        assert!(m_plus.matches(["a", "a"]));
+        let m_opt = m(&a().opt());
+        assert!(m_opt.matches([]));
+        assert!(m_opt.matches(["a"]));
+        assert!(!m_opt.matches(["a", "a"]));
+    }
+
+    #[test]
+    fn mixed_content_model() {
+        // (a | b)*, c?, d+  — a realistic DTD content model shape.
+        let re = Regex::seq([
+            Regex::alt([a(), b()]).star(),
+            c().opt(),
+            Regex::elem("d").plus(),
+        ]);
+        let m = m(&re);
+        assert!(m.matches(["d"]));
+        assert!(m.matches(["a", "b", "a", "c", "d", "d"]));
+        assert!(m.matches(["b", "d"]));
+        assert!(!m.matches(["c"]));
+        assert!(!m.matches(["a", "c", "c", "d"]));
+        assert!(!m.matches(["d", "a"]));
+    }
+
+    #[test]
+    fn the_paper_non_simple_example() {
+        // <!ELEMENT a (b,b)> from Section 7.
+        let m = m(&Regex::seq([b(), b()]));
+        assert!(m.matches(["b", "b"]));
+        assert!(!m.matches(["b"]));
+        assert!(!m.matches(["b", "b", "b"]));
+    }
+
+    #[test]
+    fn faq_section_content_model() {
+        // <!ELEMENT section (logo*, title, (qna+ | q+ | (p | div | section)+))>
+        let re = Regex::seq([
+            Regex::elem("logo").star(),
+            Regex::elem("title"),
+            Regex::alt([
+                Regex::elem("qna").plus(),
+                Regex::elem("q").plus(),
+                Regex::alt([Regex::elem("p"), Regex::elem("div"), Regex::elem("section")]).plus(),
+            ]),
+        ]);
+        let m = m(&re);
+        assert!(m.matches(["title", "qna"]));
+        assert!(m.matches(["logo", "logo", "title", "q", "q"]));
+        assert!(m.matches(["title", "p", "div", "section"]));
+        assert!(!m.matches(["title"]));
+        assert!(!m.matches(["title", "qna", "q"]));
+    }
+}

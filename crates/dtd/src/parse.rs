@@ -1,0 +1,497 @@
+//! Parser for DTD declaration syntax (`<!ELEMENT …>` / `<!ATTLIST …>`).
+//!
+//! Supports the fragment of XML 1.0 DTD syntax used throughout the paper:
+//! element declarations with `EMPTY`, `(#PCDATA)` or a regular-expression
+//! content model built from `,` (concatenation), `|` (union) and the
+//! quantifiers `*`, `+`, `?`; and attribute-list declarations (attribute
+//! types and defaults are accepted and ignored — the paper's model only
+//! needs the attribute *names*, all treated as `CDATA #REQUIRED`).
+//!
+//! Mixed content (`(#PCDATA | a)*`) and `ANY` are rejected: Definition 2
+//! disallows mixed content. The root element type is the one named by the
+//! first `<!ELEMENT …>` declaration, matching how the paper presents all of
+//! its DTDs.
+
+use crate::dtd::{ContentModel, Dtd};
+use crate::regex::Regex;
+use crate::{DtdError, Result};
+use std::collections::HashMap;
+
+struct Scanner<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(input: &'a str) -> Self {
+        Scanner {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DtdError {
+        DtdError::Syntax {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                self.pos += 1;
+            }
+            if self.input[self.pos..].starts_with(b"<!--") {
+                let start = self.pos;
+                self.pos += 4;
+                loop {
+                    if self.pos >= self.input.len() {
+                        self.pos = start;
+                        return Err(self.err("unterminated comment"));
+                    }
+                    if self.input[self.pos..].starts_with(b"-->") {
+                        self.pos += 3;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.input[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<()> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{token}`")))
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("name bytes are ASCII")
+            .to_string())
+    }
+
+    /// Parses a content-model regular expression at alternation precedence.
+    fn regex_alt(&mut self) -> Result<Regex> {
+        let mut parts = vec![self.regex_seq()?];
+        loop {
+            self.skip_ws_and_comments()?;
+            if self.eat("|") {
+                parts.push(self.regex_seq()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::alt(parts)
+        })
+    }
+
+    fn regex_seq(&mut self) -> Result<Regex> {
+        let mut parts = vec![self.regex_postfix()?];
+        loop {
+            self.skip_ws_and_comments()?;
+            if self.eat(",") {
+                parts.push(self.regex_postfix()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Regex::seq(parts)
+        })
+    }
+
+    fn regex_postfix(&mut self) -> Result<Regex> {
+        let mut atom = self.regex_atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    atom = atom.star();
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    atom = atom.plus();
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    atom = atom.opt();
+                }
+                _ => return Ok(atom),
+            }
+        }
+    }
+
+    fn regex_atom(&mut self) -> Result<Regex> {
+        self.skip_ws_and_comments()?;
+        if self.eat("(") {
+            let inner = self.regex_alt()?;
+            self.skip_ws_and_comments()?;
+            self.expect(")")?;
+            Ok(inner)
+        } else if self.eat("#PCDATA") {
+            Err(self.err(
+                "#PCDATA may only appear alone as (#PCDATA); mixed content is not supported \
+                 (Definition 2 disallows mixed content)",
+            ))
+        } else {
+            Ok(Regex::elem(self.name()?))
+        }
+    }
+}
+
+/// Parses a bare content-model expression (the part between the element
+/// name and `>`), e.g. `(title, taken_by)` or `EMPTY` or `(#PCDATA)`.
+pub fn parse_content_model(input: &str) -> Result<ContentModel> {
+    let mut s = Scanner::new(input);
+    let cm = content_spec(&mut s)?;
+    s.skip_ws_and_comments()?;
+    if s.pos != s.input.len() {
+        return Err(s.err("trailing input after content model"));
+    }
+    Ok(cm)
+}
+
+fn content_spec(s: &mut Scanner<'_>) -> Result<ContentModel> {
+    s.skip_ws_and_comments()?;
+    if s.eat("EMPTY") {
+        return Ok(ContentModel::Regex(Regex::Epsilon));
+    }
+    if s.eat("ANY") {
+        return Err(s.err("ANY content is not supported (Definition 1 has no ANY)"));
+    }
+    // (#PCDATA) — lookahead to distinguish from a parenthesized regex.
+    let save = s.pos;
+    if s.eat("(") {
+        s.skip_ws_and_comments()?;
+        if s.eat("#PCDATA") {
+            s.skip_ws_and_comments()?;
+            if s.eat(")") {
+                return Ok(ContentModel::Text);
+            }
+            return Err(s.err(
+                "mixed content (#PCDATA | …) is not supported (Definition 2 disallows it)",
+            ));
+        }
+        s.pos = save;
+    }
+    let re = s.regex_alt()?;
+    Ok(ContentModel::Regex(re))
+}
+
+/// Parses a sequence of `<!ELEMENT …>` and `<!ATTLIST …>` declarations into
+/// a [`Dtd`]. The root is the first declared element.
+pub fn parse_dtd(input: &str) -> Result<Dtd> {
+    let mut s = Scanner::new(input);
+    let mut decls: Vec<(String, ContentModel)> = Vec::new();
+    let mut attlists: HashMap<String, Vec<String>> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+
+    loop {
+        s.skip_ws_and_comments()?;
+        if s.pos == s.input.len() {
+            break;
+        }
+        s.expect("<!")?;
+        if s.eat("ELEMENT") {
+            s.skip_ws_and_comments()?;
+            let name = s.name()?;
+            s.skip_ws_and_comments()?;
+            let cm = content_spec(&mut s)?;
+            s.skip_ws_and_comments()?;
+            s.expect(">")?;
+            if decls.iter().any(|(n, _)| *n == name) {
+                return Err(DtdError::DuplicateElement(name));
+            }
+            order.push(name.clone());
+            decls.push((name, cm));
+        } else if s.eat("ATTLIST") {
+            s.skip_ws_and_comments()?;
+            let elem = s.name()?;
+            let atts = attlists.entry(elem.clone()).or_default();
+            loop {
+                s.skip_ws_and_comments()?;
+                if s.eat(">") {
+                    break;
+                }
+                let att = s.name()?;
+                s.skip_ws_and_comments()?;
+                // Attribute type: a name (CDATA, ID, NMTOKEN, …) or an
+                // enumeration `(a|b|c)`.
+                if s.eat("(") {
+                    loop {
+                        s.skip_ws_and_comments()?;
+                        s.name()?;
+                        s.skip_ws_and_comments()?;
+                        if s.eat(")") {
+                            break;
+                        }
+                        s.expect("|")?;
+                    }
+                } else {
+                    s.name()?;
+                }
+                s.skip_ws_and_comments()?;
+                // Default declaration: #REQUIRED, #IMPLIED, #FIXED "…", "…".
+                if s.eat("#REQUIRED") || s.eat("#IMPLIED") {
+                } else {
+                    let fixed = s.eat("#FIXED");
+                    if fixed {
+                        s.skip_ws_and_comments()?;
+                    }
+                    let quote = s.bump();
+                    match quote {
+                        Some(q @ (b'"' | b'\'')) => loop {
+                            match s.bump() {
+                                Some(c) if c == q => break,
+                                Some(_) => {}
+                                None => return Err(s.err("unterminated default value")),
+                            }
+                        },
+                        _ => return Err(s.err("expected attribute default declaration")),
+                    }
+                }
+                if atts.contains(&att) {
+                    return Err(DtdError::DuplicateAttribute {
+                        element: elem,
+                        attribute: att,
+                    });
+                }
+                atts.push(att);
+            }
+        } else {
+            return Err(s.err("expected ELEMENT or ATTLIST"));
+        }
+    }
+
+    let root = order
+        .first()
+        .ok_or_else(|| DtdError::Syntax {
+            offset: 0,
+            message: "no element declarations found".to_string(),
+        })?
+        .clone();
+
+    for elem in attlists.keys() {
+        if !order.contains(elem) {
+            return Err(DtdError::AttlistForUndeclared(elem.clone()));
+        }
+    }
+
+    let mut b = Dtd::builder(root);
+    for (name, cm) in decls {
+        let attrs = attlists.remove(&name).unwrap_or_default();
+        b = b.decl(name, cm, attrs);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    /// The university DTD of Example 1.1(a), verbatim from the paper.
+    const UNIVERSITY: &str = r#"
+        <!ELEMENT courses (course*)>
+        <!ELEMENT course (title, taken_by)>
+        <!ATTLIST course
+            cno CDATA #REQUIRED>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT taken_by (student*)>
+        <!ELEMENT student (name, grade)>
+        <!ATTLIST student
+            sno CDATA #REQUIRED>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT grade (#PCDATA)>
+    "#;
+
+    /// The DBLP DTD of Example 1.2, verbatim from the paper.
+    const DBLP: &str = r#"
+        <!ELEMENT db (conf*)>
+        <!ELEMENT conf (title, issue+)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT issue (inproceedings+)>
+        <!ELEMENT inproceedings (author+, title, booktitle)>
+        <!ATTLIST inproceedings
+            key ID #REQUIRED
+            pages CDATA #REQUIRED
+            year CDATA #REQUIRED>
+        <!ELEMENT author (#PCDATA)>
+        <!ELEMENT booktitle (#PCDATA)>
+    "#;
+
+    #[test]
+    fn parses_university_dtd() {
+        let d = parse_dtd(UNIVERSITY).unwrap();
+        assert_eq!(d.root_name(), "courses");
+        assert_eq!(d.num_elements(), 7);
+        let course = d.elem_id("course").unwrap();
+        assert_eq!(d.attrs(course).collect::<Vec<_>>(), vec!["cno"]);
+        let courses = d.elem_id("courses").unwrap();
+        assert_eq!(
+            d.content(courses).as_regex().unwrap(),
+            &Regex::elem("course").star()
+        );
+    }
+
+    #[test]
+    fn parses_dblp_dtd() {
+        let d = parse_dtd(DBLP).unwrap();
+        assert_eq!(d.root_name(), "db");
+        let inproc = d.elem_id("inproceedings").unwrap();
+        assert_eq!(
+            d.attrs(inproc).collect::<Vec<_>>(),
+            vec!["key", "pages", "year"]
+        );
+        let ps = d.paths().unwrap();
+        assert!(ps
+            .resolve_str("db.conf.issue.inproceedings.@year")
+            .is_some());
+    }
+
+    #[test]
+    fn parses_attribute_defaults_and_enums() {
+        let d = parse_dtd(r#"
+            <!ELEMENT r (a)>
+            <!ELEMENT a EMPTY>
+            <!ATTLIST a
+                kind (x | y | z) "x"
+                id ID #IMPLIED
+                fixed CDATA #FIXED "v"
+                quoted CDATA 'w'>
+        "#)
+        .unwrap();
+        let a = d.elem_id("a").unwrap();
+        let attrs: Vec<_> = d.attrs(a).collect();
+        assert_eq!(attrs, vec!["fixed", "id", "kind", "quoted"]);
+    }
+
+    #[test]
+    fn rejects_mixed_content() {
+        let err = parse_dtd("<!ELEMENT r (#PCDATA | a)*>").unwrap_err();
+        assert!(matches!(err, DtdError::Syntax { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_any_content() {
+        assert!(parse_dtd("<!ELEMENT r ANY>").is_err());
+    }
+
+    #[test]
+    fn rejects_attlist_for_undeclared() {
+        let err = parse_dtd(
+            "<!ELEMENT r EMPTY> <!ATTLIST ghost a CDATA #REQUIRED>",
+        )
+        .unwrap_err();
+        assert_eq!(err, DtdError::AttlistForUndeclared("ghost".into()));
+    }
+
+    #[test]
+    fn parses_nested_groups_and_quantifiers() {
+        let d = parse_dtd(
+            "<!ELEMENT r ((a | b)*, c?, (d, e)+)>
+             <!ELEMENT a EMPTY> <!ELEMENT b EMPTY> <!ELEMENT c EMPTY>
+             <!ELEMENT d EMPTY> <!ELEMENT e EMPTY>",
+        )
+        .unwrap();
+        let r = d.elem_id("r").unwrap();
+        let re = d.content(r).as_regex().unwrap();
+        assert_eq!(re.to_string(), "(a | b)*, c?, (d, e)+");
+    }
+
+    #[test]
+    fn parses_ebxml_fragment() {
+        // Figure 5 (abridged to the declarations whose referenced elements
+        // we also declare).
+        let d = parse_dtd(r#"
+            <!ELEMENT ProcessSpecification (Documentation*, SubstitutionSet*,
+                (Include | BusinessDocument | Package | BinaryCollaboration)*)>
+            <!ELEMENT Include (Documentation*)>
+            <!ELEMENT BusinessDocument (ConditionExpression?, Documentation*)>
+            <!ELEMENT SubstitutionSet (DocumentSubstitution | AttributeSubstitution | Documentation)*>
+            <!ELEMENT BinaryCollaboration (Documentation*, InitiatingRole, RespondingRole)>
+            <!ELEMENT Package EMPTY>
+            <!ELEMENT Documentation (#PCDATA)>
+            <!ELEMENT ConditionExpression (#PCDATA)>
+            <!ELEMENT DocumentSubstitution EMPTY>
+            <!ELEMENT AttributeSubstitution EMPTY>
+            <!ELEMENT InitiatingRole EMPTY>
+            <!ELEMENT RespondingRole EMPTY>
+        "#)
+        .unwrap();
+        assert_eq!(d.root_name(), "ProcessSpecification");
+        assert!(!d.is_recursive());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let d = parse_dtd(
+            "<!-- header --> <!ELEMENT r EMPTY> <!-- trailing -->",
+        )
+        .unwrap();
+        assert_eq!(d.root_name(), "r");
+    }
+
+    #[test]
+    fn text_element_with_attributes() {
+        let d = parse_dtd(
+            "<!ELEMENT r (t)> <!ELEMENT t (#PCDATA)> <!ATTLIST t lang CDATA #REQUIRED>",
+        )
+        .unwrap();
+        let t = d.elem_id("t").unwrap();
+        assert!(d.content(t).is_text());
+        assert!(d.has_attr(t, "lang"));
+    }
+
+    #[test]
+    fn display_parse_fixpoint() {
+        for src in [UNIVERSITY, DBLP] {
+            let d = parse_dtd(src).unwrap();
+            let once = d.to_string();
+            let d2 = parse_dtd(&once).unwrap();
+            assert_eq!(d, d2);
+            assert_eq!(once, d2.to_string());
+        }
+    }
+}

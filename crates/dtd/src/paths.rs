@@ -1,0 +1,571 @@
+//! Paths in a DTD — Section 2: `paths(D)` and `EPaths(D)`.
+//!
+//! A path is a word `w₁.w₂.….wₙ` with `w₁ = r`, each `wᵢ` in the alphabet
+//! of `P(wᵢ₋₁)`, and `wₙ` either an element type, an attribute `@l` of
+//! `wₙ₋₁`, or the reserved symbol `S` when `P(wₙ₋₁) = S` (#PCDATA).
+//!
+//! Two representations are provided:
+//!
+//! * [`Path`] — an owned, DTD-independent sequence of [`Step`]s with a
+//!   stable text form (`courses.course.@cno`). Functional dependencies are
+//!   stated over these, so they survive the DTD rewrites performed by the
+//!   normalization algorithm.
+//! * [`PathSet`] — the enumerated `paths(D)` of a concrete DTD, interning
+//!   every path as a dense [`PathId`] in a parent-pointer trie. All
+//!   algorithmic cores (tree tuples, the chase) run on `PathId`s.
+
+use crate::dtd::{ContentModel, Dtd, ElemId};
+use crate::{DtdError, Result};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of a path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Step {
+    /// An element type name.
+    Elem(Box<str>),
+    /// An attribute `@l` (stored without the leading `@`).
+    Attr(Box<str>),
+    /// The reserved symbol `S` (#PCDATA content).
+    Text,
+}
+
+impl Step {
+    /// An element step.
+    pub fn elem(name: impl Into<Box<str>>) -> Self {
+        Step::Elem(name.into())
+    }
+
+    /// An attribute step.
+    pub fn attr(name: impl Into<Box<str>>) -> Self {
+        Step::Attr(name.into())
+    }
+
+    /// Whether this step is an element name.
+    pub fn is_elem(&self) -> bool {
+        matches!(self, Step::Elem(_))
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Elem(n) => write!(f, "{n}"),
+            Step::Attr(n) => write!(f, "@{n}"),
+            Step::Text => write!(f, "S"),
+        }
+    }
+}
+
+/// An owned path — a non-empty sequence of steps beginning at the root
+/// element. Paths are ordered lexicographically by their steps, which makes
+/// sets of paths and FDs deterministic to display.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path(Vec<Step>);
+
+impl Path {
+    /// Builds a path from steps. Panics if `steps` is empty or if a
+    /// non-final step is not an element (paths may only end with an
+    /// attribute or `S`).
+    pub fn new(steps: Vec<Step>) -> Self {
+        assert!(!steps.is_empty(), "a path has at least one step (the root)");
+        assert!(
+            steps[..steps.len() - 1].iter().all(Step::is_elem),
+            "only the final step of a path may be an attribute or S"
+        );
+        Path(steps)
+    }
+
+    /// A single-step path (the root).
+    pub fn root(name: impl Into<Box<str>>) -> Self {
+        Path(vec![Step::elem(name)])
+    }
+
+    /// The steps of the path.
+    pub fn steps(&self) -> &[Step] {
+        &self.0
+    }
+
+    /// `length(w)` — the number of steps.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Paths are never empty; provided for clippy-completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `last(w)` — the final step.
+    pub fn last(&self) -> &Step {
+        self.0.last().expect("paths are non-empty")
+    }
+
+    /// Whether the path ends with an element type (`p ∈ EPaths(D)`).
+    pub fn is_element_path(&self) -> bool {
+        self.last().is_elem()
+    }
+
+    /// The path with the final step removed, or `None` for the root.
+    pub fn parent(&self) -> Option<Path> {
+        if self.0.len() == 1 {
+            None
+        } else {
+            Some(Path(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Extends the path by one step. Panics if `self` does not end with an
+    /// element.
+    pub fn child(&self, step: Step) -> Path {
+        assert!(
+            self.is_element_path(),
+            "cannot extend a path ending in an attribute or S"
+        );
+        let mut steps = self.0.clone();
+        steps.push(step);
+        Path(steps)
+    }
+
+    /// Convenience: `self.child(Step::elem(name))`.
+    pub fn child_elem(&self, name: impl Into<Box<str>>) -> Path {
+        self.child(Step::elem(name))
+    }
+
+    /// Convenience: `self.child(Step::attr(name))`.
+    pub fn child_attr(&self, name: impl Into<Box<str>>) -> Path {
+        self.child(Step::attr(name))
+    }
+
+    /// Convenience: `self.child(Step::Text)`.
+    pub fn child_text(&self) -> Path {
+        self.child(Step::Text)
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Path {
+    type Err = DtdError;
+
+    /// Parses the dotted form, e.g. `courses.course.@cno` or
+    /// `courses.course.title.S`. `S` is reserved for the #PCDATA step and
+    /// `@`-prefixed components are attributes; both may appear only last.
+    fn from_str(s: &str) -> Result<Path> {
+        let mut steps = Vec::new();
+        for (i, comp) in s.split('.').enumerate() {
+            if comp.is_empty() {
+                return Err(DtdError::Syntax {
+                    offset: 0,
+                    message: format!("empty path component in `{s}` (component {i})"),
+                });
+            }
+            let step = if comp == "S" {
+                Step::Text
+            } else if let Some(att) = comp.strip_prefix('@') {
+                Step::attr(att)
+            } else {
+                Step::elem(comp)
+            };
+            steps.push(step);
+        }
+        if steps.is_empty() {
+            return Err(DtdError::Syntax {
+                offset: 0,
+                message: "empty path".to_string(),
+            });
+        }
+        if !steps[..steps.len() - 1].iter().all(Step::is_elem) {
+            return Err(DtdError::Syntax {
+                offset: 0,
+                message: format!("`{s}`: attributes and S may appear only as the final step"),
+            });
+        }
+        Ok(Path(steps))
+    }
+}
+
+/// Identifier of an interned path within one [`PathSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub(crate) u32);
+
+impl PathId {
+    /// The dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    parent: Option<PathId>,
+    step: Step,
+    /// `length(p)`.
+    len: u32,
+    /// The element type of `last(p)` if the path ends with an element.
+    last_elem: Option<ElemId>,
+    /// Path ids of all one-step extensions (attributes, `S`, elements).
+    children: Vec<PathId>,
+}
+
+/// The enumerated, interned `paths(D)` of a DTD.
+///
+/// Ids are assigned in breadth-first order, so `PathId` order is consistent
+/// with path length and parents always precede children.
+#[derive(Debug, Clone)]
+pub struct PathSet {
+    entries: Vec<Entry>,
+    /// Trie edges: `(parent, step) → child`. The root is keyed on
+    /// `(None, root step)`.
+    edges: HashMap<(Option<PathId>, Step), PathId>,
+    /// Whether enumeration was truncated by a length bound (recursive DTD).
+    truncated: bool,
+}
+
+impl PathSet {
+    /// Enumerates all paths of `dtd` of length ≤ `max_len` (breadth-first).
+    pub(crate) fn enumerate(dtd: &Dtd, max_len: usize) -> PathSet {
+        let mut set = PathSet {
+            entries: Vec::new(),
+            edges: HashMap::new(),
+            truncated: false,
+        };
+        let root_step = Step::elem(dtd.root_name());
+        let root_id = set.push(None, root_step, Some(dtd.root()));
+        let mut queue = vec![root_id];
+        let mut head = 0;
+        while head < queue.len() {
+            let pid = queue[head];
+            head += 1;
+            let elem = set.entries[pid.index()]
+                .last_elem
+                .expect("only element paths are queued");
+            if set.entries[pid.index()].len as usize >= max_len {
+                set.truncated = true;
+                continue;
+            }
+            for att in dtd.attrs(elem) {
+                set.push(Some(pid), Step::attr(att), None);
+            }
+            match dtd.content(elem) {
+                ContentModel::Text => {
+                    set.push(Some(pid), Step::Text, None);
+                }
+                ContentModel::Regex(re) => {
+                    for name in re.alphabet() {
+                        let child_elem = dtd.elem_id(name).expect("validated reference");
+                        let cid = set.push(Some(pid), Step::elem(name), Some(child_elem));
+                        queue.push(cid);
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    fn push(&mut self, parent: Option<PathId>, step: Step, last_elem: Option<ElemId>) -> PathId {
+        let id = PathId(self.entries.len() as u32);
+        let len = parent.map_or(1, |p| self.entries[p.index()].len + 1);
+        self.entries.push(Entry {
+            parent,
+            step: step.clone(),
+            len,
+            last_elem,
+            children: Vec::new(),
+        });
+        if let Some(p) = parent {
+            self.entries[p.index()].children.push(id);
+        }
+        self.edges.insert((parent, step), id);
+        id
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty (never: the root path always exists).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether enumeration was truncated by a length bound.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// All path ids, in breadth-first order.
+    pub fn iter(&self) -> impl Iterator<Item = PathId> {
+        (0..self.entries.len() as u32).map(PathId)
+    }
+
+    /// The id of the root path.
+    pub fn root(&self) -> PathId {
+        PathId(0)
+    }
+
+    /// `EPaths(D)`: ids of paths ending with an element type.
+    pub fn epaths(&self) -> impl Iterator<Item = PathId> + '_ {
+        self.iter().filter(|p| self.is_element_path(*p))
+    }
+
+    /// The parent path, if any.
+    pub fn parent(&self, p: PathId) -> Option<PathId> {
+        self.entries[p.index()].parent
+    }
+
+    /// The final step of `p`.
+    pub fn step(&self, p: PathId) -> &Step {
+        &self.entries[p.index()].step
+    }
+
+    /// `length(p)`.
+    pub fn path_len(&self, p: PathId) -> usize {
+        self.entries[p.index()].len as usize
+    }
+
+    /// The element type of `last(p)`, if `p ∈ EPaths(D)`.
+    pub fn last_elem(&self, p: PathId) -> Option<ElemId> {
+        self.entries[p.index()].last_elem
+    }
+
+    /// Whether `p ∈ EPaths(D)`.
+    pub fn is_element_path(&self, p: PathId) -> bool {
+        self.entries[p.index()].last_elem.is_some()
+    }
+
+    /// One-step extensions of `p` (attributes, `S`, element children).
+    pub fn children_of(&self, p: PathId) -> &[PathId] {
+        &self.entries[p.index()].children
+    }
+
+    /// Whether `a` is a (non-strict) prefix of `b`.
+    pub fn is_prefix(&self, a: PathId, b: PathId) -> bool {
+        let la = self.entries[a.index()].len;
+        let mut cur = b;
+        loop {
+            let e = &self.entries[cur.index()];
+            if e.len == la {
+                return cur == a;
+            }
+            if e.len < la {
+                return false;
+            }
+            cur = e.parent.expect("len > 1 implies a parent");
+        }
+    }
+
+    /// The ancestor of `p` with `length == len` (1 = the root), if `p` is
+    /// at least that long.
+    pub fn ancestor_at(&self, p: PathId, len: usize) -> Option<PathId> {
+        let mut cur = p;
+        loop {
+            let e = &self.entries[cur.index()];
+            match (e.len as usize).cmp(&len) {
+                std::cmp::Ordering::Equal => return Some(cur),
+                std::cmp::Ordering::Less => return None,
+                std::cmp::Ordering::Greater => cur = e.parent?,
+            }
+        }
+    }
+
+    /// Resolves an owned [`Path`] to its id, if present.
+    pub fn resolve(&self, path: &Path) -> Option<PathId> {
+        let mut cur: Option<PathId> = None;
+        for step in path.steps() {
+            cur = Some(*self.edges.get(&(cur, step.clone()))?);
+        }
+        cur
+    }
+
+    /// Resolves a dotted path string (`courses.course.@cno`).
+    pub fn resolve_str(&self, s: &str) -> Option<PathId> {
+        let path: Path = s.parse().ok()?;
+        self.resolve(&path)
+    }
+
+    /// Like [`PathSet::resolve_str`], but with a typed error naming the
+    /// missing path.
+    pub fn require_str(&self, s: &str) -> Result<PathId> {
+        self.resolve_str(s)
+            .ok_or_else(|| DtdError::NoSuchPath(s.to_string()))
+    }
+
+    /// Reconstructs the owned [`Path`] for `p`.
+    pub fn path(&self, p: PathId) -> Path {
+        let mut steps = Vec::with_capacity(self.path_len(p));
+        let mut cur = Some(p);
+        while let Some(c) = cur {
+            let e = &self.entries[c.index()];
+            steps.push(e.step.clone());
+            cur = e.parent;
+        }
+        steps.reverse();
+        Path::new(steps)
+    }
+
+    /// The display form of `p`.
+    pub fn format(&self, p: PathId) -> String {
+        self.path(p).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::Dtd;
+    use crate::regex::Regex;
+
+    fn university() -> Dtd {
+        Dtd::builder("courses")
+            .elem("courses", Regex::elem("course").star())
+            .elem_attrs(
+                "course",
+                Regex::seq([Regex::elem("title"), Regex::elem("taken_by")]),
+                ["cno"],
+            )
+            .text_elem("title")
+            .elem("taken_by", Regex::elem("student").star())
+            .elem_attrs(
+                "student",
+                Regex::seq([Regex::elem("name"), Regex::elem("grade")]),
+                ["sno"],
+            )
+            .text_elem("name")
+            .text_elem("grade")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn university_paths_match_figure_2() {
+        let d = university();
+        let ps = d.paths().unwrap();
+        // Exactly the 12 paths listed in Figure 2(a).
+        let expected = [
+            "courses",
+            "courses.course",
+            "courses.course.@cno",
+            "courses.course.title",
+            "courses.course.title.S",
+            "courses.course.taken_by",
+            "courses.course.taken_by.student",
+            "courses.course.taken_by.student.@sno",
+            "courses.course.taken_by.student.name",
+            "courses.course.taken_by.student.name.S",
+            "courses.course.taken_by.student.grade",
+            "courses.course.taken_by.student.grade.S",
+        ];
+        assert_eq!(ps.len(), expected.len());
+        for e in expected {
+            assert!(ps.resolve_str(e).is_some(), "missing path {e}");
+        }
+    }
+
+    #[test]
+    fn epaths_are_element_ended() {
+        let d = university();
+        let ps = d.paths().unwrap();
+        let epaths: Vec<String> = ps.epaths().map(|p| ps.format(p)).collect();
+        assert_eq!(
+            epaths,
+            vec![
+                "courses",
+                "courses.course",
+                "courses.course.title",
+                "courses.course.taken_by",
+                "courses.course.taken_by.student",
+                "courses.course.taken_by.student.name",
+                "courses.course.taken_by.student.grade",
+            ]
+        );
+    }
+
+    #[test]
+    fn prefix_and_ancestor_queries() {
+        let d = university();
+        let ps = d.paths().unwrap();
+        let root = ps.resolve_str("courses").unwrap();
+        let course = ps.resolve_str("courses.course").unwrap();
+        let sno = ps
+            .resolve_str("courses.course.taken_by.student.@sno")
+            .unwrap();
+        assert!(ps.is_prefix(root, sno));
+        assert!(ps.is_prefix(course, sno));
+        assert!(!ps.is_prefix(sno, course));
+        assert!(ps.is_prefix(sno, sno));
+        assert_eq!(ps.ancestor_at(sno, 2), Some(course));
+        assert_eq!(ps.ancestor_at(sno, 1), Some(root));
+        assert_eq!(ps.ancestor_at(course, 5), None);
+    }
+
+    #[test]
+    fn path_roundtrip_parse_display() {
+        for s in [
+            "courses",
+            "courses.course.@cno",
+            "courses.course.title.S",
+        ] {
+            let p: Path = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn path_parse_rejects_midway_attribute() {
+        assert!("a.@b.c".parse::<Path>().is_err());
+        assert!("a.S.c".parse::<Path>().is_err());
+        assert!("a..b".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn bounded_enumeration_truncates_recursive_dtds() {
+        let d = Dtd::builder("r")
+            .elem("r", Regex::elem("part"))
+            .elem_attrs("part", Regex::elem("part").star(), ["id"])
+            .build()
+            .unwrap();
+        let ps = d.paths_bounded(4);
+        assert!(ps.truncated());
+        assert!(ps.resolve_str("r.part.part.part").is_some());
+        assert!(ps.resolve_str("r.part.part.@id").is_some());
+        assert!(ps.resolve_str("r.part.part.part.part").is_none());
+    }
+
+    #[test]
+    fn path_ids_are_bfs_ordered() {
+        let d = university();
+        let ps = d.paths().unwrap();
+        for p in ps.iter() {
+            if let Some(parent) = ps.parent(p) {
+                assert!(parent < p);
+                assert_eq!(ps.path_len(parent) + 1, ps.path_len(p));
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_rejects_unknown() {
+        let d = university();
+        let ps = d.paths().unwrap();
+        assert!(ps.resolve_str("courses.nonexistent").is_none());
+        assert!(ps.require_str("courses.nonexistent").is_err());
+    }
+}

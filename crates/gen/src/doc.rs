@@ -1,0 +1,253 @@
+//! Random and scaled conforming documents.
+
+use rand::Rng;
+use xnf_dtd::{ContentModel, Dtd, ElemId, Regex};
+use xnf_xml::{NodeId, XmlTree};
+
+/// Parameters for [`random_document`].
+#[derive(Debug, Clone)]
+pub struct DocParams {
+    /// Repetition count drawn for each `*` / `+` quantifier (min, max).
+    pub reps: (usize, usize),
+    /// Size of the attribute/text value alphabet — small values create
+    /// agreement between nodes, which is what FD machinery cares about.
+    pub value_alphabet: usize,
+    /// Hard cap on generated nodes (generation stops descending).
+    pub max_nodes: usize,
+}
+
+impl Default for DocParams {
+    fn default() -> Self {
+        DocParams {
+            reps: (0, 3),
+            value_alphabet: 4,
+            max_nodes: 10_000,
+        }
+    }
+}
+
+/// Generates a random document conforming to a non-recursive DTD: for
+/// each node, a word of the content model is sampled (quantifiers draw
+/// from `params.reps`, alternations pick a uniform branch), attributes
+/// and text get values from a small alphabet.
+pub fn random_document(dtd: &Dtd, rng: &mut impl Rng, params: &DocParams) -> XmlTree {
+    assert!(!dtd.is_recursive(), "random_document needs a finite DTD");
+    let mut tree = XmlTree::new(dtd.root_name());
+    let root = tree.root();
+    fill(dtd, dtd.root(), &mut tree, root, rng, params);
+    tree
+}
+
+fn fill(
+    dtd: &Dtd,
+    elem: ElemId,
+    tree: &mut XmlTree,
+    node: NodeId,
+    rng: &mut impl Rng,
+    params: &DocParams,
+) {
+    for attr in dtd.attrs(elem) {
+        let v = rng.random_range(0..params.value_alphabet.max(1));
+        tree.set_attr(node, attr, format!("v{v}"));
+    }
+    match dtd.content(elem) {
+        ContentModel::Text => {
+            let v = rng.random_range(0..params.value_alphabet.max(1));
+            tree.set_text(node, format!("t{v}"));
+        }
+        ContentModel::Regex(re) => {
+            let mut labels = Vec::new();
+            sample_word(re, rng, params, &mut labels);
+            for label in labels {
+                if tree.num_nodes() >= params.max_nodes {
+                    break;
+                }
+                let child_elem = dtd.elem_id(&label).expect("validated DTD");
+                let child = tree.add_child(node, label);
+                fill(dtd, child_elem, tree, child, rng, params);
+            }
+        }
+    }
+}
+
+/// Samples a word from the language of `re` into `out`.
+fn sample_word(re: &Regex, rng: &mut impl Rng, params: &DocParams, out: &mut Vec<String>) {
+    match re {
+        Regex::Epsilon => {}
+        Regex::Elem(n) => out.push(n.to_string()),
+        Regex::Seq(parts) => {
+            for p in parts {
+                sample_word(p, rng, params, out);
+            }
+        }
+        Regex::Alt(parts) => {
+            let ix = rng.random_range(0..parts.len());
+            sample_word(&parts[ix], rng, params, out);
+        }
+        Regex::Star(r) => {
+            let (lo, hi) = params.reps;
+            let n = rng.random_range(lo..=hi.max(lo));
+            for _ in 0..n {
+                sample_word(r, rng, params, out);
+            }
+        }
+        Regex::Opt(r) => {
+            if rng.random_bool(0.5) {
+                sample_word(r, rng, params, out);
+            }
+        }
+        Regex::Plus(r) => {
+            let (lo, hi) = params.reps;
+            let n = rng.random_range(lo.max(1)..=hi.max(1));
+            for _ in 0..n {
+                sample_word(r, rng, params, out);
+            }
+        }
+    }
+}
+
+/// A scaled Example 1.1 document: `courses` courses, `students_per_course`
+/// students each; student numbers are drawn from a pool of
+/// `student_pool` ids, and each id maps to one of `names` names — so the
+/// paper's FDs (FD1)–(FD3) hold by construction.
+pub fn university_document(
+    courses: usize,
+    students_per_course: usize,
+    student_pool: usize,
+    names: usize,
+) -> XmlTree {
+    let mut t = XmlTree::new("courses");
+    let root = t.root();
+    for c in 0..courses {
+        let course = t.add_child(root, "course");
+        t.set_attr(course, "cno", format!("c{c}"));
+        let title = t.add_child(course, "title");
+        t.set_text(title, format!("Course {c}"));
+        let taken_by = t.add_child(course, "taken_by");
+        // Distinct sno per course (FD2); the pool is widened if needed.
+        let pool = student_pool.max(students_per_course).max(1);
+        for s in 0..students_per_course {
+            let sno = (c * 7 + s) % pool;
+            let student = t.add_child(taken_by, "student");
+            t.set_attr(student, "sno", format!("st{sno}"));
+            let name = t.add_child(student, "name");
+            t.set_text(name, format!("Name{}", sno % names.max(1)));
+            let grade = t.add_child(student, "grade");
+            t.set_text(grade, format!("g{c}_{s}"));
+        }
+    }
+    t
+}
+
+/// A scaled Example 1.2 document: `confs` conferences with `issues_per`
+/// issues of `papers_per` inproceedings each; every paper in an issue
+/// shares the issue's year, so (FD4)–(FD5) hold by construction.
+pub fn dblp_document(confs: usize, issues_per: usize, papers_per: usize) -> XmlTree {
+    let mut t = XmlTree::new("db");
+    let root = t.root();
+    for c in 0..confs {
+        let conf = t.add_child(root, "conf");
+        let title = t.add_child(conf, "title");
+        t.set_text(title, format!("Conf {c}"));
+        for i in 0..issues_per.max(1) {
+            let issue = t.add_child(conf, "issue");
+            for p in 0..papers_per.max(1) {
+                let paper = t.add_child(issue, "inproceedings");
+                t.set_attr(paper, "key", format!("k{c}_{i}_{p}"));
+                t.set_attr(paper, "pages", format!("{}-{}", p * 12 + 1, p * 12 + 12));
+                t.set_attr(paper, "year", format!("{}", 1990 + i));
+                let author = t.add_child(paper, "author");
+                t.set_text(author, format!("Author {}", (c + p) % 5));
+                let pt = t.add_child(paper, "title");
+                t.set_text(pt, format!("Paper {c}.{i}.{p}"));
+                let bt = t.add_child(paper, "booktitle");
+                t.set_text(bt, format!("Conf {c} {}", 1990 + i));
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::{simple_dtd, SimpleDtdParams};
+    use xnf_core::XmlFdSet;
+
+    #[test]
+    fn random_documents_conform() {
+        let mut rng = crate::rng(3);
+        for seed in 0..10u64 {
+            let d = simple_dtd(
+                &mut crate::rng(seed),
+                &SimpleDtdParams {
+                    elements: 8,
+                    ..SimpleDtdParams::default()
+                },
+            );
+            let doc = random_document(&d, &mut rng, &DocParams::default());
+            assert!(
+                xnf_xml::conforms(&doc, &d).is_ok(),
+                "seed {seed}: {:?}",
+                xnf_xml::conforms(&doc, &d)
+            );
+        }
+    }
+
+    #[test]
+    fn university_documents_satisfy_paper_fds() {
+        let dtd = xnf_dtd::parse_dtd(
+            "<!ELEMENT courses (course*)>
+             <!ELEMENT course (title, taken_by)>
+             <!ATTLIST course cno CDATA #REQUIRED>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT taken_by (student*)>
+             <!ELEMENT student (name, grade)>
+             <!ATTLIST student sno CDATA #REQUIRED>
+             <!ELEMENT name (#PCDATA)>
+             <!ELEMENT grade (#PCDATA)>",
+        )
+        .unwrap();
+        let doc = university_document(5, 4, 8, 3);
+        assert!(xnf_xml::conforms(&doc, &dtd).is_ok());
+        let sigma = XmlFdSet::parse(xnf_core::fd::UNIVERSITY_FDS).unwrap();
+        let ps = dtd.paths().unwrap();
+        assert!(sigma.satisfied_by(&doc, &dtd, &ps).unwrap());
+    }
+
+    #[test]
+    fn dblp_documents_satisfy_paper_fds() {
+        let dtd = xnf_dtd::parse_dtd(
+            "<!ELEMENT db (conf*)>
+             <!ELEMENT conf (title, issue+)>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT issue (inproceedings+)>
+             <!ELEMENT inproceedings (author+, title, booktitle)>
+             <!ATTLIST inproceedings key CDATA #REQUIRED pages CDATA #REQUIRED year CDATA #REQUIRED>
+             <!ELEMENT author (#PCDATA)>
+             <!ELEMENT booktitle (#PCDATA)>",
+        )
+        .unwrap();
+        let doc = dblp_document(3, 2, 3);
+        assert!(xnf_xml::conforms(&doc, &dtd).is_ok());
+        let sigma = XmlFdSet::parse(xnf_core::fd::DBLP_FDS).unwrap();
+        let ps = dtd.paths().unwrap();
+        assert!(sigma.satisfied_by(&doc, &dtd, &ps).unwrap());
+    }
+
+    #[test]
+    fn node_cap_is_respected() {
+        let d = crate::dtd::chain_dtd(3, 0);
+        let mut rng = crate::rng(5);
+        let doc = random_document(
+            &d,
+            &mut rng,
+            &DocParams {
+                reps: (5, 8),
+                max_nodes: 20,
+                ..DocParams::default()
+            },
+        );
+        assert!(doc.num_nodes() <= 20);
+    }
+}

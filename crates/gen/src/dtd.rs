@@ -1,0 +1,242 @@
+//! Random DTD families.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+use xnf_dtd::{ContentModel, Dtd, Regex};
+
+/// Parameters for [`simple_dtd`].
+#[derive(Debug, Clone)]
+pub struct SimpleDtdParams {
+    /// Number of element types (≥ 1).
+    pub elements: usize,
+    /// Maximum element children per content model.
+    pub max_children: usize,
+    /// Maximum attributes per element.
+    pub max_attrs: usize,
+    /// Probability that a childless element is `#PCDATA` (vs `EMPTY`).
+    pub text_leaf_prob: f64,
+}
+
+impl Default for SimpleDtdParams {
+    fn default() -> Self {
+        SimpleDtdParams {
+            elements: 10,
+            max_children: 3,
+            max_attrs: 2,
+            text_leaf_prob: 0.5,
+        }
+    }
+}
+
+/// Generates a random non-recursive **simple** DTD: a tree-shaped element
+/// hierarchy whose content models are trivial regular expressions
+/// (`e₁?, e₂*, e₃`, …). Element `i` may only reference elements `> i`, so
+/// the DTD is never recursive.
+pub fn simple_dtd(rng: &mut impl Rng, params: &SimpleDtdParams) -> Dtd {
+    let n = params.elements.max(1);
+    let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+    // Assign each element (except the root) a parent among the earlier
+    // elements, so every element is reachable.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        children[parent].push(i);
+    }
+    let mut b = Dtd::builder(names[0].clone());
+    for i in 0..n {
+        // Cap the children used in the content model.
+        let kids: Vec<usize> = children[i]
+            .iter()
+            .copied()
+            .take(params.max_children.max(1))
+            .collect();
+        let content = if kids.is_empty() {
+            if rng.random_bool(params.text_leaf_prob) {
+                ContentModel::Text
+            } else {
+                ContentModel::Regex(Regex::Epsilon)
+            }
+        } else {
+            let factors: Vec<Regex> = kids
+                .iter()
+                .map(|&k| {
+                    let leaf = Regex::elem(names[k].as_str());
+                    match rng.random_range(0..4) {
+                        0 => leaf,
+                        1 => leaf.opt(),
+                        2 => leaf.star(),
+                        _ => leaf.plus(),
+                    }
+                })
+                .collect();
+            ContentModel::Regex(Regex::seq(factors))
+        };
+        let n_attrs = if matches!(content, ContentModel::Text) {
+            0
+        } else {
+            rng.random_range(0..=params.max_attrs)
+        };
+        let attrs: Vec<String> = (0..n_attrs).map(|a| format!("a{i}_{a}")).collect();
+        b = b.decl(names[i].clone(), content, attrs);
+    }
+    // Unreferenced extra children beyond max_children must still be
+    // declared; the builder covers all names above, so nothing to do.
+    b.build().expect("generated simple DTDs are well-formed")
+}
+
+/// Generates a random non-recursive **disjunctive** DTD:
+/// [`simple_dtd`]-style, but `n_disjunctions` of the content models get an
+/// exclusive-disjunction factor of `group_size` fresh `EMPTY` elements.
+pub fn disjunctive_dtd(
+    rng: &mut impl Rng,
+    params: &SimpleDtdParams,
+    n_disjunctions: usize,
+    group_size: usize,
+) -> Dtd {
+    let base = simple_dtd(rng, params);
+    let mut b = Dtd::builder(base.root_name());
+    let mut extra: Vec<(String, ContentModel, Vec<String>)> = Vec::new();
+    // Pick the elements that receive a disjunction factor: prefer non-text
+    // elements, deterministic order.
+    let candidates: Vec<_> = base
+        .elements()
+        .filter(|&e| !base.content(e).is_text())
+        .collect();
+    let chosen: Vec<_> = candidates
+        .choose_multiple(rng, n_disjunctions.min(candidates.len()))
+        .copied()
+        .collect();
+    for e in base.elements() {
+        let name = base.name(e).to_string();
+        let mut content = base.content(e).clone();
+        if chosen.contains(&e) {
+            let letters: Vec<Regex> = (0..group_size.max(2))
+                .map(|g| {
+                    let dname = format!("d_{name}_{g}");
+                    extra.push((
+                        dname.clone(),
+                        ContentModel::Regex(Regex::Epsilon),
+                        vec![format!("v_{name}_{g}")],
+                    ));
+                    Regex::elem(dname)
+                })
+                .collect();
+            let group = Regex::alt(letters);
+            content = match content {
+                ContentModel::Regex(re) => ContentModel::Regex(Regex::seq([re, group])),
+                ContentModel::Text => ContentModel::Regex(group),
+            };
+        }
+        let attrs: Vec<String> = base.attrs(e).map(str::to_string).collect();
+        b = b.decl(name, content, attrs);
+    }
+    for (name, content, attrs) in extra {
+        b = b.decl(name, content, attrs);
+    }
+    b.build().expect("generated disjunctive DTDs are well-formed")
+}
+
+/// A layered chain DTD: `depth` levels, each level a starred child of the
+/// previous one with `attrs_per_level` attributes — `paths(D)` grows
+/// linearly with `depth × attrs_per_level`. Used for the Theorem 3 /
+/// Corollary 1 scaling sweeps.
+pub fn chain_dtd(depth: usize, attrs_per_level: usize) -> Dtd {
+    let depth = depth.max(1);
+    let mut b = Dtd::builder("l0");
+    for i in 0..depth {
+        let content = if i + 1 < depth {
+            ContentModel::Regex(Regex::elem(format!("l{}", i + 1)).star())
+        } else {
+            ContentModel::Regex(Regex::Epsilon)
+        };
+        let attrs: Vec<String> = (0..attrs_per_level).map(|a| format!("a{i}_{a}")).collect();
+        b = b.decl(format!("l{i}"), content, attrs);
+    }
+    b.build().expect("chain DTDs are well-formed")
+}
+
+/// A wide university-style DTD with `width` star-children under a hub
+/// (each like `taken_by/student`), scaling `paths(D)` horizontally.
+pub fn wide_dtd(width: usize) -> Dtd {
+    let mut b = Dtd::builder("root");
+    let hubs: Vec<Regex> = (0..width.max(1))
+        .map(|i| Regex::elem(format!("hub{i}")).star())
+        .collect();
+    b = b.decl("root", ContentModel::Regex(Regex::seq(hubs)), Vec::<String>::new());
+    for i in 0..width.max(1) {
+        b = b.decl(
+            format!("hub{i}"),
+            ContentModel::Regex(Regex::elem(format!("item{i}")).star()),
+            vec![format!("k{i}")],
+        );
+        b = b.decl(
+            format!("item{i}"),
+            ContentModel::Regex(Regex::Epsilon),
+            vec![format!("id{i}"), format!("val{i}")],
+        );
+    }
+    b.build().expect("wide DTDs are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xnf_dtd::classify::{DtdClass, DtdShapes};
+
+    #[test]
+    fn simple_dtds_are_simple_and_nonrecursive() {
+        let mut rng = crate::rng(7);
+        for size in [1, 3, 10, 40] {
+            let d = simple_dtd(
+                &mut rng,
+                &SimpleDtdParams {
+                    elements: size,
+                    ..SimpleDtdParams::default()
+                },
+            );
+            assert!(!d.is_recursive());
+            assert!(DtdShapes::analyze(&d).is_simple(), "size {size}");
+            assert!(d.paths().is_ok());
+        }
+    }
+
+    #[test]
+    fn disjunctive_dtds_have_expected_class() {
+        let mut rng = crate::rng(11);
+        let d = disjunctive_dtd(
+            &mut rng,
+            &SimpleDtdParams {
+                elements: 8,
+                ..SimpleDtdParams::default()
+            },
+            2,
+            3,
+        );
+        assert!(!d.is_recursive());
+        let shapes = DtdShapes::analyze(&d);
+        match shapes.class() {
+            DtdClass::Disjunctive { nd } => assert!(*nd >= 3),
+            other => panic!("expected disjunctive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_and_wide_shapes() {
+        let c = chain_dtd(5, 2);
+        assert_eq!(c.num_elements(), 5);
+        let ps = c.paths().unwrap();
+        assert_eq!(ps.len(), 5 + 5 * 2);
+        let w = wide_dtd(4);
+        assert!(!w.is_recursive());
+        assert!(DtdShapes::analyze(&w).is_simple());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let d1 = simple_dtd(&mut crate::rng(42), &SimpleDtdParams::default());
+        let d2 = simple_dtd(&mut crate::rng(42), &SimpleDtdParams::default());
+        assert_eq!(d1, d2);
+        let d3 = simple_dtd(&mut crate::rng(43), &SimpleDtdParams::default());
+        assert!(d1 != d3 || d1.to_string() == d3.to_string());
+    }
+}

@@ -1,0 +1,109 @@
+//! Random FD sets over a DTD's paths.
+
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+use xnf_dtd::Dtd;
+use xnf_core::{XmlFd, XmlFdSet};
+
+/// Parameters for [`random_fds`].
+#[derive(Debug, Clone)]
+pub struct FdParams {
+    /// Number of FDs to generate.
+    pub count: usize,
+    /// Maximum left-hand-side size (≥ 1); one element path plus attribute
+    /// paths, mirroring the Section 6 normal form of FDs.
+    pub max_lhs: usize,
+}
+
+impl Default for FdParams {
+    fn default() -> Self {
+        FdParams {
+            count: 4,
+            max_lhs: 2,
+        }
+    }
+}
+
+/// Generates a random FD set over the value paths (attributes and text)
+/// and element paths of `dtd`. LHS: optionally one element path plus
+/// attribute/text paths; RHS: a single path. Degenerate draws (RHS inside
+/// LHS) are retried a bounded number of times.
+pub fn random_fds(dtd: &Dtd, rng: &mut impl Rng, params: &FdParams) -> XmlFdSet {
+    let paths = dtd.paths().expect("non-recursive DTD");
+    let value_paths: Vec<_> = paths
+        .iter()
+        .filter(|&p| !paths.is_element_path(p))
+        .collect();
+    let elem_paths: Vec<_> = paths.iter().filter(|&p| paths.is_element_path(p)).collect();
+    let mut fds = Vec::new();
+    let mut attempts = 0;
+    while fds.len() < params.count && attempts < params.count * 20 {
+        attempts += 1;
+        if value_paths.is_empty() {
+            break;
+        }
+        let mut lhs = Vec::new();
+        if rng.random_bool(0.5) {
+            if let Some(&e) = elem_paths.choose(rng) {
+                lhs.push(paths.path(e));
+            }
+        }
+        let n_attrs = rng.random_range(if lhs.is_empty() { 1 } else { 0 }..=params.max_lhs);
+        for _ in 0..n_attrs {
+            if let Some(&a) = value_paths.choose(rng) {
+                lhs.push(paths.path(a));
+            }
+        }
+        if lhs.is_empty() {
+            continue;
+        }
+        let rhs_pool: Vec<_> = if rng.random_bool(0.7) {
+            value_paths.clone()
+        } else {
+            elem_paths.clone()
+        };
+        let Some(&r) = rhs_pool.choose(rng) else {
+            continue;
+        };
+        let rhs = paths.path(r);
+        if lhs.contains(&rhs) {
+            continue;
+        }
+        if let Ok(fd) = XmlFd::new(lhs, [rhs]) {
+            fds.push(fd);
+        }
+    }
+    XmlFdSet::from_fds(fds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtd::{simple_dtd, SimpleDtdParams};
+
+    #[test]
+    fn random_fds_resolve_against_their_dtd() {
+        for seed in 0..20u64 {
+            let mut rng = crate::rng(seed);
+            let d = simple_dtd(
+                &mut rng,
+                &SimpleDtdParams {
+                    elements: 10,
+                    ..SimpleDtdParams::default()
+                },
+            );
+            let fds = random_fds(&d, &mut rng, &FdParams::default());
+            let paths = d.paths().unwrap();
+            assert!(fds.resolve(&paths).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn counts_are_respected_when_paths_exist() {
+        let mut rng = crate::rng(1);
+        let d = crate::dtd::wide_dtd(3);
+        let fds = random_fds(&d, &mut rng, &FdParams { count: 6, max_lhs: 2 });
+        assert!(!fds.is_empty());
+        assert!(fds.len() <= 6);
+    }
+}

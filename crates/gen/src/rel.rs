@@ -1,0 +1,133 @@
+//! Relational and nested schemas with planted normal-form violations.
+
+use rand::Rng;
+use xnf_relational::fd::{AttrSet, Fd, FdSet, RelSchema};
+use xnf_relational::nested::NestedSchema;
+
+/// A random relational schema over `arity` attributes with `n_fds` random
+/// singleton-side FDs; roughly half the draws violate BCNF.
+pub fn random_relational(
+    rng: &mut impl Rng,
+    arity: usize,
+    n_fds: usize,
+) -> (RelSchema, FdSet) {
+    let arity = arity.clamp(2, 24);
+    let schema = RelSchema::new(
+        "G",
+        (0..arity).map(|i| format!("A{i}")),
+    )
+    .expect("distinct attribute names");
+    let mut fds = FdSet::new();
+    for _ in 0..n_fds {
+        let lhs_size = rng.random_range(1..=2usize.min(arity - 1));
+        let mut lhs = AttrSet::empty();
+        while lhs.len() < lhs_size {
+            lhs.insert(rng.random_range(0..arity));
+        }
+        let mut rhs = rng.random_range(0..arity);
+        if lhs.contains(rhs) {
+            rhs = (rhs + 1) % arity;
+        }
+        fds.push(Fd::new(lhs, AttrSet::singleton(rhs)));
+    }
+    (schema, fds)
+}
+
+/// A relational schema with a *planted* BCNF violation: the canonical
+/// student/course shape `R(K, A, B, C)` with `A → B` (non-key determinant)
+/// and `{A, K} → C`.
+pub fn planted_bcnf_violation() -> (RelSchema, FdSet) {
+    let schema = RelSchema::new("G", ["K", "A", "B", "C"]).expect("distinct names");
+    let fds = FdSet::from_fds([
+        Fd::new(AttrSet::singleton(1), AttrSet::singleton(2)),
+        Fd::new(
+            {
+                let mut s = AttrSet::singleton(1);
+                s.insert(0);
+                s
+            },
+            AttrSet::singleton(3),
+        ),
+    ]);
+    (schema, fds)
+}
+
+/// A chain-nested schema of the Figure 3 shape with `depth` levels
+/// (`L0 = A0 (L1)*`, `L1 = A1 (L2)*`, …).
+pub fn chain_nested(depth: usize) -> NestedSchema {
+    fn build(i: usize, depth: usize) -> NestedSchema {
+        let children = if i + 1 < depth {
+            vec![build(i + 1, depth)]
+        } else {
+            Vec::new()
+        };
+        NestedSchema::new(format!("L{i}"), [format!("A{i}")], children)
+    }
+    build(0, depth.max(1))
+}
+
+/// FDs over [`chain_nested`] that respect the nesting (child determines
+/// ancestor attributes) — an NNF-positive family.
+pub fn chain_nested_good_fds(schema: &NestedSchema, depth: usize) -> FdSet {
+    let flat = schema.unnested_schema().expect("distinct attribute names");
+    let mut fds = FdSet::new();
+    for i in 1..depth {
+        let lhs = flat.set([format!("A{i}")]).expect("attribute exists");
+        let rhs = flat.set([format!("A{}", i - 1)]).expect("attribute exists");
+        fds.push(Fd::new(lhs, rhs));
+    }
+    fds
+}
+
+/// An NNF-violating FD over [`chain_nested`] (needs `depth ≥ 3`): the
+/// root attribute determines the deepest attribute, skipping the
+/// intermediate levels — `A0 → ancestor(A_last)` then requires
+/// `A0 → A1, …`, which does not follow.
+pub fn chain_nested_bad_fd(schema: &NestedSchema, depth: usize) -> FdSet {
+    let flat = schema.unnested_schema().expect("distinct attribute names");
+    FdSet::from_fds([Fd::new(
+        flat.set(["A0"]).expect("attribute exists"),
+        flat.set([format!("A{}", depth.saturating_sub(1))])
+            .expect("attribute exists"),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xnf_relational::bcnf::is_bcnf;
+    use xnf_relational::nested::is_nnf;
+
+    #[test]
+    fn planted_violation_is_not_bcnf() {
+        let (schema, fds) = planted_bcnf_violation();
+        assert!(!is_bcnf(&fds, schema.all()));
+    }
+
+    #[test]
+    fn random_relational_wellformed() {
+        let mut rng = crate::rng(9);
+        for _ in 0..20 {
+            let (schema, fds) = random_relational(&mut rng, 5, 3);
+            // The test is only that everything is in range.
+            let _ = is_bcnf(&fds, schema.all());
+        }
+    }
+
+    #[test]
+    fn chain_nested_nnf_split() {
+        for depth in [2usize, 3, 4, 5] {
+            let schema = chain_nested(depth);
+            let flat = schema.unnested_schema().unwrap();
+            let good = chain_nested_good_fds(&schema, depth);
+            assert!(is_nnf(&schema, &flat, &good).unwrap(), "depth {depth}");
+            let bad = chain_nested_bad_fd(&schema, depth);
+            let expect_violation = depth >= 3;
+            assert_eq!(
+                !is_nnf(&schema, &flat, &bad).unwrap(),
+                expect_violation,
+                "depth {depth}"
+            );
+        }
+    }
+}

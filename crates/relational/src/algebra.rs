@@ -1,0 +1,378 @@
+//! Relational algebra over Codd tables.
+//!
+//! This is the query language of the Section 6 losslessness definition:
+//! `(D₁,Σ₁) ≼ (D₂,Σ₂)` asks for relational algebra queries `Q₁, Q₁', Q₂`
+//! translating back and forth between `tuples_D(·)` tables. Following the
+//! paper we evaluate queries over tables with nulls using the (naive)
+//! semantics of Codd tables: `⊥` compares equal to itself and different
+//! from every non-null value — adequate because the losslessness queries
+//! only ever compare columns that the schema transformation keeps aligned.
+
+use crate::table::{Relation, Value};
+use crate::{RelError, Result};
+use std::collections::HashMap;
+
+/// A predicate over one row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Column equals column.
+    EqAttr(String, String),
+    /// Column equals constant.
+    EqConst(String, Value),
+    /// Column is (not) null.
+    IsNull(String, bool),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    fn eval(&self, columns: &[String], row: &[Value]) -> Result<bool> {
+        let ix = |name: &str| {
+            columns
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| RelError::UnknownAttribute(name.to_string()))
+        };
+        Ok(match self {
+            Predicate::EqAttr(a, b) => row[ix(a)?] == row[ix(b)?],
+            Predicate::EqConst(a, v) => row[ix(a)?] == *v,
+            Predicate::IsNull(a, want) => row[ix(a)?].is_null() == *want,
+            Predicate::And(p, q) => p.eval(columns, row)? && q.eval(columns, row)?,
+            Predicate::Or(p, q) => p.eval(columns, row)? || q.eval(columns, row)?,
+            Predicate::Not(p) => !p.eval(columns, row)?,
+        })
+    }
+}
+
+/// A relational algebra query over named input tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A named input table.
+    Table(String),
+    /// Selection `σ_pred`.
+    Select(Box<Query>, Predicate),
+    /// Projection `π_cols` (with duplicate elimination).
+    Project(Box<Query>, Vec<String>),
+    /// Natural join (on all shared column names).
+    Join(Box<Query>, Box<Query>),
+    /// Set union (schemas must match exactly).
+    Union(Box<Query>, Box<Query>),
+    /// Set difference (schemas must match exactly).
+    Diff(Box<Query>, Box<Query>),
+    /// Column renaming `ρ` (pairs of `(from, to)`).
+    Rename(Box<Query>, Vec<(String, String)>),
+}
+
+impl Query {
+    /// A named input table.
+    pub fn table(name: impl Into<String>) -> Query {
+        Query::Table(name.into())
+    }
+
+    /// `σ_pred(self)`.
+    pub fn select(self, pred: Predicate) -> Query {
+        Query::Select(Box::new(self), pred)
+    }
+
+    /// `π_cols(self)`.
+    pub fn project(self, cols: impl IntoIterator<Item = impl Into<String>>) -> Query {
+        Query::Project(Box::new(self), cols.into_iter().map(Into::into).collect())
+    }
+
+    /// Natural join with `other`.
+    pub fn join(self, other: Query) -> Query {
+        Query::Join(Box::new(self), Box::new(other))
+    }
+
+    /// Set union with `other`.
+    pub fn union(self, other: Query) -> Query {
+        Query::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Set difference with `other`.
+    pub fn diff(self, other: Query) -> Query {
+        Query::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Renames columns.
+    pub fn rename(
+        self,
+        pairs: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+    ) -> Query {
+        Query::Rename(
+            Box::new(self),
+            pairs
+                .into_iter()
+                .map(|(a, b)| (a.into(), b.into()))
+                .collect(),
+        )
+    }
+
+    /// Evaluates against an environment of named tables.
+    pub fn eval(&self, env: &HashMap<String, Relation>) -> Result<Relation> {
+        match self {
+            Query::Table(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RelError::UnknownTable(name.clone())),
+            Query::Select(q, pred) => {
+                let input = q.eval(env)?;
+                let mut out = Relation::new(input.columns().to_vec())?;
+                for row in input.rows() {
+                    if pred.eval(input.columns(), row)? {
+                        out.insert(row.to_vec())?;
+                    }
+                }
+                Ok(out)
+            }
+            Query::Project(q, cols) => q.eval(env)?.project(cols),
+            Query::Join(l, r) => {
+                let left = l.eval(env)?;
+                let right = r.eval(env)?;
+                let shared: Vec<String> = left
+                    .columns()
+                    .iter()
+                    .filter(|c| right.columns().contains(c))
+                    .cloned()
+                    .collect();
+                let right_extra: Vec<String> = right
+                    .columns()
+                    .iter()
+                    .filter(|c| !shared.contains(c))
+                    .cloned()
+                    .collect();
+                let mut out_cols: Vec<String> = left.columns().to_vec();
+                out_cols.extend(right_extra.iter().cloned());
+                let mut out = Relation::new(out_cols)?;
+                let shared_l: Vec<usize> = shared
+                    .iter()
+                    .map(|c| left.column_index(c))
+                    .collect::<Result<_>>()?;
+                let shared_r: Vec<usize> = shared
+                    .iter()
+                    .map(|c| right.column_index(c))
+                    .collect::<Result<_>>()?;
+                let extra_r: Vec<usize> = right_extra
+                    .iter()
+                    .map(|c| right.column_index(c))
+                    .collect::<Result<_>>()?;
+                for lr in left.rows() {
+                    for rr in right.rows() {
+                        if shared_l
+                            .iter()
+                            .zip(&shared_r)
+                            .all(|(&i, &j)| lr[i] == rr[j])
+                        {
+                            let mut row = lr.to_vec();
+                            row.extend(extra_r.iter().map(|&j| rr[j].clone()));
+                            out.insert(row)?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Query::Union(l, r) => {
+                let left = l.eval(env)?;
+                let right = r.eval(env)?;
+                if left.columns() != right.columns() {
+                    return Err(RelError::SchemaMismatch {
+                        left: left.columns().to_vec(),
+                        right: right.columns().to_vec(),
+                    });
+                }
+                let mut out = left.clone();
+                for row in right.rows() {
+                    out.insert(row.to_vec())?;
+                }
+                Ok(out)
+            }
+            Query::Diff(l, r) => {
+                let left = l.eval(env)?;
+                let right = r.eval(env)?;
+                if left.columns() != right.columns() {
+                    return Err(RelError::SchemaMismatch {
+                        left: left.columns().to_vec(),
+                        right: right.columns().to_vec(),
+                    });
+                }
+                let mut out = Relation::new(left.columns().to_vec())?;
+                let right_rows: std::collections::BTreeSet<&[Value]> = right.rows().collect();
+                for row in left.rows() {
+                    if !right_rows.contains(row) {
+                        out.insert(row.to_vec())?;
+                    }
+                }
+                Ok(out)
+            }
+            Query::Rename(q, pairs) => {
+                let input = q.eval(env)?;
+                let cols: Vec<String> = input
+                    .columns()
+                    .iter()
+                    .map(|c| {
+                        pairs
+                            .iter()
+                            .find(|(from, _)| from == c)
+                            .map(|(_, to)| to.clone())
+                            .unwrap_or_else(|| c.clone())
+                    })
+                    .collect();
+                let mut out = Relation::new(cols)?;
+                for row in input.rows() {
+                    out.insert(row.to_vec())?;
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::str(s)
+    }
+
+    fn env() -> HashMap<String, Relation> {
+        let mut takes = Relation::new(["sno", "cno", "grade"]).unwrap();
+        takes
+            .insert(vec![v("st1"), v("csc200"), v("A+")])
+            .unwrap();
+        takes
+            .insert(vec![v("st1"), v("mat100"), v("A-")])
+            .unwrap();
+        takes
+            .insert(vec![v("st2"), v("csc200"), v("B-")])
+            .unwrap();
+        let mut students = Relation::new(["sno", "name"]).unwrap();
+        students.insert(vec![v("st1"), v("Deere")]).unwrap();
+        students.insert(vec![v("st2"), v("Smith")]).unwrap();
+        HashMap::from([
+            ("takes".to_string(), takes),
+            ("students".to_string(), students),
+        ])
+    }
+
+    #[test]
+    fn select_and_project() {
+        let q = Query::table("takes")
+            .select(Predicate::EqConst("cno".into(), v("csc200")))
+            .project(["sno"]);
+        let r = q.eval(&env()).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn natural_join_recovers_decomposed_relation() {
+        // The BCNF decomposition is lossless: join the fragments back.
+        let q = Query::table("takes").join(Query::table("students"));
+        let r = q.eval(&env()).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.columns(), &["sno", "cno", "grade", "name"]);
+        // Every row has the right name.
+        for row in r.rows() {
+            let sno = &row[0];
+            let name = &row[3];
+            if *sno == v("st1") {
+                assert_eq!(*name, v("Deere"));
+            } else {
+                assert_eq!(*name, v("Smith"));
+            }
+        }
+    }
+
+    #[test]
+    fn union_and_diff() {
+        let e = env();
+        let takes = Query::table("takes");
+        let all = takes.clone().union(takes.clone()).eval(&e).unwrap();
+        assert_eq!(all.len(), 3);
+        let none = takes.clone().diff(takes).eval(&e).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn rename_then_join_on_new_names() {
+        let e = env();
+        let q = Query::table("students")
+            .rename([("sno", "id")])
+            .project(["id", "name"]);
+        let r = q.eval(&e).unwrap();
+        assert_eq!(r.columns(), &["id", "name"]);
+    }
+
+    #[test]
+    fn schema_mismatch_detected() {
+        let e = env();
+        let q = Query::table("takes").union(Query::table("students"));
+        assert!(matches!(
+            q.eval(&e),
+            Err(RelError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn null_semantics_in_predicates_and_joins() {
+        let mut t = Relation::new(["a", "b"]).unwrap();
+        t.insert(vec![Value::Null, v("1")]).unwrap();
+        t.insert(vec![v("x"), v("2")]).unwrap();
+        let e = HashMap::from([("t".to_string(), t)]);
+        let nulls = Query::table("t")
+            .select(Predicate::IsNull("a".into(), true))
+            .eval(&e)
+            .unwrap();
+        assert_eq!(nulls.len(), 1);
+        // ⊥ joins with ⊥ under the naive semantics.
+        let j = Query::table("t")
+            .project(["a"])
+            .join(Query::table("t"))
+            .eval(&e)
+            .unwrap();
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let e = env();
+        let q = Query::table("takes").select(Predicate::And(
+            Box::new(Predicate::EqConst("sno".into(), v("st1"))),
+            Box::new(Predicate::Not(Box::new(Predicate::EqConst(
+                "cno".into(),
+                v("csc200"),
+            )))),
+        ));
+        let r = q.eval(&e).unwrap();
+        assert_eq!(r.len(), 1); // st1's mat100 row
+        let q = Query::table("takes").select(Predicate::Or(
+            Box::new(Predicate::EqConst("grade".into(), v("A+"))),
+            Box::new(Predicate::EqConst("grade".into(), v("B-"))),
+        ));
+        assert_eq!(q.eval(&e).unwrap().len(), 2);
+        // Column-to-column equality.
+        let q = Query::table("takes").select(Predicate::EqAttr("sno".into(), "sno".into()));
+        assert_eq!(q.eval(&e).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn predicate_on_missing_column_errors() {
+        let e = env();
+        let q = Query::table("takes").select(Predicate::EqConst("ghost".into(), v("x")));
+        assert!(q.eval(&e).is_err());
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let e = env();
+        assert!(matches!(
+            Query::table("ghost").eval(&e),
+            Err(RelError::UnknownTable(_))
+        ));
+        assert!(Query::table("takes").project(["ghost"]).eval(&e).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Boyce–Codd normal form: testing and lossless decomposition.
+//!
+//! The baseline of Proposition 4: a relational schema `(G, F)` is in BCNF
+//! iff its XML coding `(D_G, Σ_F)` is in XNF.
+
+use crate::fd::{AttrSet, Fd, FdSet};
+
+/// Returns a BCNF-violating FD over the attribute set `all`, if any: a
+/// non-trivial `X → Y ∈ Σ` whose `X` is not a superkey.
+///
+/// Checking the *given* FDs suffices (the standard generator argument): if
+/// some implied non-trivial FD violates BCNF, so does one of the
+/// generators.
+pub fn bcnf_violation(fds: &FdSet, all: AttrSet) -> Option<Fd> {
+    fds.iter()
+        .find(|fd| !fd.is_trivial() && !fds.is_superkey(fd.lhs, all))
+}
+
+/// Whether `(all, fds)` is in BCNF.
+pub fn is_bcnf(fds: &FdSet, all: AttrSet) -> bool {
+    bcnf_violation(fds, all).is_none()
+}
+
+/// Exhaustive BCNF test quantifying over *all* implied non-trivial FDs
+/// (exponential; used to validate [`is_bcnf`] in tests and experiments).
+pub fn is_bcnf_exhaustive(fds: &FdSet, all: AttrSet) -> bool {
+    let attrs: Vec<usize> = all.iter().collect();
+    let n = attrs.len();
+    for mask in 0u32..(1u32 << n) {
+        let mut x = AttrSet::empty();
+        for (bit, &a) in attrs.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                x.insert(a);
+            }
+        }
+        let closure = fds.closure(x).intersect(all);
+        if closure != x && !fds.is_superkey(x, all) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The standard lossless BCNF decomposition: repeatedly split a violating
+/// `X → Y` into `X ∪ (X⁺ ∩ R)` and `R \ (X⁺ \ X)`. Returns the fragments
+/// with their projected FD sets.
+pub fn bcnf_decompose(fds: &FdSet, all: AttrSet) -> Vec<(AttrSet, FdSet)> {
+    let mut result = Vec::new();
+    let mut work = vec![(all, fds.clone())];
+    while let Some((rel, rel_fds)) = work.pop() {
+        match bcnf_violation(&rel_fds, rel) {
+            None => result.push((rel, rel_fds)),
+            Some(v) => {
+                let closure = rel_fds.closure(v.lhs).intersect(rel);
+                let frag1 = closure; // X ∪ X⁺∩R
+                let frag2 = rel.minus(closure.minus(v.lhs)); // R \ (X⁺ \ X)
+                debug_assert!(frag1.union(frag2) == rel);
+                debug_assert!(frag1 != rel && frag2 != rel, "decomposition must shrink");
+                let fds1 = rel_fds.project(frag1);
+                let fds2 = rel_fds.project(frag2);
+                work.push((frag1, fds1));
+                work.push((frag2, fds2));
+            }
+        }
+    }
+    result.sort_by_key(|(a, _)| *a);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ixs: &[usize]) -> AttrSet {
+        let mut a = AttrSet::empty();
+        for &i in ixs {
+            a.insert(i);
+        }
+        a
+    }
+
+    #[test]
+    fn key_based_schema_is_bcnf() {
+        // R(A,B,C): A→BC. A is a key: BCNF.
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1, 2]))]);
+        assert!(is_bcnf(&fds, AttrSet::full(3)));
+        assert!(is_bcnf_exhaustive(&fds, AttrSet::full(3)));
+    }
+
+    #[test]
+    fn canonical_violation() {
+        // The student/course schema: R(sno, name, cno, grade) with
+        // sno → name, {sno, cno} → grade. sno is not a superkey.
+        let fds = FdSet::from_fds([
+            Fd::new(s(&[0]), s(&[1])),
+            Fd::new(s(&[0, 2]), s(&[3])),
+        ]);
+        let all = AttrSet::full(4);
+        assert!(!is_bcnf(&fds, all));
+        assert!(!is_bcnf_exhaustive(&fds, all));
+        let v = bcnf_violation(&fds, all).unwrap();
+        assert_eq!(v.lhs, s(&[0]));
+    }
+
+    #[test]
+    fn decomposition_reaches_bcnf_and_preserves_attributes() {
+        let fds = FdSet::from_fds([
+            Fd::new(s(&[0]), s(&[1])),
+            Fd::new(s(&[0, 2]), s(&[3])),
+        ]);
+        let all = AttrSet::full(4);
+        let frags = bcnf_decompose(&fds, all);
+        // Every fragment is in BCNF (with projected FDs).
+        for (rel, rel_fds) in &frags {
+            assert!(is_bcnf(rel_fds, *rel));
+            assert!(is_bcnf_exhaustive(rel_fds, *rel));
+        }
+        // Attributes are preserved.
+        let union = frags
+            .iter()
+            .fold(AttrSet::empty(), |acc, (rel, _)| acc.union(*rel));
+        assert_eq!(union, all);
+        // The classic split: {sno, name} and {sno, cno, grade}.
+        let attr_sets: Vec<AttrSet> = frags.iter().map(|(r, _)| *r).collect();
+        assert!(attr_sets.contains(&s(&[0, 1])));
+        assert!(attr_sets.contains(&s(&[0, 2, 3])));
+    }
+
+    #[test]
+    fn generator_check_agrees_with_exhaustive_on_random_fds() {
+        // Small deterministic sweep: all FD sets with two FDs over 4
+        // attributes with singleton sides.
+        let all = AttrSet::full(4);
+        for l1 in 0..4usize {
+            for r1 in 0..4usize {
+                for l2 in 0..4usize {
+                    for r2 in 0..4usize {
+                        let fds = FdSet::from_fds([
+                            Fd::new(s(&[l1]), s(&[r1])),
+                            Fd::new(s(&[l2]), s(&[r2])),
+                        ]);
+                        assert_eq!(
+                            is_bcnf(&fds, all),
+                            is_bcnf_exhaustive(&fds, all),
+                            "disagreement on {l1}->{r1}, {l2}->{r2}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_only_fds_are_bcnf() {
+        let fds = FdSet::from_fds([Fd::new(s(&[0, 1]), s(&[1]))]);
+        assert!(is_bcnf(&fds, AttrSet::full(3)));
+    }
+
+    #[test]
+    fn decomposition_of_bcnf_schema_is_identity() {
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1, 2]))]);
+        let all = AttrSet::full(3);
+        let frags = bcnf_decompose(&fds, all);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].0, all);
+    }
+}

@@ -1,0 +1,484 @@
+//! Relational schemas, attribute sets and functional dependencies.
+//!
+//! Attribute sets are 128-bit bitsets over a schema's attribute list, which
+//! makes the attribute-closure loop (the work-horse of implication, key
+//! finding and BCNF testing) a few word operations per FD.
+
+use crate::{RelError, Result};
+use std::fmt;
+
+/// A relation schema: a name and an ordered list of attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelSchema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl RelSchema {
+    /// Creates a schema. Fails on duplicates or more than 128 attributes.
+    pub fn new(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<RelSchema> {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        if attrs.len() > 128 {
+            return Err(RelError::TooManyAttributes(attrs.len()));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(RelError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(RelSchema {
+            name: name.into(),
+            attrs,
+        })
+    }
+
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute names, in declaration order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The index of attribute `name`.
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .ok_or_else(|| RelError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The set of all attributes.
+    pub fn all(&self) -> AttrSet {
+        AttrSet::full(self.attrs.len())
+    }
+
+    /// Builds an [`AttrSet`] from attribute names.
+    pub fn set(&self, names: impl IntoIterator<Item = impl AsRef<str>>) -> Result<AttrSet> {
+        let mut s = AttrSet::empty();
+        for n in names {
+            s.insert(self.attr_index(n.as_ref())?);
+        }
+        Ok(s)
+    }
+
+    /// Renders an [`AttrSet`] as sorted attribute names.
+    pub fn names(&self, set: AttrSet) -> Vec<&str> {
+        (0..self.attrs.len())
+            .filter(|&i| set.contains(i))
+            .map(|i| self.attrs[i].as_str())
+            .collect()
+    }
+}
+
+/// A set of attribute indices (bitset, max 128 attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u128);
+
+impl AttrSet {
+    /// The empty set.
+    pub fn empty() -> AttrSet {
+        AttrSet(0)
+    }
+
+    /// The set `{0, 1, …, n-1}`.
+    pub fn full(n: usize) -> AttrSet {
+        debug_assert!(n <= 128);
+        if n == 128 {
+            AttrSet(u128::MAX)
+        } else {
+            AttrSet((1u128 << n) - 1)
+        }
+    }
+
+    /// The singleton `{i}`.
+    pub fn singleton(i: usize) -> AttrSet {
+        AttrSet(1u128 << i)
+    }
+
+    /// Inserts index `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.0 |= 1u128 << i;
+    }
+
+    /// Removes index `i`.
+    pub fn remove(&mut self, i: usize) {
+        self.0 &= !(1u128 << i);
+    }
+
+    /// Whether index `i` is in the set.
+    pub fn contains(self, i: usize) -> bool {
+        self.0 & (1u128 << i) != 0
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// `self \ other`.
+    pub fn minus(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty (alias of [`AttrSet::is_empty`]).
+    pub fn is_empty_set(self) -> bool {
+        self.is_empty()
+    }
+
+    /// Iterates over the member indices, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        (0..128).filter(move |&i| self.contains(i))
+    }
+}
+
+/// A functional dependency `X → Y` over attribute indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// The determinant `X`.
+    pub lhs: AttrSet,
+    /// The dependent `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Creates `lhs → rhs`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Fd {
+        Fd { lhs, rhs }
+    }
+
+    /// Whether the FD is trivial (`Y ⊆ X`).
+    pub fn is_trivial(self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+}
+
+/// A set of functional dependencies over one schema.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// The empty FD set.
+    pub fn new() -> FdSet {
+        FdSet::default()
+    }
+
+    /// Builds from FDs.
+    pub fn from_fds(fds: impl IntoIterator<Item = Fd>) -> FdSet {
+        FdSet {
+            fds: fds.into_iter().collect(),
+        }
+    }
+
+    /// Adds an FD.
+    pub fn push(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// The FDs.
+    pub fn iter(&self) -> impl Iterator<Item = Fd> + '_ {
+        self.fds.iter().copied()
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// The attribute closure `X⁺` under this FD set (the standard
+    /// fixed-point computation).
+    pub fn closure(&self, x: AttrSet) -> AttrSet {
+        let mut closed = x;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fd in &self.fds {
+                if fd.lhs.is_subset(closed) && !fd.rhs.is_subset(closed) {
+                    closed = closed.union(fd.rhs);
+                    changed = true;
+                }
+            }
+        }
+        closed
+    }
+
+    /// Whether this set implies `fd` (i.e. `fd ∈ Σ⁺`).
+    pub fn implies(&self, fd: Fd) -> bool {
+        fd.rhs.is_subset(self.closure(fd.lhs))
+    }
+
+    /// Whether `x` is a superkey of a relation with attribute set `all`.
+    pub fn is_superkey(&self, x: AttrSet, all: AttrSet) -> bool {
+        all.is_subset(self.closure(x))
+    }
+
+    /// Whether `x` is a (minimal) candidate key of `all`.
+    pub fn is_key(&self, x: AttrSet, all: AttrSet) -> bool {
+        self.is_superkey(x, all)
+            && x.iter()
+                .all(|i| !self.is_superkey(x.minus(AttrSet::singleton(i)), all))
+    }
+
+    /// All candidate keys of `all` (exponential search, intended for the
+    /// small schemas of design theory).
+    pub fn candidate_keys(&self, all: AttrSet) -> Vec<AttrSet> {
+        let attrs: Vec<usize> = all.iter().collect();
+        let n = attrs.len();
+        let mut keys: Vec<AttrSet> = Vec::new();
+        // Enumerate subsets in order of increasing size so that supersets
+        // of found keys can be skipped.
+        for mask in 0u32..(1u32 << n) {
+            let mut s = AttrSet::empty();
+            for (bit, &a) in attrs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    s.insert(a);
+                }
+            }
+            if keys.iter().any(|&k| k.is_subset(s)) {
+                continue;
+            }
+            if self.is_superkey(s, all) {
+                keys.push(s);
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    /// Projects this FD set onto the attribute set `onto`: the FDs
+    /// `X → (X⁺ ∩ onto)` for `X ⊆ onto` (exponential; used by BCNF
+    /// decomposition on design-theory-sized schemas).
+    pub fn project(&self, onto: AttrSet) -> FdSet {
+        let attrs: Vec<usize> = onto.iter().collect();
+        let n = attrs.len();
+        let mut out = FdSet::new();
+        for mask in 0u32..(1u32 << n) {
+            let mut x = AttrSet::empty();
+            for (bit, &a) in attrs.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    x.insert(a);
+                }
+            }
+            let rhs = self.closure(x).intersect(onto).minus(x);
+            if !rhs.is_empty() {
+                out.push(Fd::new(x, rhs));
+            }
+        }
+        out
+    }
+
+    /// A minimal cover: singleton right-hand sides, no redundant FDs, no
+    /// extraneous left-hand-side attributes.
+    pub fn minimal_cover(&self) -> FdSet {
+        // 1. Split RHS into singletons.
+        let mut fds: Vec<Fd> = Vec::new();
+        for fd in &self.fds {
+            for a in fd.rhs.minus(fd.lhs).iter() {
+                fds.push(Fd::new(fd.lhs, AttrSet::singleton(a)));
+            }
+        }
+        // 2. Remove extraneous LHS attributes.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let snapshot = FdSet { fds: fds.clone() };
+            for fd in &mut fds {
+                for a in fd.lhs.iter() {
+                    let reduced = fd.lhs.minus(AttrSet::singleton(a));
+                    if !reduced.is_empty() && snapshot.implies(Fd::new(reduced, fd.rhs)) {
+                        fd.lhs = reduced;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // 3. Remove redundant FDs.
+        let mut i = 0;
+        while i < fds.len() {
+            let fd = fds[i];
+            let rest = FdSet {
+                fds: fds
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, f)| *f)
+                    .collect(),
+            };
+            if rest.implies(fd) {
+                fds.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        fds.sort_by_key(|f| (f.lhs, f.rhs));
+        fds.dedup();
+        FdSet { fds }
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |s: AttrSet| {
+            s.iter()
+                .map(|i| format!("A{i}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(f, "{} -> {}", side(self.lhs), side(self.rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ixs: &[usize]) -> AttrSet {
+        let mut a = AttrSet::empty();
+        for &i in ixs {
+            a.insert(i);
+        }
+        a
+    }
+
+    #[test]
+    fn attrset_basics() {
+        let a = s(&[0, 2, 5]);
+        assert!(a.contains(2));
+        assert!(!a.contains(1));
+        assert_eq!(a.len(), 3);
+        assert!(s(&[0, 2]).is_subset(a));
+        assert!(!a.is_subset(s(&[0, 2])));
+        assert_eq!(a.minus(s(&[2])), s(&[0, 5]));
+        assert_eq!(a.union(s(&[1])), s(&[0, 1, 2, 5]));
+        assert_eq!(a.intersect(s(&[2, 5, 7])), s(&[2, 5]));
+        assert_eq!(AttrSet::full(3), s(&[0, 1, 2]));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn schema_lookup_and_errors() {
+        let sch = RelSchema::new("G", ["A", "B", "C"]).unwrap();
+        assert_eq!(sch.attr_index("B").unwrap(), 1);
+        assert!(matches!(
+            sch.attr_index("Z"),
+            Err(RelError::UnknownAttribute(_))
+        ));
+        assert!(RelSchema::new("G", ["A", "A"]).is_err());
+        let set = sch.set(["A", "C"]).unwrap();
+        assert_eq!(sch.names(set), vec!["A", "C"]);
+    }
+
+    #[test]
+    fn closure_textbook_example() {
+        // R(A,B,C,D,E): A→B, B→C, CD→E.
+        let fds = FdSet::from_fds([
+            Fd::new(s(&[0]), s(&[1])),
+            Fd::new(s(&[1]), s(&[2])),
+            Fd::new(s(&[2, 3]), s(&[4])),
+        ]);
+        assert_eq!(fds.closure(s(&[0])), s(&[0, 1, 2]));
+        assert_eq!(fds.closure(s(&[0, 3])), s(&[0, 1, 2, 3, 4]));
+        assert!(fds.implies(Fd::new(s(&[0, 3]), s(&[4]))));
+        assert!(!fds.implies(Fd::new(s(&[0]), s(&[4]))));
+    }
+
+    #[test]
+    fn keys() {
+        // R(A,B,C): A→B, B→C. Key: {A}.
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1])), Fd::new(s(&[1]), s(&[2]))]);
+        let all = AttrSet::full(3);
+        assert!(fds.is_superkey(s(&[0]), all));
+        assert!(fds.is_key(s(&[0]), all));
+        assert!(!fds.is_key(s(&[0, 1]), all));
+        assert_eq!(fds.candidate_keys(all), vec![s(&[0])]);
+    }
+
+    #[test]
+    fn multiple_candidate_keys() {
+        // R(A,B): A→B, B→A — both {A} and {B} are keys.
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1])), Fd::new(s(&[1]), s(&[0]))]);
+        assert_eq!(fds.candidate_keys(AttrSet::full(2)), vec![s(&[0]), s(&[1])]);
+    }
+
+    #[test]
+    fn projection_keeps_transitive_fds() {
+        // A→B, B→C projected onto {A, C} must contain A→C.
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1])), Fd::new(s(&[1]), s(&[2]))]);
+        let proj = fds.project(s(&[0, 2]));
+        assert!(proj.implies(Fd::new(s(&[0]), s(&[2]))));
+        assert!(!proj.implies(Fd::new(s(&[2]), s(&[0]))));
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        // {A→B, B→C, A→C}: A→C is redundant.
+        let fds = FdSet::from_fds([
+            Fd::new(s(&[0]), s(&[1])),
+            Fd::new(s(&[1]), s(&[2])),
+            Fd::new(s(&[0]), s(&[2])),
+        ]);
+        let cover = fds.minimal_cover();
+        assert_eq!(cover.len(), 2);
+        // Equivalent to the original.
+        for fd in fds.iter() {
+            assert!(cover.implies(fd));
+        }
+    }
+
+    #[test]
+    fn minimal_cover_trims_lhs() {
+        // {AB→C, A→B}: B is extraneous in AB→C.
+        let fds = FdSet::from_fds([
+            Fd::new(s(&[0, 1]), s(&[2])),
+            Fd::new(s(&[0]), s(&[1])),
+        ]);
+        let cover = fds.minimal_cover();
+        assert!(cover.iter().any(|fd| fd.lhs == s(&[0]) && fd.rhs == s(&[2])));
+    }
+
+    #[test]
+    fn trivial_fd_detection() {
+        assert!(Fd::new(s(&[0, 1]), s(&[1])).is_trivial());
+        assert!(!Fd::new(s(&[0]), s(&[1])).is_trivial());
+        // Trivial FDs are always implied, even by the empty set.
+        assert!(FdSet::new().implies(Fd::new(s(&[0, 1]), s(&[0]))));
+    }
+}

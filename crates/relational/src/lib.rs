@@ -1,0 +1,94 @@
+//! # `xnf-relational` — relational and nested-relational theory
+//!
+//! The relational substrate that Arenas & Libkin's *"A Normal Form for XML
+//! Documents"* (PODS 2002) builds on and compares against:
+//!
+//! * [`fd`] — attribute sets, functional dependencies, Armstrong closure,
+//!   implication, keys and minimal covers.
+//! * [`bcnf`] — BCNF testing and the standard lossless BCNF decomposition
+//!   (the baseline of Proposition 4: BCNF ⇔ XNF under the relational
+//!   coding).
+//! * [`table`] — *Codd tables*: relations with nulls and FD satisfaction in
+//!   the Atzeni–Morfuni semantics the paper adopts for tree tuples
+//!   (Section 4).
+//! * [`algebra`] — relational algebra over Codd tables, the query language
+//!   of the Section 6 losslessness diagram.
+//! * [`nested`] — nested relational schemas, complete unnesting (Figure 3),
+//!   the partition normal form PNF, and the nested normal form NNF of
+//!   Mok–Ng–Embley restricted to FDs (Proposition 5: NNF ⇔ XNF).
+//! * [`mvd`] — multivalued dependencies, the dependency basis, 4NF and
+//!   3NF synthesis: the relational groundwork for the paper's stated
+//!   future direction (Section 8: extending XNF with MVDs).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod bcnf;
+pub mod fd;
+pub mod mvd;
+pub mod nested;
+pub mod table;
+
+pub use crate::algebra::{Predicate, Query};
+pub use crate::bcnf::{bcnf_decompose, is_bcnf};
+pub use crate::fd::{AttrSet, Fd, FdSet, RelSchema};
+pub use crate::mvd::{DepSet, Mvd};
+pub use crate::nested::{NestedSchema, NestedTuple};
+pub use crate::table::{Relation, Value};
+
+use std::fmt;
+
+/// Errors produced by the relational layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// More attributes than the bitset representation supports (128).
+    TooManyAttributes(usize),
+    /// A duplicate attribute name in a schema.
+    DuplicateAttribute(String),
+    /// A row's arity does not match the relation schema.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// An algebra query referenced an undefined table name.
+    UnknownTable(String),
+    /// Set operation over incompatible schemas.
+    SchemaMismatch {
+        /// Left schema columns.
+        left: Vec<String>,
+        /// Right schema columns.
+        right: Vec<String>,
+    },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            RelError::TooManyAttributes(n) => {
+                write!(f, "{n} attributes exceed the supported maximum of 128")
+            }
+            RelError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
+            RelError::ArityMismatch { expected, found } => {
+                write!(f, "row has {found} values, schema has {expected} columns")
+            }
+            RelError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            RelError::SchemaMismatch { left, right } => write!(
+                f,
+                "incompatible schemas [{}] vs [{}]",
+                left.join(", "),
+                right.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, RelError>;

@@ -1,0 +1,394 @@
+//! Multivalued dependencies and 4NF — the paper's Section 8 ("Future
+//! Research") names MVDs, "naturally induced by the tree structure", as
+//! the next step beyond XNF. This module provides the relational side of
+//! that step: MVD satisfaction, the standard FD+MVD inference checks
+//! used in 4NF testing, and a 4NF test/decomposition, so the XML layer
+//! has a baseline to grow against.
+
+use crate::fd::{AttrSet, FdSet};
+use crate::table::{Relation, Value};
+use crate::Result;
+
+/// A multivalued dependency `X ↠ Y` over attribute indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mvd {
+    /// The determinant `X`.
+    pub lhs: AttrSet,
+    /// The dependent `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Mvd {
+    /// Creates `lhs ↠ rhs`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Mvd {
+        Mvd { lhs, rhs }
+    }
+
+    /// Whether the MVD is trivial over the attribute set `all`:
+    /// `Y ⊆ X` or `X ∪ Y = R`.
+    pub fn is_trivial(self, all: AttrSet) -> bool {
+        self.rhs.is_subset(self.lhs) || self.lhs.union(self.rhs) == all
+    }
+
+    /// The complement `X ↠ R − X − Y` (MVDs always come in pairs).
+    pub fn complement(self, all: AttrSet) -> Mvd {
+        Mvd {
+            lhs: self.lhs,
+            rhs: all.minus(self.lhs).minus(self.rhs),
+        }
+    }
+}
+
+/// Whether a relation instance satisfies `X ↠ Y`: for any two rows
+/// agreeing on `X`, the row combining the first's `Y`-part with the
+/// second's rest is also in the relation.
+pub fn satisfies_mvd(rel: &Relation, all_cols: &[String], mvd: Mvd) -> Result<bool> {
+    let ix = |set: AttrSet| -> Vec<usize> { set.iter().collect() };
+    let x = ix(mvd.lhs);
+    let y = ix(mvd.rhs.minus(mvd.lhs));
+    let n = all_cols.len();
+    let rest: Vec<usize> = (0..n)
+        .filter(|i| !mvd.lhs.contains(*i) && !mvd.rhs.contains(*i))
+        .collect();
+    let rows: Vec<&[Value]> = rel.rows().collect();
+    let row_set: std::collections::BTreeSet<&[Value]> = rel.rows().collect();
+    for t1 in &rows {
+        for t2 in &rows {
+            if !x.iter().all(|&i| t1[i] == t2[i]) {
+                continue;
+            }
+            // Witness row: X from either, Y from t1, rest from t2.
+            let mut w: Vec<Value> = t2.to_vec();
+            for &i in &y {
+                w[i] = t1[i].clone();
+            }
+            let _ = &rest;
+            if !row_set.contains(w.as_slice()) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// A combined dependency set: FDs plus MVDs over one attribute universe.
+#[derive(Debug, Clone, Default)]
+pub struct DepSet {
+    /// The functional dependencies.
+    pub fds: FdSet,
+    /// The multivalued dependencies.
+    pub mvds: Vec<Mvd>,
+}
+
+impl DepSet {
+    /// The *dependency basis* of `x` over the attribute set `all`: the
+    /// unique partition of `all − x` such that `x ↠ W` holds iff `W` is a
+    /// union of blocks (Beeri's algorithm, using the given FDs and MVDs;
+    /// each FD `X → Y` contributes the MVDs `X ↠ A` for `A ∈ Y`).
+    pub fn dependency_basis(&self, x: AttrSet, all: AttrSet) -> Vec<AttrSet> {
+        // Start with the single block all − x and refine.
+        let mut blocks: Vec<AttrSet> = vec![all.minus(x)];
+        blocks.retain(|b| !b.is_empty());
+        // Collect the generating MVDs (FDs split attribute-wise).
+        let mut gens: Vec<Mvd> = self.mvds.clone();
+        for fd in self.fds.iter() {
+            for a in fd.rhs.iter() {
+                gens.push(Mvd::new(fd.lhs, AttrSet::singleton(a)));
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for g in &gens {
+                if !g.lhs.is_subset(x.union(all.minus(blocks_union(&blocks)))) {
+                    // Standard refinement applies when W ∩ lhs = ∅ for the
+                    // block being split; use the textbook rule below
+                    // instead of this guard.
+                }
+                let mut next: Vec<AttrSet> = Vec::new();
+                for &b in &blocks {
+                    // Refine block b by generator g if g.lhs ∩ b = ∅.
+                    if g.lhs.intersect(b).is_empty() {
+                        let inter = b.intersect(g.rhs);
+                        let diff = b.minus(g.rhs);
+                        if !inter.is_empty() && !diff.is_empty() {
+                            next.push(inter);
+                            next.push(diff);
+                            changed = true;
+                            continue;
+                        }
+                    }
+                    next.push(b);
+                }
+                blocks = next;
+            }
+        }
+        blocks.sort();
+        blocks
+    }
+
+    /// Whether the dependencies imply `x ↠ y` over `all` (via the
+    /// dependency basis).
+    pub fn implies_mvd(&self, mvd: Mvd, all: AttrSet) -> bool {
+        if mvd.is_trivial(all) {
+            return true;
+        }
+        let basis = self.dependency_basis(mvd.lhs, all);
+        let target = mvd.rhs.minus(mvd.lhs);
+        // target must be a union of blocks.
+        let mut covered = AttrSet::empty();
+        for b in basis {
+            if b.is_subset(target) {
+                covered = covered.union(b);
+            } else if !b.intersect(target).is_empty() {
+                return false;
+            }
+        }
+        covered == target
+    }
+
+    /// A 4NF violation, if any: a non-trivial `X ↠ Y` (from the MVDs or
+    /// an FD read as an MVD) whose `X` is not a superkey under the FDs.
+    pub fn fourth_nf_violation(&self, all: AttrSet) -> Option<Mvd> {
+        let mut candidates: Vec<Mvd> = self.mvds.clone();
+        for fd in self.fds.iter() {
+            candidates.push(Mvd::new(fd.lhs, fd.rhs));
+        }
+        candidates
+            .into_iter()
+            .find(|m| !m.is_trivial(all) && !self.fds.is_superkey(m.lhs, all))
+    }
+
+    /// Whether `(all, FDs ∪ MVDs)` is in 4NF.
+    pub fn is_4nf(&self, all: AttrSet) -> bool {
+        self.fourth_nf_violation(all).is_none()
+    }
+
+    /// The standard 4NF decomposition: split on violations
+    /// `X ↠ Y` into `X ∪ Y` and `R − Y` until none remain. Dependencies
+    /// are re-derived per fragment via the dependency basis (MVDs) and
+    /// FD projection.
+    pub fn fourth_nf_decompose(&self, all: AttrSet) -> Vec<AttrSet> {
+        let mut out = Vec::new();
+        let mut work = vec![(all, self.clone())];
+        while let Some((rel, deps)) = work.pop() {
+            match deps.fourth_nf_violation(rel) {
+                None => out.push(rel),
+                Some(v) => {
+                    let y = v.rhs.intersect(rel).minus(v.lhs);
+                    let frag1 = v.lhs.union(y);
+                    let frag2 = rel.minus(y);
+                    debug_assert!(frag1 != rel && frag2 != rel);
+                    for frag in [frag1, frag2] {
+                        let fds = deps.fds.project(frag);
+                        // Project MVDs by restriction (sound on fragments
+                        // produced by the split rule).
+                        let mvds: Vec<Mvd> = deps
+                            .mvds
+                            .iter()
+                            .filter(|m| m.lhs.is_subset(frag))
+                            .map(|m| Mvd::new(m.lhs, m.rhs.intersect(frag)))
+                            .filter(|m| !m.is_trivial(frag))
+                            .collect();
+                        work.push((frag, DepSet { fds, mvds }));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn blocks_union(blocks: &[AttrSet]) -> AttrSet {
+    blocks
+        .iter()
+        .fold(AttrSet::empty(), |acc, b| acc.union(*b))
+}
+
+/// 3NF synthesis from a minimal cover (Bernstein): one fragment per
+/// cover-FD group, plus a key fragment if none contains a key. Returned
+/// as attribute sets.
+pub fn third_nf_synthesis(fds: &FdSet, all: AttrSet) -> Vec<AttrSet> {
+    let cover = fds.minimal_cover();
+    let mut frags: Vec<AttrSet> = Vec::new();
+    // Group cover FDs by LHS.
+    let mut by_lhs: Vec<(AttrSet, AttrSet)> = Vec::new();
+    for fd in cover.iter() {
+        match by_lhs.iter_mut().find(|(l, _)| *l == fd.lhs) {
+            Some((_, rhs)) => *rhs = rhs.union(fd.rhs),
+            None => by_lhs.push((fd.lhs, fd.rhs)),
+        }
+    }
+    for (lhs, rhs) in &by_lhs {
+        frags.push(lhs.union(*rhs));
+    }
+    // Attributes mentioned in no FD form their own fragment.
+    let mentioned = by_lhs
+        .iter()
+        .fold(AttrSet::empty(), |acc, (l, r)| acc.union(*l).union(*r));
+    let loose = all.minus(mentioned);
+    if !loose.is_empty() {
+        frags.push(loose);
+    }
+    // Ensure some fragment contains a candidate key.
+    if !frags.iter().any(|f| fds.is_superkey(*f, all)) {
+        let keys = fds.candidate_keys(all);
+        if let Some(k) = keys.first() {
+            frags.push(*k);
+        }
+    }
+    // Drop fragments subsumed by others.
+    frags.sort_by_key(|f| std::cmp::Reverse(f.len()));
+    let mut kept: Vec<AttrSet> = Vec::new();
+    for f in frags {
+        if !kept.iter().any(|k| f.is_subset(*k)) {
+            kept.push(f);
+        }
+    }
+    kept.sort();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+
+    fn s(ixs: &[usize]) -> AttrSet {
+        let mut a = AttrSet::empty();
+        for &i in ixs {
+            a.insert(i);
+        }
+        a
+    }
+
+    /// The classic course–teacher–book example: R(C, T, B) with C ↠ T
+    /// (and hence C ↠ B).
+    #[test]
+    fn mvd_satisfaction_on_ctb() {
+        let cols = ["C".to_string(), "T".to_string(), "B".to_string()];
+        let mut rel = Relation::new(cols.clone()).unwrap();
+        for (c, t, b) in [
+            ("db", "ann", "ullman"),
+            ("db", "ann", "date"),
+            ("db", "bob", "ullman"),
+            ("db", "bob", "date"),
+        ] {
+            rel.insert(vec![Value::str(c), Value::str(t), Value::str(b)])
+                .unwrap();
+        }
+        assert!(satisfies_mvd(&rel, &cols, Mvd::new(s(&[0]), s(&[1]))).unwrap());
+        // Remove one combination: the MVD breaks.
+        let mut broken = Relation::new(cols.clone()).unwrap();
+        for (c, t, b) in [
+            ("db", "ann", "ullman"),
+            ("db", "ann", "date"),
+            ("db", "bob", "ullman"),
+        ] {
+            broken
+                .insert(vec![Value::str(c), Value::str(t), Value::str(b)])
+                .unwrap();
+        }
+        assert!(!satisfies_mvd(&broken, &cols, Mvd::new(s(&[0]), s(&[1]))).unwrap());
+    }
+
+    #[test]
+    fn dependency_basis_splits_independent_components() {
+        // R(C, T, B), MVD C ↠ T: basis of {C} is {{T}, {B}}.
+        let deps = DepSet {
+            fds: FdSet::new(),
+            mvds: vec![Mvd::new(s(&[0]), s(&[1]))],
+        };
+        let basis = deps.dependency_basis(s(&[0]), AttrSet::full(3));
+        assert_eq!(basis, vec![s(&[1]), s(&[2])]);
+        assert!(deps.implies_mvd(Mvd::new(s(&[0]), s(&[2])), AttrSet::full(3)));
+        assert!(!deps.implies_mvd(Mvd::new(s(&[1]), s(&[2])), AttrSet::full(3)));
+    }
+
+    #[test]
+    fn fds_contribute_to_the_basis() {
+        // A → B makes A ↠ B derivable.
+        let deps = DepSet {
+            fds: FdSet::from_fds([Fd::new(s(&[0]), s(&[1]))]),
+            mvds: vec![],
+        };
+        assert!(deps.implies_mvd(Mvd::new(s(&[0]), s(&[1])), AttrSet::full(3)));
+    }
+
+    #[test]
+    fn fourth_nf_detection_and_decomposition() {
+        // R(C, T, B), C ↠ T, no keys: not 4NF; split into CT and CB.
+        let deps = DepSet {
+            fds: FdSet::new(),
+            mvds: vec![Mvd::new(s(&[0]), s(&[1]))],
+        };
+        let all = AttrSet::full(3);
+        assert!(!deps.is_4nf(all));
+        let frags = deps.fourth_nf_decompose(all);
+        assert_eq!(frags, vec![s(&[0, 1]), s(&[0, 2])]);
+        // With C a key, the same MVD is harmless.
+        let keyed = DepSet {
+            fds: FdSet::from_fds([Fd::new(s(&[0]), s(&[1, 2]))]),
+            mvds: vec![Mvd::new(s(&[0]), s(&[1]))],
+        };
+        assert!(keyed.is_4nf(all));
+    }
+
+    #[test]
+    fn fourth_nf_implies_bcnf_shape() {
+        // A BCNF violation read as an MVD also violates 4NF.
+        let deps = DepSet {
+            fds: FdSet::from_fds([Fd::new(s(&[1]), s(&[2]))]),
+            mvds: vec![],
+        };
+        assert!(!deps.is_4nf(AttrSet::full(4)));
+    }
+
+    #[test]
+    fn third_nf_synthesis_classic() {
+        // R(A, B, C): A → B, B → C. Cover groups {A→B}, {B→C}; fragments
+        // AB, BC; A is a key inside AB: no extra key fragment.
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1])), Fd::new(s(&[1]), s(&[2]))]);
+        let frags = third_nf_synthesis(&fds, AttrSet::full(3));
+        assert_eq!(frags, vec![s(&[0, 1]), s(&[1, 2])]);
+    }
+
+    #[test]
+    fn third_nf_adds_key_fragment_when_needed() {
+        // R(A, B, C, D): C → D. Fragments: CD plus a key {A, B, C}.
+        let fds = FdSet::from_fds([Fd::new(s(&[2]), s(&[3]))]);
+        let frags = third_nf_synthesis(&fds, AttrSet::full(4));
+        assert!(frags.contains(&s(&[2, 3])));
+        assert!(frags.iter().any(|f| fds.is_superkey(*f, AttrSet::full(4))));
+    }
+
+    #[test]
+    fn third_nf_preserves_dependencies() {
+        let fds = FdSet::from_fds([
+            Fd::new(s(&[0]), s(&[1])),
+            Fd::new(s(&[1, 2]), s(&[3])),
+            Fd::new(s(&[3]), s(&[0])),
+        ]);
+        let all = AttrSet::full(4);
+        let frags = third_nf_synthesis(&fds, all);
+        // Each cover FD is embedded in some fragment.
+        for fd in fds.minimal_cover().iter() {
+            assert!(
+                frags.iter().any(|f| fd.lhs.union(fd.rhs).is_subset(*f)),
+                "cover FD {fd:?} not embedded"
+            );
+        }
+        // Some fragment is a superkey.
+        assert!(frags.iter().any(|f| fds.is_superkey(*f, all)));
+    }
+
+    #[test]
+    fn mvd_complement_rule() {
+        let m = Mvd::new(s(&[0]), s(&[1]));
+        let all = AttrSet::full(4);
+        assert_eq!(m.complement(all).rhs, s(&[2, 3]));
+        assert!(m.complement(all).complement(all).rhs == m.rhs);
+    }
+}

@@ -1,0 +1,614 @@
+//! Nested relations — schemas `X(G₁)*…(Gₙ)*`, complete unnesting
+//! (Figure 3), the partition normal form PNF, and the nested normal form
+//! NNF of Mok–Ng–Embley restricted to FDs, as presented in Section 5.
+
+use crate::fd::{AttrSet, Fd, FdSet, RelSchema};
+use crate::table::{Relation, Value};
+use crate::{RelError, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A nested relation schema: a set of atomic attributes `X` and nested
+/// subschemas `G₁ … Gₙ`, i.e. `G = X(G₁)*…(Gₙ)*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedSchema {
+    name: String,
+    atomic: Vec<String>,
+    children: Vec<NestedSchema>,
+}
+
+impl NestedSchema {
+    /// Creates a schema node.
+    pub fn new(
+        name: impl Into<String>,
+        atomic: impl IntoIterator<Item = impl Into<String>>,
+        children: impl IntoIterator<Item = NestedSchema>,
+    ) -> NestedSchema {
+        NestedSchema {
+            name: name.into(),
+            atomic: atomic.into_iter().map(Into::into).collect(),
+            children: children.into_iter().collect(),
+        }
+    }
+
+    /// A leaf schema (atomic attributes only).
+    pub fn leaf(
+        name: impl Into<String>,
+        atomic: impl IntoIterator<Item = impl Into<String>>,
+    ) -> NestedSchema {
+        NestedSchema::new(name, atomic, [])
+    }
+
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The atomic attributes `X` of this schema node.
+    pub fn atomic(&self) -> &[String] {
+        &self.atomic
+    }
+
+    /// The nested subschemas `G₁ … Gₙ`.
+    pub fn children(&self) -> &[NestedSchema] {
+        &self.children
+    }
+
+    /// All atomic attributes of the whole schema tree, pre-order. The
+    /// paper assumes attribute names are globally distinct; [`
+    /// NestedSchema::validate`] enforces it.
+    pub fn all_atomic(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_atomic(&mut out);
+        out
+    }
+
+    fn collect_atomic<'a>(&'a self, out: &mut Vec<&'a str>) {
+        out.extend(self.atomic.iter().map(String::as_str));
+        for c in &self.children {
+            c.collect_atomic(out);
+        }
+    }
+
+    /// Validates global distinctness of attribute and subschema names.
+    pub fn validate(&self) -> Result<()> {
+        let attrs = self.all_atomic();
+        let mut seen = BTreeSet::new();
+        for a in &attrs {
+            if !seen.insert(*a) {
+                return Err(RelError::DuplicateAttribute(a.to_string()));
+            }
+        }
+        let mut names = BTreeSet::new();
+        let mut stack = vec![self];
+        while let Some(s) = stack.pop() {
+            if !names.insert(s.name.as_str()) {
+                return Err(RelError::DuplicateAttribute(s.name.clone()));
+            }
+            stack.extend(s.children.iter());
+        }
+        Ok(())
+    }
+
+    /// The flat schema of the complete unnesting: one column per atomic
+    /// attribute, pre-order.
+    pub fn unnested_schema(&self) -> Result<RelSchema> {
+        RelSchema::new(
+            format!("Unnest({})", self.name),
+            self.all_atomic().iter().map(|s| s.to_string()),
+        )
+    }
+
+    /// `path(R)`: the schema names from the root to the (unique) subschema
+    /// named `target`, inclusive; `None` if not present.
+    pub fn path_to(&self, target: &str) -> Option<Vec<&str>> {
+        if self.name == target {
+            return Some(vec![&self.name]);
+        }
+        for c in &self.children {
+            if let Some(mut p) = c.path_to(target) {
+                p.insert(0, &self.name);
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// The subschema containing atomic attribute `attr`, if any.
+    pub fn schema_of_attr(&self, attr: &str) -> Option<&NestedSchema> {
+        if self.atomic.iter().any(|a| a == attr) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.schema_of_attr(attr))
+    }
+
+    /// `ancestor(A)` (Section 5): the union of the atomic attributes of all
+    /// schema nodes mentioned in `path(R)` where `R` is the schema node
+    /// carrying `A` — i.e. `A`'s node and all its ancestors.
+    pub fn ancestor(&self, attr: &str) -> Option<Vec<&str>> {
+        let holder = self.schema_of_attr(attr)?;
+        let path = self.path_to(&holder.name)?;
+        let mut out = Vec::new();
+        let mut cur = self;
+        for (i, name) in path.iter().enumerate() {
+            debug_assert_eq!(cur.name, *name);
+            out.extend(cur.atomic.iter().map(String::as_str));
+            if i + 1 < path.len() {
+                cur = cur
+                    .children
+                    .iter()
+                    .find(|c| c.name == path[i + 1])
+                    .expect("path_to returns an existing path");
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for NestedSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.atomic.join(" "))?;
+        for c in &self.children {
+            write!(f, " ({})*", c.name)?;
+        }
+        Ok(())
+    }
+}
+
+/// One tuple of a nested relation: values for the atomic attributes plus,
+/// per subschema, a set of nested tuples.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NestedTuple {
+    /// Values for the atomic attributes, aligned with the schema's
+    /// `atomic` list.
+    pub atomic: Vec<Box<str>>,
+    /// Nested relations, aligned with the schema's `children` list.
+    pub children: Vec<Vec<NestedTuple>>,
+}
+
+impl NestedTuple {
+    /// A tuple with atomic values and nested relations.
+    pub fn new(
+        atomic: impl IntoIterator<Item = impl Into<Box<str>>>,
+        children: impl IntoIterator<Item = Vec<NestedTuple>>,
+    ) -> NestedTuple {
+        NestedTuple {
+            atomic: atomic.into_iter().map(Into::into).collect(),
+            children: children.into_iter().collect(),
+        }
+    }
+
+    /// A leaf tuple (atomic values only).
+    pub fn leaf(atomic: impl IntoIterator<Item = impl Into<Box<str>>>) -> NestedTuple {
+        NestedTuple::new(atomic, [])
+    }
+}
+
+/// The complete unnesting of a nested relation (Figure 3(b)): the flat
+/// relation over all atomic attributes obtained by recursively taking the
+/// cartesian product of each tuple with its nested relations. A tuple with
+/// an *empty* nested relation contributes no rows (standard unnest
+/// semantics).
+pub fn unnest(schema: &NestedSchema, tuples: &[NestedTuple]) -> Result<Relation> {
+    let flat = schema.unnested_schema()?;
+    let mut rel = Relation::new(flat.attrs().to_vec())?;
+    let mut row: Vec<Value> = Vec::new();
+    for t in tuples {
+        unnest_into(schema, t, &mut row, &mut rel)?;
+        debug_assert!(row.is_empty());
+    }
+    Ok(rel)
+}
+
+fn unnest_into(
+    schema: &NestedSchema,
+    t: &NestedTuple,
+    prefix: &mut Vec<Value>,
+    out: &mut Relation,
+) -> Result<()> {
+    if t.atomic.len() != schema.atomic.len() || t.children.len() != schema.children.len() {
+        return Err(RelError::ArityMismatch {
+            expected: schema.atomic.len() + schema.children.len(),
+            found: t.atomic.len() + t.children.len(),
+        });
+    }
+    let base = prefix.len();
+    prefix.extend(t.atomic.iter().map(|v| Value::Str(v.clone())));
+    if schema.children.is_empty() {
+        out.insert(prefix.clone())?;
+    } else {
+        // Cartesian product across the children, depth-first.
+        product(schema, t, 0, prefix, out)?;
+    }
+    prefix.truncate(base);
+    Ok(())
+}
+
+fn product(
+    schema: &NestedSchema,
+    t: &NestedTuple,
+    child_ix: usize,
+    prefix: &mut Vec<Value>,
+    out: &mut Relation,
+) -> Result<()> {
+    if child_ix == schema.children.len() {
+        out.insert(prefix.clone())?;
+        return Ok(());
+    }
+    let child_schema = &schema.children[child_ix];
+    for sub in &t.children[child_ix] {
+        let base = prefix.len();
+        // Expand this child's subtree fully, then recurse into the next
+        // sibling for every expansion.
+        expand_child(child_schema, sub, prefix, &mut |prefix| {
+            product(schema, t, child_ix + 1, prefix, out)
+        })?;
+        prefix.truncate(base);
+    }
+    Ok(())
+}
+
+fn expand_child(
+    schema: &NestedSchema,
+    t: &NestedTuple,
+    prefix: &mut Vec<Value>,
+    k: &mut dyn FnMut(&mut Vec<Value>) -> Result<()>,
+) -> Result<()> {
+    if t.atomic.len() != schema.atomic.len() || t.children.len() != schema.children.len() {
+        return Err(RelError::ArityMismatch {
+            expected: schema.atomic.len() + schema.children.len(),
+            found: t.atomic.len() + t.children.len(),
+        });
+    }
+    let base = prefix.len();
+    prefix.extend(t.atomic.iter().map(|v| Value::Str(v.clone())));
+    if schema.children.is_empty() {
+        k(prefix)?;
+    } else {
+        expand_children(schema, t, 0, prefix, k)?;
+    }
+    prefix.truncate(base);
+    Ok(())
+}
+
+fn expand_children(
+    schema: &NestedSchema,
+    t: &NestedTuple,
+    ix: usize,
+    prefix: &mut Vec<Value>,
+    k: &mut dyn FnMut(&mut Vec<Value>) -> Result<()>,
+) -> Result<()> {
+    if ix == schema.children.len() {
+        return k(prefix);
+    }
+    for sub in &t.children[ix] {
+        let base = prefix.len();
+        expand_child(&schema.children[ix], sub, prefix, &mut |p| {
+            expand_children(schema, t, ix + 1, p, k)
+        })?;
+        prefix.truncate(base);
+    }
+    Ok(())
+}
+
+/// Whether the nested relation is in **partition normal form** (PNF): any
+/// two tuples agreeing on the atomic attributes have *equal* nested
+/// relations, and all nested relations are recursively in PNF.
+pub fn is_pnf(tuples: &[NestedTuple]) -> bool {
+    for (i, t1) in tuples.iter().enumerate() {
+        for t2 in &tuples[i + 1..] {
+            if t1.atomic == t2.atomic {
+                let eq = t1
+                    .children
+                    .iter()
+                    .zip(&t2.children)
+                    .all(|(c1, c2)| set_eq(c1, c2));
+                if !eq {
+                    return false;
+                }
+            }
+        }
+        if !t1.children.iter().all(|c| is_pnf(c)) {
+            return false;
+        }
+    }
+    true
+}
+
+fn set_eq(a: &[NestedTuple], b: &[NestedTuple]) -> bool {
+    let mut a: Vec<&NestedTuple> = a.iter().collect();
+    let mut b: Vec<&NestedTuple> = b.iter().collect();
+    a.sort();
+    b.sort();
+    a == b
+}
+
+/// Checks an FD (by attribute names over the unnested schema) on the
+/// complete unnesting of a nested relation — the paper's semantics for
+/// nested-relation FDs ("we have a valid FD State → Country").
+pub fn nested_satisfies_fd(
+    schema: &NestedSchema,
+    tuples: &[NestedTuple],
+    lhs: &[&str],
+    rhs: &[&str],
+) -> Result<bool> {
+    unnest(schema, tuples)?.satisfies_fd(lhs, rhs)
+}
+
+/// Whether `(G, FD)` is in **NNF** (Section 5, restricted to FDs): for each
+/// non-trivial implied FD `X → A` with `A` atomic,
+/// `X → ancestor(A) ∈ (G, FD)⁺`.
+///
+/// It suffices to check the singleton-RHS decompositions of the *given*
+/// FDs: if `X → A` is implied and non-trivial, its derivation bottoms out
+/// in a given `Z → A` with `Z ⊆ X⁺`, whose check `Z → ancestor(A)`
+/// together with `X → Z` yields `X → ancestor(A)` by transitivity. The
+/// exhaustive variant [`is_nnf_exhaustive`] validates this in tests.
+pub fn is_nnf(schema: &NestedSchema, flat: &RelSchema, fds: &FdSet) -> Result<bool> {
+    for fd in fds.iter() {
+        for a in fd.rhs.minus(fd.lhs).iter() {
+            let attr = &flat.attrs()[a];
+            let anc = schema
+                .ancestor(attr)
+                .ok_or_else(|| RelError::UnknownAttribute(attr.clone()))?;
+            let anc_set = flat.set(anc)?;
+            if !fds.implies(Fd::new(fd.lhs, anc_set)) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Exhaustive NNF test over all implied non-trivial FDs `X → A`
+/// (exponential in the number of attributes; for validation).
+pub fn is_nnf_exhaustive(schema: &NestedSchema, flat: &RelSchema, fds: &FdSet) -> Result<bool> {
+    let all: Vec<usize> = (0..flat.arity()).collect();
+    let n = all.len();
+    assert!(n <= 20, "exhaustive NNF check is for small schemas");
+    for mask in 0u32..(1u32 << n) {
+        let mut x = AttrSet::empty();
+        for (bit, &a) in all.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                x.insert(a);
+            }
+        }
+        let closure = fds.closure(x);
+        for a in closure.minus(x).iter() {
+            let attr = &flat.attrs()[a];
+            let anc = schema
+                .ancestor(attr)
+                .ok_or_else(|| RelError::UnknownAttribute(attr.clone()))?;
+            let anc_set = flat.set(anc)?;
+            if !fds.implies(Fd::new(x, anc_set)) {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The schema of Figure 3: H₁ = Country(H₂)*, H₂ = State(H₃)*,
+    /// H₃ = City.
+    fn figure3_schema() -> NestedSchema {
+        NestedSchema::new(
+            "H1",
+            ["Country"],
+            [NestedSchema::new(
+                "H2",
+                ["State"],
+                [NestedSchema::leaf("H3", ["City"])],
+            )],
+        )
+    }
+
+    /// The instance of Figure 3(a).
+    fn figure3_instance() -> Vec<NestedTuple> {
+        vec![NestedTuple::new(
+            ["United States"],
+            [vec![
+                NestedTuple::new(
+                    ["Texas"],
+                    [vec![
+                        NestedTuple::leaf(["Houston"]),
+                        NestedTuple::leaf(["Dallas"]),
+                    ]],
+                ),
+                NestedTuple::new(
+                    ["Ohio"],
+                    [vec![
+                        NestedTuple::leaf(["Columbus"]),
+                        NestedTuple::leaf(["Cleveland"]),
+                    ]],
+                ),
+            ]],
+        )]
+    }
+
+    #[test]
+    fn figure3_unnesting_matches_paper() {
+        let rel = unnest(&figure3_schema(), &figure3_instance()).unwrap();
+        assert_eq!(rel.columns(), &["Country", "State", "City"]);
+        assert_eq!(rel.len(), 4);
+        let rows: Vec<Vec<String>> = rel
+            .rows()
+            .map(|r| r.iter().map(|v| format!("{v}")).collect())
+            .collect();
+        assert!(rows.iter().any(|r| r[1] == "\"Texas\"" && r[2] == "\"Houston\""));
+        assert!(rows.iter().any(|r| r[1] == "\"Ohio\"" && r[2] == "\"Cleveland\""));
+    }
+
+    #[test]
+    fn figure3_fds() {
+        let schema = figure3_schema();
+        let inst = figure3_instance();
+        // "we have a valid FD State → Country, while State → City does not
+        // hold" — Section 5.
+        assert!(nested_satisfies_fd(&schema, &inst, &["State"], &["Country"]).unwrap());
+        assert!(!nested_satisfies_fd(&schema, &inst, &["State"], &["City"]).unwrap());
+    }
+
+    #[test]
+    fn pnf_detection() {
+        assert!(is_pnf(&figure3_instance()));
+        // Two H₁ tuples for the same country with different state sets
+        // violate PNF.
+        let bad = vec![
+            NestedTuple::new(
+                ["United States"],
+                [vec![NestedTuple::new(
+                    ["Texas"],
+                    [vec![NestedTuple::leaf(["Houston"])]],
+                )]],
+            ),
+            NestedTuple::new(
+                ["United States"],
+                [vec![NestedTuple::new(
+                    ["Ohio"],
+                    [vec![NestedTuple::leaf(["Columbus"])]],
+                )]],
+            ),
+        ];
+        assert!(!is_pnf(&bad));
+    }
+
+    #[test]
+    fn pnf_is_checked_recursively() {
+        let bad_inner = vec![NestedTuple::new(
+            ["United States"],
+            [vec![
+                NestedTuple::new(["Texas"], [vec![NestedTuple::leaf(["Houston"])]]),
+                NestedTuple::new(["Texas"], [vec![NestedTuple::leaf(["Dallas"])]]),
+            ]],
+        )];
+        assert!(!is_pnf(&bad_inner));
+    }
+
+    #[test]
+    fn ancestor_sets() {
+        let schema = figure3_schema();
+        assert_eq!(schema.ancestor("Country").unwrap(), vec!["Country"]);
+        assert_eq!(
+            schema.ancestor("State").unwrap(),
+            vec!["Country", "State"]
+        );
+        assert_eq!(
+            schema.ancestor("City").unwrap(),
+            vec!["Country", "State", "City"]
+        );
+        assert!(schema.ancestor("Ghost").is_none());
+    }
+
+    #[test]
+    fn path_to_subschemas() {
+        let schema = figure3_schema();
+        assert_eq!(schema.path_to("H3").unwrap(), vec!["H1", "H2", "H3"]);
+        assert_eq!(schema.path_to("H1").unwrap(), vec!["H1"]);
+        assert!(schema.path_to("H9").is_none());
+    }
+
+    #[test]
+    fn nnf_positive_example() {
+        // State → Country follows the nesting: H₁ in NNF.
+        let schema = figure3_schema();
+        let flat = schema.unnested_schema().unwrap();
+        let fds = FdSet::from_fds([Fd::new(
+            flat.set(["State"]).unwrap(),
+            flat.set(["Country"]).unwrap(),
+        )]);
+        assert!(is_nnf(&schema, &flat, &fds).unwrap());
+        assert!(is_nnf_exhaustive(&schema, &flat, &fds).unwrap());
+    }
+
+    #[test]
+    fn nnf_negative_example() {
+        // City → State but City is nested *below* State: the FD crosses the
+        // nesting the wrong way (City → ancestor(State) = {Country, State}
+        // is fine, but State is not stored with City…). Use the classic
+        // violation instead: Country → City would need Country →
+        // ancestor(City) ⊇ {State}, which does not follow.
+        let schema = figure3_schema();
+        let flat = schema.unnested_schema().unwrap();
+        let fds = FdSet::from_fds([Fd::new(
+            flat.set(["Country"]).unwrap(),
+            flat.set(["City"]).unwrap(),
+        )]);
+        assert!(!is_nnf(&schema, &flat, &fds).unwrap());
+        assert!(!is_nnf_exhaustive(&schema, &flat, &fds).unwrap());
+    }
+
+    #[test]
+    fn nnf_generator_vs_exhaustive_small_sweep() {
+        // All single-FD sets with singleton sides over the Figure 3 schema.
+        let schema = figure3_schema();
+        let flat = schema.unnested_schema().unwrap();
+        for l in 0..3usize {
+            for r in 0..3usize {
+                if l == r {
+                    continue;
+                }
+                let fds = FdSet::from_fds([Fd::new(
+                    AttrSet::singleton(l),
+                    AttrSet::singleton(r),
+                )]);
+                assert_eq!(
+                    is_nnf(&schema, &flat, &fds).unwrap(),
+                    is_nnf_exhaustive(&schema, &flat, &fds).unwrap(),
+                    "disagreement on A{l}->A{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_nested_relation_drops_tuple() {
+        let schema = figure3_schema();
+        let inst = vec![NestedTuple::new(
+            ["Atlantis"],
+            [Vec::<NestedTuple>::new()],
+        )];
+        let rel = unnest(&schema, &inst).unwrap();
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_attrs() {
+        let bad = NestedSchema::new(
+            "G",
+            ["A"],
+            [NestedSchema::leaf("H", ["A"])],
+        );
+        assert!(bad.validate().is_err());
+        assert!(figure3_schema().validate().is_ok());
+    }
+
+    #[test]
+    fn multi_child_product() {
+        // G = A (P)* (Q)*: unnesting takes the product of P and Q sets.
+        let schema = NestedSchema::new(
+            "G",
+            ["A"],
+            [NestedSchema::leaf("P", ["B"]), NestedSchema::leaf("Q", ["C"])],
+        );
+        let inst = vec![NestedTuple::new(
+            ["a"],
+            [
+                vec![NestedTuple::leaf(["b1"]), NestedTuple::leaf(["b2"])],
+                vec![NestedTuple::leaf(["c1"]), NestedTuple::leaf(["c2"])],
+            ],
+        )];
+        let rel = unnest(&schema, &inst).unwrap();
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let schema = figure3_schema();
+        let bad = vec![NestedTuple::leaf(["x", "y"])];
+        assert!(unnest(&schema, &bad).is_err());
+    }
+}

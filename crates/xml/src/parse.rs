@@ -1,0 +1,422 @@
+//! A small XML parser for the document fragment of Definition 2.
+//!
+//! Supports: an optional `<?xml …?>` prolog, an optional `<!DOCTYPE …>`
+//! declaration (skipped, including an internal subset), comments, elements
+//! with attributes, text content, CDATA sections, and the five predefined
+//! entities. Rejects mixed content (non-whitespace text next to element
+//! children), which Definition 2 disallows.
+
+use crate::tree::{NodeId, XmlTree};
+use crate::{Result, XmlError};
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError::Syntax {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<()> {
+        match self.input[self.pos..]
+            .windows(end.len())
+            .position(|w| w == end.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct (expected `{end}`)"))),
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching `>`, allowing one `[ … ]` internal
+                // subset.
+                self.pos += 9;
+                let mut in_subset = false;
+                loop {
+                    match self.peek() {
+                        None => return Err(self.err("unterminated DOCTYPE")),
+                        Some(b'[') => {
+                            in_subset = true;
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            in_subset = false;
+                            self.pos += 1;
+                        }
+                        Some(b'>') if !in_subset => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(_) => self.pos += 1,
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ASCII name bytes")
+            .to_string())
+    }
+
+    fn unescape(&self, raw: &str, at: usize) -> Result<String> {
+        if !raw.contains('&') {
+            return Ok(raw.to_string());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(i) = rest.find('&') {
+            out.push_str(&rest[..i]);
+            rest = &rest[i..];
+            let semi = rest.find(';').ok_or_else(|| XmlError::Syntax {
+                offset: at,
+                message: "unterminated entity reference".to_string(),
+            })?;
+            let ent = &rest[1..semi];
+            match ent {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
+                        XmlError::Syntax {
+                            offset: at,
+                            message: format!("bad character reference `&{ent};`"),
+                        }
+                    })?;
+                    out.push(char::from_u32(code).ok_or_else(|| XmlError::Syntax {
+                        offset: at,
+                        message: format!("invalid code point in `&{ent};`"),
+                    })?);
+                }
+                _ if ent.starts_with('#') => {
+                    let code: u32 = ent[1..].parse().map_err(|_| XmlError::Syntax {
+                        offset: at,
+                        message: format!("bad character reference `&{ent};`"),
+                    })?;
+                    out.push(char::from_u32(code).ok_or_else(|| XmlError::Syntax {
+                        offset: at,
+                        message: format!("invalid code point in `&{ent};`"),
+                    })?);
+                }
+                _ => {
+                    return Err(XmlError::Syntax {
+                        offset: at,
+                        message: format!("unknown entity `&{ent};`"),
+                    })
+                }
+            }
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+
+    fn attr_value(&mut self) -> Result<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("attribute value is not valid UTF-8"))?;
+                let val = self.unescape(raw, start)?;
+                self.pos += 1;
+                return Ok(val);
+            }
+            if c == b'<' {
+                return Err(self.err("`<` in attribute value"));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    /// Parses one element, appending into `tree` under `parent` (or as the
+    /// root when `parent` is `None`, in which case `tree` is created by the
+    /// caller with the right label).
+    fn element(&mut self, tree: &mut XmlTree, node: NodeId) -> Result<()> {
+        // Caller consumed `<name`; we parse attributes then content.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(">")?;
+                    return Ok(());
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {
+                    let name = self.name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.attr_value()?;
+                    if tree.attr(node, &name).is_some() {
+                        return Err(self.err(format!("duplicate attribute `{name}`")));
+                    }
+                    tree.set_attr(node, name, value);
+                }
+            }
+        }
+        // Content: text, children, comments, CDATA, then `</name>`.
+        let mut text = String::new();
+        let mut text_start = self.pos;
+        let mut has_children = false;
+        loop {
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += 9;
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let raw = std::str::from_utf8(&self.input[start..self.pos - 3])
+                    .map_err(|_| self.err("CDATA is not valid UTF-8"))?;
+                text.push_str(raw);
+            } else if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != tree.label(node) {
+                    return Err(self.err(format!(
+                        "mismatched closing tag `</{close}>` for `<{}>`",
+                        tree.label(node)
+                    )));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                break;
+            } else if self.starts_with("<") {
+                self.pos += 1;
+                let name = self.name()?;
+                if !text.trim().is_empty() {
+                    return Err(XmlError::MixedContent {
+                        offset: text_start,
+                        element: tree.label(node).to_string(),
+                    });
+                }
+                text.clear();
+                has_children = true;
+                let child = tree.add_child(node, name);
+                self.element(tree, child)?;
+            } else if self.peek().is_none() {
+                return Err(self.err(format!("unterminated element `{}`", tree.label(node))));
+            } else {
+                if text.is_empty() {
+                    text_start = self.pos;
+                }
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("text is not valid UTF-8"))?;
+                text.push_str(&self.unescape(raw, start)?);
+            }
+        }
+        if !text.trim().is_empty() {
+            if has_children {
+                return Err(XmlError::MixedContent {
+                    offset: text_start,
+                    element: tree.label(node).to_string(),
+                });
+            }
+            tree.set_text(node, text);
+        }
+        Ok(())
+    }
+}
+
+/// Parses an XML document into an [`XmlTree`].
+pub fn parse(input: &str) -> Result<XmlTree> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    p.expect("<")?;
+    let root_label = p.name()?;
+    let mut tree = XmlTree::new(root_label);
+    let root = tree.root();
+    p.element(&mut tree, root)?;
+    p.skip_misc()?;
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing content after the document element"));
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_1a_document() {
+        let t = parse(
+            r#"<?xml version="1.0"?>
+            <courses>
+              <course cno="csc200">
+                <title>Automata Theory</title>
+                <taken_by>
+                  <student sno="st1"><name>Deere</name><grade>A+</grade></student>
+                  <student sno="st2"><name>Smith</name><grade>B-</grade></student>
+                </taken_by>
+              </course>
+              <course cno="mat100">
+                <title>Calculus I</title>
+                <taken_by>
+                  <student sno="st1"><name>Deere</name><grade>A-</grade></student>
+                  <student sno="st3"><name>Smith</name><grade>B+</grade></student>
+                </taken_by>
+              </course>
+            </courses>"#,
+        )
+        .unwrap();
+        assert_eq!(t.label(t.root()), "courses");
+        assert_eq!(t.children(t.root()).len(), 2);
+        let grade = t
+            .descend(&["course", "taken_by", "student", "grade"])
+            .unwrap();
+        assert_eq!(t.text(grade), Some("A+"));
+    }
+
+    #[test]
+    fn self_closing_and_empty_elements() {
+        let t = parse(r#"<r><a x="1"/><b></b></r>"#).unwrap();
+        assert_eq!(t.children(t.root()).len(), 2);
+        let a = t.children(t.root())[0];
+        assert_eq!(t.attr(a, "x"), Some("1"));
+        assert!(t.children(a).is_empty());
+        assert_eq!(t.text(a), None);
+    }
+
+    #[test]
+    fn entities_are_decoded() {
+        let t = parse("<r a=\"x &amp; y\">&lt;tag&gt; &#65;&#x42;</r>").unwrap();
+        assert_eq!(t.attr(t.root(), "a"), Some("x & y"));
+        assert_eq!(t.text(t.root()), Some("<tag> AB"));
+    }
+
+    #[test]
+    fn cdata_sections() {
+        let t = parse("<r><![CDATA[a < b & c]]></r>").unwrap();
+        assert_eq!(t.text(t.root()), Some("a < b & c"));
+    }
+
+    #[test]
+    fn mixed_content_rejected() {
+        let err = parse("<r>hello<a/></r>").unwrap_err();
+        assert!(matches!(err, XmlError::MixedContent { .. }), "{err}");
+        let err = parse("<r><a/>hello</r>").unwrap_err();
+        assert!(matches!(err, XmlError::MixedContent { .. }), "{err}");
+    }
+
+    #[test]
+    fn whitespace_between_children_is_fine() {
+        let t = parse("<r>\n  <a/>\n  <b/>\n</r>").unwrap();
+        assert_eq!(t.children(t.root()).len(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse("<r><a></b></r>").is_err());
+        assert!(parse("<r>").is_err());
+        assert!(parse("<r></r><r2></r2>").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        assert!(parse(r#"<r a="1" a="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn doctype_and_comments_skipped() {
+        let t = parse(
+            r#"<!DOCTYPE courses [
+                <!ELEMENT courses (course*)>
+            ]>
+            <!-- a document -->
+            <courses/>"#,
+        )
+        .unwrap();
+        assert_eq!(t.label(t.root()), "courses");
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(parse("<r>&nbsp;</r>").is_err());
+    }
+}

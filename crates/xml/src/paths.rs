@@ -1,0 +1,153 @@
+//! `paths(T)` — the paths realized by a document (Section 2).
+//!
+//! A string `w₁…wₙ` is a path of `T` if a root-based chain of nodes
+//! matches it; the final step may be an element, an attribute `@l`, or
+//! `S` when the node has string content. Compatibility `T ◁ D` is
+//! `paths(T) ⊆ paths(D)` ([`crate::compatible`] checks it stepwise; this
+//! module materializes the set, which Definition 6's tuple machinery and
+//! diagnostics want).
+
+use crate::tree::{NodeContent, NodeId, XmlTree};
+use std::collections::BTreeSet;
+use xnf_dtd::{Path, Step};
+
+/// Enumerates `paths(T)`, deduplicated and sorted.
+pub fn paths_of(tree: &XmlTree) -> Vec<Path> {
+    let mut out: BTreeSet<Path> = BTreeSet::new();
+    let mut stack: Vec<(NodeId, Path)> = vec![(
+        tree.root(),
+        Path::root(tree.label(tree.root())),
+    )];
+    while let Some((v, path)) = stack.pop() {
+        for (name, _) in tree.attrs(v) {
+            out.insert(path.child_attr(name));
+        }
+        match tree.content(v) {
+            NodeContent::Text(_) => {
+                out.insert(path.child_text());
+            }
+            NodeContent::Children(children) => {
+                for &c in children {
+                    let child_path = path.child_elem(tree.label(c));
+                    stack.push((c, child_path));
+                }
+            }
+        }
+        out.insert(path);
+    }
+    out.into_iter().collect()
+}
+
+/// All nodes of `tree` lying at the element path `path` (by labels from
+/// the root), in document order.
+pub fn nodes_at(tree: &XmlTree, path: &Path) -> Vec<NodeId> {
+    let mut current = vec![tree.root()];
+    let mut steps = path.steps().iter();
+    match steps.next() {
+        Some(Step::Elem(root_label)) if &**root_label == tree.label(tree.root()) => {}
+        _ => return Vec::new(),
+    }
+    for step in steps {
+        let Step::Elem(label) = step else {
+            return Vec::new();
+        };
+        current = current
+            .iter()
+            .flat_map(|&v| tree.children_labelled(v, label))
+            .collect();
+    }
+    current
+}
+
+/// The values realized at a path: attribute values for `….@l`, text for
+/// `….S`, and node count (as a length-only witness) is available via
+/// [`nodes_at`] for element paths.
+pub fn values_at(tree: &XmlTree, path: &Path) -> Vec<String> {
+    match path.last() {
+        Step::Elem(_) => Vec::new(),
+        Step::Attr(name) => {
+            let parent = path.parent().expect("attribute paths have parents");
+            nodes_at(tree, &parent)
+                .into_iter()
+                .filter_map(|v| tree.attr(v, name).map(str::to_string))
+                .collect()
+        }
+        Step::Text => {
+            let parent = path.parent().expect("text paths have parents");
+            nodes_at(tree, &parent)
+                .into_iter()
+                .filter_map(|v| tree.text(v).map(str::to_string))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn doc() -> XmlTree {
+        parse(
+            r#"<courses>
+              <course cno="c1"><title>T1</title><taken_by>
+                <student sno="s1"><name>N</name><grade>A</grade></student>
+              </taken_by></course>
+              <course cno="c2"><title>T2</title><taken_by/></course>
+            </courses>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paths_of_enumerates_realized_paths() {
+        let t = doc();
+        let paths: Vec<String> = paths_of(&t).iter().map(Path::to_string).collect();
+        assert!(paths.contains(&"courses".to_string()));
+        assert!(paths.contains(&"courses.course.@cno".to_string()));
+        assert!(paths.contains(&"courses.course.title.S".to_string()));
+        assert!(paths.contains(&"courses.course.taken_by.student.grade.S".to_string()));
+        // No duplicates even though two courses realize the same paths.
+        let unique: std::collections::BTreeSet<_> = paths.iter().collect();
+        assert_eq!(unique.len(), paths.len());
+    }
+
+    #[test]
+    fn paths_of_matches_dtd_compatibility() {
+        let t = doc();
+        let dtd = xnf_dtd::parse_dtd(
+            "<!ELEMENT courses (course*)>
+             <!ELEMENT course (title, taken_by)>
+             <!ATTLIST course cno CDATA #REQUIRED>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT taken_by (student*)>
+             <!ELEMENT student (name, grade)>
+             <!ATTLIST student sno CDATA #REQUIRED>
+             <!ELEMENT name (#PCDATA)>
+             <!ELEMENT grade (#PCDATA)>",
+        )
+        .unwrap();
+        let dtd_paths = dtd.paths().unwrap();
+        // paths(T) ⊆ paths(D)  ⇔  compatible.
+        assert!(crate::compatible(&t, &dtd));
+        for p in paths_of(&t) {
+            assert!(
+                dtd_paths.resolve(&p).is_some(),
+                "path {p} of T missing from paths(D)"
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_at_and_values_at() {
+        let t = doc();
+        let courses: Path = "courses.course".parse().unwrap();
+        assert_eq!(nodes_at(&t, &courses).len(), 2);
+        let cnos = values_at(&t, &"courses.course.@cno".parse().unwrap());
+        assert_eq!(cnos, vec!["c1", "c2"]);
+        let titles = values_at(&t, &"courses.course.title.S".parse().unwrap());
+        assert_eq!(titles, vec!["T1", "T2"]);
+        assert!(nodes_at(&t, &"wrong.root".parse().unwrap()).is_empty());
+        assert!(values_at(&t, &"courses.course.@missing".parse().unwrap()).is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Serializing [`XmlTree`]s back to XML text.
+
+use crate::tree::{NodeContent, NodeId, XmlTree};
+use std::fmt::Write;
+
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn write_node(t: &XmlTree, v: NodeId, indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(t.label(v));
+    for (name, value) in t.attrs(v) {
+        write!(out, " {name}=\"").expect("writing to String cannot fail");
+        escape_attr(value, out);
+        out.push('"');
+    }
+    match t.content(v) {
+        NodeContent::Children(children) if children.is_empty() => {
+            out.push_str("/>\n");
+        }
+        NodeContent::Children(children) => {
+            out.push_str(">\n");
+            for &c in children {
+                write_node(t, c, indent + 1, out);
+            }
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            writeln!(out, "</{}>", t.label(v)).expect("writing to String cannot fail");
+        }
+        NodeContent::Text(s) => {
+            out.push('>');
+            escape_text(s, out);
+            writeln!(out, "</{}>", t.label(v)).expect("writing to String cannot fail");
+        }
+    }
+}
+
+/// Serializes the tree as indented XML. The output re-parses (via
+/// [`crate::parse()`]) to a tree that is equal up to the unordered
+/// equivalence `≡` — in fact, node-for-node identical in structure.
+pub fn to_string_pretty(t: &XmlTree) -> String {
+    let mut out = String::new();
+    write_node(t, t.root(), 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn roundtrip_structure() {
+        let src = r#"<courses><course cno="csc200"><title>Automata Theory</title></course><course cno="mat100"><title>Calculus I</title></course></courses>"#;
+        let t = parse(src).unwrap();
+        let text = to_string_pretty(&t);
+        let t2 = parse(&text).unwrap();
+        assert!(crate::order::unordered_eq(&t, &t2));
+        // Stronger: serialization is a fixpoint.
+        assert_eq!(text, to_string_pretty(&t2));
+    }
+
+    #[test]
+    fn escaping_roundtrips() {
+        let mut t = crate::XmlTree::new("r");
+        t.set_attr(t.root(), "a", "x \"&\" <y>");
+        let c = t.add_child(t.root(), "c");
+        t.set_text(c, "1 < 2 & 3 > 2");
+        let text = to_string_pretty(&t);
+        let t2 = parse(&text).unwrap();
+        assert_eq!(t2.attr(t2.root(), "a"), Some("x \"&\" <y>"));
+        let c2 = t2.children(t2.root())[0];
+        assert_eq!(t2.text(c2), Some("1 < 2 & 3 > 2"));
+    }
+
+    #[test]
+    fn empty_element_is_self_closed() {
+        let t = parse("<r><a/></r>").unwrap();
+        let text = to_string_pretty(&t);
+        assert!(text.contains("<a/>"));
+    }
+}

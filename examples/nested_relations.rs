@@ -1,0 +1,101 @@
+//! Nested relations and NNF ⇔ XNF (Figure 3 and Proposition 5).
+//!
+//! Builds the Country/State/City nested relation of Figure 3, computes
+//! its complete unnesting, checks PNF, codes the schema as a DTD with the
+//! Σ_FD of Section 5, and demonstrates the NNF ⇔ XNF equivalence on both
+//! a well-designed and a badly designed FD set.
+//!
+//! Run with: `cargo run --example nested_relations`
+
+use xnf::core::encode::{nested_fds_to_xml, nested_instance_to_tree, nested_to_dtd};
+use xnf::core::is_xnf;
+use xnf::relational::fd::{Fd, FdSet};
+use xnf::relational::nested::{is_nnf, is_pnf, unnest, NestedSchema, NestedTuple};
+
+fn main() {
+    // H₁ = Country (H₂)*, H₂ = State (H₃)*, H₃ = City.
+    let schema = NestedSchema::new(
+        "H1",
+        ["Country"],
+        [NestedSchema::new(
+            "H2",
+            ["State"],
+            [NestedSchema::leaf("H3", ["City"])],
+        )],
+    );
+    println!("nested schema: {schema}");
+
+    // The instance of Figure 3(a).
+    let instance = vec![NestedTuple::new(
+        ["United States"],
+        [vec![
+            NestedTuple::new(
+                ["Texas"],
+                [vec![
+                    NestedTuple::leaf(["Houston"]),
+                    NestedTuple::leaf(["Dallas"]),
+                ]],
+            ),
+            NestedTuple::new(
+                ["Ohio"],
+                [vec![
+                    NestedTuple::leaf(["Columbus"]),
+                    NestedTuple::leaf(["Cleveland"]),
+                ]],
+            ),
+        ]],
+    )];
+    assert!(is_pnf(&instance), "Figure 3(a) is in partition normal form");
+
+    // Figure 3(b): the complete unnesting.
+    let flat_rel = unnest(&schema, &instance).expect("arities match");
+    println!("\ncomplete unnesting (Figure 3(b)):\n{flat_rel}");
+    assert_eq!(flat_rel.len(), 4);
+
+    // "we have a valid FD State → Country, while State → City does not
+    // hold" (Section 5).
+    assert!(flat_rel
+        .satisfies_fd(&["State"], &["Country"])
+        .expect("columns exist"));
+    assert!(!flat_rel
+        .satisfies_fd(&["State"], &["City"])
+        .expect("columns exist"));
+
+    // The XML coding of Section 5.
+    let dtd = nested_to_dtd(&schema).expect("coding succeeds");
+    println!("coded DTD:\n{dtd}");
+    let flat = schema.unnested_schema().expect("distinct attributes");
+
+    // Case A: the natural design — State → Country follows the nesting.
+    let good = FdSet::from_fds([Fd::new(
+        flat.set(["State"]).expect("attr"),
+        flat.set(["Country"]).expect("attr"),
+    )]);
+    let good_xml = nested_fds_to_xml(&schema, &flat, &good).expect("coding succeeds");
+    println!("Σ_FD (incl. the three PNF FDs of Section 5):\n{good_xml}");
+    let nnf = is_nnf(&schema, &flat, &good).expect("attrs exist");
+    let xnf = is_xnf(&dtd, &good_xml).expect("XNF test runs");
+    println!("State -> Country: NNF = {nnf}, XNF = {xnf}");
+    assert!(nnf && xnf, "Proposition 5, positive direction");
+
+    // Case B: a bad design — Country → City crosses the nesting.
+    let bad = FdSet::from_fds([Fd::new(
+        flat.set(["Country"]).expect("attr"),
+        flat.set(["City"]).expect("attr"),
+    )]);
+    let bad_xml = nested_fds_to_xml(&schema, &flat, &bad).expect("coding succeeds");
+    let nnf = is_nnf(&schema, &flat, &bad).expect("attrs exist");
+    let xnf = is_xnf(&dtd, &bad_xml).expect("XNF test runs");
+    println!("Country -> City:  NNF = {nnf}, XNF = {xnf}");
+    assert!(!nnf && !xnf, "Proposition 5, negative direction");
+
+    // The instance coding satisfies the PNF FDs.
+    let tree = nested_instance_to_tree(&schema, &instance).expect("coding succeeds");
+    assert!(xnf::xml::conforms(&tree, &dtd).is_ok());
+    let paths = dtd.paths().expect("non-recursive");
+    assert!(good_xml
+        .satisfied_by(&tree, &dtd, &paths)
+        .expect("resolves"));
+    println!("\ninstance coded as XML:\n{}", xnf::xml::to_string_pretty(&tree));
+    println!("NNF ⇔ XNF verified on both designs (Proposition 5)");
+}

@@ -1,0 +1,102 @@
+//! Relational schemas as XML and BCNF ⇔ XNF (Example 5.3 and
+//! Proposition 4).
+//!
+//! Codes the canonical non-BCNF schema `Takes(sno, name, cno, grade)`
+//! (sno → name; {sno, cno} → grade) as a flat DTD, confirms the XNF test
+//! agrees with the BCNF test, and contrasts the classical BCNF
+//! decomposition with the XNF normalization of the coded schema.
+//!
+//! Run with: `cargo run --example relational_bcnf`
+
+use xnf::core::encode::{relation_to_tree, relational_fds_to_xml, relational_to_dtd};
+use xnf::core::{is_xnf, normalize, NormalizeOptions};
+use xnf::relational::bcnf::{bcnf_decompose, is_bcnf};
+use xnf::relational::fd::{Fd, FdSet, RelSchema};
+use xnf::relational::{Relation, Value};
+
+fn main() {
+    let schema = RelSchema::new("Takes", ["sno", "name", "cno", "grade"])
+        .expect("distinct attribute names");
+    let sno = schema.set(["sno"]).expect("attrs");
+    let name = schema.set(["name"]).expect("attrs");
+    let sno_cno = schema.set(["sno", "cno"]).expect("attrs");
+    let grade = schema.set(["grade"]).expect("attrs");
+    let fds = FdSet::from_fds([Fd::new(sno, name), Fd::new(sno_cno, grade)]);
+
+    // The classical verdict.
+    let bcnf = is_bcnf(&fds, schema.all());
+    println!("Takes(sno, name, cno, grade) with sno->name, (sno,cno)->grade");
+    println!("BCNF: {bcnf}");
+    assert!(!bcnf);
+
+    // The XML coding of Example 5.3.
+    let dtd = relational_to_dtd(&schema).expect("coding succeeds");
+    let sigma = relational_fds_to_xml(&schema, &fds).expect("coding succeeds");
+    println!("\ncoded DTD:\n{dtd}");
+    println!("coded FDs Σ_F:\n{sigma}");
+    let xnf = is_xnf(&dtd, &sigma).expect("XNF test runs");
+    println!("XNF: {xnf}");
+    assert_eq!(bcnf, xnf, "Proposition 4");
+
+    // Classical BCNF decomposition…
+    println!("\nBCNF decomposition:");
+    for (attrs, _) in bcnf_decompose(&fds, schema.all()) {
+        println!("  R{:?}", schema.names(attrs));
+    }
+
+    // …vs XNF normalization of the coding: the same split, expressed as a
+    // new element type holding the (sno → name) association.
+    let result =
+        normalize(&dtd, &sigma, &NormalizeOptions::default()).expect("normalization succeeds");
+    println!("\nXNF normalization steps:");
+    for s in &result.steps {
+        println!("  {s:?}");
+    }
+    println!("\nrevised DTD:\n{}", result.dtd);
+    assert!(is_xnf(&result.dtd, &result.sigma).expect("XNF test runs"));
+
+    // A concrete instance keeps its information through the coding.
+    let mut rel = Relation::new(["sno", "name", "cno", "grade"]).expect("columns");
+    for (s, n, c, g) in [
+        ("st1", "Deere", "csc200", "A+"),
+        ("st1", "Deere", "mat100", "A-"),
+        ("st2", "Smith", "csc200", "B-"),
+        ("st3", "Smith", "mat100", "B+"),
+    ] {
+        rel.insert(vec![Value::str(s), Value::str(n), Value::str(c), Value::str(g)])
+            .expect("arity");
+    }
+    assert!(rel.satisfies_fd(&["sno"], &["name"]).expect("cols"));
+    let tree = relation_to_tree(&schema, &rel).expect("no nulls");
+    assert!(xnf::xml::conforms(&tree, &dtd).is_ok());
+    let paths = dtd.paths().expect("non-recursive");
+    assert!(sigma.satisfied_by(&tree, &dtd, &paths).expect("resolves"));
+    println!(
+        "instance coded as XML ({} rows -> {} G elements) conforms and satisfies Σ_F",
+        rel.len(),
+        tree.children(tree.root()).len()
+    );
+
+    // Proposition 4 on a small schema sweep: the two tests always agree.
+    let g3 = RelSchema::new("G", ["A", "B", "C"]).expect("distinct names");
+    let dtd3 = relational_to_dtd(&g3).expect("coding succeeds");
+    let mut agreements = 0;
+    for l in 0..3usize {
+        for r in 0..3usize {
+            if l == r {
+                continue;
+            }
+            let fds = FdSet::from_fds([Fd::new(
+                xnf::relational::AttrSet::singleton(l),
+                xnf::relational::AttrSet::singleton(r),
+            )]);
+            let sigma = relational_fds_to_xml(&g3, &fds).expect("coding succeeds");
+            assert_eq!(
+                is_bcnf(&fds, g3.all()),
+                is_xnf(&dtd3, &sigma).expect("XNF test runs"),
+            );
+            agreements += 1;
+        }
+    }
+    println!("\nProposition 4 verified on {agreements} single-FD schemas over G(A,B,C)");
+}

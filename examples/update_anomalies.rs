@@ -1,0 +1,149 @@
+//! The introduction's motivation, executable: redundancy caused by (FD3)
+//! leads to update and deletion anomalies in the original design, and the
+//! normalized design is immune.
+//!
+//! "updating the name of st1 for only one course results in an
+//! inconsistent document, and removing the student from a course may
+//! result in removing that student from the document altogether"
+//! — Example 1.1.
+//!
+//! Run with: `cargo run --example update_anomalies`
+
+use xnf::core::lossless::transform_document;
+use xnf::core::{normalize, NormalizeOptions, XmlFd, XmlFdSet};
+use xnf::xml::{nodes_at, values_at, XmlTree};
+
+fn university() -> (xnf::dtd::Dtd, XmlTree, XmlFdSet) {
+    let dtd = xnf::dtd::parse_dtd(
+        "<!ELEMENT courses (course*)>
+         <!ELEMENT course (title, taken_by)>
+         <!ATTLIST course cno CDATA #REQUIRED>
+         <!ELEMENT title (#PCDATA)>
+         <!ELEMENT taken_by (student*)>
+         <!ELEMENT student (name, grade)>
+         <!ATTLIST student sno CDATA #REQUIRED>
+         <!ELEMENT name (#PCDATA)>
+         <!ELEMENT grade (#PCDATA)>",
+    )
+    .expect("DTD parses");
+    let doc = xnf::xml::parse(
+        r#"<courses>
+          <course cno="csc200"><title>Automata Theory</title><taken_by>
+            <student sno="st1"><name>Deere</name><grade>A+</grade></student>
+            <student sno="st2"><name>Smith</name><grade>B-</grade></student>
+          </taken_by></course>
+          <course cno="mat100"><title>Calculus I</title><taken_by>
+            <student sno="st1"><name>Deere</name><grade>A-</grade></student>
+            <student sno="st3"><name>Smith</name><grade>B+</grade></student>
+          </taken_by></course>
+        </courses>"#,
+    )
+    .expect("document parses");
+    let sigma = XmlFdSet::parse(xnf::core::fd::UNIVERSITY_FDS).expect("FDs parse");
+    (dtd, doc, sigma)
+}
+
+/// Renames the *first* name-element of student `sno` — a partial update,
+/// the classic anomaly trigger.
+fn rename_first_occurrence(doc: &XmlTree, sno: &str, new_name: &str) -> XmlTree {
+    let mut out = doc.clone();
+    for student in nodes_at(doc, &"courses.course.taken_by.student".parse().unwrap()) {
+        if doc.attr(student, "sno") == Some(sno) {
+            let name_node = doc.children_labelled(student, "name")[0];
+            // Rebuild: XmlTree is append-only, so copy with the change.
+            out = copy_with_text(doc, name_node, new_name);
+            break;
+        }
+    }
+    out
+}
+
+fn copy_with_text(doc: &XmlTree, target: xnf::xml::NodeId, new_text: &str) -> XmlTree {
+    fn go(
+        src: &XmlTree,
+        dst: &mut XmlTree,
+        s: xnf::xml::NodeId,
+        d: xnf::xml::NodeId,
+        target: xnf::xml::NodeId,
+        new_text: &str,
+    ) {
+        for (k, v) in src.attrs(s) {
+            dst.set_attr(d, k, v);
+        }
+        if s == target {
+            dst.set_text(d, new_text);
+            return;
+        }
+        match src.content(s) {
+            xnf::xml::NodeContent::Text(t) => dst.set_text(d, t.clone()),
+            xnf::xml::NodeContent::Children(cs) => {
+                for &c in cs {
+                    let nd = dst.add_child(d, src.label(c));
+                    go(src, dst, c, nd, target, new_text);
+                }
+            }
+        }
+    }
+    let mut out = XmlTree::new(doc.label(doc.root()));
+    let root = out.root();
+    go(doc, &mut out, doc.root(), root, target, new_text);
+    out
+}
+
+fn main() {
+    let (dtd, doc, sigma) = university();
+    let paths = dtd.paths().expect("non-recursive");
+    assert!(sigma.satisfied_by(&doc, &dtd, &paths).unwrap());
+
+    // -- Update anomaly in the original design. --------------------------
+    println!("original design: st1's name is stored once per enrolment:");
+    let names = values_at(&doc, &"courses.course.taken_by.student.name.S".parse().unwrap());
+    println!("  stored names: {names:?}");
+
+    let updated = rename_first_occurrence(&doc, "st1", "Deere-Smith");
+    let fd3: XmlFd =
+        "courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S"
+            .parse()
+            .unwrap();
+    let consistent = fd3.satisfied_by(&updated, &dtd, &paths).unwrap();
+    println!(
+        "after renaming st1 in ONE course only: (FD3) satisfied = {consistent}  ← the update anomaly"
+    );
+    assert!(!consistent, "partial update must break (FD3)");
+
+    // -- The normalized design is immune. --------------------------------
+    let result = normalize(&dtd, &sigma, &NormalizeOptions::default()).expect("normalizes");
+    let transformed = transform_document(&dtd, &result, &doc).expect("transforms");
+    let info_names = values_at(&transformed, &"courses.info.@name".parse().unwrap());
+    println!("\nnormalized design: each name is stored once, under info:");
+    println!("  info names: {info_names:?}");
+    assert_eq!(info_names.len(), 2, "Deere and Smith, once each");
+    // An update is now a single in-place change — there is no second copy
+    // to forget. (Structurally: st1's name occurs exactly once.)
+    let occurrences = info_names.iter().filter(|n| *n == "Deere").count();
+    assert_eq!(occurrences, 1);
+    println!("renaming Deere touches exactly {occurrences} place — no anomaly possible");
+
+    // -- Deletion anomaly. -------------------------------------------------
+    // Original design: dropping st3's only enrolment removes the fact
+    // that st3 is called Smith from the document altogether.
+    println!("\ndeletion: removing st3's only enrolment…");
+    let st3_first = nodes_at(&doc, &"courses.course.taken_by.student".parse().unwrap())
+        .into_iter()
+        .filter(|&v| doc.attr(v, "sno") == Some("st3"))
+        .count();
+    println!("  original: st3 appears in {st3_first} course(s) — deleting it loses st3->Smith");
+    // Normalized design keeps the association in info/number even with no
+    // enrolments (the number element survives under info).
+    let numbers: Vec<_> = nodes_at(&transformed, &"courses.info".parse().unwrap())
+        .into_iter()
+        .flat_map(|i| transformed.children(i).to_vec())
+        .filter(|&n| transformed.attr(n, "sno") == Some("st3"))
+        .collect();
+    println!(
+        "  normalized: st3's number element exists independently of enrolments ({} found)",
+        numbers.len()
+    );
+    assert_eq!(numbers.len(), 1);
+    println!("\nthe introduction's anomalies reproduced and resolved, as published");
+}

@@ -1,0 +1,8 @@
+#![doc = include_str!("../README.md")]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use xnf_core as core;
+pub use xnf_dtd as dtd;
+pub use xnf_relational as relational;
+pub use xnf_xml as xml;

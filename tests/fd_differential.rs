@@ -1,0 +1,75 @@
+//! Differential testing of FD satisfaction: the hash-grouped check on
+//! tree tuples (`ResolvedFd::check_tuples`) against the independent
+//! pairwise check on the Codd-table view
+//! (`Relation::satisfies_fd` over `tuples_relation`). The two share no
+//! code path beyond `tuples_D` itself.
+
+use proptest::prelude::*;
+use xnf::core::{tuples_d, tuples_relation};
+use xnf_gen::doc::{random_document, DocParams};
+use xnf_gen::dtd::{simple_dtd, SimpleDtdParams};
+use xnf_gen::fd::{random_fds, FdParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tuple_check_matches_codd_table_check(seed in 0u64..100_000, elements in 2usize..8) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(
+            &mut rng,
+            &SimpleDtdParams {
+                elements,
+                max_children: 3,
+                max_attrs: 2,
+                text_leaf_prob: 0.5,
+            },
+        );
+        let doc = random_document(
+            &dtd,
+            &mut rng,
+            &DocParams { reps: (0, 2), value_alphabet: 2, max_nodes: 300 },
+        );
+        prop_assume!(doc.num_nodes() < 300);
+        let paths = dtd.paths().unwrap();
+        let tuples = tuples_d(&doc, &dtd, &paths).unwrap();
+        prop_assume!(tuples.len() <= 256);
+        let rel = tuples_relation(&doc, &dtd, &paths).unwrap();
+        prop_assert_eq!(rel.len(), tuples.len());
+
+        let fds = random_fds(&dtd, &mut rng, &FdParams { count: 6, max_lhs: 2 });
+        for fd in fds.iter() {
+            let fast = fd.resolve(&paths).unwrap().check_tuples(&tuples);
+            let lhs: Vec<String> = fd.lhs().iter().map(ToString::to_string).collect();
+            let rhs: Vec<String> = fd.rhs().iter().map(ToString::to_string).collect();
+            let slow = rel.satisfies_fd(&lhs, &rhs).unwrap();
+            prop_assert_eq!(fast, slow, "engines disagree on {} (seed {})", fd, seed);
+        }
+    }
+
+    /// `XmlFd::satisfied_by` (the public entry point) agrees with both.
+    #[test]
+    fn public_satisfaction_entry_point_agrees(seed in 0u64..100_000) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(
+            &mut rng,
+            &SimpleDtdParams { elements: 6, max_children: 3, max_attrs: 2, text_leaf_prob: 0.5 },
+        );
+        let doc = random_document(
+            &dtd,
+            &mut rng,
+            &DocParams { reps: (0, 2), value_alphabet: 2, max_nodes: 200 },
+        );
+        prop_assume!(doc.num_nodes() < 200);
+        let paths = dtd.paths().unwrap();
+        let tuples = tuples_d(&doc, &dtd, &paths).unwrap();
+        prop_assume!(tuples.len() <= 128);
+        let fds = random_fds(&dtd, &mut rng, &FdParams { count: 4, max_lhs: 2 });
+        for fd in fds.iter() {
+            prop_assert_eq!(
+                fd.satisfied_by(&doc, &dtd, &paths).unwrap(),
+                fd.resolve(&paths).unwrap().check_tuples(&tuples)
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Validation of the implication chase (Theorems 3–5 machinery).
+//!
+//! Two directions, both machine-checked:
+//!
+//! * **Soundness** — whenever the chase answers "implied", no sampled
+//!   conforming document that satisfies Σ may violate the FD. (The chase
+//!   is sound by construction — each rule carries a proof — and this test
+//!   would catch any rule bug.)
+//! * **Completeness (empirical)** — whenever the chase answers "not
+//!   implied" on a simple or disjunctive DTD, the counterexample
+//!   constructor must produce a *verified* witness document (`T ⊨ D`,
+//!   `T ⊨ Σ`, `T ⊭ φ`). A verified witness is a proof of non-implication,
+//!   so together the two answers are certified.
+
+use proptest::prelude::*;
+use xnf::core::implication::{CounterexampleSearch, Implication};
+use xnf::core::XmlFdSet;
+use xnf_gen::doc::{random_document, DocParams};
+use xnf_gen::dtd::{disjunctive_dtd, simple_dtd, SimpleDtdParams};
+use xnf_gen::fd::{random_fds, FdParams};
+
+fn dtd_params(elements: usize) -> SimpleDtdParams {
+    SimpleDtdParams {
+        elements,
+        max_children: 3,
+        max_attrs: 2,
+        text_leaf_prob: 0.4,
+    }
+}
+
+fn check_both_directions(dtd: &xnf::dtd::Dtd, seed: u64) -> Result<(), TestCaseError> {
+    let mut rng = xnf_gen::rng(seed ^ 0x5eed);
+    let sigma = random_fds(dtd, &mut rng, &FdParams { count: 3, max_lhs: 2 });
+    let candidates = random_fds(dtd, &mut rng, &FdParams { count: 4, max_lhs: 2 });
+    let paths = dtd.paths().unwrap();
+    let resolved = sigma.resolve(&paths).unwrap();
+    let search = CounterexampleSearch::new(dtd, &paths);
+
+    for fd in candidates.iter() {
+        let r = fd.resolve(&paths).unwrap();
+        if search.chase().implies(&resolved, &r) {
+            // Soundness: sample documents; Σ-satisfying ones must satisfy
+            // the implied FD.
+            for doc_seed in 0..12u64 {
+                let mut doc_rng = xnf_gen::rng(seed.wrapping_mul(31).wrapping_add(doc_seed));
+                let doc = random_document(
+                    dtd,
+                    &mut doc_rng,
+                    &DocParams {
+                        reps: (0, 2),
+                        value_alphabet: 2, // small alphabet → many agreements
+                        max_nodes: 300,
+                    },
+                );
+                if doc.num_nodes() >= 300 {
+                    continue; // truncated, may not conform
+                }
+                let Ok(tuples) = xnf::core::tuples_d(&doc, dtd, &paths) else {
+                    continue;
+                };
+                if tuples.len() > 256 {
+                    continue;
+                }
+                if resolved.iter().all(|s| s.check_tuples(&tuples)) {
+                    prop_assert!(
+                        r.check_tuples(&tuples),
+                        "SOUNDNESS BUG: chase claims ({sigma:?}) implies {fd}, \
+                         but a sampled document refutes it (seed {seed}/{doc_seed})",
+                        sigma = sigma.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                    );
+                }
+            }
+        } else {
+            // Completeness: a verified witness must exist.
+            let witness = search.find(&resolved, &r);
+            prop_assert!(
+                witness.is_some(),
+                "COMPLETENESS GAP: chase refutes {fd} under \
+                 {{{}}} but no verified witness was constructed (seed {seed})",
+                sigma.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "),
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn certified_implication_on_simple_dtds(seed in 0u64..100_000, elements in 3usize..10) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(&mut rng, &dtd_params(elements));
+        check_both_directions(&dtd, seed)?;
+    }
+
+    #[test]
+    fn certified_implication_on_disjunctive_dtds(
+        seed in 0u64..100_000,
+        elements in 3usize..8,
+        disjunctions in 1usize..3,
+    ) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = disjunctive_dtd(&mut rng, &dtd_params(elements), disjunctions, 2);
+        check_both_directions(&dtd, seed)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The implication oracle behaves like a consequence operator:
+    /// reflexivity, augmentation, transitivity, and monotonicity in Σ.
+    #[test]
+    fn implication_is_a_consequence_operator(seed in 0u64..100_000, elements in 3usize..9) {
+        use xnf::core::fd::ResolvedFd;
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(&mut rng, &dtd_params(elements));
+        let paths = dtd.paths().unwrap();
+        let sigma = random_fds(&dtd, &mut rng, &FdParams { count: 3, max_lhs: 2 })
+            .resolve(&paths)
+            .unwrap();
+        let chase = xnf::core::Chase::new(&dtd, &paths);
+        let all_paths: Vec<_> = paths.iter().collect();
+
+        // Reflexivity: S → p for p ∈ S.
+        let fds = random_fds(&dtd, &mut rng, &FdParams { count: 2, max_lhs: 2 })
+            .resolve(&paths)
+            .unwrap();
+        for fd in &fds {
+            let refl = ResolvedFd::from_ids(fd.lhs.iter().copied(), [fd.lhs[0]]);
+            prop_assert!(chase.implies(&sigma, &refl), "reflexivity");
+            // Augmentation: if S → q then S ∪ {x} → q.
+            for &q in &fd.rhs {
+                let single = ResolvedFd::from_ids(fd.lhs.iter().copied(), [q]);
+                if chase.implies(&sigma, &single) {
+                    let extra = all_paths[(seed as usize) % all_paths.len()];
+                    let aug = ResolvedFd::from_ids(
+                        fd.lhs.iter().copied().chain([extra]),
+                        [q],
+                    );
+                    prop_assert!(chase.implies(&sigma, &aug), "augmentation");
+                }
+            }
+            // Monotonicity in Σ: Σ ⊢ φ stays derivable under a larger Σ.
+            for &q in &fd.rhs {
+                let single = ResolvedFd::from_ids(fd.lhs.iter().copied(), [q]);
+                if chase.implies(&[], &single) {
+                    prop_assert!(chase.implies(&sigma, &single), "Σ-monotonicity");
+                }
+            }
+        }
+
+        // Transitivity — with the null-semantics caveat: Σ ⊢ S → e and
+        // {e} → q compose only when S non-null forces e non-null (the
+        // premise of the second FD needs a non-⊥ value). Ancestors of an
+        // S-path have exactly that guarantee, so the law is tested there.
+        // (Unrestricted transitivity is FALSE under Section 4 semantics —
+        // the same subtlety behind the step-2 move condition, see
+        // DESIGN.md §6.)
+        for fd in &fds {
+            let ancestors: Vec<_> = fd
+                .lhs
+                .iter()
+                .flat_map(|&l| {
+                    let mut chain = Vec::new();
+                    let mut cur = Some(l);
+                    while let Some(c) = cur {
+                        if paths.is_element_path(c) {
+                            chain.push(c);
+                        }
+                        cur = paths.parent(c);
+                    }
+                    chain
+                })
+                .collect();
+            for &e in ancestors.iter().take(4) {
+                let s_to_e = ResolvedFd::from_ids(fd.lhs.iter().copied(), [e]);
+                if !chase.implies(&sigma, &s_to_e) {
+                    continue;
+                }
+                for &q in all_paths.iter().take(8) {
+                    let e_to_q = ResolvedFd::from_ids([e], [q]);
+                    if chase.implies(&sigma, &e_to_q) {
+                        let s_to_q = ResolvedFd::from_ids(fd.lhs.iter().copied(), [q]);
+                        prop_assert!(
+                            chase.implies(&sigma, &s_to_q),
+                            "transitivity through a guaranteed-non-null element path"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_implications_are_certified() {
+    // Every implication fact the paper states for its running examples,
+    // certified in both directions.
+    let dtd = xnf::dtd::parse_dtd(
+        "<!ELEMENT courses (course*)>
+         <!ELEMENT course (title, taken_by)>
+         <!ATTLIST course cno CDATA #REQUIRED>
+         <!ELEMENT title (#PCDATA)>
+         <!ELEMENT taken_by (student*)>
+         <!ELEMENT student (name, grade)>
+         <!ATTLIST student sno CDATA #REQUIRED>
+         <!ELEMENT name (#PCDATA)>
+         <!ELEMENT grade (#PCDATA)>",
+    )
+    .unwrap();
+    let sigma = XmlFdSet::parse(xnf::core::fd::UNIVERSITY_FDS).unwrap();
+    let paths = dtd.paths().unwrap();
+    let resolved = sigma.resolve(&paths).unwrap();
+    let search = CounterexampleSearch::new(&dtd, &paths);
+
+    let cases = [
+        // (FD3) itself is in Σ⁺.
+        ("courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S", true),
+        // The XNF-violating direction: sno does not determine the node.
+        ("courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name", false),
+        ("courses.course.taken_by.student.@sno -> courses.course.taken_by.student", false),
+        // Trivial DTD-induced FDs (Section 4's remarks).
+        ("courses.course.taken_by.student -> courses.course", true),
+        ("courses.course -> courses.course.@cno", true),
+        // FD1 makes cno a key.
+        ("courses.course.@cno -> courses.course.title.S", true),
+        ("courses.course.@cno -> courses.course.taken_by.student", false),
+    ];
+    for (fd_text, expected) in cases {
+        let fd: xnf::core::XmlFd = fd_text.parse().unwrap();
+        let r = fd.resolve(&paths).unwrap();
+        let implied = search.chase().implies(&resolved, &r);
+        assert_eq!(implied, expected, "{fd_text}");
+        if !implied {
+            assert!(
+                search.find(&resolved, &r).is_some(),
+                "no verified witness for {fd_text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for Section 3's subsumption pre-order and unordered
+//! equivalence, on randomized documents.
+
+use proptest::prelude::*;
+use rand::prelude::IndexedRandom;
+use rand::Rng;
+use xnf::xml::{embeds_in, unordered_eq, NodeContent, NodeId, XmlTree};
+use xnf_gen::doc::{random_document, DocParams};
+use xnf_gen::dtd::{simple_dtd, SimpleDtdParams};
+
+fn gen_doc(seed: u64, elements: usize) -> XmlTree {
+    let mut rng = xnf_gen::rng(seed);
+    let dtd = simple_dtd(
+        &mut rng,
+        &SimpleDtdParams {
+            elements,
+            max_children: 3,
+            max_attrs: 2,
+            text_leaf_prob: 0.4,
+        },
+    );
+    random_document(
+        &dtd,
+        &mut rng,
+        &DocParams {
+            reps: (0, 2),
+            value_alphabet: 3,
+            max_nodes: 200,
+        },
+    )
+}
+
+/// Copies `doc` with each element child kept with probability ~3/4 —
+/// the result is subsumed by the original (children are a sublist, all
+/// attributes preserved).
+fn prune(doc: &XmlTree, seed: u64) -> XmlTree {
+    fn go(src: &XmlTree, dst: &mut XmlTree, s: NodeId, d: NodeId, rng: &mut impl Rng) {
+        for (k, v) in src.attrs(s) {
+            dst.set_attr(d, k, v);
+        }
+        match src.content(s) {
+            NodeContent::Text(t) => dst.set_text(d, t.clone()),
+            NodeContent::Children(cs) => {
+                for &c in cs {
+                    if rng.random_ratio(3, 4) {
+                        let nd = dst.add_child(d, src.label(c));
+                        go(src, dst, c, nd, rng);
+                    }
+                }
+            }
+        }
+    }
+    let mut rng = xnf_gen::rng(seed);
+    let mut out = XmlTree::new(doc.label(doc.root()));
+    let root = out.root();
+    go(doc, &mut out, doc.root(), root, &mut rng);
+    out
+}
+
+/// Copies `doc` with children shuffled at every node — an ≡-equivalent
+/// document.
+fn shuffle(doc: &XmlTree, seed: u64) -> XmlTree {
+    fn go(src: &XmlTree, dst: &mut XmlTree, s: NodeId, d: NodeId, rng: &mut impl Rng) {
+        for (k, v) in src.attrs(s) {
+            dst.set_attr(d, k, v);
+        }
+        match src.content(s) {
+            NodeContent::Text(t) => dst.set_text(d, t.clone()),
+            NodeContent::Children(cs) => {
+                let mut order: Vec<NodeId> = cs.clone();
+                for i in (1..order.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    order.swap(i, j);
+                }
+                for c in order {
+                    let nd = dst.add_child(d, src.label(c));
+                    go(src, dst, c, nd, rng);
+                }
+            }
+        }
+    }
+    let mut rng = xnf_gen::rng(seed);
+    let mut out = XmlTree::new(doc.label(doc.root()));
+    let root = out.root();
+    go(doc, &mut out, doc.root(), root, &mut rng);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `⊑` is reflexive; `≡` ⇔ mutual embedding.
+    #[test]
+    fn embedding_is_reflexive_and_eq_is_mutual(seed in 0u64..10_000, elements in 2usize..8) {
+        let doc = gen_doc(seed, elements);
+        prop_assert!(embeds_in(&doc, &doc));
+        let shuffled = shuffle(&doc, seed ^ 1);
+        prop_assert!(unordered_eq(&doc, &shuffled));
+        prop_assert!(embeds_in(&doc, &shuffled));
+        prop_assert!(embeds_in(&shuffled, &doc));
+    }
+
+    /// Pruning produces a document that embeds into the original, and
+    /// `⊑` is transitive along a pruning chain.
+    #[test]
+    fn pruning_embeds_and_composes(seed in 0u64..10_000, elements in 2usize..8) {
+        let doc = gen_doc(seed, elements);
+        let once = prune(&doc, seed ^ 2);
+        let twice = prune(&once, seed ^ 3);
+        prop_assert!(embeds_in(&once, &doc));
+        prop_assert!(embeds_in(&twice, &once));
+        prop_assert!(embeds_in(&twice, &doc), "transitivity along the chain");
+        // Equivalence only when nothing was pruned.
+        if unordered_eq(&once, &doc) {
+            prop_assert_eq!(once.num_nodes(), doc.num_nodes());
+        }
+    }
+
+    /// A shuffled-then-pruned document still embeds; a document with an
+    /// extra attribute never does (exact attribute preservation).
+    #[test]
+    fn attribute_exactness(seed in 0u64..10_000, elements in 2usize..7) {
+        let doc = gen_doc(seed, elements);
+        let mut extra = doc.clone();
+        // Pick a deterministic node and give it a fresh attribute.
+        let nodes = extra.node_ids().collect::<Vec<_>>();
+        let mut rng = xnf_gen::rng(seed ^ 4);
+        let v = *nodes.choose(&mut rng).unwrap();
+        extra.set_attr(v, "zz_extra", "1");
+        prop_assert!(!embeds_in(&doc, &extra));
+        prop_assert!(!embeds_in(&extra, &doc));
+        prop_assert!(!unordered_eq(&doc, &extra));
+    }
+}

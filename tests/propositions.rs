@@ -1,0 +1,96 @@
+//! Randomized verification of the normal-form equivalences:
+//! Proposition 4 (BCNF ⇔ XNF) and Proposition 5 (NNF ⇔ XNF), plus the
+//! BCNF generator-vs-exhaustive agreement they rest on.
+
+use proptest::prelude::*;
+use xnf::core::encode::{
+    nested_fds_to_xml, nested_to_dtd, relational_fds_to_xml, relational_to_dtd,
+};
+use xnf::core::is_xnf;
+use xnf::relational::bcnf::{is_bcnf, is_bcnf_exhaustive};
+use xnf::relational::nested::{is_nnf, is_nnf_exhaustive};
+use xnf_gen::rel::{
+    chain_nested, chain_nested_bad_fd, chain_nested_good_fds, random_relational,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 4 on random relational schemas.
+    #[test]
+    fn proposition_4_random(seed in 0u64..100_000, arity in 2usize..6, n_fds in 1usize..4) {
+        let mut rng = xnf_gen::rng(seed);
+        let (schema, fds) = random_relational(&mut rng, arity, n_fds);
+        let bcnf = is_bcnf(&fds, schema.all());
+        prop_assert_eq!(bcnf, is_bcnf_exhaustive(&fds, schema.all()),
+            "generator vs exhaustive BCNF disagree");
+        let dtd = relational_to_dtd(&schema).unwrap();
+        let sigma = relational_fds_to_xml(&schema, &fds).unwrap();
+        let xnf = is_xnf(&dtd, &sigma).unwrap();
+        prop_assert_eq!(bcnf, xnf, "Proposition 4 violated (seed {})", seed);
+    }
+
+    /// Proposition 5 on chain-nested schemas with random single FDs.
+    #[test]
+    fn proposition_5_random(depth in 2usize..5, l in 0usize..5, r in 0usize..5) {
+        let schema = chain_nested(depth);
+        let flat = schema.unnested_schema().unwrap();
+        let (l, r) = (l % depth, r % depth);
+        prop_assume!(l != r);
+        let fds = xnf::relational::fd::FdSet::from_fds([xnf::relational::fd::Fd::new(
+            xnf::relational::AttrSet::singleton(l),
+            xnf::relational::AttrSet::singleton(r),
+        )]);
+        let nnf = is_nnf(&schema, &flat, &fds).unwrap();
+        prop_assert_eq!(nnf, is_nnf_exhaustive(&schema, &flat, &fds).unwrap(),
+            "generator vs exhaustive NNF disagree");
+        let dtd = nested_to_dtd(&schema).unwrap();
+        let sigma = nested_fds_to_xml(&schema, &flat, &fds).unwrap();
+        let xnf = is_xnf(&dtd, &sigma).unwrap();
+        prop_assert_eq!(nnf, xnf, "Proposition 5 violated: depth {}, A{} -> A{}", depth, l, r);
+    }
+}
+
+#[test]
+fn proposition_5_planted_families() {
+    for depth in 2..=5usize {
+        let schema = chain_nested(depth);
+        let flat = schema.unnested_schema().unwrap();
+        let dtd = nested_to_dtd(&schema).unwrap();
+
+        let good = chain_nested_good_fds(&schema, depth);
+        let good_sigma = nested_fds_to_xml(&schema, &flat, &good).unwrap();
+        assert!(is_nnf(&schema, &flat, &good).unwrap());
+        assert!(is_xnf(&dtd, &good_sigma).unwrap(), "depth {depth} good");
+
+        let bad = chain_nested_bad_fd(&schema, depth);
+        let bad_sigma = nested_fds_to_xml(&schema, &flat, &bad).unwrap();
+        let nnf = is_nnf(&schema, &flat, &bad).unwrap();
+        let xnf = is_xnf(&dtd, &bad_sigma).unwrap();
+        assert_eq!(nnf, xnf, "depth {depth} bad");
+        assert_eq!(nnf, depth < 3, "depth {depth}: violation iff a level is skipped");
+    }
+}
+
+#[test]
+fn bcnf_decomposition_agrees_with_xnf_normalization_shape() {
+    // On the planted violation, both worlds split off the (A → B)
+    // association.
+    let (schema, fds) = xnf_gen::rel::planted_bcnf_violation();
+    let frags = xnf::relational::bcnf::bcnf_decompose(&fds, schema.all());
+    assert_eq!(frags.len(), 2);
+
+    let dtd = relational_to_dtd(&schema).unwrap();
+    let sigma = relational_fds_to_xml(&schema, &fds).unwrap();
+    let result =
+        xnf::core::normalize(&dtd, &sigma, &xnf::core::NormalizeOptions::default()).unwrap();
+    assert!(is_xnf(&result.dtd, &result.sigma).unwrap());
+    // The XNF fix creates exactly one new association element (plus its
+    // key child): the analogue of the {A, B} fragment.
+    let creates: Vec<_> = result
+        .steps
+        .iter()
+        .filter(|s| matches!(s, xnf::core::Step::CreateElement { .. }))
+        .collect();
+    assert_eq!(creates.len(), 1);
+}

@@ -1,0 +1,155 @@
+//! Property tests for the relational substrate: Armstrong's axioms,
+//! closure algebra, BCNF decomposition losslessness on instances, and
+//! Codd-table FD semantics.
+
+use proptest::prelude::*;
+use xnf::relational::algebra::Query;
+use xnf::relational::bcnf::{bcnf_decompose, is_bcnf};
+use xnf::relational::fd::{AttrSet, Fd, FdSet};
+use xnf::relational::{Relation, Value};
+
+fn arb_attrset(arity: usize) -> impl Strategy<Value = AttrSet> {
+    prop::collection::vec(0..arity, 1..=arity.min(3)).prop_map(|ixs| {
+        let mut s = AttrSet::empty();
+        for i in ixs {
+            s.insert(i);
+        }
+        s
+    })
+}
+
+fn arb_fdset(arity: usize) -> impl Strategy<Value = FdSet> {
+    prop::collection::vec((arb_attrset(arity), arb_attrset(arity)), 0..5)
+        .prop_map(|fds| FdSet::from_fds(fds.into_iter().map(|(l, r)| Fd::new(l, r))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Closure is extensive, monotone and idempotent.
+    #[test]
+    fn closure_is_a_closure_operator(fds in arb_fdset(6), x in arb_attrset(6), y in arb_attrset(6)) {
+        let cx = fds.closure(x);
+        prop_assert!(x.is_subset(cx), "extensive");
+        prop_assert_eq!(fds.closure(cx), cx, "idempotent");
+        if x.is_subset(y) {
+            prop_assert!(cx.is_subset(fds.closure(y)), "monotone");
+        }
+    }
+
+    /// Armstrong's axioms as properties of `implies`.
+    #[test]
+    fn armstrong_axioms(fds in arb_fdset(6), x in arb_attrset(6), y in arb_attrset(6), z in arb_attrset(6)) {
+        // Reflexivity.
+        if y.is_subset(x) {
+            prop_assert!(fds.implies(Fd::new(x, y)));
+        }
+        // Augmentation.
+        if fds.implies(Fd::new(x, y)) {
+            prop_assert!(fds.implies(Fd::new(x.union(z), y.union(z))));
+        }
+        // Transitivity.
+        if fds.implies(Fd::new(x, y)) && fds.implies(Fd::new(y, z)) {
+            prop_assert!(fds.implies(Fd::new(x, z)));
+        }
+    }
+
+    /// A minimal cover is equivalent to the original set.
+    #[test]
+    fn minimal_cover_is_equivalent(fds in arb_fdset(5), probe in arb_attrset(5)) {
+        let cover = fds.minimal_cover();
+        prop_assert_eq!(fds.closure(probe), cover.closure(probe));
+    }
+
+    /// Every fragment produced by BCNF decomposition is in BCNF, and the
+    /// fragments cover all attributes.
+    #[test]
+    fn bcnf_decomposition_properties(fds in arb_fdset(5)) {
+        let all = AttrSet::full(5);
+        let frags = bcnf_decompose(&fds, all);
+        let mut union = AttrSet::empty();
+        for (rel, rel_fds) in &frags {
+            prop_assert!(is_bcnf(rel_fds, *rel));
+            union = union.union(*rel);
+        }
+        prop_assert_eq!(union, all);
+        if is_bcnf(&fds, all) {
+            prop_assert_eq!(frags.len(), 1);
+        }
+    }
+
+    /// BCNF decomposition is lossless on instances: projecting a relation
+    /// that satisfies the FDs onto the fragments and natural-joining the
+    /// projections reconstructs it exactly.
+    #[test]
+    fn bcnf_decomposition_is_lossless_on_instances(
+        fds in arb_fdset(4),
+        rows in prop::collection::vec(prop::collection::vec(0u8..3, 4), 0..8),
+    ) {
+        let columns = ["A", "B", "C", "D"];
+        let mut rel = Relation::new(columns).unwrap();
+        for row in rows {
+            rel.insert(row.iter().map(|v| Value::str(format!("v{v}"))).collect()).unwrap();
+        }
+        // Keep only instances satisfying the FDs.
+        for fd in fds.iter() {
+            let lhs: Vec<&str> = fd.lhs.iter().map(|i| columns[i]).collect();
+            let rhs: Vec<&str> = fd.rhs.iter().map(|i| columns[i]).collect();
+            prop_assume!(rel.satisfies_fd(&lhs, &rhs).unwrap());
+        }
+        let frags = bcnf_decompose(&fds, AttrSet::full(4));
+        // Project and rejoin.
+        let env = std::collections::HashMap::from([("r".to_string(), rel.clone())]);
+        let mut joined: Option<Query> = None;
+        for (attrs, _) in &frags {
+            let cols: Vec<String> = attrs.iter().map(|i| columns[i].to_string()).collect();
+            let q = Query::table("r").project(cols);
+            joined = Some(match joined {
+                None => q,
+                Some(acc) => acc.join(q),
+            });
+        }
+        let rejoined = joined.unwrap().eval(&env).unwrap();
+        // Compare as sets over the original column order.
+        let back = rejoined.project(&columns).unwrap();
+        prop_assert_eq!(back, rel);
+    }
+
+    /// Codd-table FD satisfaction matches a brute-force pairwise check.
+    #[test]
+    fn codd_fd_check_matches_bruteforce(
+        rows in prop::collection::vec(prop::collection::vec(0u8..4, 3), 0..8),
+        lhs in prop::collection::vec(0usize..3, 1..3),
+        rhs in prop::collection::vec(0usize..3, 1..3),
+    ) {
+        let columns = ["A", "B", "C"];
+        let mut rel = Relation::new(columns).unwrap();
+        for row in &rows {
+            rel.insert(
+                row.iter()
+                    .map(|&v| if v == 0 { Value::Null } else { Value::str(format!("v{v}")) })
+                    .collect(),
+            )
+            .unwrap();
+        }
+        let lhs_names: Vec<&str> = lhs.iter().map(|&i| columns[i]).collect();
+        let rhs_names: Vec<&str> = rhs.iter().map(|&i| columns[i]).collect();
+        let fast = rel.satisfies_fd(&lhs_names, &rhs_names).unwrap();
+        // Brute force over pairs.
+        let all: Vec<Vec<Value>> = rel.rows().map(|r| r.to_vec()).collect();
+        let mut slow = true;
+        for t1 in &all {
+            if lhs.iter().any(|&i| t1[i].is_null()) {
+                continue;
+            }
+            for t2 in &all {
+                if lhs.iter().all(|&i| t1[i] == t2[i])
+                    && !rhs.iter().all(|&i| t1[i] == t2[i])
+                {
+                    slow = false;
+                }
+            }
+        }
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the tree-tuple representation (Theorem 1,
+//! Propositions 1–3) over randomized simple DTDs and documents.
+
+use proptest::prelude::*;
+use xnf::core::{trees_d, tuples_d};
+use xnf_gen::doc::{random_document, DocParams};
+use xnf_gen::dtd::{simple_dtd, SimpleDtdParams};
+
+fn params(elements: usize) -> SimpleDtdParams {
+    SimpleDtdParams {
+        elements,
+        max_children: 3,
+        max_attrs: 2,
+        text_leaf_prob: 0.5,
+    }
+}
+
+fn doc_params() -> DocParams {
+    DocParams {
+        reps: (0, 2),
+        value_alphabet: 3,
+        max_nodes: 400,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1: `trees_D(tuples_D(T)) ≡ T` for conforming documents.
+    #[test]
+    fn theorem_1_roundtrip(seed in 0u64..10_000, elements in 2usize..9) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(&mut rng, &params(elements));
+        let doc = random_document(&dtd, &mut rng, &doc_params());
+        prop_assume!(doc.num_nodes() < 400); // skip capped (non-conforming) draws
+        let paths = dtd.paths().unwrap();
+        let tuples = tuples_d(&doc, &dtd, &paths).unwrap();
+        prop_assume!(tuples.len() <= 512); // keep the product bounded
+        let rebuilt = trees_d(&tuples, &paths).unwrap();
+        prop_assert!(xnf::xml::unordered_eq(&rebuilt, &doc));
+    }
+
+    /// Proposition 1 / Definition 4: every extracted tuple validates, and
+    /// its own tree embeds into the document (tree_D(t) ⊑ T).
+    #[test]
+    fn tuples_validate_and_embed(seed in 0u64..10_000, elements in 2usize..8) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(&mut rng, &params(elements));
+        let doc = random_document(&dtd, &mut rng, &doc_params());
+        prop_assume!(doc.num_nodes() < 400);
+        let paths = dtd.paths().unwrap();
+        let tuples = tuples_d(&doc, &dtd, &paths).unwrap();
+        prop_assume!(tuples.len() <= 256);
+        for t in &tuples {
+            t.validate(&paths).unwrap();
+            let (tree, _) = t.tree(&paths).unwrap();
+            prop_assert!(xnf::xml::embeds_in(&tree, &doc));
+        }
+    }
+
+    /// Definition 6: extracted tuples are pairwise ⊑-incomparable
+    /// (maximality) and deduplicated.
+    #[test]
+    fn tuples_are_maximal_antichain(seed in 0u64..10_000, elements in 2usize..8) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(&mut rng, &params(elements));
+        let doc = random_document(&dtd, &mut rng, &doc_params());
+        prop_assume!(doc.num_nodes() < 400);
+        let paths = dtd.paths().unwrap();
+        let tuples = tuples_d(&doc, &dtd, &paths).unwrap();
+        prop_assume!(tuples.len() <= 128);
+        for (i, a) in tuples.iter().enumerate() {
+            for (j, b) in tuples.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.subsumed_by(b), "tuple {i} ⊑ tuple {j}");
+                }
+            }
+        }
+    }
+
+    /// Proposition 3(b): for a D-compatible set of tuples X (here: any
+    /// subset of a document's tuple set), X ⊑° tuples_D(trees_D(X)) —
+    /// every tuple of X is subsumed by some tuple of the rebuilt tree.
+    #[test]
+    fn proposition_3b_subset_subsumption(seed in 0u64..10_000, elements in 2usize..8, keep in 1usize..4) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(&mut rng, &params(elements));
+        let doc = random_document(&dtd, &mut rng, &doc_params());
+        prop_assume!(doc.num_nodes() < 400);
+        let paths = dtd.paths().unwrap();
+        let tuples = tuples_d(&doc, &dtd, &paths).unwrap();
+        prop_assume!(tuples.len() <= 64);
+        let subset: Vec<_> = tuples.iter().take(keep.min(tuples.len())).cloned().collect();
+        let rebuilt = trees_d(&subset, &paths).unwrap();
+        let rebuilt_tuples = tuples_d(&rebuilt, &dtd, &paths).unwrap();
+        // Vertices are arena-relative (trees_D allocates fresh node ids),
+        // so subsumption is checked up to vertex renaming: on the
+        // string-valued paths (the information content) plus the
+        // null-pattern of the element paths.
+        let str_paths: Vec<_> = paths.iter().filter(|&p| !paths.is_element_path(p)).collect();
+        let elem_paths: Vec<_> = paths.iter().filter(|&p| paths.is_element_path(p)).collect();
+        for t in &subset {
+            prop_assert!(
+                rebuilt_tuples.iter().any(|rt| {
+                    str_paths
+                        .iter()
+                        .all(|&p| t.get(p).is_null() || t.get(p) == rt.get(p))
+                        && elem_paths
+                            .iter()
+                            .all(|&p| t.get(p).is_null() || !rt.get(p).is_null())
+                }),
+                "a tuple of X is not subsumed in tuples(trees(X)) up to renaming"
+            );
+        }
+    }
+
+    /// Serialization round-trip: parse(to_string(T)) ≡ T for random
+    /// conforming documents.
+    #[test]
+    fn xml_serialization_roundtrip(seed in 0u64..10_000, elements in 2usize..9) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(&mut rng, &params(elements));
+        let doc = random_document(&dtd, &mut rng, &doc_params());
+        prop_assume!(doc.num_nodes() < 400);
+        let text = xnf::xml::to_string_pretty(&doc);
+        let reparsed = xnf::xml::parse(&text).unwrap();
+        prop_assert!(xnf::xml::unordered_eq(&doc, &reparsed));
+    }
+
+    /// DTD serialization round-trip: parse(to_string(D)) = D.
+    #[test]
+    fn dtd_serialization_roundtrip(seed in 0u64..10_000, elements in 1usize..14) {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = simple_dtd(&mut rng, &params(elements));
+        let reparsed = xnf::dtd::parse_dtd(&dtd.to_string()).unwrap();
+        prop_assert_eq!(dtd, reparsed);
+    }
+}
