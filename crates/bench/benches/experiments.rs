@@ -59,7 +59,14 @@ fn exp1_university(c: &mut Criterion) {
         b.iter(|| is_xnf(black_box(&dtd), black_box(&sigma)).unwrap())
     });
     c.bench_function("exp1_university/normalize", |b| {
-        b.iter(|| normalize(black_box(&dtd), black_box(&sigma), &NormalizeOptions::default()).unwrap())
+        b.iter(|| {
+            normalize(
+                black_box(&dtd),
+                black_box(&sigma),
+                &NormalizeOptions::default(),
+            )
+            .unwrap()
+        })
     });
 }
 
@@ -78,7 +85,11 @@ fn exp2_tree_tuples(c: &mut Criterion) {
             &doc,
             |b, doc| {
                 let tuples = tuples_d(doc, &dtd, &paths).unwrap();
-                b.iter(|| xnf_core::trees_d(black_box(&tuples), &paths).unwrap().num_nodes())
+                b.iter(|| {
+                    xnf_core::trees_d(black_box(&tuples), &paths)
+                        .unwrap()
+                        .num_nodes()
+                })
             },
         );
     }
@@ -117,13 +128,17 @@ fn exp4_normalize(c: &mut Criterion) {
             .collect();
         let sigma = XmlFdSet::parse(&fd_text).unwrap();
         assert!(!is_xnf(&dtd, &sigma).unwrap());
-        group.bench_with_input(BenchmarkId::from_parameter(anomalies), &sigma, |b, sigma| {
-            b.iter(|| {
-                let r = normalize(&dtd, sigma, &NormalizeOptions::default()).unwrap();
-                assert_eq!(*r.ap_trace.last().unwrap(), 0);
-                r.steps.len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(anomalies),
+            &sigma,
+            |b, sigma| {
+                b.iter(|| {
+                    let r = normalize(&dtd, sigma, &NormalizeOptions::default()).unwrap();
+                    assert_eq!(*r.ap_trace.last().unwrap(), 0);
+                    r.steps.len()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -161,7 +176,12 @@ fn exp6_dblp(c: &mut Criterion) {
     let result = normalize(&dtd, &sigma, &NormalizeOptions::default()).unwrap();
     let mut group = c.benchmark_group("exp6_dblp");
     group.bench_function("normalize", |b| {
-        b.iter(|| normalize(&dtd, &sigma, &NormalizeOptions::default()).unwrap().steps.len())
+        b.iter(|| {
+            normalize(&dtd, &sigma, &NormalizeOptions::default())
+                .unwrap()
+                .steps
+                .len()
+        })
     });
     for confs in [2usize, 8] {
         let doc = dblp_document(confs, 3, 4);
@@ -206,7 +226,10 @@ fn exp8_implication_simple(c: &mut Criterion) {
         let sigma_text: String = (0..n - 1)
             .map(|i| format!("l0.l1.@a1_{i} -> l0.l1.@a1_{}\n", i + 1))
             .collect();
-        let sigma = XmlFdSet::parse(&sigma_text).unwrap().resolve(&paths).unwrap();
+        let sigma = XmlFdSet::parse(&sigma_text)
+            .unwrap()
+            .resolve(&paths)
+            .unwrap();
         // Implied: the whole chain must fire.
         let implied_fd = XmlFd::parse(&format!("l0.l1.@a1_0 -> l0.l1.@a1_{}", n - 1))
             .unwrap()
@@ -225,11 +248,9 @@ fn exp8_implication_simple(c: &mut Criterion) {
             &implied_fd,
             |b, fd| b.iter(|| chase.implies(black_box(&sigma), black_box(fd))),
         );
-        group.bench_with_input(
-            BenchmarkId::new("refuted", n),
-            &refuted_fd,
-            |b, fd| b.iter(|| chase.implies(black_box(&sigma), black_box(fd))),
-        );
+        group.bench_with_input(BenchmarkId::new("refuted", n), &refuted_fd, |b, fd| {
+            b.iter(|| chase.implies(black_box(&sigma), black_box(fd)))
+        });
     }
     group.finish();
 }
@@ -250,12 +271,26 @@ fn exp9_disjunctive(c: &mut Criterion) {
             3,
         );
         let paths = dtd.paths().unwrap();
-        let sigma = random_fds(&dtd, &mut rng, &FdParams { count: 4, max_lhs: 2 })
-            .resolve(&paths)
-            .unwrap();
-        let candidates: Vec<_> = random_fds(&dtd, &mut rng, &FdParams { count: 4, max_lhs: 2 })
-            .resolve(&paths)
-            .unwrap();
+        let sigma = random_fds(
+            &dtd,
+            &mut rng,
+            &FdParams {
+                count: 4,
+                max_lhs: 2,
+            },
+        )
+        .resolve(&paths)
+        .unwrap();
+        let candidates: Vec<_> = random_fds(
+            &dtd,
+            &mut rng,
+            &FdParams {
+                count: 4,
+                max_lhs: 2,
+            },
+        )
+        .resolve(&paths)
+        .unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(disjunctions),
             &candidates,
@@ -301,7 +336,10 @@ fn exp10_conp(c: &mut Criterion) {
             .unwrap()
             .resolve(&paths)
             .unwrap();
-        let fd = XmlFd::parse("e0.@a -> e0.e1").unwrap().resolve(&paths).unwrap();
+        let fd = XmlFd::parse("e0.@a -> e0.e1")
+            .unwrap()
+            .resolve(&paths)
+            .unwrap();
         // Ground truth: the full chase proves the implication.
         let full = Chase::new(&dtd, &paths);
         assert!(full.implies(&sigma, &fd));
@@ -313,7 +351,11 @@ fn exp10_conp(c: &mut Criterion) {
         let minimal = CounterexampleSearch::with_config(
             &dtd,
             &paths,
-            ChaseConfig { swap_rule: false, contrapositive_rule: false, split_budget: 0 },
+            ChaseConfig {
+                swap_rule: false,
+                contrapositive_rule: false,
+                split_budget: 0,
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("exhaustive_ablated", groups),
@@ -342,7 +384,14 @@ fn exp11_xnf_check(c: &mut Criterion) {
                 ..SimpleDtdParams::default()
             },
         );
-        let sigma = random_fds(&dtd, &mut rng, &FdParams { count: 6, max_lhs: 2 });
+        let sigma = random_fds(
+            &dtd,
+            &mut rng,
+            &FdParams {
+                count: 6,
+                max_lhs: 2,
+            },
+        );
         let size = dtd.size();
         group.bench_with_input(BenchmarkId::from_parameter(size), &sigma, |b, sigma| {
             b.iter(|| is_xnf(black_box(&dtd), black_box(sigma)).unwrap())
@@ -392,24 +441,57 @@ fn exp13_ablation(c: &mut Criterion) {
         },
     );
     let paths = dtd.paths().unwrap();
-    let sigma = random_fds(&dtd, &mut rng, &FdParams { count: 4, max_lhs: 2 })
-        .resolve(&paths)
-        .unwrap();
-    let candidates: Vec<_> = random_fds(&dtd, &mut rng, &FdParams { count: 8, max_lhs: 2 })
-        .resolve(&paths)
-        .unwrap();
+    let sigma = random_fds(
+        &dtd,
+        &mut rng,
+        &FdParams {
+            count: 4,
+            max_lhs: 2,
+        },
+    )
+    .resolve(&paths)
+    .unwrap();
+    let candidates: Vec<_> = random_fds(
+        &dtd,
+        &mut rng,
+        &FdParams {
+            count: 8,
+            max_lhs: 2,
+        },
+    )
+    .resolve(&paths)
+    .unwrap();
     let mut group = c.benchmark_group("exp13_ablation");
     for (name, cfg) in [
         ("full", ChaseConfig::default()),
-        ("no_swap", ChaseConfig { swap_rule: false, ..ChaseConfig::default() }),
+        (
+            "no_swap",
+            ChaseConfig {
+                swap_rule: false,
+                ..ChaseConfig::default()
+            },
+        ),
         (
             "no_contrapositive",
-            ChaseConfig { contrapositive_rule: false, ..ChaseConfig::default() },
+            ChaseConfig {
+                contrapositive_rule: false,
+                ..ChaseConfig::default()
+            },
         ),
-        ("no_split", ChaseConfig { split_budget: 0, ..ChaseConfig::default() }),
+        (
+            "no_split",
+            ChaseConfig {
+                split_budget: 0,
+                ..ChaseConfig::default()
+            },
+        ),
         (
             "minimal",
-            ChaseConfig { swap_rule: false, contrapositive_rule: false, split_budget: 0 },
+            ChaseConfig {
+                swap_rule: false,
+                contrapositive_rule: false,
+                split_budget: 0,
+            },
         ),
     ] {
         group.bench_function(name, |b| {
@@ -462,6 +544,120 @@ fn exp14_fd_check(c: &mut Criterion) {
     group.finish();
 }
 
+/// E15 — the memoized, parallel implication engine: cached vs uncached
+/// repeated-Σ query batteries on the E8 chain family, and 1-vs-N-thread
+/// anomalous-FD search / full normalization on the chain and the paper's
+/// Fig. 1 (university) and Fig. 5 (DBLP) DTDs.
+fn exp15_implication_cache(c: &mut Criterion) {
+    use xnf_core::fd::ResolvedFd;
+    use xnf_core::{anomalous_fds_threaded, ImplicationCache};
+
+    let mut group = c.benchmark_group("implication_cache");
+
+    // (a) A repeated-Σ workload on the E8 chain family: the battery the
+    // normalization loop actually issues (per-candidate node guards plus
+    // triviality probes), asked REPEATS times against one fixed Σ — the
+    // shape of the search → guard → minimize pipeline. Uncached pays a
+    // chase run per query per repeat; cached pays one per *distinct*
+    // query.
+    const REPEATS: usize = 8;
+    for n in [16usize, 32] {
+        let dtd = chain_dtd(2, n);
+        let paths = dtd.paths().unwrap();
+        let sigma_text: String = (0..n - 1)
+            .map(|i| format!("l0.l1.@a1_{i} -> l0.l1.@a1_{}\n", i + 1))
+            .collect();
+        let sigma = XmlFdSet::parse(&sigma_text)
+            .unwrap()
+            .resolve(&paths)
+            .unwrap();
+        let queries: Vec<ResolvedFd> = (1..n)
+            .flat_map(|i| {
+                [
+                    XmlFd::parse(&format!("l0.l1.@a1_0 -> l0.l1.@a1_{i}")).unwrap(),
+                    XmlFd::parse(&format!("l0.l1.@a1_{i} -> l0.l1")).unwrap(),
+                ]
+            })
+            .map(|fd| fd.resolve(&paths).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("uncached", n), &queries, |b, qs| {
+            b.iter(|| {
+                let chase = Chase::new(&dtd, &paths);
+                (0..REPEATS)
+                    .map(|_| {
+                        qs.iter()
+                            .filter(|q| chase.implies(black_box(&sigma), q))
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cached", n), &queries, |b, qs| {
+            b.iter(|| {
+                let chase = Chase::new(&dtd, &paths);
+                let cache = ImplicationCache::new(&chase, &sigma);
+                (0..REPEATS)
+                    .map(|_| {
+                        qs.iter()
+                            .filter(|q| cache.implies(black_box(&sigma), q))
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+
+    // (b) The parallel anomalous-FD search, 1 vs N workers, on a chain
+    // spec whose Σ makes every attribute a candidate.
+    {
+        let n = 24usize;
+        let dtd = chain_dtd(2, n);
+        let sigma_text: String = (0..n - 1)
+            .map(|i| format!("l0.l1.@a1_{i} -> l0.l1.@a1_{}\n", i + 1))
+            .collect();
+        let sigma = XmlFdSet::parse(&sigma_text).unwrap();
+        let baseline = anomalous_fds_threaded(&dtd, &sigma, 1).unwrap();
+        for threads in [1usize, 2, 4] {
+            assert_eq!(
+                anomalous_fds_threaded(&dtd, &sigma, threads).unwrap(),
+                baseline
+            );
+            group.bench_with_input(
+                BenchmarkId::new("search_chain24_threads", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        anomalous_fds_threaded(black_box(&dtd), black_box(&sigma), threads).unwrap()
+                    })
+                },
+            );
+        }
+    }
+
+    // (c) Full normalization of the paper's Fig. 1 / Fig. 5 specs with
+    // the cached loop, sequential vs parallel search.
+    for (name, dtd, fds) in [
+        (
+            "normalize_university_threads",
+            university_dtd(),
+            xnf_core::fd::UNIVERSITY_FDS,
+        ),
+        ("normalize_dblp_threads", dblp_dtd(), xnf_core::fd::DBLP_FDS),
+    ] {
+        let sigma = XmlFdSet::parse(fds).unwrap();
+        for threads in [1usize, 4] {
+            let options = NormalizeOptions {
+                threads,
+                ..NormalizeOptions::default()
+            };
+            group.bench_with_input(BenchmarkId::new(name, threads), &options, |b, options| {
+                b.iter(|| normalize(black_box(&dtd), black_box(&sigma), options).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     exp1_university,
@@ -477,6 +673,7 @@ criterion_group!(
     exp11_xnf_check,
     exp12_lossless,
     exp13_ablation,
-    exp14_fd_check
+    exp14_fd_check,
+    exp15_implication_cache
 );
 criterion_main!(benches);

@@ -70,7 +70,10 @@ fn fig2() {
     let (dtd, doc, _) = university();
     let paths = dtd.paths().expect("non-recursive");
     let tuples = tuples_d(&doc, &dtd, &paths).expect("compatible");
-    println!("tuples_D(T) has {} maximal tree tuples; the Figure 2 tuple:", tuples.len());
+    println!(
+        "tuples_D(T) has {} maximal tree tuples; the Figure 2 tuple:",
+        tuples.len()
+    );
     let cno = paths.resolve_str("courses.course.@cno").unwrap();
     let sno = paths
         .resolve_str("courses.course.taken_by.student.@sno")
@@ -106,11 +109,17 @@ fn fig3() {
         [vec![
             NestedTuple::new(
                 ["Texas"],
-                [vec![NestedTuple::leaf(["Houston"]), NestedTuple::leaf(["Dallas"])]],
+                [vec![
+                    NestedTuple::leaf(["Houston"]),
+                    NestedTuple::leaf(["Dallas"]),
+                ]],
             ),
             NestedTuple::new(
                 ["Ohio"],
-                [vec![NestedTuple::leaf(["Columbus"]), NestedTuple::leaf(["Cleveland"])]],
+                [vec![
+                    NestedTuple::leaf(["Columbus"]),
+                    NestedTuple::leaf(["Cleveland"]),
+                ]],
             ),
         ]],
     )];
@@ -161,7 +170,10 @@ fn fig4() {
         let dtd = xnf_dtd::parse_dtd(dtd_text).expect("DTD parses");
         let sigma = XmlFdSet::parse(fds).expect("FDs parse");
         let r = normalize(&dtd, &sigma, &NormalizeOptions::default()).expect("normalizes");
-        println!("-- {name}: |AP| trace {:?} (Proposition 6: strictly decreasing) --", r.ap_trace);
+        println!(
+            "-- {name}: |AP| trace {:?} (Proposition 6: strictly decreasing) --",
+            r.ap_trace
+        );
         for s in &r.steps {
             println!("   {s:?}");
         }

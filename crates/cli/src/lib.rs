@@ -10,7 +10,7 @@
 //! xnf-tool check      <dtd> <xml> <fds>      # conformance + per-FD satisfaction
 //! xnf-tool implies    <dtd> <fds> <fd…>      # (D,Σ) ⊢ φ, with witness on refutation
 //! xnf-tool is-xnf     <dtd> <fds>            # XNF test, listing anomalous FDs
-//! xnf-tool normalize  <dtd> <fds> [--sigma-only] [--doc <xml>]
+//! xnf-tool normalize  <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] [--threads <n>]
 //!                                            # run the Figure 4 algorithm
 //! xnf-tool keys       <dtd> <fds> <elem-path> [max-size]
 //!                                            # discover minimal (relative) keys
@@ -25,11 +25,11 @@
 
 use std::fmt;
 use std::fs;
+use xnf_core::implication::{CounterexampleSearch, Implication};
 use xnf_core::lossless::{transform_document, verify_lossless};
 use xnf_core::{normalize, NormalizeOptions, XmlFd, XmlFdSet};
 use xnf_dtd::classify::{DtdClass, DtdShapes};
 use xnf_dtd::Dtd;
-use xnf_core::implication::{CounterexampleSearch, Implication};
 
 /// CLI errors: usage problems, I/O, or any library error.
 #[derive(Debug)]
@@ -88,8 +88,7 @@ fn load_xml(path: &str) -> Result<xnf_xml::XmlTree, CliError> {
     Ok(xnf_xml::parse(&read(path)?)?)
 }
 
-const USAGE: &str =
-    "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|normalize|keys|mvd> …";
+const USAGE: &str = "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|normalize|keys|mvd> …";
 
 /// Runs one CLI invocation (without the program name) and returns the
 /// output text.
@@ -201,22 +200,33 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "normalize" => {
             if args.len() < 3 {
                 return Err(CliError::Usage(
-                    "xnf-tool normalize <dtd> <fds> [--sigma-only] [--doc <xml>]".into(),
+                    "xnf-tool normalize <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] [--threads <n>]".into(),
                 ));
             }
             let dtd = load_dtd(&args[1])?;
             let sigma = load_fds(&args[2])?;
             let mut options = NormalizeOptions::default();
             let mut doc_path: Option<&str> = None;
+            let mut show_stats = false;
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
                     "--sigma-only" => options.use_implication = false,
+                    "--stats" => show_stats = true,
+                    "--threads" => {
+                        i += 1;
+                        options.threads =
+                            args.get(i).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                                CliError::Usage("--threads needs a number (0 = all cores)".into())
+                            })?;
+                    }
                     "--doc" => {
                         i += 1;
-                        doc_path = Some(args.get(i).map(String::as_str).ok_or_else(|| {
-                            CliError::Usage("--doc needs a file".into())
-                        })?);
+                        doc_path = Some(
+                            args.get(i)
+                                .map(String::as_str)
+                                .ok_or_else(|| CliError::Usage("--doc needs a file".into()))?,
+                        );
                     }
                     other => {
                         return Err(CliError::Usage(format!("unknown flag `{other}`")));
@@ -231,6 +241,33 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             writeln!(out, "=== revised DTD ===\n{}", result.dtd).expect("string write");
             writeln!(out, "=== revised FDs ===\n{}", result.sigma).expect("string write");
+            if show_stats {
+                let s = &result.stats;
+                let c = &s.chase;
+                let queries = c.cache_hits + c.cache_misses;
+                let hit_rate = if queries == 0 {
+                    0.0
+                } else {
+                    100.0 * c.cache_hits as f64 / queries as f64
+                };
+                writeln!(out, "=== stats ===").expect("string write");
+                writeln!(out, "iterations:        {}", s.iterations).expect("string write");
+                writeln!(out, "chase runs:        {}", c.runs).expect("string write");
+                writeln!(out, "rule firings:      {}", c.rule_firings).expect("string write");
+                writeln!(out, "ternary flips:     {}", c.ternary_flips).expect("string write");
+                writeln!(
+                    out,
+                    "implication cache: {} hits / {} misses ({hit_rate:.1}% hit rate)",
+                    c.cache_hits, c.cache_misses
+                )
+                .expect("string write");
+                writeln!(
+                    out,
+                    "wall time:         search {:?}, decide {:?}, guards {:?}, apply {:?}",
+                    s.search_time, s.decide_time, s.guard_time, s.apply_time
+                )
+                .expect("string write");
+            }
             if let Some(doc_path) = doc_path {
                 let tree = load_xml(doc_path)?;
                 let transformed = transform_document(&dtd, &result, &tree)?;
@@ -258,7 +295,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .map_err(|e: xnf_dtd::DtdError| CliError::Lib(e.to_string()))?;
             let max_size: usize = args
                 .get(4)
-                .map(|s| s.parse().map_err(|_| CliError::Usage("max-size must be a number".into())))
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| CliError::Usage("max-size must be a number".into()))
+                })
                 .transpose()?
                 .unwrap_or(2);
             let keys = xnf_core::keys::find_keys(&dtd, &sigma, &target, max_size)?;
@@ -289,7 +329,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             writeln!(out, "usage: {USAGE}").expect("string write");
         }
         other => {
-            return Err(CliError::Usage(format!("unknown command `{other}`; {USAGE}")));
+            return Err(CliError::Usage(format!(
+                "unknown command `{other}`; {USAGE}"
+            )));
         }
     }
     Ok(out)
@@ -298,10 +340,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
 
     fn write_tmp(name: &str, content: &str) -> String {
-        let mut p = PathBuf::from(std::env::temp_dir());
+        let mut p = std::env::temp_dir();
         p.push("xnf-cli-tests");
         std::fs::create_dir_all(&p).unwrap();
         p.push(name);
@@ -358,6 +399,22 @@ db.conf.issue -> db.conf.issue.inproceedings.@year";
         let out = run_ok(&["normalize", &dtd, &fds]);
         assert!(out.contains("MoveAttribute"));
         assert!(out.contains("<!ATTLIST issue\n    year CDATA #REQUIRED>"));
+    }
+
+    #[test]
+    fn normalize_stats_and_threads_flags() {
+        let dtd = write_tmp("d4s.dtd", DBLP_DTD);
+        let fds = write_tmp("d4s.fds", DBLP_FDS);
+        let plain = run_ok(&["normalize", &dtd, &fds]);
+        let out = run_ok(&["normalize", &dtd, &fds, "--stats", "--threads", "2"]);
+        assert!(out.contains("=== stats ==="));
+        assert!(out.contains("chase runs:"));
+        assert!(out.contains("implication cache:"));
+        assert!(out.contains("% hit rate"));
+        // The stats block is purely additive, and threads never change
+        // the revised design.
+        assert!(out.starts_with(&plain));
+        assert!(!plain.contains("=== stats ==="));
     }
 
     #[test]
@@ -449,7 +506,9 @@ db.conf.issue -> db.conf.issue.inproceedings.@year";
 
     #[test]
     fn keys_discovers_relative_key() {
-        let dtd = write_tmp("d9.dtd", "<!ELEMENT courses (course*)>
+        let dtd = write_tmp(
+            "d9.dtd",
+            "<!ELEMENT courses (course*)>
 <!ELEMENT course (title, taken_by)>
 <!ATTLIST course cno CDATA #REQUIRED>
 <!ELEMENT title (#PCDATA)>
@@ -457,9 +516,13 @@ db.conf.issue -> db.conf.issue.inproceedings.@year";
 <!ELEMENT student (name, grade)>
 <!ATTLIST student sno CDATA #REQUIRED>
 <!ELEMENT name (#PCDATA)>
-<!ELEMENT grade (#PCDATA)>");
-        let fds = write_tmp("d9.fds", "courses.course.@cno -> courses.course
-courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student");
+<!ELEMENT grade (#PCDATA)>",
+        );
+        let fds = write_tmp(
+            "d9.fds",
+            "courses.course.@cno -> courses.course
+courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student",
+        );
         let out = run_ok(&["keys", &dtd, &fds, "courses.course.taken_by.student", "2"]);
         assert!(out.contains(
             "{courses.course, courses.course.taken_by.student.@sno} -> courses.course.taken_by.student"
@@ -470,7 +533,9 @@ courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.
 
     #[test]
     fn mvd_command_checks_swap_semantics() {
-        let dtd = write_tmp("d10.dtd", "<!ELEMENT courses (course*)>
+        let dtd = write_tmp(
+            "d10.dtd",
+            "<!ELEMENT courses (course*)>
 <!ELEMENT course (title, taken_by)>
 <!ATTLIST course cno CDATA #REQUIRED>
 <!ELEMENT title (#PCDATA)>
@@ -478,7 +543,8 @@ courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.
 <!ELEMENT student (name, grade)>
 <!ATTLIST student sno CDATA #REQUIRED>
 <!ELEMENT name (#PCDATA)>
-<!ELEMENT grade (#PCDATA)>");
+<!ELEMENT grade (#PCDATA)>",
+        );
         let xml = write_tmp(
             "d10.xml",
             r#"<courses><course cno="c1"><title>T</title><taken_by>

@@ -25,8 +25,7 @@ pub fn relational_to_dtd(schema: &RelSchema) -> Result<Dtd> {
 /// the duplicate-avoidance key `{db.G.@A₁, …, db.G.@Aₙ} → db.G`.
 pub fn relational_fds_to_xml(schema: &RelSchema, fds: &FdSet) -> Result<XmlFdSet> {
     let g_path = Path::root("db").child_elem(schema.name());
-    let attr_path =
-        |i: usize| -> Path { g_path.child_attr(schema.attrs()[i].as_str()) };
+    let attr_path = |i: usize| -> Path { g_path.child_attr(schema.attrs()[i].as_str()) };
     let mut out = Vec::new();
     for fd in fds.iter() {
         let lhs: Vec<Path> = fd.lhs.iter().map(attr_path).collect();
@@ -66,11 +65,7 @@ pub fn relation_to_tree(schema: &RelSchema, rel: &Relation) -> Result<XmlTree> {
 /// root is a fresh `db` with `P(db) = G₁*`.
 pub fn nested_to_dtd(schema: &NestedSchema) -> Result<Dtd> {
     fn declare(b: xnf_dtd::DtdBuilder, s: &NestedSchema) -> xnf_dtd::DtdBuilder {
-        let content = Regex::seq(
-            s.children()
-                .iter()
-                .map(|c| Regex::elem(c.name()).star()),
-        );
+        let content = Regex::seq(s.children().iter().map(|c| Regex::elem(c.name()).star()));
         let mut b = b.elem_attrs(s.name(), content, s.atomic().iter().cloned());
         for c in s.children() {
             b = declare(b, c);
@@ -105,11 +100,7 @@ pub fn nested_path(schema: &NestedSchema, target: &str) -> Option<Path> {
 /// via `path(·)`, plus the PNF-enforcing FDs — for each subschema `Gᵢ`
 /// with parent `Gⱼ`, `{path(Gⱼ)} ∪ {path(A) : A atomic in Gᵢ} → path(Gᵢ)`,
 /// and for the root schema `{path(B) : B atomic in G₁} → path(G₁)`.
-pub fn nested_fds_to_xml(
-    schema: &NestedSchema,
-    flat: &RelSchema,
-    fds: &FdSet,
-) -> Result<XmlFdSet> {
+pub fn nested_fds_to_xml(schema: &NestedSchema, flat: &RelSchema, fds: &FdSet) -> Result<XmlFdSet> {
     let path_of = |attr: &str| -> Result<Path> {
         nested_path(schema, attr).ok_or_else(|| {
             crate::CoreError::BadFdPath(format!("attribute `{attr}` is not in the schema"))
@@ -156,16 +147,8 @@ pub fn nested_fds_to_xml(
 
 /// Codes a nested relation instance as a document conforming to
 /// [`nested_to_dtd`].
-pub fn nested_instance_to_tree(
-    schema: &NestedSchema,
-    tuples: &[NestedTuple],
-) -> Result<XmlTree> {
-    fn emit(
-        tree: &mut XmlTree,
-        parent: xnf_xml::NodeId,
-        schema: &NestedSchema,
-        t: &NestedTuple,
-    ) {
+pub fn nested_instance_to_tree(schema: &NestedSchema, tuples: &[NestedTuple]) -> Result<XmlTree> {
+    fn emit(tree: &mut XmlTree, parent: xnf_xml::NodeId, schema: &NestedSchema, t: &NestedTuple) {
         let node = tree.add_child(parent, schema.name());
         for (attr, value) in schema.atomic().iter().zip(&t.atomic) {
             tree.set_attr(node, attr.as_str(), value.clone());
@@ -189,8 +172,8 @@ mod tests {
     use super::*;
     use crate::xnf::is_xnf;
     use xnf_relational::bcnf::is_bcnf;
-    use xnf_relational::fd::Fd;
     use xnf_relational::fd::AttrSet;
+    use xnf_relational::fd::Fd;
     use xnf_relational::nested::{is_nnf, unnest};
 
     fn s(ixs: &[usize]) -> AttrSet {
@@ -231,10 +214,7 @@ mod tests {
                     for l2 in &singles {
                         for r2 in &singles {
                             if l2 != r2 {
-                                cases.push(FdSet::from_fds([
-                                    Fd::new(*l, *r),
-                                    Fd::new(*l2, *r2),
-                                ]));
+                                cases.push(FdSet::from_fds([Fd::new(*l, *r), Fd::new(*l2, *r2)]));
                             }
                         }
                     }
@@ -310,10 +290,7 @@ mod tests {
     #[test]
     fn nested_paths_match_paper() {
         let schema = figure3_schema();
-        assert_eq!(
-            nested_path(&schema, "H2").unwrap().to_string(),
-            "db.H1.H2"
-        );
+        assert_eq!(nested_path(&schema, "H2").unwrap().to_string(), "db.H1.H2");
         assert_eq!(
             nested_path(&schema, "City").unwrap().to_string(),
             "db.H1.H2.H3.@City"
@@ -330,8 +307,7 @@ mod tests {
         let rendered: Vec<String> = xml_fds.iter().map(|f| f.to_string()).collect();
         assert!(rendered.contains(&"db.H1.@Country -> db.H1".to_string()));
         assert!(rendered.contains(&"db.H1, db.H1.H2.@State -> db.H1.H2".to_string()));
-        assert!(rendered
-            .contains(&"db.H1.H2, db.H1.H2.H3.@City -> db.H1.H2.H3".to_string()));
+        assert!(rendered.contains(&"db.H1.H2, db.H1.H2.H3.@City -> db.H1.H2.H3".to_string()));
         assert_eq!(xml_fds.len(), 3);
     }
 
@@ -352,10 +328,12 @@ mod tests {
                 let xml_fds = nested_fds_to_xml(&schema, &flat, &fds).unwrap();
                 let xnf = is_xnf(&dtd, &xml_fds).unwrap();
                 assert_eq!(
-                    nnf, xnf,
+                    nnf,
+                    xnf,
                     "Proposition 5 violated for A{l} -> A{r} \
                      ({} -> {})",
-                    flat.attrs()[l], flat.attrs()[r]
+                    flat.attrs()[l],
+                    flat.attrs()[r]
                 );
             }
         }

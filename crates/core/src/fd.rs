@@ -113,9 +113,9 @@ impl FromStr for XmlFd {
     type Err = CoreError;
 
     fn from_str(s: &str) -> Result<XmlFd> {
-        let (lhs, rhs) = s.split_once("->").ok_or_else(|| {
-            CoreError::BadFdPath(format!("`{s}` has no `->`"))
-        })?;
+        let (lhs, rhs) = s
+            .split_once("->")
+            .ok_or_else(|| CoreError::BadFdPath(format!("`{s}` has no `->`")))?;
         let parse_side = |side: &str| -> Result<Vec<Path>> {
             side.split(',')
                 .map(str::trim)
@@ -292,7 +292,7 @@ db.conf.issue -> db.conf.issue.inproceedings.@year";
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fixtures::{dblp_dtd, dblp_doc, figure_1a, university_dtd};
+    use crate::fixtures::{dblp_doc, dblp_dtd, figure_1a, university_dtd};
 
     #[test]
     fn parse_and_display_roundtrip() {

@@ -24,8 +24,73 @@
 use crate::fd::ResolvedFd;
 use crate::implication::Implication;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use xnf_dtd::classify::{classify_content, letter_bounds, Factor, SimpleContent};
 use xnf_dtd::{ContentModel, Dtd, PathId, PathSet, Step};
+
+/// Instrumentation counters for the implication machinery.
+///
+/// The counters live on the [`Chase`] (and are shared by any
+/// [`ImplicationCache`](crate::implication::ImplicationCache) wrapping
+/// it), use relaxed atomics so a `&Chase` can be queried from the
+/// parallel anomalous-FD search workers, and are purely observational —
+/// no verdict depends on them.
+#[derive(Debug, Default)]
+pub struct ChaseStats {
+    /// Single-RHS chase runs started (one per `run_single`).
+    pub runs: AtomicU64,
+    /// FD-rule firings that derived at least one new fact.
+    pub rule_firings: AtomicU64,
+    /// Ternary-state flips: `Unknown → True/False` transitions of an
+    /// `n₁`/`n₂`/`eq` fact.
+    pub ternary_flips: AtomicU64,
+    /// Memoized verdicts served by a wrapping `ImplicationCache`.
+    pub cache_hits: AtomicU64,
+    /// Cache misses (each one cost a real chase run).
+    pub cache_misses: AtomicU64,
+}
+
+/// A plain-integer copy of [`ChaseStats`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaseStatsSnapshot {
+    /// See [`ChaseStats::runs`].
+    pub runs: u64,
+    /// See [`ChaseStats::rule_firings`].
+    pub rule_firings: u64,
+    /// See [`ChaseStats::ternary_flips`].
+    pub ternary_flips: u64,
+    /// See [`ChaseStats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`ChaseStats::cache_misses`].
+    pub cache_misses: u64,
+}
+
+impl ChaseStats {
+    /// Reads all counters (relaxed; exact once the workers are joined).
+    pub fn snapshot(&self) -> ChaseStatsSnapshot {
+        ChaseStatsSnapshot {
+            runs: self.runs.load(Ordering::Relaxed),
+            rule_firings: self.rule_firings.load(Ordering::Relaxed),
+            ternary_flips: self.ternary_flips.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl std::ops::AddAssign for ChaseStatsSnapshot {
+    fn add_assign(&mut self, rhs: ChaseStatsSnapshot) {
+        self.runs += rhs.runs;
+        self.rule_firings += rhs.rule_firings;
+        self.ternary_flips += rhs.ternary_flips;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+    }
+}
 
 /// A three-valued truth value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +200,7 @@ pub struct Chase<'a> {
     facts: Vec<PathFacts>,
     groups: Vec<Group>,
     config: ChaseConfig,
+    stats: ChaseStats,
 }
 
 /// The outcome of one chase run.
@@ -180,9 +246,11 @@ impl<'a> Chase<'a> {
                 continue;
             };
             let child_of = |name: &str| -> Option<PathId> {
-                paths.children_of(p).iter().copied().find(|&cp| {
-                    matches!(paths.step(cp), Step::Elem(n) if &**n == name)
-                })
+                paths
+                    .children_of(p)
+                    .iter()
+                    .copied()
+                    .find(|&cp| matches!(paths.step(cp), Step::Elem(n) if &**n == name))
             };
             match classify_content(content) {
                 Some(SimpleContent::Factors(factors)) => {
@@ -242,7 +310,14 @@ impl<'a> Chase<'a> {
             facts,
             groups,
             config,
+            stats: ChaseStats::default(),
         }
+    }
+
+    /// The instrumentation counters of this engine (shared with any
+    /// wrapping cache).
+    pub fn stats(&self) -> &ChaseStats {
+        &self.stats
     }
 
     /// Runs the chase for `(Σ, S → q)` and returns the outcome.
@@ -264,6 +339,7 @@ impl<'a> Chase<'a> {
     }
 
     fn run_single(&self, sigma: &[ResolvedFd], lhs: &[PathId], q: PathId) -> ChaseOutcome {
+        ChaseStats::bump(&self.stats.runs);
         let mut session = self.session();
         if !session.assume_goal(sigma, lhs, q) {
             return ChaseOutcome::Implied;
@@ -404,9 +480,11 @@ impl<'c, 'a> Session<'c, 'a> {
             // equal, or alignable by a zone swap. What blocks the firing
             // is then only an open null-status, which is exactly what a
             // presence split resolves.
-            if !fd.lhs.iter().all(|&l| {
-                self.state[l.index()].eq == Ternary::True || self.zone_root(l).is_some()
-            }) {
+            if !fd
+                .lhs
+                .iter()
+                .all(|&l| self.state[l.index()].eq == Ternary::True || self.zone_root(l).is_some())
+            {
                 continue;
             }
             if !fd
@@ -448,6 +526,7 @@ impl Session<'_, '_> {
             return;
         }
         *slot = v;
+        ChaseStats::bump(&self.chase.stats.ternary_flips);
         self.queue.push_back((p, FactKind::Null(i)));
     }
 
@@ -462,6 +541,7 @@ impl Session<'_, '_> {
             return;
         }
         *slot = v;
+        ChaseStats::bump(&self.chase.stats.ternary_flips);
         self.queue.push_back((p, FactKind::Eq));
     }
 
@@ -539,10 +619,7 @@ impl Session<'_, '_> {
                 }
             }
             for &r in &fd.rhs {
-                if zones
-                    .iter()
-                    .any(|&z| self.chase.paths.is_prefix(z, r))
-                {
+                if zones.iter().any(|&z| self.chase.paths.is_prefix(z, r)) {
                     continue; // conclusion lives inside a swapped zone
                 }
                 if self.state[r.index()].eq != Ternary::True {
@@ -592,6 +669,9 @@ impl Session<'_, '_> {
                 // direct contradiction.
                 self.contradiction = true;
             }
+        }
+        if progressed {
+            ChaseStats::bump(&self.chase.stats.rule_firings);
         }
         progressed
     }
@@ -878,7 +958,10 @@ mod tests {
 
     fn implies(dtd: &Dtd, sigma_text: &str, fd_text: &str) -> bool {
         let paths = dtd.paths().unwrap();
-        let sigma = XmlFdSet::parse(sigma_text).unwrap().resolve(&paths).unwrap();
+        let sigma = XmlFdSet::parse(sigma_text)
+            .unwrap()
+            .resolve(&paths)
+            .unwrap();
         let fd = XmlFd::parse(fd_text).unwrap().resolve(&paths).unwrap();
         let chase = Chase::new(dtd, &paths);
         chase.implies(&sigma, &fd)
@@ -888,8 +971,16 @@ mod tests {
     fn trivial_prefix_fds() {
         // (D, ∅) ⊢ p → p' for element paths and their prefixes.
         let d = university_dtd();
-        assert!(implies(&d, "", "courses.course.taken_by.student -> courses.course"));
-        assert!(implies(&d, "", "courses.course.taken_by.student -> courses"));
+        assert!(implies(
+            &d,
+            "",
+            "courses.course.taken_by.student -> courses.course"
+        ));
+        assert!(implies(
+            &d,
+            "",
+            "courses.course.taken_by.student -> courses"
+        ));
         assert!(implies(&d, "", "courses.course -> courses.course"));
     }
 
@@ -904,11 +995,7 @@ mod tests {
             "courses.course.taken_by.student -> courses.course.taken_by.student.@sno"
         ));
         // …and p → p.c.S through a functional (multiplicity-one) child.
-        assert!(implies(
-            &d,
-            "",
-            "courses.course -> courses.course.title.S"
-        ));
+        assert!(implies(&d, "", "courses.course -> courses.course.title.S"));
     }
 
     #[test]
@@ -1033,11 +1120,7 @@ mod tests {
         assert!(!implies(&d, "", "r.e.a.@x -> r.e.a"));
         assert!(!implies(&d, "", "r.e.a.@x -> r.e"));
         // If @x is declared a key for e, the exclusion composes.
-        assert!(implies(
-            &d,
-            "r.e.a.@x -> r.e",
-            "r.e.a.@x -> r.e.b.@y"
-        ));
+        assert!(implies(&d, "r.e.a.@x -> r.e", "r.e.a.@x -> r.e.b.@y"));
     }
 
     #[test]
@@ -1107,7 +1190,10 @@ mod tests {
         assert!(ablated(&d, ChaseConfig::default(), sigma, fd));
         assert!(!ablated(
             &d,
-            ChaseConfig { swap_rule: false, ..ChaseConfig::default() },
+            ChaseConfig {
+                swap_rule: false,
+                ..ChaseConfig::default()
+            },
             sigma,
             fd
         ));

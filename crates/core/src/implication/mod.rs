@@ -19,10 +19,14 @@
 //!   literal coNP upper bound of Theorem 5 and is what the `exp10` bench
 //!   measures.
 
+pub mod cache;
 pub mod chase;
 pub mod search;
 
-pub use chase::{Chase, ChaseConfig, ChaseOutcome, PairState, Session, Ternary};
+pub use cache::ImplicationCache;
+pub use chase::{
+    Chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseStatsSnapshot, PairState, Session, Ternary,
+};
 pub use search::{Counterexample, CounterexampleSearch};
 
 use crate::fd::ResolvedFd;

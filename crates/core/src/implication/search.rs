@@ -79,8 +79,7 @@ impl<'a> CounterexampleSearch<'a> {
                 // premise and goal is materialized): it triggers the
                 // fewest Σ-FDs. Fall back to the maximal witness.
                 for maximal in [false, true] {
-                    if let Some(tree) =
-                        self.construct(sigma, &single.lhs, q, &|_, _| None, maximal)
+                    if let Some(tree) = self.construct(sigma, &single.lhs, q, &|_, _| None, maximal)
                     {
                         if self.verify(&tree, sigma, &single) {
                             return Some(Counterexample { tree });
@@ -135,9 +134,7 @@ impl<'a> CounterexampleSearch<'a> {
                     None
                 };
                 for maximal in [false, true] {
-                    if let Some(tree) =
-                        self.construct(sigma, &single.lhs, q, &overrides, maximal)
-                    {
+                    if let Some(tree) = self.construct(sigma, &single.lhs, q, &overrides, maximal) {
                         if self.verify(&tree, sigma, &single) {
                             return Some(Counterexample { tree });
                         }
@@ -232,16 +229,13 @@ impl<'a> CounterexampleSearch<'a> {
                         // member the chase already forced, or the first
                         // that can be assumed non-null without
                         // contradiction.
-                        let pinned = group_override(side, key)
-                            .and_then(|ix| members.get(ix).copied());
+                        let pinned =
+                            group_override(side, key).and_then(|ix| members.get(ix).copied());
                         let forced = members
                             .iter()
                             .copied()
                             .find(|&m| sess.get(m).n(side) == Ternary::False);
-                        let spine_member = members
-                            .iter()
-                            .copied()
-                            .find(|&m| spine[m.index()]);
+                        let spine_member = members.iter().copied().find(|&m| spine[m.index()]);
                         let mut chosen: Option<PathId> = None;
                         let mut candidates: Vec<PathId> = match (pinned, forced) {
                             (_, Some(f)) => vec![f],
@@ -325,10 +319,7 @@ impl<'a> CounterexampleSearch<'a> {
                 continue;
             }
             let st = sess.get(p);
-            if st.eq != Ternary::Unknown
-                || st.n1 != Ternary::False
-                || st.n2 != Ternary::False
-            {
+            if st.eq != Ternary::Unknown || st.n1 != Ternary::False || st.n2 != Ternary::False {
                 continue;
             }
             let snapshot = sess.clone();
@@ -453,15 +444,25 @@ mod tests {
     #[test]
     fn university_witnesses() {
         let d = university_dtd();
-        check(&d, UNIVERSITY_FDS,
+        check(
+            &d,
+            UNIVERSITY_FDS,
             "courses.course.taken_by.student.@sno -> courses.course.taken_by.student",
-            false);
-        check(&d, UNIVERSITY_FDS,
+            false,
+        );
+        check(
+            &d,
+            UNIVERSITY_FDS,
             "courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S",
-            true);
+            true,
+        );
         check(&d, "", "courses.course.@cno -> courses.course", false);
-        check(&d, "courses.course.@cno -> courses.course",
-            "courses.course.@cno -> courses.course.title.S", true);
+        check(
+            &d,
+            "courses.course.@cno -> courses.course",
+            "courses.course.@cno -> courses.course.title.S",
+            true,
+        );
         check(&d, "", "courses -> courses.course", false);
         check(&d, "", "courses.course -> courses.course.title.S", true);
     }
@@ -469,9 +470,18 @@ mod tests {
     #[test]
     fn dblp_witnesses() {
         let d = dblp_dtd();
-        check(&d, DBLP_FDS, "db.conf.issue -> db.conf.issue.inproceedings", false);
-        check(&d, DBLP_FDS,
-            "db.conf.issue -> db.conf.issue.inproceedings.@year", true);
+        check(
+            &d,
+            DBLP_FDS,
+            "db.conf.issue -> db.conf.issue.inproceedings",
+            false,
+        );
+        check(
+            &d,
+            DBLP_FDS,
+            "db.conf.issue -> db.conf.issue.inproceedings.@year",
+            true,
+        );
         check(&d, "", "db.conf.title.S -> db.conf", false);
         check(&d, DBLP_FDS, "db.conf.title.S -> db.conf", true);
     }
@@ -504,12 +514,11 @@ mod tests {
             .unwrap()
             .resolve(&paths)
             .unwrap();
-        let fd = XmlFd::parse(
-            "courses.course.taken_by.student.@sno -> courses.course.taken_by.student",
-        )
-        .unwrap()
-        .resolve(&paths)
-        .unwrap();
+        let fd =
+            XmlFd::parse("courses.course.taken_by.student.@sno -> courses.course.taken_by.student")
+                .unwrap()
+                .resolve(&paths)
+                .unwrap();
         let search = CounterexampleSearch::new(&d, &paths);
         assert!(search.find(&sigma, &fd).is_some());
         assert!(search.find_exhaustive(&sigma, &fd, 10_000).is_some());

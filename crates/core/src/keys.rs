@@ -46,12 +46,7 @@ impl std::fmt::Display for Key {
 }
 
 /// Whether `S → target` is implied by `(D, Σ)` — the absolute-key test.
-pub fn is_key(
-    dtd: &Dtd,
-    sigma: &XmlFdSet,
-    key_paths: &[Path],
-    target: &Path,
-) -> Result<bool> {
+pub fn is_key(dtd: &Dtd, sigma: &XmlFdSet, key_paths: &[Path], target: &Path) -> Result<bool> {
     let paths = dtd.paths()?;
     let chase = Chase::new(dtd, &paths);
     let resolved = sigma.resolve(&paths)?;
@@ -77,12 +72,7 @@ pub fn is_key(
 /// Exponential in `max_size` (subset search) — intended for the
 /// schema-design workloads of this library, where attribute counts are
 /// small.
-pub fn find_keys(
-    dtd: &Dtd,
-    sigma: &XmlFdSet,
-    target: &Path,
-    max_size: usize,
-) -> Result<Vec<Key>> {
+pub fn find_keys(dtd: &Dtd, sigma: &XmlFdSet, target: &Path, max_size: usize) -> Result<Vec<Key>> {
     let paths = dtd.paths()?;
     let chase = Chase::new(dtd, &paths);
     let resolved = sigma.resolve(&paths)?;
@@ -128,10 +118,10 @@ pub fn find_keys(
                 .map(|b| pool[b])
                 .collect();
             // Minimality within the same anchor (or a weaker one).
-            if found.iter().any(|(a, s)| {
-                (a.is_none() || *a == anchor)
-                    && s.iter().all(|x| subset.contains(x))
-            }) {
+            if found
+                .iter()
+                .any(|(a, s)| (a.is_none() || *a == anchor) && s.iter().all(|x| subset.contains(x)))
+            {
                 continue;
             }
             let mut lhs = subset.clone();
@@ -226,8 +216,9 @@ mod tests {
         let sigma = XmlFdSet::parse(UNIVERSITY_FDS).unwrap();
         let course_keys = find_keys(&dtd, &sigma, &p("courses.course"), 2).unwrap();
         assert!(
-            course_keys.iter().any(|k| k.relative_to.is_none()
-                && k.paths == vec![p("courses.course.@cno")]),
+            course_keys
+                .iter()
+                .any(|k| k.relative_to.is_none() && k.paths == vec![p("courses.course.@cno")]),
             "{course_keys:?}"
         );
 
@@ -241,9 +232,10 @@ mod tests {
                     p("courses.course.taken_by.student.@sno")
                 ]));
         // The relative {course; @sno} key.
-        assert!(student_keys.iter().any(|k| k.relative_to
-            == Some(p("courses.course"))
-            && k.paths == vec![p("courses.course.taken_by.student.@sno")]));
+        assert!(student_keys
+            .iter()
+            .any(|k| k.relative_to == Some(p("courses.course"))
+                && k.paths == vec![p("courses.course.taken_by.student.@sno")]));
     }
 
     #[test]
@@ -269,12 +261,6 @@ mod tests {
     #[test]
     fn non_element_target_rejected() {
         let dtd = university_dtd();
-        assert!(find_keys(
-            &dtd,
-            &XmlFdSet::new(),
-            &p("courses.course.@cno"),
-            1
-        )
-        .is_err());
+        assert!(find_keys(&dtd, &XmlFdSet::new(), &p("courses.course.@cno"), 1).is_err());
     }
 }

@@ -48,11 +48,14 @@ pub mod tuples;
 pub mod xnf;
 
 pub use crate::fd::{XmlFd, XmlFdSet};
-pub use crate::implication::{Chase, ChaseConfig, CounterexampleSearch, Implication};
-pub use crate::normalize::{normalize, NormalizeOptions, NormalizeResult, Step};
+pub use crate::implication::{
+    Chase, ChaseConfig, ChaseStats, ChaseStatsSnapshot, CounterexampleSearch, Implication,
+    ImplicationCache,
+};
+pub use crate::normalize::{normalize, NormalizeOptions, NormalizeResult, NormalizeStats, Step};
 pub use crate::tuple::TreeTuple;
 pub use crate::tuples::{trees_d, tuples_d, tuples_d_recursive, tuples_relation};
-pub use crate::xnf::{anomalous_fds, is_xnf};
+pub use crate::xnf::{anomalous_fds, anomalous_fds_threaded, is_xnf};
 
 use std::fmt;
 use xnf_dtd::DtdError;
@@ -97,17 +100,26 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Dtd(e) => write!(f, "{e}"),
             CoreError::NotCompatible => {
-                write!(f, "tree is not compatible with the DTD (paths(T) ⊄ paths(D))")
+                write!(
+                    f,
+                    "tree is not compatible with the DTD (paths(T) ⊄ paths(D))"
+                )
             }
             CoreError::InconsistentTuples(why) => {
                 write!(f, "tree tuples are not D-compatible: {why}")
             }
             CoreError::EmptyFd => write!(f, "functional dependencies need non-empty sides"),
             CoreError::RecursiveNormalization => {
-                write!(f, "the normalization algorithm requires a non-recursive DTD")
+                write!(
+                    f,
+                    "the normalization algorithm requires a non-recursive DTD"
+                )
             }
             CoreError::TooManySteps => {
-                write!(f, "normalization exceeded its step limit (internal invariant violated)")
+                write!(
+                    f,
+                    "normalization exceeded its step limit (internal invariant violated)"
+                )
             }
             CoreError::UnrepresentableNull { path } => write!(
                 f,

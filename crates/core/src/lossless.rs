@@ -65,7 +65,15 @@ fn rebuild(
     }
     let mut out = XmlTree::new(tree.label(tree.root()));
     let root = out.root();
-    copy(tree, &mut out, tree.root(), root, keep, extra_attrs, drop_attrs);
+    copy(
+        tree,
+        &mut out,
+        tree.root(),
+        root,
+        keep,
+        extra_attrs,
+        drop_attrs,
+    );
     out
 }
 
@@ -133,7 +141,10 @@ pub fn apply_step(dtd_before: &Dtd, tree: &XmlTree, step: &Step) -> Result<XmlTr
         Step::AddId { elem_path, attr } => {
             let mut extra: HashMap<NodeId, Vec<(String, String)>> = HashMap::new();
             for (i, v) in nodes_at(tree, elem_path).into_iter().enumerate() {
-                extra.entry(v).or_default().push((attr.clone(), format!("id{i}")));
+                extra
+                    .entry(v)
+                    .or_default()
+                    .push((attr.clone(), format!("id{i}")));
             }
             Ok(rebuild(tree, &|_, _| true, &extra, &HashMap::new()))
         }
@@ -195,7 +206,10 @@ pub fn apply_step(dtd_before: &Dtd, tree: &XmlTree, step: &Step) -> Result<XmlTr
                     .ok_or_else(|| xnf_dtd::DtdError::NoSuchPath(p.to_string()))
             };
             let q_id = resolve(q)?;
-            let lhs_ids: Vec<_> = lhs_attrs.iter().map(resolve).collect::<std::result::Result<_, _>>()?;
+            let lhs_ids: Vec<_> = lhs_attrs
+                .iter()
+                .map(resolve)
+                .collect::<std::result::Result<_, _>>()?;
             let value_id = resolve(value_attr)?;
             let tuples = tuples_d(tree, dtd_before, &paths)?;
             // rows[q_vert] = set of (lhs values, value).
@@ -291,10 +305,8 @@ pub fn apply_step(dtd_before: &Dtd, tree: &XmlTree, step: &Step) -> Result<XmlTr
                     for (lhs_vals, value) in sorted {
                         let tau_node = out.add_child(*dst, tau.as_str());
                         out.set_attr(tau_node, value_name.clone(), value);
-                        for ((child_name, attr_name), v) in tau_children
-                            .iter()
-                            .zip(&attr_names)
-                            .zip(&lhs_vals)
+                        for ((child_name, attr_name), v) in
+                            tau_children.iter().zip(&attr_names).zip(&lhs_vals)
                         {
                             let child = out.add_child(tau_node, child_name.as_str());
                             out.set_attr(child, attr_name.as_str(), v.as_str());
@@ -318,11 +330,11 @@ pub fn undo_step(dtd_after: &Dtd, tree: &XmlTree, step: &Step) -> Result<XmlTree
             let mut drops: HashMap<NodeId, Vec<String>> = HashMap::new();
             let mut texts: HashMap<NodeId, String> = HashMap::new();
             for v in nodes_at(tree, &parent_path) {
-                let value = tree.attr(v, attr).ok_or_else(|| {
-                    CoreError::UnrepresentableNull {
+                let value = tree
+                    .attr(v, attr)
+                    .ok_or_else(|| CoreError::UnrepresentableNull {
                         path: format!("{parent_path}.@{attr}"),
-                    }
-                })?;
+                    })?;
                 drops.entry(v).or_default().push(attr.clone());
                 texts.insert(v, value.to_string());
             }
@@ -408,10 +420,8 @@ pub fn undo_step(dtd_after: &Dtd, tree: &XmlTree, step: &Step) -> Result<XmlTree
                     if lhs_attrs.len() == 1 {
                         for &c in &tree.children_labelled(t, tau_children[0].as_str()) {
                             let key = tree.attr(c, attr_names[0].as_str()).unwrap_or("");
-                            mapping.insert(
-                                (v.index() as u64, vec![key.to_string()]),
-                                value.clone(),
-                            );
+                            mapping
+                                .insert((v.index() as u64, vec![key.to_string()]), value.clone());
                         }
                     } else {
                         let mut combo = Vec::with_capacity(tau_children.len());
@@ -493,11 +503,7 @@ pub fn undo_step(dtd_after: &Dtd, tree: &XmlTree, step: &Step) -> Result<XmlTree
 }
 
 /// Forward-applies all steps of a normalization to a document.
-pub fn transform_document(
-    dtd0: &Dtd,
-    result: &NormalizeResult,
-    tree: &XmlTree,
-) -> Result<XmlTree> {
+pub fn transform_document(dtd0: &Dtd, result: &NormalizeResult, tree: &XmlTree) -> Result<XmlTree> {
     let mut current = tree.clone();
     let mut dtd_before = dtd0.clone();
     for (step, (dtd_after, _)) in result.steps.iter().zip(&result.stages) {
@@ -508,10 +514,7 @@ pub fn transform_document(
 }
 
 /// Backward-applies all steps, reconstructing the original document.
-pub fn restore_document(
-    result: &NormalizeResult,
-    transformed: &XmlTree,
-) -> Result<XmlTree> {
+pub fn restore_document(result: &NormalizeResult, transformed: &XmlTree) -> Result<XmlTree> {
     let mut current = transformed.clone();
     for (step, (dtd_after, _)) in result.steps.iter().zip(&result.stages).rev() {
         current = undo_step(dtd_after, &current, step)?;
@@ -566,7 +569,7 @@ pub fn verify_lossless(
 mod tests {
     use super::*;
     use crate::fd::{XmlFdSet, DBLP_FDS, UNIVERSITY_FDS};
-    use crate::fixtures::{dblp_dtd, dblp_doc, figure_1a, university_dtd};
+    use crate::fixtures::{dblp_doc, dblp_dtd, figure_1a, university_dtd};
     use crate::normalize::{normalize, NormalizeOptions};
 
     #[test]

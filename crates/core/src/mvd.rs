@@ -114,12 +114,7 @@ impl std::fmt::Display for XmlMvd {
 }
 
 /// The swap check on a materialized tuple set.
-fn check_mvd(
-    tuples: &[TreeTuple],
-    lhs: &[PathId],
-    dep: &[PathId],
-    indep: &[PathId],
-) -> bool {
+fn check_mvd(tuples: &[TreeTuple], lhs: &[PathId], dep: &[PathId], indep: &[PathId]) -> bool {
     // Index the (lhs, dep, indep) projections for O(1) swap lookups.
     let project = |t: &TreeTuple, side: &[PathId]| -> Vec<xnf_relational::Value> {
         side.iter().map(|&p| t.get(p).clone()).collect()
@@ -136,11 +131,7 @@ fn check_mvd(
             if !t1.agree_on(t2, lhs) {
                 continue;
             }
-            let swapped = (
-                project(t1, lhs),
-                project(t1, dep),
-                project(t2, indep),
-            );
+            let swapped = (project(t1, lhs), project(t1, dep), project(t2, indep));
             if !index.contains(&swapped) {
                 return false;
             }

@@ -29,11 +29,12 @@
 //! minimality additionally use the chase-based implication oracle, as in
 //! the full algorithm.
 
-use crate::fd::{XmlFd, XmlFdSet};
-use crate::implication::{Chase, Implication};
-use crate::xnf::anomalous_fds_resolved;
+use crate::fd::{ResolvedFd, XmlFd, XmlFdSet};
+use crate::implication::{Chase, ChaseStatsSnapshot, Implication, ImplicationCache};
+use crate::xnf::anomalous_candidate;
 use crate::{CoreError, Result};
-use xnf_dtd::{ContentModel, Dtd, Path, PathSet, Regex, Step as PathStep};
+use std::time::{Duration, Instant};
+use xnf_dtd::{ContentModel, Dtd, Path, PathId, PathSet, Regex, Step as PathStep};
 
 /// Options controlling the decomposition algorithm.
 #[derive(Debug, Clone)]
@@ -45,6 +46,12 @@ pub struct NormalizeOptions {
     pub use_implication: bool,
     /// Safety cap on the number of transformation steps.
     pub max_steps: usize,
+    /// Worker threads for the anomalous-FD candidate search: `1` (the
+    /// default) runs sequentially, `0` uses
+    /// `std::thread::available_parallelism()`, `n > 1` uses `n` workers.
+    /// The output is byte-identical for every setting — candidates are
+    /// independent pure implication queries merged deterministically.
+    pub threads: usize,
 }
 
 impl Default for NormalizeOptions {
@@ -52,8 +59,29 @@ impl Default for NormalizeOptions {
         NormalizeOptions {
             use_implication: true,
             max_steps: 1000,
+            threads: 1,
         }
     }
+}
+
+/// Instrumentation accumulated over one [`normalize`] run (also see
+/// the `--stats` flag of the CLI).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NormalizeStats {
+    /// Implication-engine counters (chase runs, rule firings, ternary
+    /// flips, cache hits/misses) summed over all main-loop iterations.
+    pub chase: ChaseStatsSnapshot,
+    /// Main-loop iterations executed (including the final all-clear one).
+    pub iterations: u64,
+    /// Wall time in the anomalous-FD candidate search.
+    pub search_time: Duration,
+    /// Wall time deciding the action: the step-2 move checks and the
+    /// `(D,Σ)`-minimality search.
+    pub decide_time: Duration,
+    /// Wall time materializing implied guards `X → parent(q)`.
+    pub guard_time: Duration,
+    /// Wall time applying transformations and snapshotting stages.
+    pub apply_time: Duration,
 }
 
 /// One transformation applied by the algorithm, with enough detail to
@@ -117,10 +145,17 @@ pub struct NormalizeResult {
     /// vectors), used to replay the transformations on documents
     /// ([`crate::lossless`]).
     pub stages: Vec<(Dtd, XmlFdSet)>,
+    /// Instrumentation: implication-engine counters and per-phase wall
+    /// time.
+    pub stats: NormalizeStats,
 }
 
 /// Runs the XNF decomposition algorithm of Figure 4.
-pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Result<NormalizeResult> {
+pub fn normalize(
+    dtd: &Dtd,
+    sigma: &XmlFdSet,
+    options: &NormalizeOptions,
+) -> Result<NormalizeResult> {
     if dtd.is_recursive() {
         return Err(CoreError::RecursiveNormalization);
     }
@@ -161,18 +196,27 @@ pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Res
         Fold(Path),
     }
     let mut ap_trace = Vec::new();
+    let mut stats = NormalizeStats::default();
     for _ in 0..options.max_steps {
         let paths = dtd.paths()?;
-        // Decide the next action with the chase borrowing the DTD
-        // immutably; apply it afterwards.
-        let action = {
+        stats.iterations += 1;
+        // Decide the next action *and* the guards to materialize with the
+        // chase borrowing the DTD immutably; apply both afterwards. One
+        // chase + one memo serve the whole iteration: the guard pass
+        // re-asks exactly the `S → parent(q)` queries of the candidate
+        // search, so with the cache those are pure hits instead of fresh
+        // chase runs against a rebuilt engine.
+        let (action, guards) = {
             let chase = Chase::new(&dtd, &paths);
             let resolved = sigma.resolve(&paths)?;
-            let violations = anomalous_fds_resolved(&chase, &paths, &resolved);
-            let ap: std::collections::BTreeSet<_> =
-                violations.iter().map(|(_, p)| *p).collect();
+            let oracle = ImplicationCache::new(&chase, &resolved);
+            let search_start = Instant::now();
+            let violations = find_anomalous_fd(&oracle, &paths, &resolved, options.threads);
+            stats.search_time += search_start.elapsed();
+            let ap: std::collections::BTreeSet<_> = violations.iter().map(|(_, p)| *p).collect();
             ap_trace.push(ap.len());
-            if violations.is_empty() {
+            let decide_start = Instant::now();
+            let action = if violations.is_empty() {
                 Action::Done
             } else {
                 // Step 2: moving attributes, if some q ∈ S determines S.
@@ -207,7 +251,7 @@ pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Res
                                 .iter()
                                 .filter(|other| other.rhs.contains(q_attr))
                                 .all(|other| {
-                                    chase.implies(
+                                    oracle.implies(
                                         &resolved,
                                         &crate::fd::ResolvedFd::from_ids(
                                             other.lhs.iter().copied(),
@@ -216,8 +260,8 @@ pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Res
                                     )
                                 });
                             if resolves_all
-                                && chase.implies(&resolved, &q_to_s)
-                                && chase.implies(&resolved, &q_to_attr)
+                                && oracle.implies(&resolved, &q_to_s)
+                                && oracle.implies(&resolved, &q_to_attr)
                             {
                                 action = Some(Action::Move(*q_attr, q));
                                 break 'outer;
@@ -229,7 +273,7 @@ pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Res
                     // Step 3: a (D,Σ)-minimal anomalous FD.
                     let (fd, q_attr) = violations[0].clone();
                     let minimal = if options.use_implication {
-                        minimize(&chase, &paths, &resolved, fd.lhs.clone(), q_attr)
+                        minimize(&oracle, &paths, &resolved, fd.lhs.clone(), q_attr)
                     } else {
                         (fd.lhs.clone(), q_attr)
                     };
@@ -246,39 +290,47 @@ pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Res
                         None => Action::Create(minimal.0, minimal.1),
                     }
                 })
-            }
-        };
-        // Materialize the *guards* of Σ before transforming: for every
-        // FD `X → q` with a value-path RHS whose node guard
-        // `X → parent(q)` is currently implied, add the guard explicitly.
-        // Guards are in `(D,Σ)⁺`, so this never changes the constraint
-        // semantics — but it keeps shadow implications alive across the
-        // Σ-based step rewriting (the closure-based paper version keeps
-        // them implicitly), preserving Proposition 6's strict decrease of
-        // the anomalous-path set.
-        if !matches!(action, Action::Done) {
-            let chase = Chase::new(&dtd, &paths);
-            let resolved = sigma.resolve(&paths)?;
-            let mut guards: Vec<XmlFd> = Vec::new();
-            for fd in &resolved {
-                for &q in &fd.rhs {
-                    if paths.is_element_path(q) {
-                        continue;
-                    }
-                    let parent = paths.parent(q).expect("value paths have parents");
-                    let guard = crate::fd::ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
-                    if chase.is_trivial(&guard) {
-                        continue;
-                    }
-                    if chase.implies(&resolved, &guard) {
-                        guards.push(guard.to_fd(&paths));
+            };
+            stats.decide_time += decide_start.elapsed();
+            // Materialize the *guards* of Σ before transforming: for
+            // every FD `X → q` with a value-path RHS whose node guard
+            // `X → parent(q)` is currently implied, add the guard
+            // explicitly. Guards are in `(D,Σ)⁺`, so this never changes
+            // the constraint semantics — but it keeps shadow implications
+            // alive across the Σ-based step rewriting (the closure-based
+            // paper version keeps them implicitly), preserving
+            // Proposition 6's strict decrease of the anomalous-path set.
+            let guard_start = Instant::now();
+            let guards = if matches!(action, Action::Done) {
+                Vec::new()
+            } else {
+                let mut guards: Vec<XmlFd> = Vec::new();
+                for fd in &resolved {
+                    for &q in &fd.rhs {
+                        if paths.is_element_path(q) {
+                            continue;
+                        }
+                        let parent = paths.parent(q).expect("value paths have parents");
+                        let guard =
+                            crate::fd::ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
+                        if oracle.is_trivial(&guard) {
+                            continue;
+                        }
+                        if oracle.implies(&resolved, &guard) {
+                            guards.push(guard.to_fd(&paths));
+                        }
                     }
                 }
-            }
-            for g in guards {
-                sigma.push(g);
-            }
+                guards
+            };
+            stats.guard_time += guard_start.elapsed();
+            stats.chase += chase.stats().snapshot();
+            (action, guards)
+        };
+        for g in guards {
+            sigma.push(g);
         }
+        let apply_start = Instant::now();
         match action {
             Action::Done => {
                 return Ok(NormalizeResult {
@@ -287,6 +339,7 @@ pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Res
                     steps,
                     ap_trace,
                     stages,
+                    stats,
                 });
             }
             Action::Move(q_attr, q) => {
@@ -306,8 +359,65 @@ pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Res
             }
         }
         stages.push((dtd.clone(), sigma.clone()));
+        stats.apply_time += apply_start.elapsed();
     }
     Err(CoreError::TooManySteps)
+}
+
+/// The anomalous-FD candidate search driver, shared by the normalization
+/// loop above and the XNF checker ([`crate::xnf::anomalous_fds`]).
+///
+/// Enumerates the `(FD, value path)` candidates of Σ and tests each with
+/// [`anomalous_candidate`]. With `threads > 1` the items are split into
+/// contiguous chunks fanned across `std::thread::scope` workers and the
+/// per-chunk results are concatenated back in enumeration order, so the
+/// output is byte-identical to the sequential run: each candidate verdict
+/// is an independent pure implication query, and the final sort (stable,
+/// on `(path, lhs)`) + dedup sees the same multiset either way.
+/// `threads == 0` uses `std::thread::available_parallelism()`.
+pub(crate) fn find_anomalous_fd<O: Implication + Sync>(
+    oracle: &O,
+    paths: &PathSet,
+    sigma: &[ResolvedFd],
+    threads: usize,
+) -> Vec<(ResolvedFd, PathId)> {
+    let items: Vec<(&ResolvedFd, PathId)> = sigma
+        .iter()
+        .flat_map(|fd| fd.rhs.iter().map(move |&q| (fd, q)))
+        .collect();
+    let threads = match threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+    .min(items.len().max(1));
+    let mut out: Vec<(ResolvedFd, PathId)> = if threads <= 1 {
+        items
+            .iter()
+            .filter_map(|&(fd, q)| anomalous_candidate(oracle, paths, sigma, fd, q))
+            .collect()
+    } else {
+        let chunk_len = items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .filter_map(|&(fd, q)| anomalous_candidate(oracle, paths, sigma, fd, q))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("anomalous-FD search worker panicked"))
+                .collect()
+        })
+    };
+    out.sort_by(|a, b| (a.1, &a.0.lhs).cmp(&(b.1, &b.0.lhs)));
+    out.dedup();
+    out
 }
 
 /// Finds a `(D,Σ)`-minimal anomalous FD, starting from `lhs → target`
@@ -316,7 +426,7 @@ pub fn normalize(dtd: &Dtd, sigma: &XmlFdSet, options: &NormalizeOptions) -> Res
 /// element path) and whose right-hand side is one of the attribute paths
 /// involved.
 fn minimize(
-    chase: &Chase<'_>,
+    oracle: &impl Implication,
     paths: &PathSet,
     sigma: &[crate::fd::ResolvedFd],
     mut lhs: Vec<xnf_dtd::PathId>,
@@ -382,12 +492,12 @@ fn minimize(
                         continue;
                     }
                     let fd = crate::fd::ResolvedFd::from_ids(cand.clone(), [a]);
-                    if chase.is_trivial(&fd) || !chase.implies(sigma, &fd) {
+                    if oracle.is_trivial(&fd) || !oracle.implies(sigma, &fd) {
                         continue;
                     }
                     let parent = paths.parent(a).expect("attribute paths have parents");
                     let node_fd = crate::fd::ResolvedFd::from_ids(cand.clone(), [parent]);
-                    if chase.implies(sigma, &node_fd) {
+                    if oracle.implies(sigma, &node_fd) {
                         continue; // not anomalous
                     }
                     found = Some((cand, a));
@@ -436,7 +546,13 @@ fn apply_move(
         .filter_map(|fd| {
             let map = |side: &[Path]| -> Vec<Path> {
                 side.iter()
-                    .map(|pp| if *pp == from { new_path.clone() } else { pp.clone() })
+                    .map(|pp| {
+                        if *pp == from {
+                            new_path.clone()
+                        } else {
+                            pp.clone()
+                        }
+                    })
                     .collect()
             };
             let lhs = map(fd.lhs());
@@ -448,11 +564,7 @@ fn apply_move(
         })
         .collect();
     *sigma = XmlFdSet::from_fds(rewritten);
-    steps.push(Step::MoveAttribute {
-        from,
-        to,
-        new_attr,
-    });
+    steps.push(Step::MoveAttribute { from, to, new_attr });
     Ok(())
 }
 
@@ -498,20 +610,12 @@ fn apply_create(
             _ => unreachable!("filtered to attribute paths"),
         };
         let tau_i = dtd.fresh_element_name(&format!("{l_i}_ref"));
-        dtd.declare_element(
-            &tau_i,
-            ContentModel::Regex(Regex::Epsilon),
-            [l_i.clone()],
-        )?;
+        dtd.declare_element(&tau_i, ContentModel::Regex(Regex::Epsilon), [l_i.clone()])?;
         tau_children.push(tau_i);
         attr_names.push(l_i);
     }
     // Declare τ with P(τ) = τ₁*, …, τₙ* and attribute @l.
-    let tau_content = Regex::seq(
-        tau_children
-            .iter()
-            .map(|t| Regex::elem(t.as_str()).star()),
-    );
+    let tau_content = Regex::seq(tau_children.iter().map(|t| Regex::elem(t.as_str()).star()));
     dtd.declare_element(
         &tau,
         ContentModel::Regex(tau_content),
@@ -623,7 +727,9 @@ fn apply_create(
             .all(|pp| transfer(pp).is_some());
         if all_transferable {
             let map_side = |side: &[Path]| -> Vec<Path> {
-                side.iter().map(|pp| transfer(pp).expect("checked")).collect()
+                side.iter()
+                    .map(|pp| transfer(pp).expect("checked"))
+                    .collect()
             };
             let lhs2 = map_side(fd.lhs());
             let rhs2 = map_side(fd.rhs());
@@ -639,9 +745,7 @@ fn apply_create(
     // Rule 3: {q, q.τ.τ₁.@l₁, …} → q.τ and {q.τ, q.τ.τᵢ.@lᵢ} → q.τ.τᵢ.
     fds.push(XmlFd::new(key_lhs, [tau_path.clone()]).expect("non-empty"));
     for (child, attr) in new_child_paths.iter().zip(&new_attr_paths) {
-        fds.push(
-            XmlFd::new([tau_path.clone(), attr.clone()], [child.clone()]).expect("non-empty"),
-        );
+        fds.push(XmlFd::new([tau_path.clone(), attr.clone()], [child.clone()]).expect("non-empty"));
     }
     *sigma = XmlFdSet::from_fds(fds);
     steps.push(Step::CreateElement {
@@ -658,12 +762,7 @@ fn apply_create(
 /// presentation-only (e.g. to match a published figure's names). The
 /// rename also needs to be applied to any [`Step`] replay, so use it only
 /// on final results.
-pub fn rename_element(
-    dtd: &mut Dtd,
-    sigma: &mut XmlFdSet,
-    old: &str,
-    new: &str,
-) -> Result<()> {
+pub fn rename_element(dtd: &mut Dtd, sigma: &mut XmlFdSet, old: &str, new: &str) -> Result<()> {
     dtd.rename_element(old, new)?;
     let renamed: Vec<XmlFd> = sigma
         .iter()
@@ -700,9 +799,9 @@ fn fold_one_text_path(
     steps: &mut Vec<Step>,
 ) -> Result<()> {
     let elem_path = s_path.parent().expect("S paths have parents");
-    let parent_path = elem_path.parent().ok_or_else(|| {
-        CoreError::BadFdPath(format!("cannot fold the root's text ({s_path})"))
-    })?;
+    let parent_path = elem_path
+        .parent()
+        .ok_or_else(|| CoreError::BadFdPath(format!("cannot fold the root's text ({s_path})")))?;
     let elem_name = match elem_path.last() {
         PathStep::Elem(n) => n.clone(),
         _ => unreachable!("parent of S is an element"),
@@ -752,7 +851,13 @@ fn fold_one_text_path(
     for fd in fds.iter_mut() {
         let map = |side: &[Path]| -> Vec<Path> {
             side.iter()
-                .map(|p| if p == s_path { new_path.clone() } else { p.clone() })
+                .map(|p| {
+                    if p == s_path {
+                        new_path.clone()
+                    } else {
+                        p.clone()
+                    }
+                })
                 .collect()
         };
         *fd = XmlFd::new(map(fd.lhs()), map(fd.rhs())).expect("non-empty sides");
@@ -763,11 +868,7 @@ fn fold_one_text_path(
 
 /// Folds every right-hand-side `.S` path of Σ (see
 /// [`fold_one_text_path`]).
-fn fold_text_paths(
-    dtd: &mut Dtd,
-    fds: &mut [XmlFd],
-    steps: &mut Vec<Step>,
-) -> Result<()> {
+fn fold_text_paths(dtd: &mut Dtd, fds: &mut [XmlFd], steps: &mut Vec<Step>) -> Result<()> {
     loop {
         // Find an FD path ending in `.S` on a *right-hand side* (the
         // positions the transformations operate on). Left-hand `.S`
@@ -815,11 +916,7 @@ fn remove_single_occurrence(re: &Regex, name: &str) -> Option<Regex> {
 /// Ensures every FD's left-hand side has exactly one element path: adds
 /// the root when there is none (free: any two tuples share the root) and
 /// replaces extras by fresh id attributes, per Section 6.
-fn fix_lhs_element_paths(
-    dtd: &mut Dtd,
-    fds: &mut Vec<XmlFd>,
-    steps: &mut Vec<Step>,
-) -> Result<()> {
+fn fix_lhs_element_paths(dtd: &mut Dtd, fds: &mut Vec<XmlFd>, steps: &mut Vec<Step>) -> Result<()> {
     let root_path = Path::root(dtd.root_name());
     let mut i = 0;
     while i < fds.len() {
@@ -883,6 +980,45 @@ mod tests {
     use crate::fixtures::{dblp_dtd, university_dtd};
     use crate::xnf::is_xnf;
 
+    #[test]
+    fn parallel_search_matches_sequential() {
+        for (dtd, fds) in [(university_dtd(), UNIVERSITY_FDS), (dblp_dtd(), DBLP_FDS)] {
+            let sigma = XmlFdSet::parse(fds).unwrap();
+            let paths = dtd.paths().unwrap();
+            let resolved = sigma.resolve(&paths).unwrap();
+            let chase = Chase::new(&dtd, &paths);
+            let seq = find_anomalous_fd(&chase, &paths, &resolved, 1);
+            for threads in [0, 2, 3, 8] {
+                assert_eq!(
+                    find_anomalous_fd(&chase, &paths, &resolved, threads),
+                    seq,
+                    "threads={threads} must match sequential"
+                );
+            }
+            // The cache-wrapped oracle must not change the answer either,
+            // even when shared by concurrent workers.
+            let cache = ImplicationCache::new(&chase, &resolved);
+            assert_eq!(find_anomalous_fd(&cache, &paths, &resolved, 4), seq);
+            assert_eq!(find_anomalous_fd(&cache, &paths, &resolved, 1), seq);
+            assert!(chase.stats().snapshot().cache_hits > 0);
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = run(&university_dtd(), UNIVERSITY_FDS);
+        assert!(r.stats.iterations >= 1);
+        assert!(r.stats.chase.runs > 0, "implication ran");
+        assert!(
+            r.stats.chase.cache_misses > 0,
+            "each distinct query costs one miss"
+        );
+        assert!(
+            r.stats.chase.cache_hits > 0,
+            "guard pass repeats search queries, so hits are guaranteed"
+        );
+    }
+
     fn run(dtd: &Dtd, sigma_text: &str) -> NormalizeResult {
         let sigma = XmlFdSet::parse(sigma_text).unwrap();
         normalize(dtd, &sigma, &NormalizeOptions::default()).unwrap()
@@ -939,10 +1075,14 @@ mod tests {
         let content = r.dtd.content(courses).as_regex().unwrap().to_string();
         assert_eq!(content, "course*, info*");
         // The info child holds @sno.
-        let child_name = &r.steps.iter().find_map(|s| match s {
-            Step::CreateElement { tau_children, .. } => Some(tau_children[0].clone()),
-            _ => None,
-        }).expect("create step present");
+        let child_name = &r
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                Step::CreateElement { tau_children, .. } => Some(tau_children[0].clone()),
+                _ => None,
+            })
+            .expect("create step present");
         let tau1 = r.dtd.elem_id(child_name).unwrap();
         assert_eq!(r.dtd.attrs(tau1).collect::<Vec<_>>(), vec!["sno"]);
         // Steps: fold, then create.
@@ -953,10 +1093,7 @@ mod tests {
 
     #[test]
     fn ap_strictly_decreases() {
-        for (dtd, sigma) in [
-            (university_dtd(), UNIVERSITY_FDS),
-            (dblp_dtd(), DBLP_FDS),
-        ] {
+        for (dtd, sigma) in [(university_dtd(), UNIVERSITY_FDS), (dblp_dtd(), DBLP_FDS)] {
             let r = run(&dtd, sigma);
             for w in r.ap_trace.windows(2) {
                 assert!(w[1] < w[0], "AP did not decrease: {:?}", r.ap_trace);
@@ -983,10 +1120,7 @@ mod tests {
             use_implication: false,
             ..NormalizeOptions::default()
         };
-        for (dtd, sigma) in [
-            (university_dtd(), UNIVERSITY_FDS),
-            (dblp_dtd(), DBLP_FDS),
-        ] {
+        for (dtd, sigma) in [(university_dtd(), UNIVERSITY_FDS), (dblp_dtd(), DBLP_FDS)] {
             let sigma = XmlFdSet::parse(sigma).unwrap();
             let r = normalize(&dtd, &sigma, &opts).unwrap();
             assert!(is_xnf(&r.dtd, &r.sigma).unwrap());
@@ -1057,10 +1191,9 @@ mod tests {
         let d = university_dtd();
         // {course, taken_by} → … has two element paths; preprocessing must
         // replace the shallower one by an id attribute.
-        let sigma = XmlFdSet::parse(
-            "courses.course, courses.course.taken_by -> courses.course.title.S",
-        )
-        .unwrap();
+        let sigma =
+            XmlFdSet::parse("courses.course, courses.course.taken_by -> courses.course.title.S")
+                .unwrap();
         let r = normalize(&d, &sigma, &NormalizeOptions::default()).unwrap();
         assert!(is_xnf(&r.dtd, &r.sigma).unwrap());
         assert!(r.steps.iter().any(|s| matches!(s, Step::AddId { .. })));

@@ -265,7 +265,10 @@ mod tests {
         let mut t = TreeTuple::empty(ps.len());
         t.set(ps.resolve_str("courses").unwrap(), Value::Vert(0));
         // course is null but its title is set: invalid.
-        t.set(ps.resolve_str("courses.course.title").unwrap(), Value::Vert(2));
+        t.set(
+            ps.resolve_str("courses.course.title").unwrap(),
+            Value::Vert(2),
+        );
         assert!(t.validate(&ps).is_err());
     }
 
@@ -284,7 +287,10 @@ mod tests {
     fn sort_mismatch_rejected() {
         let ps = paths();
         let mut t = figure2_tuple(&ps);
-        t.set(ps.resolve_str("courses.course").unwrap(), Value::str("oops"));
+        t.set(
+            ps.resolve_str("courses.course").unwrap(),
+            Value::str("oops"),
+        );
         assert!(t.validate(&ps).is_err());
         let mut t = figure2_tuple(&ps);
         t.set(
@@ -300,11 +306,13 @@ mod tests {
         let full = figure2_tuple(&ps);
         let mut partial = full.clone();
         partial.set(
-            ps.resolve_str("courses.course.taken_by.student.grade").unwrap(),
+            ps.resolve_str("courses.course.taken_by.student.grade")
+                .unwrap(),
             Value::Null,
         );
         partial.set(
-            ps.resolve_str("courses.course.taken_by.student.grade.S").unwrap(),
+            ps.resolve_str("courses.course.taken_by.student.grade.S")
+                .unwrap(),
             Value::Null,
         );
         assert!(partial.subsumed_by(&full));
@@ -317,7 +325,9 @@ mod tests {
         let ps = paths();
         let t = figure2_tuple(&ps);
         let mut t2 = t.clone();
-        let sno = ps.resolve_str("courses.course.taken_by.student.@sno").unwrap();
+        let sno = ps
+            .resolve_str("courses.course.taken_by.student.@sno")
+            .unwrap();
         let cno = ps.resolve_str("courses.course.@cno").unwrap();
         assert!(t.agree_on(&t2, &[sno, cno]));
         t2.set(sno, Value::str("st9"));

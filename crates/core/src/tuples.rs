@@ -46,12 +46,7 @@ pub fn tuples_d(tree: &XmlTree, dtd: &Dtd, paths: &PathSet) -> Result<Vec<TreeTu
 
 /// All ways to extend a tuple below path `p`, whose value is node `v`.
 /// Each alternative is a list of `(path, value)` bindings.
-fn expand(
-    tree: &XmlTree,
-    paths: &PathSet,
-    p: PathId,
-    v: NodeId,
-) -> Vec<Vec<(PathId, Value)>> {
+fn expand(tree: &XmlTree, paths: &PathSet, p: PathId, v: NodeId) -> Vec<Vec<(PathId, Value)>> {
     let mut alts: Vec<Vec<(PathId, Value)>> = vec![vec![(p, Value::Vert(v.index() as u64))]];
     for &cp in paths.children_of(p) {
         match paths.step(cp) {
@@ -122,9 +117,8 @@ pub fn tuples_d_recursive(tree: &XmlTree, dtd: &Dtd) -> Result<(PathSet, Vec<Tre
 pub fn tuples_relation(tree: &XmlTree, dtd: &Dtd, paths: &PathSet) -> Result<Relation> {
     let tuples = tuples_d(tree, dtd, paths)?;
     let columns: Vec<String> = paths.iter().map(|p| paths.format(p)).collect();
-    let mut rel = Relation::new(columns).map_err(|e| {
-        CoreError::InconsistentTuples(format!("duplicate path column: {e}"))
-    })?;
+    let mut rel = Relation::new(columns)
+        .map_err(|e| CoreError::InconsistentTuples(format!("duplicate path column: {e}")))?;
     for t in tuples {
         rel.insert(t.values().to_vec())
             .expect("row arity equals the path count by construction");
@@ -261,7 +255,7 @@ pub fn trees_d(tuples: &[TreeTuple], paths: &PathSet) -> Result<XmlTree> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fixtures::{dblp_dtd, dblp_doc, figure_1a, university_dtd};
+    use crate::fixtures::{dblp_doc, dblp_dtd, figure_1a, university_dtd};
 
     #[test]
     fn figure_1a_has_four_tuples() {
@@ -443,11 +437,7 @@ mod tests {
         // the realized paths.
         let d = xnf_dtd::Dtd::builder("r")
             .elem("r", xnf_dtd::Regex::elem("part").star())
-            .elem_attrs(
-                "part",
-                xnf_dtd::Regex::elem("part").star(),
-                ["id", "owner"],
-            )
+            .elem_attrs("part", xnf_dtd::Regex::elem("part").star(), ["id", "owner"])
             .build()
             .unwrap();
         assert!(d.is_recursive());

@@ -34,10 +34,23 @@ pub struct Violation {
 /// non-relational DTDs the answer is sound for "violation found" and the
 /// general test would additionally quantify over implied FDs.
 pub fn anomalous_fds(dtd: &Dtd, sigma: &XmlFdSet) -> Result<Vec<Violation>> {
+    anomalous_fds_threaded(dtd, sigma, 1)
+}
+
+/// Parallel variant of [`anomalous_fds`]: the per-candidate implication
+/// queries are fanned across `threads` scoped workers (`0` = all cores,
+/// `1` = sequential) sharing one memoizing oracle. The output is
+/// byte-identical for every thread count.
+pub fn anomalous_fds_threaded(
+    dtd: &Dtd,
+    sigma: &XmlFdSet,
+    threads: usize,
+) -> Result<Vec<Violation>> {
     let paths = dtd.paths()?;
     let chase = Chase::new(dtd, &paths);
     let resolved = sigma.resolve(&paths)?;
-    anomalous_fds_resolved(&chase, &paths, &resolved)
+    let oracle = crate::implication::ImplicationCache::new(&chase, &resolved);
+    crate::normalize::find_anomalous_fd(&oracle, &paths, &resolved, threads)
         .into_iter()
         .map(|(fd, p)| {
             Ok(Violation {
@@ -48,36 +61,34 @@ pub fn anomalous_fds(dtd: &Dtd, sigma: &XmlFdSet) -> Result<Vec<Violation>> {
         .collect()
 }
 
-/// The resolved-id core of [`anomalous_fds`], reusing a prebuilt chase.
-pub(crate) fn anomalous_fds_resolved(
-    chase: &Chase<'_>,
+/// Tests one candidate of the anomalous-FD search: given `S → … q …` in
+/// Σ with `q` a value path, returns `Some((S → q, q))` iff that FD is
+/// anomalous — non-trivial with `S → parent(q) ∉ (D, Σ)⁺`.
+pub(crate) fn anomalous_candidate(
+    oracle: &impl Implication,
     paths: &PathSet,
     sigma: &[ResolvedFd],
-) -> Vec<(ResolvedFd, PathId)> {
-    let mut out = Vec::new();
-    for fd in sigma {
-        for &q in &fd.rhs {
-            // Only value paths (attributes / text) can be anomalous.
-            if matches!(paths.step(q), Step::Elem(_)) {
-                continue;
-            }
-            let single = ResolvedFd::from_ids(fd.lhs.iter().copied(), [q]);
-            // Non-trivial: not implied by the DTD alone.
-            if chase.is_trivial(&single) {
-                continue;
-            }
-            // Σ ⊢ S → q holds by assumption (q ∈ rhs of an FD in Σ); the
-            // XNF condition asks for S → parent(q).
-            let parent = paths.parent(q).expect("value paths have parents");
-            let node_fd = ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
-            if !chase.implies(sigma, &node_fd) {
-                out.push((single, q));
-            }
-        }
+    fd: &ResolvedFd,
+    q: PathId,
+) -> Option<(ResolvedFd, PathId)> {
+    // Only value paths (attributes / text) can be anomalous.
+    if matches!(paths.step(q), Step::Elem(_)) {
+        return None;
     }
-    out.sort_by(|a, b| (a.1, &a.0.lhs).cmp(&(b.1, &b.0.lhs)));
-    out.dedup();
-    out
+    let single = ResolvedFd::from_ids(fd.lhs.iter().copied(), [q]);
+    // Non-trivial: not implied by the DTD alone.
+    if oracle.is_trivial(&single) {
+        return None;
+    }
+    // Σ ⊢ S → q holds by assumption (q ∈ rhs of an FD in Σ); the
+    // XNF condition asks for S → parent(q).
+    let parent = paths.parent(q).expect("value paths have parents");
+    let node_fd = ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
+    if !oracle.implies(sigma, &node_fd) {
+        Some((single, q))
+    } else {
+        None
+    }
 }
 
 /// Whether `(D, Σ)` is in XNF (Definition 8, via the Proposition 10 test).
@@ -146,10 +157,7 @@ mod tests {
         // p.@l → p.@l is trivial and must not flag a violation even though
         // p.@l → p usually fails (the remark after Definition 8).
         let d = university_dtd();
-        let sigma = XmlFdSet::parse(
-            "courses.course.@cno -> courses.course.@cno",
-        )
-        .unwrap();
+        let sigma = XmlFdSet::parse("courses.course.@cno -> courses.course.@cno").unwrap();
         assert!(is_xnf(&d, &sigma).unwrap());
     }
 

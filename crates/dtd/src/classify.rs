@@ -69,14 +69,8 @@ struct Iv {
 }
 
 impl Iv {
-    const ZERO: Iv = Iv {
-        lo: 0,
-        hi: Some(0),
-    };
-    const ONE: Iv = Iv {
-        lo: 1,
-        hi: Some(1),
-    };
+    const ZERO: Iv = Iv { lo: 0, hi: Some(0) };
+    const ONE: Iv = Iv { lo: 1, hi: Some(1) };
 
     fn add(self, other: Iv) -> Iv {
         Iv {
@@ -267,10 +261,7 @@ pub fn letter_bounds(re: &Regex) -> BTreeMap<Box<str>, (u64, Option<u64>)> {
                 }
                 acc
             }
-            Regex::Star(r) => hull(r)
-                .into_keys()
-                .map(|k| (k, (0, None)))
-                .collect(),
+            Regex::Star(r) => hull(r).into_keys().map(|k| (k, (0, None))).collect(),
             Regex::Opt(r) => hull(r)
                 .into_iter()
                 .map(|(k, (_, hi))| (k, (0, hi)))
@@ -563,8 +554,7 @@ impl DtdShapes {
             .map(|e| classify_content(dtd.content(e)))
             .collect();
         let all_disjunctive = shapes.iter().all(Option::is_some);
-        let all_simple =
-            all_disjunctive && shapes.iter().flatten().all(SimpleContent::is_simple);
+        let all_simple = all_disjunctive && shapes.iter().flatten().all(SimpleContent::is_simple);
         let class = if all_simple {
             DtdClass::Simple
         } else if all_disjunctive {
@@ -711,10 +701,7 @@ mod tests {
     fn simple_disjunction_recognition() {
         assert_eq!(
             as_simple_disjunction(&re("(a | b | c)")).unwrap(),
-            (
-                vec![Box::from("a"), Box::from("b"), Box::from("c")],
-                false
-            )
+            (vec![Box::from("a"), Box::from("b"), Box::from("c")], false)
         );
         let (letters, nullable) = as_simple_disjunction(&re("((a | b)?)")).unwrap();
         assert_eq!(letters.len(), 2);
@@ -815,14 +802,10 @@ mod tests {
 
     #[test]
     fn empty_and_text_are_simple() {
-        assert!(classify_content(&ContentModel::Text)
+        assert!(classify_content(&ContentModel::Text).unwrap().is_simple());
+        assert!(classify_content(&ContentModel::Regex(Regex::Epsilon))
             .unwrap()
             .is_simple());
-        assert!(
-            classify_content(&ContentModel::Regex(Regex::Epsilon))
-                .unwrap()
-                .is_simple()
-        );
     }
 
     #[test]

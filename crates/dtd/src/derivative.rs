@@ -29,8 +29,7 @@ pub fn derivative(re: &Regex, a: &str) -> Option<Regex> {
             // ∂(r₁ r₂ … rₙ) = ∂r₁ · r₂…rₙ  ∪  (if r₁ nullable) ∂(r₂…rₙ)
             let (first, rest) = parts.split_first().expect("Seq is non-empty");
             let rest_re = Regex::seq(rest.iter().cloned());
-            let left = derivative(first, a)
-                .map(|d| Regex::seq([d, rest_re.clone()]));
+            let left = derivative(first, a).map(|d| Regex::seq([d, rest_re.clone()]));
             let right = if first.nullable() {
                 derivative(&rest_re, a)
             } else {
@@ -38,17 +37,10 @@ pub fn derivative(re: &Regex, a: &str) -> Option<Regex> {
             };
             union_opt(left, right)
         }
-        Regex::Alt(parts) => parts
-            .iter()
-            .map(|p| derivative(p, a))
-            .fold(None, union_opt),
-        Regex::Star(r) => {
-            derivative(r, a).map(|d| Regex::seq([d, r.as_ref().clone().star()]))
-        }
+        Regex::Alt(parts) => parts.iter().map(|p| derivative(p, a)).fold(None, union_opt),
+        Regex::Star(r) => derivative(r, a).map(|d| Regex::seq([d, r.as_ref().clone().star()])),
         Regex::Opt(r) => derivative(r, a),
-        Regex::Plus(r) => {
-            derivative(r, a).map(|d| Regex::seq([d, r.as_ref().clone().star()]))
-        }
+        Regex::Plus(r) => derivative(r, a).map(|d| Regex::seq([d, r.as_ref().clone().star()])),
     }
 }
 
@@ -136,10 +128,19 @@ mod tests {
     #[test]
     fn engines_agree_on_hand_picked_cases() {
         let cases = [
-            ("(a, b?, c*)", vec![vec!["a"], vec!["a", "b"], vec!["a", "c", "c"], vec!["b"]]),
+            (
+                "(a, b?, c*)",
+                vec![vec!["a"], vec!["a", "b"], vec!["a", "c", "c"], vec!["b"]],
+            ),
             ("((a | b)+)", vec![vec![], vec!["a"], vec!["b", "a", "b"]]),
-            ("((a, b) | c)", vec![vec!["a", "b"], vec!["c"], vec!["a"], vec!["a", "b", "c"]]),
-            ("(a, a)", vec![vec!["a"], vec!["a", "a"], vec!["a", "a", "a"]]),
+            (
+                "((a, b) | c)",
+                vec![vec!["a", "b"], vec!["c"], vec!["a"], vec!["a", "b", "c"]],
+            ),
+            (
+                "(a, a)",
+                vec![vec!["a"], vec!["a", "a"], vec!["a", "a", "a"]],
+            ),
             (
                 "(logo*, title, (qna+ | q+ | (p | div | section)+))",
                 vec![

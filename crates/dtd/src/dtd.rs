@@ -172,11 +172,7 @@ impl Dtd {
     pub fn children(&self, id: ElemId) -> Vec<ElemId> {
         match self.content(id) {
             ContentModel::Text => Vec::new(),
-            ContentModel::Regex(re) => re
-                .alphabet()
-                .iter()
-                .map(|n| self.by_name[*n])
-                .collect(),
+            ContentModel::Regex(re) => re.alphabet().iter().map(|n| self.by_name[*n]).collect(),
         }
     }
 
@@ -490,7 +486,8 @@ impl DtdBuilder {
 
     /// Declares a `#PCDATA` element.
     pub fn text_elem(mut self, name: impl Into<String>) -> Self {
-        self.decls.push((name.into(), ContentModel::Text, Vec::new()));
+        self.decls
+            .push((name.into(), ContentModel::Text, Vec::new()));
         self
     }
 
@@ -681,10 +678,17 @@ mod tests {
         // Emulate the DBLP fix: move @year from inproceedings to issue.
         let mut d = Dtd::builder("db")
             .elem("db", Regex::elem("conf").star())
-            .elem("conf", Regex::seq([Regex::elem("title"), Regex::elem("issue").plus()]))
+            .elem(
+                "conf",
+                Regex::seq([Regex::elem("title"), Regex::elem("issue").plus()]),
+            )
             .text_elem("title")
             .elem("issue", Regex::elem("inproceedings").plus())
-            .elem_attrs("inproceedings", Regex::elem("author").plus(), ["key", "pages", "year"])
+            .elem_attrs(
+                "inproceedings",
+                Regex::elem("author").plus(),
+                ["key", "pages", "year"],
+            )
             .text_elem("author")
             .build()
             .unwrap();

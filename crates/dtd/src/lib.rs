@@ -98,7 +98,10 @@ pub enum DtdError {
 impl fmt::Display for DtdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DtdError::UndeclaredElement { name, referenced_by } => write!(
+            DtdError::UndeclaredElement {
+                name,
+                referenced_by,
+            } => write!(
                 f,
                 "element `{name}` is referenced by `{referenced_by}` but never declared"
             ),

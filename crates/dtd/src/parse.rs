@@ -209,9 +209,9 @@ fn content_spec(s: &mut Scanner<'_>) -> Result<ContentModel> {
             if s.eat(")") {
                 return Ok(ContentModel::Text);
             }
-            return Err(s.err(
-                "mixed content (#PCDATA | …) is not supported (Definition 2 disallows it)",
-            ));
+            return Err(
+                s.err("mixed content (#PCDATA | …) is not supported (Definition 2 disallows it)")
+            );
         }
         s.pos = save;
     }
@@ -392,7 +392,8 @@ mod tests {
 
     #[test]
     fn parses_attribute_defaults_and_enums() {
-        let d = parse_dtd(r#"
+        let d = parse_dtd(
+            r#"
             <!ELEMENT r (a)>
             <!ELEMENT a EMPTY>
             <!ATTLIST a
@@ -400,7 +401,8 @@ mod tests {
                 id ID #IMPLIED
                 fixed CDATA #FIXED "v"
                 quoted CDATA 'w'>
-        "#)
+        "#,
+        )
         .unwrap();
         let a = d.elem_id("a").unwrap();
         let attrs: Vec<_> = d.attrs(a).collect();
@@ -420,10 +422,7 @@ mod tests {
 
     #[test]
     fn rejects_attlist_for_undeclared() {
-        let err = parse_dtd(
-            "<!ELEMENT r EMPTY> <!ATTLIST ghost a CDATA #REQUIRED>",
-        )
-        .unwrap_err();
+        let err = parse_dtd("<!ELEMENT r EMPTY> <!ATTLIST ghost a CDATA #REQUIRED>").unwrap_err();
         assert_eq!(err, DtdError::AttlistForUndeclared("ghost".into()));
     }
 
@@ -466,19 +465,15 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let d = parse_dtd(
-            "<!-- header --> <!ELEMENT r EMPTY> <!-- trailing -->",
-        )
-        .unwrap();
+        let d = parse_dtd("<!-- header --> <!ELEMENT r EMPTY> <!-- trailing -->").unwrap();
         assert_eq!(d.root_name(), "r");
     }
 
     #[test]
     fn text_element_with_attributes() {
-        let d = parse_dtd(
-            "<!ELEMENT r (t)> <!ELEMENT t (#PCDATA)> <!ATTLIST t lang CDATA #REQUIRED>",
-        )
-        .unwrap();
+        let d =
+            parse_dtd("<!ELEMENT r (t)> <!ELEMENT t (#PCDATA)> <!ATTLIST t lang CDATA #REQUIRED>")
+                .unwrap();
         let t = d.elem_id("t").unwrap();
         assert!(d.content(t).is_text());
         assert!(d.has_attr(t, "lang"));

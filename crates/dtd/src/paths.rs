@@ -518,11 +518,7 @@ mod tests {
 
     #[test]
     fn path_roundtrip_parse_display() {
-        for s in [
-            "courses",
-            "courses.course.@cno",
-            "courses.course.title.S",
-        ] {
+        for s in ["courses", "courses.course.@cno", "courses.course.title.S"] {
             let p: Path = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }

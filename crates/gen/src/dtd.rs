@@ -133,7 +133,8 @@ pub fn disjunctive_dtd(
     for (name, content, attrs) in extra {
         b = b.decl(name, content, attrs);
     }
-    b.build().expect("generated disjunctive DTDs are well-formed")
+    b.build()
+        .expect("generated disjunctive DTDs are well-formed")
 }
 
 /// A layered chain DTD: `depth` levels, each level a starred child of the
@@ -162,7 +163,11 @@ pub fn wide_dtd(width: usize) -> Dtd {
     let hubs: Vec<Regex> = (0..width.max(1))
         .map(|i| Regex::elem(format!("hub{i}")).star())
         .collect();
-    b = b.decl("root", ContentModel::Regex(Regex::seq(hubs)), Vec::<String>::new());
+    b = b.decl(
+        "root",
+        ContentModel::Regex(Regex::seq(hubs)),
+        Vec::<String>::new(),
+    );
     for i in 0..width.max(1) {
         b = b.decl(
             format!("hub{i}"),

@@ -2,8 +2,8 @@
 
 use rand::prelude::IndexedRandom;
 use rand::Rng;
-use xnf_dtd::Dtd;
 use xnf_core::{XmlFd, XmlFdSet};
+use xnf_dtd::Dtd;
 
 /// Parameters for [`random_fds`].
 #[derive(Debug, Clone)]
@@ -102,7 +102,14 @@ mod tests {
     fn counts_are_respected_when_paths_exist() {
         let mut rng = crate::rng(1);
         let d = crate::dtd::wide_dtd(3);
-        let fds = random_fds(&d, &mut rng, &FdParams { count: 6, max_lhs: 2 });
+        let fds = random_fds(
+            &d,
+            &mut rng,
+            &FdParams {
+                count: 6,
+                max_lhs: 2,
+            },
+        );
         assert!(!fds.is_empty());
         assert!(fds.len() <= 6);
     }

@@ -6,17 +6,10 @@ use xnf_relational::nested::NestedSchema;
 
 /// A random relational schema over `arity` attributes with `n_fds` random
 /// singleton-side FDs; roughly half the draws violate BCNF.
-pub fn random_relational(
-    rng: &mut impl Rng,
-    arity: usize,
-    n_fds: usize,
-) -> (RelSchema, FdSet) {
+pub fn random_relational(rng: &mut impl Rng, arity: usize, n_fds: usize) -> (RelSchema, FdSet) {
     let arity = arity.clamp(2, 24);
-    let schema = RelSchema::new(
-        "G",
-        (0..arity).map(|i| format!("A{i}")),
-    )
-    .expect("distinct attribute names");
+    let schema =
+        RelSchema::new("G", (0..arity).map(|i| format!("A{i}"))).expect("distinct attribute names");
     let mut fds = FdSet::new();
     for _ in 0..n_fds {
         let lhs_size = rng.random_range(1..=2usize.min(arity - 1));

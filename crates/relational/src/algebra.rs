@@ -241,15 +241,9 @@ mod tests {
 
     fn env() -> HashMap<String, Relation> {
         let mut takes = Relation::new(["sno", "cno", "grade"]).unwrap();
-        takes
-            .insert(vec![v("st1"), v("csc200"), v("A+")])
-            .unwrap();
-        takes
-            .insert(vec![v("st1"), v("mat100"), v("A-")])
-            .unwrap();
-        takes
-            .insert(vec![v("st2"), v("csc200"), v("B-")])
-            .unwrap();
+        takes.insert(vec![v("st1"), v("csc200"), v("A+")]).unwrap();
+        takes.insert(vec![v("st1"), v("mat100"), v("A-")]).unwrap();
+        takes.insert(vec![v("st2"), v("csc200"), v("B-")]).unwrap();
         let mut students = Relation::new(["sno", "name"]).unwrap();
         students.insert(vec![v("st1"), v("Deere")]).unwrap();
         students.insert(vec![v("st2"), v("Smith")]).unwrap();
@@ -311,10 +305,7 @@ mod tests {
     fn schema_mismatch_detected() {
         let e = env();
         let q = Query::table("takes").union(Query::table("students"));
-        assert!(matches!(
-            q.eval(&e),
-            Err(RelError::SchemaMismatch { .. })
-        ));
+        assert!(matches!(q.eval(&e), Err(RelError::SchemaMismatch { .. })));
     }
 
     #[test]

@@ -91,10 +91,7 @@ mod tests {
     fn canonical_violation() {
         // The student/course schema: R(sno, name, cno, grade) with
         // sno → name, {sno, cno} → grade. sno is not a superkey.
-        let fds = FdSet::from_fds([
-            Fd::new(s(&[0]), s(&[1])),
-            Fd::new(s(&[0, 2]), s(&[3])),
-        ]);
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1])), Fd::new(s(&[0, 2]), s(&[3]))]);
         let all = AttrSet::full(4);
         assert!(!is_bcnf(&fds, all));
         assert!(!is_bcnf_exhaustive(&fds, all));
@@ -104,10 +101,7 @@ mod tests {
 
     #[test]
     fn decomposition_reaches_bcnf_and_preserves_attributes() {
-        let fds = FdSet::from_fds([
-            Fd::new(s(&[0]), s(&[1])),
-            Fd::new(s(&[0, 2]), s(&[3])),
-        ]);
+        let fds = FdSet::from_fds([Fd::new(s(&[0]), s(&[1])), Fd::new(s(&[0, 2]), s(&[3]))]);
         let all = AttrSet::full(4);
         let frags = bcnf_decompose(&fds, all);
         // Every fragment is in BCNF (with projected FDs).

@@ -466,12 +466,11 @@ mod tests {
     #[test]
     fn minimal_cover_trims_lhs() {
         // {AB→C, A→B}: B is extraneous in AB→C.
-        let fds = FdSet::from_fds([
-            Fd::new(s(&[0, 1]), s(&[2])),
-            Fd::new(s(&[0]), s(&[1])),
-        ]);
+        let fds = FdSet::from_fds([Fd::new(s(&[0, 1]), s(&[2])), Fd::new(s(&[0]), s(&[1]))]);
         let cover = fds.minimal_cover();
-        assert!(cover.iter().any(|fd| fd.lhs == s(&[0]) && fd.rhs == s(&[2])));
+        assert!(cover
+            .iter()
+            .any(|fd| fd.lhs == s(&[0]) && fd.rhs == s(&[2])));
     }
 
     #[test]

@@ -202,9 +202,7 @@ impl DepSet {
 }
 
 fn blocks_union(blocks: &[AttrSet]) -> AttrSet {
-    blocks
-        .iter()
-        .fold(AttrSet::empty(), |acc, b| acc.union(*b))
+    blocks.iter().fold(AttrSet::empty(), |acc, b| acc.union(*b))
 }
 
 /// 3NF synthesis from a minimal cover (Bernstein): one fragment per

@@ -438,8 +438,12 @@ mod tests {
             .rows()
             .map(|r| r.iter().map(|v| format!("{v}")).collect())
             .collect();
-        assert!(rows.iter().any(|r| r[1] == "\"Texas\"" && r[2] == "\"Houston\""));
-        assert!(rows.iter().any(|r| r[1] == "\"Ohio\"" && r[2] == "\"Cleveland\""));
+        assert!(rows
+            .iter()
+            .any(|r| r[1] == "\"Texas\"" && r[2] == "\"Houston\""));
+        assert!(rows
+            .iter()
+            .any(|r| r[1] == "\"Ohio\"" && r[2] == "\"Cleveland\""));
     }
 
     #[test]
@@ -492,10 +496,7 @@ mod tests {
     fn ancestor_sets() {
         let schema = figure3_schema();
         assert_eq!(schema.ancestor("Country").unwrap(), vec!["Country"]);
-        assert_eq!(
-            schema.ancestor("State").unwrap(),
-            vec!["Country", "State"]
-        );
+        assert_eq!(schema.ancestor("State").unwrap(), vec!["Country", "State"]);
         assert_eq!(
             schema.ancestor("City").unwrap(),
             vec!["Country", "State", "City"]
@@ -551,10 +552,7 @@ mod tests {
                 if l == r {
                     continue;
                 }
-                let fds = FdSet::from_fds([Fd::new(
-                    AttrSet::singleton(l),
-                    AttrSet::singleton(r),
-                )]);
+                let fds = FdSet::from_fds([Fd::new(AttrSet::singleton(l), AttrSet::singleton(r))]);
                 assert_eq!(
                     is_nnf(&schema, &flat, &fds).unwrap(),
                     is_nnf_exhaustive(&schema, &flat, &fds).unwrap(),
@@ -567,21 +565,14 @@ mod tests {
     #[test]
     fn empty_nested_relation_drops_tuple() {
         let schema = figure3_schema();
-        let inst = vec![NestedTuple::new(
-            ["Atlantis"],
-            [Vec::<NestedTuple>::new()],
-        )];
+        let inst = vec![NestedTuple::new(["Atlantis"], [Vec::<NestedTuple>::new()])];
         let rel = unnest(&schema, &inst).unwrap();
         assert!(rel.is_empty());
     }
 
     #[test]
     fn validate_rejects_duplicate_attrs() {
-        let bad = NestedSchema::new(
-            "G",
-            ["A"],
-            [NestedSchema::leaf("H", ["A"])],
-        );
+        let bad = NestedSchema::new("G", ["A"], [NestedSchema::leaf("H", ["A"])]);
         assert!(bad.validate().is_err());
         assert!(figure3_schema().validate().is_ok());
     }
@@ -592,7 +583,10 @@ mod tests {
         let schema = NestedSchema::new(
             "G",
             ["A"],
-            [NestedSchema::leaf("P", ["B"]), NestedSchema::leaf("Q", ["C"])],
+            [
+                NestedSchema::leaf("P", ["B"]),
+                NestedSchema::leaf("Q", ["C"]),
+            ],
         );
         let inst = vec![NestedTuple::new(
             ["a"],

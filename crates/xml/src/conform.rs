@@ -190,9 +190,7 @@ fn compatible_below(t: &XmlTree, v: NodeId, d: &Dtd) -> bool {
             // p.τ' ∈ paths(D) iff τ' is in the alphabet of P(last(p)).
             match d.content(elem) {
                 ContentModel::Text => false,
-                ContentModel::Regex(re) => {
-                    re.mentions(t.label(c)) && compatible_below(t, c, d)
-                }
+                ContentModel::Regex(re) => re.mentions(t.label(c)) && compatible_below(t, c, d),
             }
         }),
     }
@@ -275,8 +273,10 @@ mod tests {
 
     #[test]
     fn unexpected_attribute_detected() {
-        let t = parse(r#"<courses><course cno="c1" extra="x"><title>T</title><taken_by/></course></courses>"#)
-            .unwrap();
+        let t = parse(
+            r#"<courses><course cno="c1" extra="x"><title>T</title><taken_by/></course></courses>"#,
+        )
+        .unwrap();
         let d = university_dtd();
         assert!(matches!(
             conforms(&t, &d),
@@ -289,8 +289,9 @@ mod tests {
     #[test]
     fn content_mismatch_detected() {
         // course children out of order.
-        let t = parse(r#"<courses><course cno="c1"><taken_by/><title>T</title></course></courses>"#)
-            .unwrap();
+        let t =
+            parse(r#"<courses><course cno="c1"><taken_by/><title>T</title></course></courses>"#)
+                .unwrap();
         let d = university_dtd();
         assert!(matches!(
             conforms(&t, &d),
@@ -302,8 +303,9 @@ mod tests {
 
     #[test]
     fn text_mismatch_detected() {
-        let t = parse(r#"<courses><course cno="c1"><title><x/></title><taken_by/></course></courses>"#)
-            .unwrap();
+        let t =
+            parse(r#"<courses><course cno="c1"><title><x/></title><taken_by/></course></courses>"#)
+                .unwrap();
         let d = university_dtd();
         assert!(matches!(
             conforms(&t, &d),
@@ -314,9 +316,8 @@ mod tests {
 
     #[test]
     fn empty_text_element_accepted() {
-        let t =
-            parse(r#"<courses><course cno="c1"><title></title><taken_by/></course></courses>"#)
-                .unwrap();
+        let t = parse(r#"<courses><course cno="c1"><title></title><taken_by/></course></courses>"#)
+            .unwrap();
         assert_eq!(conforms(&t, &university_dtd()), Ok(()));
     }
 

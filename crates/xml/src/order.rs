@@ -85,10 +85,7 @@ impl Embedder<'_> {
         // Attribute functions must agree exactly on the mapped node
         // (att₂ restricted to V₁ equals att₁).
         if self.a.num_attrs(va) != self.b.num_attrs(vb)
-            || !self
-                .a
-                .attrs(va)
-                .all(|(k, v)| self.b.attr(vb, k) == Some(v))
+            || !self.a.attrs(va).all(|(k, v)| self.b.attr(vb, k) == Some(v))
         {
             return false;
         }

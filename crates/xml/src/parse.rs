@@ -142,12 +142,11 @@ impl<'a> Parser<'a> {
                 "quot" => out.push('"'),
                 "apos" => out.push('\''),
                 _ if ent.starts_with("#x") || ent.starts_with("#X") => {
-                    let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
-                        XmlError::Syntax {
+                    let code =
+                        u32::from_str_radix(&ent[2..], 16).map_err(|_| XmlError::Syntax {
                             offset: at,
                             message: format!("bad character reference `&{ent};`"),
-                        }
-                    })?;
+                        })?;
                     out.push(char::from_u32(code).ok_or_else(|| XmlError::Syntax {
                         offset: at,
                         message: format!("invalid code point in `&{ent};`"),

@@ -14,10 +14,7 @@ use xnf_dtd::{Path, Step};
 /// Enumerates `paths(T)`, deduplicated and sorted.
 pub fn paths_of(tree: &XmlTree) -> Vec<Path> {
     let mut out: BTreeSet<Path> = BTreeSet::new();
-    let mut stack: Vec<(NodeId, Path)> = vec![(
-        tree.root(),
-        Path::root(tree.label(tree.root())),
-    )];
+    let mut stack: Vec<(NodeId, Path)> = vec![(tree.root(), Path::root(tree.label(tree.root())))];
     while let Some((v, path)) = stack.pop() {
         for (name, _) in tree.attrs(v) {
             out.insert(path.child_attr(name));

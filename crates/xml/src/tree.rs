@@ -161,7 +161,9 @@ impl XmlTree {
     /// Defines attribute `name = value` on `v` (replacing any previous
     /// value). Names are passed without the leading `@`.
     pub fn set_attr(&mut self, v: NodeId, name: impl Into<Box<str>>, value: impl Into<Box<str>>) {
-        self.nodes[v.index()].attrs.insert(name.into(), value.into());
+        self.nodes[v.index()]
+            .attrs
+            .insert(name.into(), value.into());
     }
 
     /// Removes attribute `name` from `v`, returning its value if present.
@@ -254,7 +256,9 @@ mod tests {
     #[test]
     fn descend_helper() {
         let t = course_doc();
-        let name = t.descend(&["course", "taken_by", "student", "name"]).unwrap();
+        let name = t
+            .descend(&["course", "taken_by", "student", "name"])
+            .unwrap();
         assert_eq!(t.text(name), Some("Deere"));
         assert!(t.descend(&["course", "nonexistent"]).is_none());
     }
@@ -266,8 +270,8 @@ mod tests {
         assert_eq!(
             order,
             vec![
-                "courses", "course", "title", "taken_by", "student", "name", "grade",
-                "student", "name", "grade"
+                "courses", "course", "title", "taken_by", "student", "name", "grade", "student",
+                "name", "grade"
             ]
         );
     }

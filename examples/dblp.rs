@@ -48,7 +48,10 @@ fn main() {
         Step::MoveAttribute { new_attr, .. } if new_attr == "year"
     ));
     println!("\nstep: {:?}", result.steps[0]);
-    println!("\nrevised DTD (the paper's ATTLIST change):\n{}", result.dtd);
+    println!(
+        "\nrevised DTD (the paper's ATTLIST change):\n{}",
+        result.dtd
+    );
     assert!(is_xnf(&result.dtd, &result.sigma).expect("XNF test runs"));
 
     // Apply the fix to a document and confirm nothing is lost.
@@ -83,7 +86,10 @@ fn main() {
     assert!(sigma.satisfied_by(&doc, &dtd, &paths).expect("resolves"));
 
     let transformed = transform_document(&dtd, &result, &doc).expect("transform succeeds");
-    println!("transformed document:\n{}", xnf::xml::to_string_pretty(&transformed));
+    println!(
+        "transformed document:\n{}",
+        xnf::xml::to_string_pretty(&transformed)
+    );
     let report = verify_lossless(&dtd, &result, &doc).expect("verification runs");
     assert!(report.ok(), "{report:?}");
     println!("losslessness verified (year stored once per issue, reconstructible per paper)");

@@ -94,19 +94,36 @@ fn main() {
     let queries = [
         // A collaboration's name determines its initiating role's nameID
         // (the role child has multiplicity one).
-        ("ProcessSpecification.BinaryCollaboration.@name -> \
-          ProcessSpecification.BinaryCollaboration.InitiatingRole.@nameID", true),
+        (
+            "ProcessSpecification.BinaryCollaboration.@name -> \
+          ProcessSpecification.BinaryCollaboration.InitiatingRole.@nameID",
+            true,
+        ),
         // …but not the nodes of its starred Documentation children.
-        ("ProcessSpecification.BinaryCollaboration.@name -> \
-          ProcessSpecification.BinaryCollaboration.Documentation", false),
+        (
+            "ProcessSpecification.BinaryCollaboration.@name -> \
+          ProcessSpecification.BinaryCollaboration.Documentation",
+            false,
+        ),
         // The root determines its own attributes (trivially).
-        ("ProcessSpecification -> ProcessSpecification.@version", true),
+        (
+            "ProcessSpecification -> ProcessSpecification.@version",
+            true,
+        ),
     ];
     println!();
     for (fd_text, expected) in queries {
         let fd: XmlFd = fd_text.parse().expect("FD parses");
         let implied = chase.implies(&resolved, &fd.resolve(&paths).expect("resolves"));
-        println!("{} {}", if implied { "implied    " } else { "not implied" }, fd);
+        println!(
+            "{} {}",
+            if implied {
+                "implied    "
+            } else {
+                "not implied"
+            },
+            fd
+        );
         assert_eq!(implied, expected);
     }
 }

@@ -90,7 +90,11 @@ fn main() {
     assert!(holds);
 
     // -- 3. MVDs and 4NF (the Section 8 direction, relational side). -----
-    let cols = ["course".to_string(), "teacher".to_string(), "book".to_string()];
+    let cols = [
+        "course".to_string(),
+        "teacher".to_string(),
+        "book".to_string(),
+    ];
     let mut ctb = Relation::new(cols.clone()).unwrap();
     for (c, t, b) in [
         ("db", "ann", "ullman"),
@@ -127,7 +131,10 @@ fn main() {
         xnf::relational::Fd::new(AttrSet::singleton(1), AttrSet::singleton(2)),
     ]);
     let frags = third_nf_synthesis(&fds, all);
-    println!("3NF synthesis of (course -> teacher -> book): {} fragments", frags.len());
+    println!(
+        "3NF synthesis of (course -> teacher -> book): {} fragments",
+        frags.len()
+    );
     assert_eq!(frags.len(), 2);
     println!("\ndone: keys, recursive documents, and the MVD/4NF baseline all verified");
 }

@@ -96,6 +96,9 @@ fn main() {
     assert!(good_xml
         .satisfied_by(&tree, &dtd, &paths)
         .expect("resolves"));
-    println!("\ninstance coded as XML:\n{}", xnf::xml::to_string_pretty(&tree));
+    println!(
+        "\ninstance coded as XML:\n{}",
+        xnf::xml::to_string_pretty(&tree)
+    );
     println!("NNF ⇔ XNF verified on both designs (Proposition 5)");
 }

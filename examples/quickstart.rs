@@ -97,14 +97,22 @@ fn main() {
     let mut pre_rename =
         normalize(&dtd, &sigma, &NormalizeOptions::default()).expect("normalization succeeds");
     let transformed = transform_document(&dtd, &pre_rename, &doc).expect("transform succeeds");
-    println!("transformed document:\n{}", xnf::xml::to_string_pretty(&transformed));
+    println!(
+        "transformed document:\n{}",
+        xnf::xml::to_string_pretty(&transformed)
+    );
     let report = verify_lossless(&dtd, &pre_rename, &doc).expect("verification runs");
     assert!(report.ok(), "losslessness verified: {report:?}");
     println!("losslessness verified: conforms + satisfies Σ' + round-trips");
 
     // The renamed DTD is exactly the paper's revision.
-    rename_element(&mut pre_rename.dtd, &mut pre_rename.sigma, "sno_ref", "number")
-        .expect("rename succeeds");
+    rename_element(
+        &mut pre_rename.dtd,
+        &mut pre_rename.sigma,
+        "sno_ref",
+        "number",
+    )
+    .expect("rename succeeds");
     let figure_1b = xnf::dtd::parse_dtd(
         "<!ELEMENT courses (course*, info*)>
          <!ELEMENT course (title, taken_by)>

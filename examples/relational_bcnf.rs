@@ -15,8 +15,8 @@ use xnf::relational::fd::{Fd, FdSet, RelSchema};
 use xnf::relational::{Relation, Value};
 
 fn main() {
-    let schema = RelSchema::new("Takes", ["sno", "name", "cno", "grade"])
-        .expect("distinct attribute names");
+    let schema =
+        RelSchema::new("Takes", ["sno", "name", "cno", "grade"]).expect("distinct attribute names");
     let sno = schema.set(["sno"]).expect("attrs");
     let name = schema.set(["name"]).expect("attrs");
     let sno_cno = schema.set(["sno", "cno"]).expect("attrs");
@@ -63,8 +63,13 @@ fn main() {
         ("st2", "Smith", "csc200", "B-"),
         ("st3", "Smith", "mat100", "B+"),
     ] {
-        rel.insert(vec![Value::str(s), Value::str(n), Value::str(c), Value::str(g)])
-            .expect("arity");
+        rel.insert(vec![
+            Value::str(s),
+            Value::str(n),
+            Value::str(c),
+            Value::str(g),
+        ])
+        .expect("arity");
     }
     assert!(rel.satisfies_fd(&["sno"], &["name"]).expect("cols"));
     let tree = relation_to_tree(&schema, &rel).expect("no nulls");

@@ -97,7 +97,10 @@ fn main() {
 
     // -- Update anomaly in the original design. --------------------------
     println!("original design: st1's name is stored once per enrolment:");
-    let names = values_at(&doc, &"courses.course.taken_by.student.name.S".parse().unwrap());
+    let names = values_at(
+        &doc,
+        &"courses.course.taken_by.student.name.S".parse().unwrap(),
+    );
     println!("  stored names: {names:?}");
 
     let updated = rename_first_occurrence(&doc, "st1", "Deere-Smith");

@@ -18,7 +18,10 @@ fn dtd_errors_render_usefully() {
             },
             "ghost",
         ),
-        (DtdError::DuplicateElement("a".into()), "declared more than once"),
+        (
+            DtdError::DuplicateElement("a".into()),
+            "declared more than once",
+        ),
         (
             DtdError::DuplicateAttribute {
                 element: "e".into(),
@@ -80,9 +83,11 @@ fn core_errors_render_and_chain() {
         .to_string()
         .contains("non-recursive"));
     assert!(CoreError::TooManySteps.to_string().contains("step limit"));
-    assert!(CoreError::UnrepresentableNull { path: "p.@l".into() }
-        .to_string()
-        .contains("footnote 1"));
+    assert!(CoreError::UnrepresentableNull {
+        path: "p.@l".into()
+    }
+    .to_string()
+    .contains("footnote 1"));
     assert!(CoreError::BadFdPath("weird".into())
         .to_string()
         .contains("weird"));

@@ -30,8 +30,22 @@ fn dtd_params(elements: usize) -> SimpleDtdParams {
 
 fn check_both_directions(dtd: &xnf::dtd::Dtd, seed: u64) -> Result<(), TestCaseError> {
     let mut rng = xnf_gen::rng(seed ^ 0x5eed);
-    let sigma = random_fds(dtd, &mut rng, &FdParams { count: 3, max_lhs: 2 });
-    let candidates = random_fds(dtd, &mut rng, &FdParams { count: 4, max_lhs: 2 });
+    let sigma = random_fds(
+        dtd,
+        &mut rng,
+        &FdParams {
+            count: 3,
+            max_lhs: 2,
+        },
+    );
+    let candidates = random_fds(
+        dtd,
+        &mut rng,
+        &FdParams {
+            count: 4,
+            max_lhs: 2,
+        },
+    );
     let paths = dtd.paths().unwrap();
     let resolved = sigma.resolve(&paths).unwrap();
     let search = CounterexampleSearch::new(dtd, &paths);
@@ -77,7 +91,11 @@ fn check_both_directions(dtd: &xnf::dtd::Dtd, seed: u64) -> Result<(), TestCaseE
                 witness.is_some(),
                 "COMPLETENESS GAP: chase refutes {fd} under \
                  {{{}}} but no verified witness was constructed (seed {seed})",
-                sigma.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "),
+                sigma
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
             );
         }
     }
@@ -217,16 +235,28 @@ fn paper_implications_are_certified() {
 
     let cases = [
         // (FD3) itself is in Σ⁺.
-        ("courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S", true),
+        (
+            "courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S",
+            true,
+        ),
         // The XNF-violating direction: sno does not determine the node.
-        ("courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name", false),
-        ("courses.course.taken_by.student.@sno -> courses.course.taken_by.student", false),
+        (
+            "courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name",
+            false,
+        ),
+        (
+            "courses.course.taken_by.student.@sno -> courses.course.taken_by.student",
+            false,
+        ),
         // Trivial DTD-induced FDs (Section 4's remarks).
         ("courses.course.taken_by.student -> courses.course", true),
         ("courses.course -> courses.course.@cno", true),
         // FD1 makes cno a key.
         ("courses.course.@cno -> courses.course.title.S", true),
-        ("courses.course.@cno -> courses.course.taken_by.student", false),
+        (
+            "courses.course.@cno -> courses.course.taken_by.student",
+            false,
+        ),
     ];
     for (fd_text, expected) in cases {
         let fd: xnf::core::XmlFd = fd_text.parse().unwrap();

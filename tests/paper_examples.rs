@@ -141,7 +141,10 @@ fn e1_university_scaled_losslessness() {
         let doc = xnf_gen::doc::university_document(courses, students, pool, names);
         assert!(sigma.satisfied_by(&doc, &dtd, &paths).unwrap());
         let report = verify_lossless(&dtd, &result, &doc).unwrap();
-        assert!(report.ok(), "{courses}/{students}/{pool}/{names}: {report:?}");
+        assert!(
+            report.ok(),
+            "{courses}/{students}/{pool}/{names}: {report:?}"
+        );
     }
 }
 

@@ -9,9 +9,7 @@ use xnf::core::encode::{
 use xnf::core::is_xnf;
 use xnf::relational::bcnf::{is_bcnf, is_bcnf_exhaustive};
 use xnf::relational::nested::{is_nnf, is_nnf_exhaustive};
-use xnf_gen::rel::{
-    chain_nested, chain_nested_bad_fd, chain_nested_good_fds, random_relational,
-};
+use xnf_gen::rel::{chain_nested, chain_nested_bad_fd, chain_nested_good_fds, random_relational};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -68,7 +66,11 @@ fn proposition_5_planted_families() {
         let nnf = is_nnf(&schema, &flat, &bad).unwrap();
         let xnf = is_xnf(&dtd, &bad_sigma).unwrap();
         assert_eq!(nnf, xnf, "depth {depth} bad");
-        assert_eq!(nnf, depth < 3, "depth {depth}: violation iff a level is skipped");
+        assert_eq!(
+            nnf,
+            depth < 3,
+            "depth {depth}: violation iff a level is skipped"
+        );
     }
 }
 

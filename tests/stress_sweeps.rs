@@ -1,0 +1,155 @@
+//! Dense seed-space enumeration sweeps, `#[ignore]`d by default.
+//!
+//! The property suites sample the generator seed space sparsely; these
+//! sweeps enumerate it densely around the regions the checked-in
+//! regression seeds came from. Run with:
+//!
+//! ```text
+//! cargo test --release --test stress_sweeps -- --ignored --nocapture
+//! ```
+
+use xnf::core::implication::{CounterexampleSearch, Implication};
+use xnf::core::{is_xnf, normalize, NormalizeOptions};
+use xnf_gen::doc::{random_document, DocParams};
+use xnf_gen::dtd::{disjunctive_dtd, simple_dtd, SimpleDtdParams};
+use xnf_gen::fd::{random_fds, FdParams};
+
+fn dtd_params(elements: usize) -> SimpleDtdParams {
+    SimpleDtdParams {
+        elements,
+        max_children: 3,
+        max_attrs: 2,
+        text_leaf_prob: 0.4,
+    }
+}
+
+fn check_both_directions(dtd: &xnf::dtd::Dtd, seed: u64) -> Result<(), String> {
+    let mut rng = xnf_gen::rng(seed ^ 0x5eed);
+    let sigma = random_fds(
+        dtd,
+        &mut rng,
+        &FdParams {
+            count: 3,
+            max_lhs: 2,
+        },
+    );
+    let candidates = random_fds(
+        dtd,
+        &mut rng,
+        &FdParams {
+            count: 4,
+            max_lhs: 2,
+        },
+    );
+    let paths = dtd.paths().unwrap();
+    let resolved = sigma.resolve(&paths).unwrap();
+    let search = CounterexampleSearch::new(dtd, &paths);
+
+    for fd in candidates.iter() {
+        let r = fd.resolve(&paths).unwrap();
+        if search.chase().implies(&resolved, &r) {
+            for doc_seed in 0..6u64 {
+                let mut doc_rng = xnf_gen::rng(seed.wrapping_mul(31).wrapping_add(doc_seed));
+                let doc = random_document(
+                    dtd,
+                    &mut doc_rng,
+                    &DocParams {
+                        reps: (0, 2),
+                        value_alphabet: 2,
+                        max_nodes: 300,
+                    },
+                );
+                if doc.num_nodes() >= 300 {
+                    continue;
+                }
+                let Ok(tuples) = xnf::core::tuples_d(&doc, dtd, &paths) else {
+                    continue;
+                };
+                if tuples.len() > 256 {
+                    continue;
+                }
+                if resolved.iter().all(|s| s.check_tuples(&tuples)) && !r.check_tuples(&tuples) {
+                    return Err(format!("SOUNDNESS BUG: seed {seed}, fd {fd}"));
+                }
+            }
+        } else if search.find(&resolved, &r).is_none() {
+            return Err(format!("COMPLETENESS GAP: seed {seed}, fd {fd}"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+#[ignore = "dense sweep; run explicitly"]
+fn sweep_implication_disjunctive() {
+    let mut failures = Vec::new();
+    for seed in 0..1500u64 {
+        for elements in 3..8 {
+            for disjunctions in 1..3 {
+                let mut rng = xnf_gen::rng(seed);
+                let dtd = disjunctive_dtd(&mut rng, &dtd_params(elements), disjunctions, 2);
+                if let Err(e) = check_both_directions(&dtd, seed) {
+                    failures.push(format!("({seed},{elements},{disjunctions}): {e}"));
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+#[ignore = "dense sweep; run explicitly"]
+fn sweep_implication_simple() {
+    let mut failures = Vec::new();
+    for seed in 0..1500u64 {
+        for elements in 3..10 {
+            let mut rng = xnf_gen::rng(seed);
+            let dtd = simple_dtd(&mut rng, &dtd_params(elements));
+            if let Err(e) = check_both_directions(&dtd, seed) {
+                failures.push(format!("({seed},{elements}): {e}"));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+#[ignore = "dense sweep; run explicitly"]
+fn sweep_normalization() {
+    let mut failures = Vec::new();
+    for seed in 0..4000u64 {
+        for elements in 3..9 {
+            let mut rng = xnf_gen::rng(seed);
+            let dtd = simple_dtd(&mut rng, &dtd_params(elements));
+            let sigma = random_fds(
+                &dtd,
+                &mut rng,
+                &FdParams {
+                    count: 3,
+                    max_lhs: 2,
+                },
+            );
+            let result = match normalize(&dtd, &sigma, &NormalizeOptions::default()) {
+                Ok(r) => r,
+                Err(xnf::core::CoreError::BadFdPath(_)) => continue,
+                Err(other) => {
+                    failures.push(format!("({seed},{elements}): error {other}"));
+                    continue;
+                }
+            };
+            if !is_xnf(&result.dtd, &result.sigma).unwrap() {
+                failures.push(format!("({seed},{elements}): not XNF"));
+            }
+            if result.ap_trace.windows(2).any(|w| w[1] >= w[0]) {
+                failures.push(format!(
+                    "({seed},{elements}): AP not strictly decreasing {:?}",
+                    result.ap_trace
+                ));
+            }
+            if *result.ap_trace.last().unwrap() != 0 {
+                failures.push(format!("({seed},{elements}): final AP != 0"));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}

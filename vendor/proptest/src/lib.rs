@@ -1,0 +1,184 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `proptest` to this crate (see `[patch.crates-io]` in the root
+//! manifest). It implements the pieces the test suites actually exercise:
+//!
+//! - the `proptest!` macro (with `#![proptest_config(..)]`,
+//!   `pat in strategy` parameters, `prop_assert*!` / `prop_assume!`,
+//!   `?` on `Result<_, TestCaseError>` bodies);
+//! - strategies: integer ranges, `Just`, `prop_oneof!`, `prop_map`,
+//!   `prop_recursive`, tuples, and `prop::collection::vec`;
+//! - a deterministic runner: case `k` of test `t` is generated from a
+//!   seed derived only from `(t, k)`, so failures reproduce exactly.
+//!
+//! Unlike real proptest there is **no shrinking** and no persistence:
+//! `*.proptest-regressions` files are left untouched (their `cc` seeds
+//! encode the upstream generator's streams, which this stand-in cannot
+//! replay — shrunk cases from those files are pinned as plain unit tests
+//! in the suites instead). Failures print the sampled inputs so they can
+//! be pinned the same way.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", ..)` — like
+/// `assert!` but returns a [`test_runner::TestCaseError`] instead of
+/// panicking, so the runner can report the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  both: {:?}", format!($($fmt)+), left),
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — rejects the current case (it is re-drawn, not
+/// counted as a failure) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::string::String::from(concat!("assumption failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ..]` — uniform choice among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The `proptest!` test-definition macro: an optional
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(pat in
+/// strategy, ..) { body }` items. Bodies run with an implicit
+/// `Result<(), TestCaseError>` return (so `?`, `prop_assert!` and early
+/// `return Ok(())` all work).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng, __inputs| {
+                    $(
+                        let __value = $crate::strategy::Strategy::sample(&($strategy), __rng);
+                        __inputs.push(format!("{} = {:?}", stringify!($pat), __value));
+                        let $pat = __value;
+                    )+
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body;
+                            ::core::result::Result::Ok(())
+                        })();
+                    __result
+                },
+            );
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

@@ -1,0 +1,10 @@
+//! The customary `use proptest::prelude::*;` surface.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Sub-strategy modules under the conventional `prop::` name.
+pub mod prop {
+    pub use crate::collection;
+}

@@ -1,0 +1,163 @@
+//! The deterministic case runner and its supporting types.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration; only `cases` is honored by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion (fails the test).
+    Fail(String),
+    /// The case was rejected by `prop_assume!` (re-drawn, not a failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "rejected: {msg}"),
+        }
+    }
+}
+
+/// Convenience alias matching real proptest.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The generator handed to strategies (xoshiro256++, seeded purely from
+/// the test name and case index — failures reproduce exactly).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator whose stream is a pure function of `seed`.
+    pub fn from_seed(mut seed: u64) -> Self {
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+
+    /// A uniform draw from `[0, span)`; `span` must be ≤ 2^64 and > 0.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        (u128::from(self.next_u64()) * span) >> 64
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one `proptest!` test: draws cases until `config.cases` are
+/// accepted (rejections are re-drawn, with a global cap), panicking on
+/// the first failing case with the sampled inputs in the message.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, run_one: F)
+where
+    F: Fn(&mut TestRng, &mut Vec<String>) -> TestCaseResult,
+{
+    // PROPTEST_CASES overrides every suite's case count (stress sweeps).
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let config = &ProptestConfig { cases };
+    let base = fnv1a(name);
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = u64::from(config.cases) * 16 + 1024;
+    while accepted < config.cases {
+        if attempt >= max_attempts {
+            // Mirror proptest's global-reject cap, but treat exhaustion as
+            // "ran fewer cases" rather than an error: the suites here use
+            // prop_assume! only to trim outliers.
+            eprintln!(
+                "proptest (offline stand-in): {name}: stopping after {attempt} draws \
+                 ({accepted}/{} cases accepted)",
+                config.cases
+            );
+            break;
+        }
+        let seed = base ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut rng = TestRng::from_seed(seed);
+        let mut inputs: Vec<String> = Vec::new();
+        attempt += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_one(&mut rng, &mut inputs)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest: test {name} failed at case #{attempt}\n  {msg}\n  inputs:\n    {}",
+                    inputs.join("\n    ")
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest: test {name} panicked at case #{attempt}; inputs:\n    {}",
+                    inputs.join("\n    ")
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

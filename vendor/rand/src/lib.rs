@@ -1,0 +1,274 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses: `StdRng::seed_from_u64`, `Rng::{random_range, random_bool,
+//! random_ratio}` and `IndexedRandom::choose` on slices.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `rand` to this crate (see `[patch.crates-io]` in the root
+//! manifest). Everything downstream only needs *deterministic seeded*
+//! generation — no OS entropy, no thread-local RNG — which keeps this
+//! stand-in tiny. The core generator is xoshiro256++ seeded via
+//! SplitMix64; streams are stable across runs and platforms for a given
+//! seed (they intentionally do **not** match the real `rand` crate's
+//! ChaCha12-based `StdRng` streams).
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard deterministic generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut state);
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Uniform sampling support for `Rng::random_range`.
+pub mod uniform {
+    use crate::RngCore;
+
+    /// Integer types that can be sampled uniformly from a range.
+    ///
+    /// Only non-negative values are exercised by this workspace; the
+    /// widening conversions below are not order-preserving for negative
+    /// signed values.
+    pub trait UniformInt: Copy + PartialOrd {
+        fn to_u128(self) -> u128;
+        fn from_u128(v: u128) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl UniformInt for $t {
+                fn to_u128(self) -> u128 {
+                    self as u128
+                }
+                fn from_u128(v: u128) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Multiply-shift reduction of a random word into `[0, span)`;
+    /// `span` must be at most `2^64`.
+    pub(crate) fn reduce(word: u64, span: u128) -> u128 {
+        (u128::from(word) * span) >> 64
+    }
+
+    /// Ranges a value can be drawn from, mirroring
+    /// `rand::distr::uniform::SampleRange`.
+    pub trait SampleRange<T> {
+        /// Draws one value; panics on an empty range (as `rand` does).
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let lo = self.start.to_u128();
+            let hi = self.end.to_u128();
+            assert!(lo < hi, "cannot sample empty range");
+            T::from_u128(lo + reduce(rng.next_u64(), hi - lo))
+        }
+    }
+
+    impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let lo = self.start().to_u128();
+            let hi = self.end().to_u128();
+            assert!(lo <= hi, "cannot sample empty range");
+            T::from_u128(lo + reduce(rng.next_u64(), hi - lo + 1))
+        }
+    }
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform draw from `range`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // 53 uniform mantissa bits in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.random_range(0..denominator) < numerator
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related sampling, mirroring `rand::seq`.
+pub mod seq {
+    use crate::Rng;
+
+    /// Uniformly choosing elements of an indexable collection.
+    pub trait IndexedRandom {
+        type Output;
+
+        /// A uniformly random element, or `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Output>;
+
+        /// `amount` distinct elements sampled without replacement, as an
+        /// iterator of references (saturating at the collection length).
+        fn choose_multiple<R: Rng>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let ix = rng.random_range(0..self.len());
+                Some(&self[ix])
+            }
+        }
+
+        fn choose_multiple<R: Rng>(&self, rng: &mut R, amount: usize) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index vector.
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.random_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            indices
+                .into_iter()
+                .take(amount)
+                .map(|i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+    }
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::IndexedRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism_and_range_bounds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: u64 = r.random_range(5..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn bool_and_ratio_are_sane() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+        assert!(!(0..100).any(|_| r.random_ratio(0, 1)));
+        assert!((0..100).all(|_| r.random_ratio(1, 1)));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = StdRng::seed_from_u64(3);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*items.choose(&mut r).unwrap() - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}
