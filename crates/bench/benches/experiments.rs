@@ -9,6 +9,8 @@
 //! costs of the constructive machinery on the paper's own workloads
 //! (E1–E7, E12). `EXPERIMENTS.md` records the measured numbers.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use xnf_core::implication::{CounterexampleSearch, Implication};

@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|all]`
 
+#![forbid(unsafe_code)]
+
 use xnf_core::lossless::{transform_document, verify_lossless};
 use xnf_core::{anomalous_fds, is_xnf, normalize, tuples_d, NormalizeOptions, XmlFdSet};
 use xnf_dtd::classify::{DtdClass, DtdShapes};

@@ -1,1 +1,4 @@
 //! Criterion benches and experiment binaries for the xnf workspace.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]

@@ -9,13 +9,21 @@
 //! xnf-tool tuples     <dtd> <xml>            # print the tuples_D(T) relation
 //! xnf-tool check      <dtd> <xml> <fds>      # conformance + per-FD satisfaction
 //! xnf-tool implies    <dtd> <fds> <fd…>      # (D,Σ) ⊢ φ, with witness on refutation
-//! xnf-tool is-xnf     <dtd> <fds>            # XNF test, listing anomalous FDs
-//! xnf-tool normalize  <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] [--threads <n>]
+//! xnf-tool is-xnf     <dtd> <fds> [--no-lint]
+//!                                            # XNF test, listing anomalous FDs
+//! xnf-tool lint       <dtd> [<fds>] [--format json]
+//!                                            # static analysis (codes XNF001…); nonzero exit on errors
+//! xnf-tool normalize  <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] [--threads <n>] [--no-lint]
 //!                                            # run the Figure 4 algorithm
 //! xnf-tool keys       <dtd> <fds> <elem-path> [max-size]
 //!                                            # discover minimal (relative) keys
 //! xnf-tool mvd        <dtd> <xml> <mvd…>     # check MVDs ("lhs ->> dep | indep")
 //! ```
+//!
+//! `normalize` and `is-xnf` run the linter as a preflight: hard lint
+//! errors abort with the rendered report and a nonzero exit before the
+//! engine touches the spec; `--no-lint` opts out. Warnings and infos never
+//! block (and stay silent in preflight — use `lint` to see them).
 //!
 //! The command logic lives in [`run`] so it is unit-testable; `main` only
 //! forwards `std::env::args` and prints.
@@ -40,6 +48,9 @@ pub enum CliError {
     Io(String, std::io::Error),
     /// An error from the xnf libraries.
     Lib(String),
+    /// Lint diagnostics with at least one error; the string is the fully
+    /// rendered report (`main` prints it to stdout, without a prefix).
+    Lint(String),
 }
 
 impl fmt::Display for CliError {
@@ -48,6 +59,7 @@ impl fmt::Display for CliError {
             CliError::Usage(u) => write!(f, "usage: {u}"),
             CliError::Io(path, e) => write!(f, "cannot read `{path}`: {e}"),
             CliError::Lib(e) => write!(f, "{e}"),
+            CliError::Lint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -88,7 +100,23 @@ fn load_xml(path: &str) -> Result<xnf_xml::XmlTree, CliError> {
     Ok(xnf_xml::parse(&read(path)?)?)
 }
 
-const USAGE: &str = "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|normalize|keys|mvd> …";
+/// Runs the linter over raw spec sources and fails with the rendered
+/// report when it finds hard errors. Clean specs (and specs with only
+/// warnings or infos) pass silently.
+fn preflight_lint(dtd_src: &str, fds_src: Option<&str>) -> Result<(), CliError> {
+    let report = xnf_lint::lint_spec(dtd_src, fds_src);
+    if report.has_errors() {
+        Err(CliError::Lint(format!(
+            "{}preflight lint failed; fix the errors above or rerun with --no-lint\n",
+            report.render_human()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+const USAGE: &str =
+    "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|lint|normalize|keys|mvd> …";
 
 /// Runs one CLI invocation (without the program name) and returns the
 /// output text.
@@ -181,11 +209,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
         }
         "is-xnf" => {
-            let [_, dtd_path, fds_path] = args else {
-                return Err(CliError::Usage("xnf-tool is-xnf <dtd> <fds>".into()));
+            let no_lint = args.iter().any(|a| a == "--no-lint");
+            let files: Vec<&String> = args[1..].iter().filter(|a| *a != "--no-lint").collect();
+            let [dtd_path, fds_path] = files[..] else {
+                return Err(CliError::Usage(
+                    "xnf-tool is-xnf <dtd> <fds> [--no-lint]".into(),
+                ));
             };
-            let dtd = load_dtd(dtd_path)?;
-            let sigma = load_fds(fds_path)?;
+            let dtd_src = read(dtd_path)?;
+            let fds_src = read(fds_path)?;
+            if !no_lint {
+                preflight_lint(&dtd_src, Some(&fds_src))?;
+            }
+            let dtd = xnf_dtd::parse_dtd(&dtd_src)?;
+            let sigma = XmlFdSet::parse(&fds_src)?;
             let violations = xnf_core::anomalous_fds(&dtd, &sigma)?;
             if violations.is_empty() {
                 writeln!(out, "in XNF: yes").expect("string write");
@@ -200,19 +237,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "normalize" => {
             if args.len() < 3 {
                 return Err(CliError::Usage(
-                    "xnf-tool normalize <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] [--threads <n>]".into(),
+                    "xnf-tool normalize <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] [--threads <n>] [--no-lint]".into(),
                 ));
             }
-            let dtd = load_dtd(&args[1])?;
-            let sigma = load_fds(&args[2])?;
             let mut options = NormalizeOptions::default();
             let mut doc_path: Option<&str> = None;
             let mut show_stats = false;
+            let mut no_lint = false;
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
                     "--sigma-only" => options.use_implication = false,
                     "--stats" => show_stats = true,
+                    "--no-lint" => no_lint = true,
                     "--threads" => {
                         i += 1;
                         options.threads =
@@ -234,6 +271,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 }
                 i += 1;
             }
+            let dtd_src = read(&args[1])?;
+            let fds_src = read(&args[2])?;
+            if !no_lint {
+                preflight_lint(&dtd_src, Some(&fds_src))?;
+            }
+            let dtd = xnf_dtd::parse_dtd(&dtd_src)?;
+            let sigma = XmlFdSet::parse(&fds_src)?;
             let result = normalize(&dtd, &sigma, &options)?;
             writeln!(out, "=== steps ({}) ===", result.steps.len()).expect("string write");
             for s in &result.steps {
@@ -281,6 +325,55 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 )
                 .expect("string write");
             }
+        }
+        "lint" => {
+            let mut format_json = false;
+            let mut files: Vec<&str> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--format" => {
+                        i += 1;
+                        match args.get(i).map(String::as_str) {
+                            Some("json") => format_json = true,
+                            Some("human") => format_json = false,
+                            _ => {
+                                return Err(CliError::Usage(
+                                    "--format needs `json` or `human`".into(),
+                                ))
+                            }
+                        }
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}`")));
+                    }
+                    file => files.push(file),
+                }
+                i += 1;
+            }
+            let (dtd_path, fds_path) = match files[..] {
+                [dtd] => (dtd, None),
+                [dtd, fds] => (dtd, Some(fds)),
+                _ => {
+                    return Err(CliError::Usage(
+                        "xnf-tool lint <dtd> [<fds>] [--format json]".into(),
+                    ));
+                }
+            };
+            let dtd_src = read(dtd_path)?;
+            let fds_src = fds_path.map(read).transpose()?;
+            let report = xnf_lint::lint_spec(&dtd_src, fds_src.as_deref());
+            let rendered = if format_json {
+                let mut j = report.to_json();
+                j.push('\n');
+                j
+            } else {
+                report.render_human()
+            };
+            if report.has_errors() {
+                return Err(CliError::Lint(rendered));
+            }
+            out.push_str(&rendered);
         }
         "keys" => {
             if args.len() < 4 {
@@ -569,5 +662,105 @@ courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.
     fn help_prints_usage() {
         let out = run_ok(&["help"]);
         assert!(out.contains("usage:"));
+    }
+
+    #[test]
+    fn lint_clean_spec_succeeds() {
+        let dtd = write_tmp("l1.dtd", DBLP_DTD);
+        let fds = write_tmp("l1.fds", DBLP_FDS);
+        let out = run_ok(&["lint", &dtd, &fds]);
+        assert!(out.contains("lint: clean"), "{out}");
+    }
+
+    #[test]
+    fn lint_dtd_alone_reports_warnings_without_failing() {
+        let dtd = write_tmp(
+            "l2.dtd",
+            "<!ELEMENT r (a)>\n<!ELEMENT a EMPTY>\n<!ELEMENT orphan EMPTY>",
+        );
+        let out = run_ok(&["lint", &dtd]);
+        assert!(out.contains("warning[XNF007]"), "{out}");
+        assert!(out.contains("lint: 0 errors, 1 warning"), "{out}");
+    }
+
+    #[test]
+    fn lint_errors_surface_as_lint_failure() {
+        let dtd = write_tmp("l3.dtd", "<!ELEMENT r (ghost)>");
+        let args = vec!["lint".to_string(), dtd];
+        match run(&args) {
+            Err(CliError::Lint(report)) => {
+                assert!(report.contains("error[XNF004]"), "{report}");
+                assert!(report.contains("lint: 1 error"), "{report}");
+            }
+            other => panic!("expected lint failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_format_json() {
+        let dtd = write_tmp("l4.dtd", DBLP_DTD);
+        let fds = write_tmp("l4.fds", DBLP_FDS);
+        let out = run_ok(&["lint", &dtd, &fds, "--format", "json"]);
+        assert!(out.contains("\"version\": 1"), "{out}");
+        assert!(out.contains("\"clean\": true"), "{out}");
+        // Errors render as JSON too when requested.
+        let bad = write_tmp("l4bad.dtd", "<!ELEMENT r (ghost)>");
+        match run(&["lint".to_string(), bad, "--format".into(), "json".into()]) {
+            Err(CliError::Lint(report)) => {
+                assert!(report.contains("\"code\": \"XNF004\""), "{report}");
+                assert!(report.contains("\"clean\": false"), "{report}");
+            }
+            other => panic!("expected lint failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalize_preflight_blocks_bad_specs() {
+        let dtd = write_tmp("l5.dtd", DBLP_DTD);
+        let fds = write_tmp("l5.fds", "db.conf.ghost -> db.conf");
+        let args: Vec<String> = ["normalize", &dtd, &fds]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match run(&args) {
+            Err(CliError::Lint(report)) => {
+                assert!(report.contains("error[XNF102]"), "{report}");
+                assert!(report.contains("preflight lint failed"), "{report}");
+            }
+            other => panic!("expected preflight failure, got {other:?}"),
+        }
+        // --no-lint hands the spec straight to the engine, which rejects
+        // the unknown path itself (a Lib error, not a Lint report).
+        let mut args = args;
+        args.push("--no-lint".into());
+        assert!(matches!(run(&args), Err(CliError::Lib(_))));
+    }
+
+    #[test]
+    fn is_xnf_preflight_blocks_and_no_lint_opts_out() {
+        let dtd = write_tmp("l6.dtd", "<!ELEMENT r (ghost)>");
+        let fds = write_tmp("l6.fds", "");
+        let args: Vec<String> = ["is-xnf", &dtd, &fds]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match run(&args) {
+            Err(CliError::Lint(report)) => {
+                assert!(report.contains("error[XNF004]"), "{report}")
+            }
+            other => panic!("expected preflight failure, got {other:?}"),
+        }
+        let mut args = args;
+        args.push("--no-lint".into());
+        assert!(matches!(run(&args), Err(CliError::Lib(_))));
+    }
+
+    #[test]
+    fn preflight_is_silent_on_clean_specs() {
+        let dtd = write_tmp("l7.dtd", DBLP_DTD);
+        let fds = write_tmp("l7.fds", DBLP_FDS);
+        let linted = run_ok(&["is-xnf", &dtd, &fds]);
+        let skipped = run_ok(&["is-xnf", &dtd, &fds, "--no-lint"]);
+        assert_eq!(linted, skipped, "preflight must not change clean output");
     }
 }

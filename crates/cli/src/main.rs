@@ -4,6 +4,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match xnf_cli::run(&args) {
         Ok(output) => print!("{output}"),
+        // Lint reports are the command's product, not a tool failure:
+        // print them to stdout, bare, and signal via the exit code.
+        Err(xnf_cli::CliError::Lint(report)) => {
+            print!("{report}");
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("xnf-tool: {e}");
             std::process::exit(1);

@@ -1,0 +1,98 @@
+//! Process-level tests of `xnf-tool`'s lint surface: exit codes, output
+//! streams, and the preflight behavior of `normalize` on a spec with hard
+//! lint errors.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn workspace_file(rel: &str) -> String {
+    // crates/cli → workspace root is two levels up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(rel);
+    p.to_string_lossy().into_owned()
+}
+
+fn xnf_tool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xnf-tool"))
+        .args(args)
+        .output()
+        .expect("xnf-tool runs")
+}
+
+fn write_tmp(name: &str, content: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push("xnf-lint-cli-tests");
+    std::fs::create_dir_all(&p).unwrap();
+    p.push(name);
+    std::fs::write(&p, content).unwrap();
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn lint_clean_paper_specs_exit_zero() {
+    for name in ["university", "dblp", "ebxml"] {
+        let dtd = workspace_file(&format!("examples/specs/{name}.dtd"));
+        let fds = workspace_file(&format!("examples/specs/{name}.fds"));
+        let out = xnf_tool(&["lint", &dtd, &fds]);
+        assert!(out.status.success(), "{name}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("lint: clean"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn lint_errors_exit_nonzero_with_report_on_stdout() {
+    let dtd = write_tmp("err.dtd", "<!ELEMENT r (ghost)>");
+    let out = xnf_tool(&["lint", &dtd]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[XNF004]"), "{stdout}");
+    assert!(stdout.contains("lint: 1 error"), "{stdout}");
+    // The report is the product, not a tool failure: stderr stays quiet.
+    assert!(
+        out.stderr.is_empty(),
+        "{:?}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn lint_json_exit_codes_match_human() {
+    let dtd = write_tmp("err2.dtd", "<!ELEMENT r (ghost)>");
+    let out = xnf_tool(&["lint", &dtd, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"code\": \"XNF004\""), "{stdout}");
+}
+
+#[test]
+fn normalize_aborts_on_hard_lint_errors_without_panicking() {
+    let dtd = write_tmp(
+        "pre.dtd",
+        "<!ELEMENT db (conf*)>\n<!ELEMENT conf (title)>\n<!ELEMENT title (#PCDATA)>",
+    );
+    let fds = write_tmp("pre.fds", "db.conf.ghost -> db.conf");
+    let out = xnf_tool(&["normalize", &dtd, &fds]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("error[XNF102]"), "{stdout}");
+    assert!(stdout.contains("preflight lint failed"), "{stdout}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn is_xnf_preflight_aborts_and_no_lint_opts_out() {
+    let dtd = write_tmp("pre2.dtd", "<!ELEMENT r (ghost)>");
+    let fds = write_tmp("pre2.fds", "");
+    let out = xnf_tool(&["is-xnf", &dtd, &fds]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[XNF004]"));
+    // --no-lint skips preflight; the engine's own error goes to stderr.
+    let out = xnf_tool(&["is-xnf", &dtd, &fds, "--no-lint"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("xnf-tool:"));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+}

@@ -38,12 +38,14 @@ pub mod nfa;
 pub mod parse;
 pub mod paths;
 pub mod regex;
+pub mod span;
 
 pub use crate::classify::{DtdClass, Multiplicity, SimpleContent};
 pub use crate::dtd::{ContentModel, Dtd, DtdBuilder, ElemId, ElementDecl};
 pub use crate::parse::parse_dtd;
 pub use crate::paths::{Path, PathId, PathSet, Step};
 pub use crate::regex::Regex;
+pub use crate::span::LineCol;
 
 use std::fmt;
 
@@ -82,6 +84,9 @@ pub enum DtdError {
     Syntax {
         /// Byte offset of the error in the input.
         offset: usize,
+        /// 1-based line/column of `offset`, resolved against the input at
+        /// construction time (see [`span::line_col`]).
+        at: LineCol,
         /// Human-readable description.
         message: String,
     },
@@ -120,8 +125,16 @@ impl fmt::Display for DtdError {
             DtdError::AttlistForUndeclared(name) => {
                 write!(f, "ATTLIST for undeclared element `{name}`")
             }
-            DtdError::Syntax { offset, message } => {
-                write!(f, "syntax error at byte {offset}: {message}")
+            DtdError::Syntax {
+                offset,
+                at,
+                message,
+            } => {
+                write!(
+                    f,
+                    "syntax error at line {}, column {} (byte {offset}): {message}",
+                    at.line, at.col
+                )
             }
             DtdError::RecursiveDtd { witness } => write!(
                 f,
@@ -129,6 +142,18 @@ impl fmt::Display for DtdError {
                  paths(D) is infinite"
             ),
             DtdError::NoSuchPath(p) => write!(f, "`{p}` is not a path of this DTD"),
+        }
+    }
+}
+
+impl DtdError {
+    /// Constructs a [`DtdError::Syntax`] pointing at `offset` into `src`,
+    /// resolving the line/column eagerly (the error outlives the source).
+    pub fn syntax(src: &[u8], offset: usize, message: impl Into<String>) -> DtdError {
+        DtdError::Syntax {
+            offset,
+            at: span::line_col(src, offset),
+            message: message.into(),
         }
     }
 }

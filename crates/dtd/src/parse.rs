@@ -31,10 +31,7 @@ impl<'a> Scanner<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> DtdError {
-        DtdError::Syntax {
-            offset: self.pos,
-            message: message.into(),
-        }
+        DtdError::syntax(self.input, self.pos, message)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -306,10 +303,7 @@ pub fn parse_dtd(input: &str) -> Result<Dtd> {
 
     let root = order
         .first()
-        .ok_or_else(|| DtdError::Syntax {
-            offset: 0,
-            message: "no element declarations found".to_string(),
-        })?
+        .ok_or_else(|| DtdError::syntax(s.input, 0, "no element declarations found"))?
         .clone();
 
     for elem in attlists.keys() {

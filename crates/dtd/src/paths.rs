@@ -169,12 +169,14 @@ impl FromStr for Path {
     /// `@`-prefixed components are attributes; both may appear only last.
     fn from_str(s: &str) -> Result<Path> {
         let mut steps = Vec::new();
+        let mut offset = 0usize;
         for (i, comp) in s.split('.').enumerate() {
             if comp.is_empty() {
-                return Err(DtdError::Syntax {
-                    offset: 0,
-                    message: format!("empty path component in `{s}` (component {i})"),
-                });
+                return Err(DtdError::syntax(
+                    s.as_bytes(),
+                    offset,
+                    format!("empty path component in `{s}` (component {i})"),
+                ));
             }
             let step = if comp == "S" {
                 Step::Text
@@ -184,18 +186,17 @@ impl FromStr for Path {
                 Step::elem(comp)
             };
             steps.push(step);
+            offset += comp.len() + 1; // component plus the following `.`
         }
         if steps.is_empty() {
-            return Err(DtdError::Syntax {
-                offset: 0,
-                message: "empty path".to_string(),
-            });
+            return Err(DtdError::syntax(s.as_bytes(), 0, "empty path"));
         }
         if !steps[..steps.len() - 1].iter().all(Step::is_elem) {
-            return Err(DtdError::Syntax {
-                offset: 0,
-                message: format!("`{s}`: attributes and S may appear only as the final step"),
-            });
+            return Err(DtdError::syntax(
+                s.as_bytes(),
+                0,
+                format!("`{s}`: attributes and S may appear only as the final step"),
+            ));
         }
         Ok(Path(steps))
     }

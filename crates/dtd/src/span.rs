@@ -1,0 +1,112 @@
+//! Line/column resolution for byte offsets into spec sources.
+//!
+//! DTD and FD specs are small, line-oriented text files; every error and
+//! lint diagnostic that points into them carries a byte offset. This module
+//! turns such offsets into the 1-based line/column coordinates a user (or
+//! an editor integration) actually wants, and is shared by [`crate::DtdError`],
+//! the `xnf-lint` diagnostics engine, and the CLI renderers.
+
+/// A 1-based line/column position in a source text.
+///
+/// Columns count bytes, not grapheme clusters — exact for the ASCII
+/// declaration syntax the paper uses, and a stable, editor-compatible
+/// approximation otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (byte) number within the line.
+    pub col: u32,
+}
+
+impl LineCol {
+    /// The start of the text.
+    pub const START: LineCol = LineCol { line: 1, col: 1 };
+}
+
+impl std::fmt::Display for LineCol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Resolves a byte `offset` into `src` to its [`LineCol`].
+///
+/// Offsets at or past the end of the text resolve to the position one past
+/// the final byte, so "unexpected end of input" errors still point somewhere
+/// printable.
+pub fn line_col(src: &[u8], offset: usize) -> LineCol {
+    let offset = offset.min(src.len());
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    for &b in &src[..offset] {
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// [`line_col`] over `&str` sources.
+pub fn line_col_str(src: &str, offset: usize) -> LineCol {
+    line_col(src.as_bytes(), offset)
+}
+
+/// Returns the full text of the line containing byte `offset` (without its
+/// trailing newline), for rendering source excerpts under a diagnostic.
+pub fn line_text(src: &str, offset: usize) -> &str {
+    let bytes = src.as_bytes();
+    let offset = offset.min(bytes.len());
+    let start = bytes[..offset]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    let end = bytes[offset..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(bytes.len(), |i| offset + i);
+    // Slicing at newline boundaries keeps UTF-8 char boundaries intact.
+    &src[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_of_text() {
+        assert_eq!(line_col(b"abc", 0), LineCol { line: 1, col: 1 });
+    }
+
+    #[test]
+    fn mid_line() {
+        assert_eq!(line_col(b"abc\ndef", 5), LineCol { line: 2, col: 2 });
+    }
+
+    #[test]
+    fn newline_belongs_to_its_line() {
+        assert_eq!(line_col(b"ab\ncd", 2), LineCol { line: 1, col: 3 });
+        assert_eq!(line_col(b"ab\ncd", 3), LineCol { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn offset_past_end_clamps() {
+        assert_eq!(line_col(b"ab", 99), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn line_text_extracts_the_line() {
+        let src = "first\nsecond\nthird";
+        assert_eq!(line_text(src, 0), "first");
+        assert_eq!(line_text(src, 7), "second");
+        assert_eq!(line_text(src, src.len()), "third");
+    }
+
+    #[test]
+    fn line_col_display() {
+        assert_eq!(LineCol { line: 3, col: 14 }.to_string(), "3:14");
+    }
+}

@@ -1,0 +1,294 @@
+//! # `xnf-lint` — static analysis for DTD + XML FD specs
+//!
+//! The engine crates (`xnf-dtd`, `xnf-core`) assume well-formed inputs:
+//! a parseable DTD, FD paths inside `paths(D)`, a non-degenerate Σ. This
+//! crate is the front door that checks those assumptions *statically*,
+//! before the chase or the normalizer ever runs, and reports what it
+//! finds as coded, spanned diagnostics — the same shape relational design
+//! tools use to lint schemas before normalizing.
+//!
+//! The analyses run in two tiers (see [`registry`] for the full table):
+//!
+//! * **Structural** (`XNF0xx`) — the DTD alone: syntax and declaration
+//!   hygiene, elements unreachable from the root, non-generating
+//!   ("useless") elements, unsatisfiable DTDs, content models that are
+//!   not 1-unambiguous, recursion, and the Section 7 complexity
+//!   classification.
+//! * **Semantic** (`XNF1xx`) — the FD set Σ against the DTD, with the
+//!   chase implication engine repurposed as a static analyzer: vacuous
+//!   FDs (mutually exclusive paths), trivial FDs, FDs redundant given the
+//!   rest of Σ, pairwise-equivalent FDs, and redundant LHS paths.
+//!
+//! ## Example
+//!
+//! ```
+//! use xnf_lint::{lint_spec, Code};
+//!
+//! let report = lint_spec(
+//!     "<!ELEMENT r (a)> <!ELEMENT a EMPTY> <!ELEMENT dead EMPTY>",
+//!     Some("r.a -> r"),
+//! );
+//! assert_eq!(report.codes(), vec![Code::UnreachableElement, Code::TrivialFd]);
+//! assert!(!report.has_errors(), "warnings do not gate preflight");
+//! println!("{}", report.render_human());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod determinism;
+mod json;
+mod report;
+pub mod source;
+mod structural;
+
+mod semantic;
+
+pub use report::{Code, Diagnostic, LintReport, Severity, SourceKind, Span};
+pub use source::DeclIndex;
+pub use structural::{generating_set, reachable_set, DtdCtx};
+
+use xnf_dtd::parse_dtd;
+
+/// Which tier a rule belongs to (how it is driven).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Mapped from a parser rejection (the strict parser is the analysis).
+    Parse,
+    /// Runs over the raw declaration text, before parsing.
+    Scanner,
+    /// Runs over the parsed DTD.
+    Structural,
+    /// Runs over (DTD, Σ); the implication-backed rules live here.
+    Semantic,
+}
+
+/// One registered analysis: its code, tier, and a one-line summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// The stable diagnostic code.
+    pub code: Code,
+    /// How the rule is driven.
+    pub tier: Tier,
+    /// Whether the rule's verdicts come from the chase implication engine.
+    pub implication_backed: bool,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The rule registry: every analysis [`lint_spec`] can run, in code order.
+/// (Extending the linter means adding a row here plus its implementation
+/// in the matching tier module.)
+pub fn registry() -> &'static [Rule] {
+    const fn rule(code: Code, tier: Tier, implication_backed: bool, summary: &'static str) -> Rule {
+        Rule {
+            code,
+            tier,
+            implication_backed,
+            summary,
+        }
+    }
+    const RULES: &[Rule] = &[
+        rule(
+            Code::DtdSyntax,
+            Tier::Parse,
+            false,
+            "the DTD text does not parse",
+        ),
+        rule(
+            Code::DuplicateElement,
+            Tier::Scanner,
+            false,
+            "an element is declared more than once",
+        ),
+        rule(
+            Code::DuplicateAttribute,
+            Tier::Scanner,
+            false,
+            "an attribute is declared more than once for one element",
+        ),
+        rule(
+            Code::UndeclaredElement,
+            Tier::Parse,
+            false,
+            "a content model references an undeclared element",
+        ),
+        rule(
+            Code::RootReferenced,
+            Tier::Parse,
+            false,
+            "the root occurs in a content model (violates Definition 1)",
+        ),
+        rule(
+            Code::AttlistForUndeclared,
+            Tier::Parse,
+            false,
+            "an ATTLIST names an undeclared element",
+        ),
+        rule(
+            Code::UnreachableElement,
+            Tier::Structural,
+            false,
+            "an element is unreachable from the root",
+        ),
+        rule(
+            Code::NonGeneratingElement,
+            Tier::Structural,
+            false,
+            "an element can never occur in a finite document",
+        ),
+        rule(
+            Code::UnsatisfiableDtd,
+            Tier::Structural,
+            false,
+            "no finite document conforms to the DTD",
+        ),
+        rule(
+            Code::NondeterministicContent,
+            Tier::Structural,
+            false,
+            "a content model is not 1-unambiguous",
+        ),
+        rule(
+            Code::RecursiveDtd,
+            Tier::Structural,
+            false,
+            "the DTD is recursive; paths(D) is infinite",
+        ),
+        rule(
+            Code::GeneralClass,
+            Tier::Structural,
+            false,
+            "the DTD is neither simple nor disjunctive (Theorem 5 territory)",
+        ),
+        rule(
+            Code::FdSyntax,
+            Tier::Semantic,
+            false,
+            "an FD does not parse",
+        ),
+        rule(
+            Code::UnknownFdPath,
+            Tier::Semantic,
+            false,
+            "an FD path is not in paths(D)",
+        ),
+        rule(
+            Code::VacuousFd,
+            Tier::Semantic,
+            false,
+            "an FD's paths are mutually exclusive; it constrains nothing",
+        ),
+        rule(
+            Code::DuplicateFd,
+            Tier::Semantic,
+            false,
+            "the same FD is listed twice",
+        ),
+        rule(
+            Code::TrivialFd,
+            Tier::Semantic,
+            true,
+            "an FD is implied by the DTD alone",
+        ),
+        rule(
+            Code::RedundantFd,
+            Tier::Semantic,
+            true,
+            "an FD is implied by the rest of \u{3a3}",
+        ),
+        rule(
+            Code::EquivalentFds,
+            Tier::Semantic,
+            true,
+            "two FDs are equivalent given the rest of \u{3a3}",
+        ),
+        rule(
+            Code::RedundantLhsPath,
+            Tier::Semantic,
+            true,
+            "an LHS path is determined by the other LHS paths",
+        ),
+    ];
+    RULES
+}
+
+/// Lints a DTD text and (optionally) an FD-set text, running every
+/// applicable rule of the [`registry`].
+///
+/// The structural tier always runs. The semantic tier runs when `fds_src`
+/// is given *and* the DTD parsed, is non-recursive, and — since the chase
+/// needs `paths(D)` — skips the implication-backed rules for recursive
+/// DTDs (flagged `XNF011` instead). If the DTD failed to parse, FD
+/// linting degrades to per-FD syntax checking.
+pub fn lint_spec(dtd_src: &str, fds_src: Option<&str>) -> LintReport {
+    let mut diags = Vec::new();
+    let index = DeclIndex::scan(dtd_src);
+    structural::duplicate_decls(dtd_src, &index, &mut diags);
+
+    match parse_dtd(dtd_src) {
+        Ok(dtd) => {
+            let ctx = DtdCtx::new(dtd_src, &dtd, &index);
+            structural::rule_unreachable(&ctx, &mut diags);
+            structural::rule_non_generating(&ctx, &mut diags);
+            structural::rule_unsatisfiable(&ctx, &mut diags);
+            structural::rule_determinism(&ctx, &mut diags);
+            structural::rule_recursive(&ctx, &mut diags);
+            structural::rule_general_class(&ctx, &mut diags);
+            if let Some(fds_src) = fds_src {
+                if dtd.is_recursive() {
+                    semantic::lint_fd_syntax_only(fds_src, &mut diags);
+                } else {
+                    semantic::lint_fds(&ctx, fds_src, &mut diags);
+                }
+            }
+        }
+        Err(err) => {
+            structural::map_parse_error(dtd_src, &index, &err, &mut diags);
+            if let Some(fds_src) = fds_src {
+                semantic::lint_fd_syntax_only(fds_src, &mut diags);
+            }
+        }
+    }
+    LintReport::new(diags)
+}
+
+/// Lints the DTD alone (structural tier only).
+pub fn lint_dtd(dtd_src: &str) -> LintReport {
+    lint_spec(dtd_src, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_codes_are_unique_and_cover_both_tiers() {
+        let rules = registry();
+        let mut codes: Vec<&str> = rules.iter().map(|r| r.code.as_str()).collect();
+        codes.sort_unstable();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "duplicate code in registry");
+        let structural = rules
+            .iter()
+            .filter(|r| !matches!(r.tier, Tier::Semantic))
+            .count();
+        let implication = rules.iter().filter(|r| r.implication_backed).count();
+        assert!(structural >= 4, "ISSUE floor: >= 4 structural rules");
+        assert!(
+            implication >= 4,
+            "ISSUE floor: >= 4 implication-backed rules"
+        );
+        assert!(rules.len() >= 8);
+    }
+
+    #[test]
+    fn clean_spec_is_clean() {
+        let report = lint_spec(
+            "<!ELEMENT r (a*)> <!ELEMENT a (#PCDATA)> <!ATTLIST a k CDATA #REQUIRED>",
+            Some("r.a.@k -> r.a"),
+        );
+        assert!(report.is_clean(), "{}", report.render_human());
+    }
+}

@@ -1,0 +1,427 @@
+//! Structural lint rules: analyses of the DTD alone (codes `XNF0xx`).
+//!
+//! Two groups live here. The *scanner* rules (duplicate declarations) run
+//! over the raw text via [`DeclIndex`] so they can fire even when the
+//! strict parser bails at the first duplicate. The *model* rules run over
+//! a successfully parsed [`Dtd`]: reachability, generating-ness,
+//! satisfiability, 1-unambiguity, recursion, and the Section 7
+//! classification. Parse failures are mapped onto coded diagnostics by
+//! [`map_parse_error`].
+
+use crate::determinism::check_deterministic;
+use crate::report::{Code, Diagnostic, SourceKind};
+use crate::source::{DeclIndex, NameSpan};
+use xnf_dtd::classify::{classify_content, DtdClass, DtdShapes};
+use xnf_dtd::span::line_col_str;
+use xnf_dtd::{ContentModel, Dtd, DtdError, Regex};
+
+/// Context handed to every model rule: the parsed DTD plus everything the
+/// driver precomputes once.
+#[derive(Debug)]
+pub struct DtdCtx<'a> {
+    /// The raw DTD text.
+    pub src: &'a str,
+    /// The parsed DTD.
+    pub dtd: &'a Dtd,
+    /// Declaration spans scanned from `src`.
+    pub index: &'a DeclIndex,
+    /// `reachable[e.index()]`: element `e` is reachable from the root.
+    pub reachable: Vec<bool>,
+    /// `generating[e.index()]`: some finite tree is derivable from `e`.
+    pub generating: Vec<bool>,
+}
+
+impl<'a> DtdCtx<'a> {
+    /// Builds the context, running the reachability and generating
+    /// fixpoints.
+    pub fn new(src: &'a str, dtd: &'a Dtd, index: &'a DeclIndex) -> DtdCtx<'a> {
+        DtdCtx {
+            src,
+            dtd,
+            index,
+            reachable: reachable_set(dtd),
+            generating: generating_set(dtd),
+        }
+    }
+
+    /// A diagnostic at the `<!ELEMENT …>` name of `element` (span-less if
+    /// the scanner did not find the declaration).
+    fn at_decl(&self, code: Code, element: &str, message: String) -> Diagnostic {
+        let d = Diagnostic::new(code, SourceKind::Dtd, message);
+        match self.index.element(element) {
+            Some(span) => d.with_span(self.src, span.offset, span.len()),
+            None => d,
+        }
+    }
+}
+
+/// Computes which elements are reachable from the root by following
+/// content-model references.
+pub fn reachable_set(dtd: &Dtd) -> Vec<bool> {
+    let mut reachable = vec![false; dtd.num_elements()];
+    let mut stack = vec![dtd.root()];
+    reachable[dtd.root().index()] = true;
+    while let Some(e) = stack.pop() {
+        for child in dtd.children(e) {
+            if !reachable[child.index()] {
+                reachable[child.index()] = true;
+                stack.push(child);
+            }
+        }
+    }
+    reachable
+}
+
+/// Computes which elements are *generating*: `e` is generating iff some
+/// finite tree conforms below it, i.e. its content model accepts a word
+/// consisting solely of generating element names (text and `EMPTY` content
+/// are the base cases). The least fixpoint is the standard "useless
+/// production" analysis of context-free grammars, lifted to regex content
+/// models.
+pub fn generating_set(dtd: &Dtd) -> Vec<bool> {
+    let mut generating = vec![false; dtd.num_elements()];
+    loop {
+        let mut changed = false;
+        for e in dtd.elements() {
+            if generating[e.index()] {
+                continue;
+            }
+            let ok = match dtd.content(e) {
+                ContentModel::Text => true,
+                ContentModel::Regex(re) => has_generating_word(re, &|name| {
+                    dtd.elem_id(name).is_some_and(|c| generating[c.index()])
+                }),
+            };
+            if ok {
+                generating[e.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return generating;
+        }
+    }
+}
+
+/// Whether `re` accepts some word all of whose letters satisfy `allowed`.
+/// Exact for this AST: there is no empty-language constructor, so every
+/// subexpression contributes at least one word.
+fn has_generating_word(re: &Regex, allowed: &impl Fn(&str) -> bool) -> bool {
+    match re {
+        Regex::Epsilon => true,
+        Regex::Elem(name) => allowed(name),
+        Regex::Seq(parts) => parts.iter().all(|p| has_generating_word(p, allowed)),
+        Regex::Alt(parts) => parts.iter().any(|p| has_generating_word(p, allowed)),
+        Regex::Star(_) | Regex::Opt(_) => true,
+        Regex::Plus(inner) => has_generating_word(inner, allowed),
+    }
+}
+
+fn fmt_at(src: &str, span: &NameSpan) -> String {
+    format!("dtd:{}", line_col_str(src, span.offset))
+}
+
+/// XNF002/XNF003 — duplicate `<!ELEMENT>` / duplicate attribute
+/// declarations, found on the raw text so every duplicate is reported
+/// even though the strict parser stops at the first.
+pub fn duplicate_decls(src: &str, index: &DeclIndex, out: &mut Vec<Diagnostic>) {
+    for (i, decl) in index.elements.iter().enumerate() {
+        if let Some(first) = index.elements[..i].iter().find(|e| e.name == decl.name) {
+            out.push(
+                Diagnostic::new(
+                    Code::DuplicateElement,
+                    SourceKind::Dtd,
+                    format!("element `{}` is declared more than once", decl.name),
+                )
+                .with_span(src, decl.offset, decl.len())
+                .note(format!("first declared at {}", fmt_at(src, first))),
+            );
+        }
+    }
+    let mut seen: Vec<(&str, &str, &NameSpan)> = Vec::new();
+    for block in &index.attlists {
+        for attr in &block.attrs {
+            let key = (block.element.name.as_str(), attr.name.as_str());
+            match seen.iter().find(|(e, a, _)| (*e, *a) == key) {
+                Some((_, _, first)) => out.push(
+                    Diagnostic::new(
+                        Code::DuplicateAttribute,
+                        SourceKind::Dtd,
+                        format!(
+                            "attribute `@{}` is declared more than once for element `{}`",
+                            attr.name, block.element.name
+                        ),
+                    )
+                    .with_span(src, attr.offset, attr.len())
+                    .note(format!("first declared at {}", fmt_at(src, first))),
+                ),
+                None => seen.push((key.0, key.1, attr)),
+            }
+        }
+    }
+}
+
+/// Maps a [`parse_dtd`](xnf_dtd::parse_dtd) failure onto a coded
+/// diagnostic. Duplicate-declaration errors are suppressed when the
+/// scanner already reported the same duplicate with a span.
+pub fn map_parse_error(src: &str, index: &DeclIndex, err: &DtdError, out: &mut Vec<Diagnostic>) {
+    match err {
+        DtdError::Syntax {
+            offset, message, ..
+        } => out.push(
+            Diagnostic::new(
+                Code::DtdSyntax,
+                SourceKind::Dtd,
+                format!("DTD syntax error: {message}"),
+            )
+            .with_span(src, *offset, 1),
+        ),
+        DtdError::DuplicateElement(name) => {
+            let scanner_saw_it = index.elements.iter().filter(|e| e.name == *name).count() > 1;
+            if !scanner_saw_it {
+                out.push(Diagnostic::new(
+                    Code::DuplicateElement,
+                    SourceKind::Dtd,
+                    err.to_string(),
+                ));
+            }
+        }
+        DtdError::DuplicateAttribute { element, attribute } => {
+            let scanner_saw_it = index
+                .attlists
+                .iter()
+                .filter(|b| b.element.name == *element)
+                .flat_map(|b| b.attrs.iter())
+                .filter(|a| a.name == *attribute)
+                .count()
+                > 1;
+            if !scanner_saw_it {
+                out.push(Diagnostic::new(
+                    Code::DuplicateAttribute,
+                    SourceKind::Dtd,
+                    err.to_string(),
+                ));
+            }
+        }
+        DtdError::UndeclaredElement {
+            name,
+            referenced_by,
+        } => {
+            let d = Diagnostic::new(
+                Code::UndeclaredElement,
+                SourceKind::Dtd,
+                format!("element `{name}` is referenced by `{referenced_by}` but never declared"),
+            );
+            out.push(match index.element(referenced_by) {
+                Some(span) => d
+                    .with_span(src, span.offset, span.len())
+                    .note(format!("`{name}` occurs in this element's content model")),
+                None => d,
+            });
+        }
+        DtdError::RootReferenced { referenced_by } => {
+            let d = Diagnostic::new(
+                Code::RootReferenced,
+                SourceKind::Dtd,
+                format!("the root element occurs in the content model of `{referenced_by}`"),
+            )
+            .note("Definition 1 requires the root not to occur in any P(\u{3c4})");
+            out.push(match index.element(referenced_by) {
+                Some(span) => d.with_span(src, span.offset, span.len()),
+                None => d,
+            });
+        }
+        DtdError::AttlistForUndeclared(name) => {
+            let d = Diagnostic::new(
+                Code::AttlistForUndeclared,
+                SourceKind::Dtd,
+                format!("ATTLIST for undeclared element `{name}`"),
+            );
+            let span = index
+                .attlists
+                .iter()
+                .find(|b| b.element.name == *name)
+                .map(|b| &b.element);
+            out.push(match span {
+                Some(span) => d.with_span(src, span.offset, span.len()),
+                None => d,
+            });
+        }
+        // parse_dtd never returns these; keep the mapping total so a
+        // future parser change cannot drop an error on the floor.
+        DtdError::RecursiveDtd { .. } | DtdError::NoSuchPath(_) => out.push(Diagnostic::new(
+            Code::DtdSyntax,
+            SourceKind::Dtd,
+            err.to_string(),
+        )),
+    }
+}
+
+/// XNF007 — elements unreachable from the root.
+pub fn rule_unreachable(ctx: &DtdCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for e in ctx.dtd.elements() {
+        if !ctx.reachable[e.index()] {
+            let name = ctx.dtd.name(e);
+            out.push(
+                ctx.at_decl(
+                    Code::UnreachableElement,
+                    name,
+                    format!(
+                        "element `{name}` is unreachable from the root `{}`",
+                        ctx.dtd.root_name()
+                    ),
+                )
+                .note("no conforming document can contain it; the declaration is dead"),
+            );
+        }
+    }
+}
+
+/// XNF008 — non-generating elements: no finite conforming subtree exists
+/// below them, so no (finite) document ever instantiates them.
+pub fn rule_non_generating(ctx: &DtdCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for e in ctx.dtd.elements() {
+        if e == ctx.dtd.root() || ctx.generating[e.index()] {
+            continue;
+        }
+        let name = ctx.dtd.name(e);
+        out.push(
+            ctx.at_decl(
+                Code::NonGeneratingElement,
+                name,
+                format!("element `{name}` can never be instantiated in a finite document"),
+            )
+            .note("every word of its content model requires another non-generating element"),
+        );
+    }
+}
+
+/// XNF009 — the DTD is unsatisfiable: the root itself is non-generating,
+/// so *no* finite document conforms.
+pub fn rule_unsatisfiable(ctx: &DtdCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.generating[ctx.dtd.root().index()] {
+        let root = ctx.dtd.root_name();
+        out.push(
+            ctx.at_decl(
+                Code::UnsatisfiableDtd,
+                root,
+                format!("no finite document conforms to this DTD: the root `{root}` cannot derive a finite tree"),
+            )
+            .note("every FD over it holds vacuously; normalization is meaningless"),
+        );
+    }
+}
+
+/// XNF010 — content models that are not 1-unambiguous (deterministic), as
+/// the XML specification requires.
+pub fn rule_determinism(ctx: &DtdCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for e in ctx.dtd.elements() {
+        let ContentModel::Regex(re) = ctx.dtd.content(e) else {
+            continue;
+        };
+        if let Err(ambiguity) = check_deterministic(re) {
+            let name = ctx.dtd.name(e);
+            out.push(
+                ctx.at_decl(
+                    Code::NondeterministicContent,
+                    name,
+                    format!(
+                        "content model of `{name}` is not 1-unambiguous: \
+                         competing matches for `{}`",
+                        ambiguity.symbol
+                    ),
+                )
+                .note(format!("content model: {re}"))
+                .note(
+                    "the XML specification requires deterministic content models \
+                     (Appendix E, \"Deterministic Content Models\")",
+                ),
+            );
+        }
+    }
+}
+
+/// XNF011 — recursive DTDs: `paths(D)` is infinite, the Section 4 path
+/// machinery (and therefore the semantic lint tier and normalization)
+/// does not apply.
+pub fn rule_recursive(ctx: &DtdCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.dtd.is_recursive() {
+        return;
+    }
+    let witness = ctx
+        .dtd
+        .find_cycle_witness()
+        .map(|e| ctx.dtd.name(e).to_string())
+        .unwrap_or_else(|| ctx.dtd.root_name().to_string());
+    out.push(
+        ctx.at_decl(
+            Code::RecursiveDtd,
+            &witness,
+            format!("DTD is recursive: `{witness}` participates in a reference cycle"),
+        )
+        .note("paths(D) is infinite; FD analysis (XNF1xx) is skipped and normalization is unavailable"),
+    );
+}
+
+/// XNF012 — the DTD is neither simple nor disjunctive, so FD implication
+/// falls back to the general chase (coNP-complete by Theorem 5).
+pub fn rule_general_class(ctx: &DtdCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !matches!(DtdShapes::analyze(ctx.dtd).class(), DtdClass::General) {
+        return;
+    }
+    // Point at the first element whose content model resists the
+    // simple-disjunction decomposition.
+    let culprit = ctx
+        .dtd
+        .elements()
+        .find(|&e| classify_content(ctx.dtd.content(e)).is_none());
+    let d = match culprit {
+        Some(e) => {
+            let name = ctx.dtd.name(e);
+            ctx.at_decl(
+                Code::GeneralClass,
+                name,
+                format!(
+                    "DTD is neither simple nor disjunctive: the content model of \
+                     `{name}` has no simple-disjunction decomposition"
+                ),
+            )
+        }
+        None => Diagnostic::new(
+            Code::GeneralClass,
+            SourceKind::Dtd,
+            "DTD is neither simple nor disjunctive".to_string(),
+        ),
+    };
+    out.push(d.note(
+        "FD implication over general DTDs is coNP-complete (Theorem 5); \
+         the simple/disjunctive fragments are polynomial (Theorems 3 and 4)",
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xnf_dtd::parse_dtd;
+
+    #[test]
+    fn generating_fixpoint_handles_cycles_and_escape_hatches() {
+        // a is trapped in a cycle; b escapes via the optional branch.
+        let dtd = parse_dtd("<!ELEMENT r (a?, b)> <!ELEMENT a (a)> <!ELEMENT b (a*)>").unwrap();
+        let generating = generating_set(&dtd);
+        let idx = |n: &str| dtd.elem_id(n).unwrap().index();
+        assert!(generating[idx("r")]);
+        assert!(!generating[idx("a")]);
+        assert!(generating[idx("b")]);
+    }
+
+    #[test]
+    fn reachable_set_finds_orphans() {
+        let dtd = parse_dtd("<!ELEMENT r (a)> <!ELEMENT a EMPTY> <!ELEMENT orphan EMPTY>").unwrap();
+        let reachable = reachable_set(&dtd);
+        let idx = |n: &str| dtd.elem_id(n).unwrap().index();
+        assert!(reachable[idx("r")]);
+        assert!(reachable[idx("a")]);
+        assert!(!reachable[idx("orphan")]);
+    }
+}

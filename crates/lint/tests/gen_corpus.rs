@@ -1,0 +1,50 @@
+//! E16 — linting the generated corpus (see `EXPERIMENTS.md`).
+//!
+//! The `xnf-gen` generators claim to produce well-formed specs: simple or
+//! disjunctive non-recursive DTDs whose elements are all reachable, plus
+//! FD sets drawn from `paths(D)`. The linter is an independent check of
+//! that claim: across a seeded corpus, **no spec may produce a single
+//! hard error**. Warnings are legitimate (a random FD can be trivial,
+//! redundant, or — on a disjunctive DTD — vacuous); the test tallies
+//! them so `EXPERIMENTS.md` can record the observed mix.
+
+use xnf_gen::dtd::{disjunctive_dtd, simple_dtd, SimpleDtdParams};
+use xnf_gen::fd::{random_fds, FdParams};
+use xnf_lint::lint_spec;
+
+#[test]
+fn generated_corpus_lints_without_errors() {
+    let params = SimpleDtdParams {
+        elements: 12,
+        ..SimpleDtdParams::default()
+    };
+    let fd_params = FdParams {
+        count: 5,
+        max_lhs: 2,
+    };
+    let mut warning_tally: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    let mut specs = 0usize;
+    for seed in 0..40u64 {
+        let mut rng = xnf_gen::rng(seed);
+        let dtd = if seed % 2 == 0 {
+            simple_dtd(&mut rng, &params)
+        } else {
+            disjunctive_dtd(&mut rng, &params, 2, 3)
+        };
+        let fds = random_fds(&dtd, &mut rng, &fd_params);
+        let report = lint_spec(&dtd.to_string(), Some(&fds.to_string()));
+        assert!(
+            !report.has_errors(),
+            "seed {seed}: generated spec has hard lint errors\n{}\n--- dtd ---\n{dtd}\n--- fds ---\n{fds}",
+            report.render_human()
+        );
+        for code in report.codes() {
+            *warning_tally.entry(code.as_str()).or_insert(0) += 1;
+        }
+        specs += 1;
+    }
+    // Numbers recorded in EXPERIMENTS.md § E16; printed for re-runs with
+    // `cargo test -p xnf-lint --test gen_corpus -- --nocapture`.
+    println!("E16: {specs} specs, diagnostics by code: {warning_tally:?}");
+}

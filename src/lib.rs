@@ -4,5 +4,6 @@
 
 pub use xnf_core as core;
 pub use xnf_dtd as dtd;
+pub use xnf_lint as lint;
 pub use xnf_relational as relational;
 pub use xnf_xml as xml;

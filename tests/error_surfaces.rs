@@ -39,9 +39,14 @@ fn dtd_errors_render_usefully() {
         (
             DtdError::Syntax {
                 offset: 42,
+                at: xnf::dtd::LineCol { line: 3, col: 7 },
                 message: "expected `>`".into(),
             },
-            "byte 42",
+            "line 3, column 7",
+        ),
+        (
+            DtdError::syntax(b"<!ELEMENT r\n(", 12, "expected `>`"),
+            "line 2, column 1",
         ),
         (
             DtdError::RecursiveDtd {

@@ -1,0 +1,84 @@
+//! End-to-end linting of the checked-in specs.
+//!
+//! * The paper's own specs under `examples/specs/` must lint **clean** —
+//!   zero diagnostics of any severity.
+//! * The seeded bad specs under `tests/bad_specs/` must produce exactly
+//!   the expected diagnostic codes, in order, in both the human and the
+//!   JSON rendering.
+
+use xnf::lint::lint_spec;
+
+fn read(rel: &str) -> String {
+    let path = format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn paper_specs_lint_clean() {
+    for name in ["university", "dblp", "ebxml"] {
+        let dtd = read(&format!("examples/specs/{name}.dtd"));
+        let fds = read(&format!("examples/specs/{name}.fds"));
+        let report = lint_spec(&dtd, Some(&fds));
+        assert!(
+            report.is_clean(),
+            "examples/specs/{name} should lint clean:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+/// The seeded corpus: (dtd file, fds file, exactly-expected codes).
+const BAD_SPECS: &[(&str, Option<&str>, &[&str])] = &[
+    ("tests/bad_specs/duplicate.dtd", None, &["XNF002"]),
+    (
+        "tests/bad_specs/nondet_orphan.dtd",
+        None,
+        &["XNF010", "XNF007"],
+    ),
+    (
+        "tests/bad_specs/unsatisfiable.dtd",
+        None,
+        &["XNF009", "XNF008", "XNF011"],
+    ),
+    (
+        "tests/bad_specs/vacuous.dtd",
+        Some("tests/bad_specs/vacuous.fds"),
+        &["XNF103"],
+    ),
+    (
+        "examples/specs/university.dtd",
+        Some("tests/bad_specs/redundant_sigma.fds"),
+        &["XNF104", "XNF105", "XNF106"],
+    ),
+    (
+        "examples/specs/university.dtd",
+        Some("tests/bad_specs/broken.fds"),
+        &["XNF101", "XNF102"],
+    ),
+];
+
+#[test]
+fn bad_spec_corpus_produces_exactly_the_expected_codes() {
+    for &(dtd_file, fds_file, expected) in BAD_SPECS {
+        let dtd = read(dtd_file);
+        let fds = fds_file.map(read);
+        let report = lint_spec(&dtd, fds.as_deref());
+        let got: Vec<&str> = report.codes().iter().map(|c| c.as_str()).collect();
+        assert_eq!(
+            got,
+            expected,
+            "{dtd_file} (+ {fds_file:?}):\n{}",
+            report.render_human()
+        );
+        // Both renderings name every code.
+        let human = report.render_human();
+        let json = report.to_json();
+        for code in expected {
+            assert!(human.contains(&format!("[{code}]")), "{dtd_file}: {human}");
+            assert!(
+                json.contains(&format!("\"code\": \"{code}\"")),
+                "{dtd_file}: {json}"
+            );
+        }
+    }
+}
