@@ -2,7 +2,7 @@
 //! prints the qualitative paper-vs-implementation comparison recorded in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|all]`
+//! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|e17|all]`
 
 #![forbid(unsafe_code)]
 
@@ -214,6 +214,74 @@ fn fig5() {
     }
 }
 
+fn e17() {
+    println!("================ E17 — end-to-end verification oracle ================");
+    // The same battery `xnf-tool verify` runs, over the paper's university
+    // spec plus a randomized differential sample, with the headline
+    // numbers printed for EXPERIMENTS.md.
+    let (dtd, _, sigma) = university();
+    let config = xnf_oracle::SpecOracleConfig::default();
+    let report = xnf_oracle::check_spec(&dtd, &sigma, &config).expect("spec oracle runs");
+    println!(
+        "university spec: output in XNF: {}, {} step(s); losslessness on \
+         {}/{} generated documents ({} skipped), {} failure(s)",
+        report.output_is_xnf,
+        report.steps,
+        report.docs_checked,
+        report.docs_requested,
+        report.docs_skipped,
+        report.failures.len()
+    );
+
+    let mut instances = 0usize;
+    let mut refuted = 0usize;
+    for seed in 0..100u64 {
+        let (d, s) = xnf_oracle::fuzz::spec_for_seed(seed, &xnf_oracle::FuzzConfig::default());
+        let mut rng = xnf_gen::rng(seed ^ 0xd1ff);
+        let candidates = xnf_gen::fd::random_fds(
+            &d,
+            &mut rng,
+            &xnf_gen::fd::FdParams {
+                count: 4,
+                max_lhs: 2,
+            },
+        );
+        let paths = d.paths().expect("simple DTDs are non-recursive");
+        let resolved = s.resolve(&paths).expect("generated FDs resolve");
+        let chase = xnf_core::Chase::new(&d, &paths);
+        let Ok(brute) = xnf_oracle::BruteForce::new(
+            &d,
+            &s,
+            seed,
+            4,
+            &xnf_gen::doc::DocParams {
+                reps: (0, 2),
+                value_alphabet: 2,
+                max_nodes: 150,
+            },
+        ) else {
+            continue;
+        };
+        for fd in candidates.iter() {
+            use xnf_core::Implication;
+            let r = fd.resolve(&paths).expect("candidate resolves");
+            instances += 1;
+            if let Some(_witness) = brute.refutes(fd).expect("pool relations are well-formed") {
+                refuted += 1;
+                assert!(
+                    !chase.implies(&resolved, &r),
+                    "brute-force witness contradicts the chase on seed {seed}, fd {fd}"
+                );
+            }
+        }
+    }
+    println!(
+        "differential sample: {instances} (D, Σ, φ) instances, {refuted} \
+         brute-force refutations, 0 disagreements with the chase"
+    );
+    println!("(full sweep: cargo test -q --test oracle_differential)");
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     match arg.as_str() {
@@ -222,6 +290,7 @@ fn main() {
         "fig3" => fig3(),
         "fig4" => fig4(),
         "fig5" => fig5(),
+        "e17" => e17(),
         "all" => {
             fig1();
             println!();
@@ -232,9 +301,11 @@ fn main() {
             fig4();
             println!();
             fig5();
+            println!();
+            e17();
         }
         other => {
-            eprintln!("unknown figure `{other}`; use fig1..fig5 or all");
+            eprintln!("unknown figure `{other}`; use fig1..fig5, e17, or all");
             std::process::exit(1);
         }
     }

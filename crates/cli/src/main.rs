@@ -10,6 +10,11 @@ fn main() {
             print!("{report}");
             std::process::exit(1);
         }
+        // Same for verify: the rendered report is the product.
+        Err(xnf_cli::CliError::Verify(report)) => {
+            print!("{report}");
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("xnf-tool: {e}");
             std::process::exit(1);

@@ -1,0 +1,54 @@
+//! Process-level tests of `xnf-tool verify`: the acceptance bar is that
+//! all three paper specs verify at the default 100 generated documents
+//! with exit code 0, and that failures surface through the exit code with
+//! the report on stdout.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn workspace_file(rel: &str) -> String {
+    // crates/cli → workspace root is two levels up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(rel);
+    p.to_string_lossy().into_owned()
+}
+
+fn xnf_tool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xnf-tool"))
+        .args(args)
+        .output()
+        .expect("xnf-tool runs")
+}
+
+#[test]
+fn verify_passes_on_all_paper_specs() {
+    for name in ["university", "dblp", "ebxml"] {
+        let dtd = workspace_file(&format!("examples/specs/{name}.dtd"));
+        let fds = workspace_file(&format!("examples/specs/{name}.fds"));
+        let out = xnf_tool(&["verify", &dtd, &fds]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "{name}: exit {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            stdout.contains("xnf output check: PASS"),
+            "{name}: {stdout}"
+        );
+        assert!(stdout.contains("verification PASSED"), "{name}: {stdout}");
+        // The default document budget is the acceptance bar (≥ 100).
+        assert!(stdout.contains("/ 100 documents"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn verify_exits_nonzero_with_report_on_stdout_for_bad_fds() {
+    let dtd = workspace_file("examples/specs/university.dtd");
+    let fds = workspace_file("examples/specs/dblp.fds"); // paths don't resolve
+    let out = xnf_tool(&["verify", &dtd, &fds, "--no-lint"]);
+    assert_eq!(out.status.code(), Some(1));
+}

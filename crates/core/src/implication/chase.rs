@@ -404,6 +404,32 @@ impl<'a> Chase<'a> {
             .group
             .map(|g| self.groups[g as usize].members.as_slice())
     }
+
+    /// Snapshot of the derived per-path structural facts — `testing`-only
+    /// introspection for external harnesses (the `xnf-oracle` crate checks
+    /// these against a document-level enumeration). Not a stable API.
+    #[cfg(feature = "testing")]
+    pub fn structural_facts(&self, p: PathId) -> StructuralFacts {
+        let f = &self.facts[p.index()];
+        StructuralFacts {
+            required: f.required,
+            at_most_one: f.at_most_one,
+            group: self.path_group(p).map(|g| g.to_vec()),
+        }
+    }
+}
+
+/// A `testing`-feature copy of the chase's per-path structural facts (see
+/// [`Chase::structural_facts`]).
+#[cfg(feature = "testing")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralFacts {
+    /// If the parent is non-null, this path is non-null.
+    pub required: bool,
+    /// At most one child with this label per parent node.
+    pub at_most_one: bool,
+    /// Members of this path's exclusive-disjunction group, if any.
+    pub group: Option<Vec<PathId>>,
 }
 
 /// An incremental chase run: facts can be assumed one by one, each

@@ -24,6 +24,8 @@ pub mod chase;
 pub mod search;
 
 pub use cache::ImplicationCache;
+#[cfg(feature = "testing")]
+pub use chase::StructuralFacts;
 pub use chase::{
     Chase, ChaseConfig, ChaseOutcome, ChaseStats, ChaseStatsSnapshot, PairState, Session, Ternary,
 };

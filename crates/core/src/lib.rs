@@ -52,6 +52,10 @@ pub use crate::implication::{
     Chase, ChaseConfig, ChaseStats, ChaseStatsSnapshot, CounterexampleSearch, Implication,
     ImplicationCache,
 };
+pub use crate::lossless::{
+    restore_document, transform_document, verify_lossless, verify_lossless_trace, LosslessReport,
+    StepReport,
+};
 pub use crate::normalize::{normalize, NormalizeOptions, NormalizeResult, NormalizeStats, Step};
 pub use crate::tuple::TreeTuple;
 pub use crate::tuples::{trees_d, tuples_d, tuples_d_recursive, tuples_relation};

@@ -565,6 +565,86 @@ pub fn verify_lossless(
     })
 }
 
+/// The outcome of one [`Step`] of a traced losslessness check
+/// (see [`verify_lossless_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// Position of the step in `result.steps`.
+    pub index: usize,
+    /// The step itself (cloned, so the report is self-contained).
+    pub step: Step,
+    /// Whether this step's stage snapshot is exact. Preprocessing batches
+    /// share one post-batch `(D, Σ)` snapshot (see
+    /// [`normalize`](crate::normalize::normalize)), so only the last step
+    /// of a batch can be checked against its snapshot; the conformance and
+    /// Σ checks of inexact steps are vacuously `true`.
+    pub exact_stage: bool,
+    /// The intermediate document conforms to this stage's DTD.
+    pub conforms: bool,
+    /// The intermediate document satisfies this stage's Σ.
+    pub satisfies_sigma: bool,
+    /// Undoing just this step reproduces the step's input document (up to
+    /// unordered-tree equivalence).
+    pub round_trip: bool,
+}
+
+impl StepReport {
+    /// Whether every per-step check passed.
+    pub fn ok(&self) -> bool {
+        self.conforms && self.satisfies_sigma && self.round_trip
+    }
+}
+
+/// Step-by-step reconstruction trace: applies each [`Step`] in turn and
+/// checks, *per step*, conformance to the stage DTD, satisfaction of the
+/// stage Σ, and the local round trip `undo(apply(T)) ≡ T`.
+///
+/// [`verify_lossless`] only reports the end-to-end verdict; when it fails,
+/// this trace localizes the first offending step — the fuzz driver attaches
+/// it to failure reports.
+pub fn verify_lossless_trace(
+    dtd0: &Dtd,
+    result: &NormalizeResult,
+    tree: &XmlTree,
+) -> Result<Vec<StepReport>> {
+    let mut reports = Vec::with_capacity(result.steps.len());
+    let mut current = tree.clone();
+    let mut dtd_before = dtd0.clone();
+    for (index, (step, (dtd_after, sigma_after))) in
+        result.steps.iter().zip(&result.stages).enumerate()
+    {
+        let next = apply_step(&dtd_before, &current, step)?;
+        // Consecutive identical snapshots mark a batched preprocessing
+        // group: only its last step sees the state the snapshot records.
+        let exact_stage = result
+            .stages
+            .get(index + 1)
+            .is_none_or(|(d, s)| d != dtd_after || s != sigma_after);
+        let (conforms, satisfies_sigma) = if exact_stage {
+            let paths = dtd_after.paths()?;
+            (
+                xnf_xml::conforms(&next, dtd_after).is_ok(),
+                sigma_after.satisfied_by(&next, dtd_after, &paths)?,
+            )
+        } else {
+            (true, true)
+        };
+        let undone = undo_step(dtd_after, &next, step)?;
+        let round_trip = xnf_xml::unordered_eq(&undone, &current);
+        reports.push(StepReport {
+            index,
+            step: step.clone(),
+            exact_stage,
+            conforms,
+            satisfies_sigma,
+            round_trip,
+        });
+        current = next;
+        dtd_before = dtd_after.clone();
+    }
+    Ok(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -674,6 +754,22 @@ mod tests {
             rel_before.project(&string_cols).unwrap(),
             rel_after.project(&string_cols).unwrap()
         );
+    }
+
+    #[test]
+    fn trace_localizes_every_step_as_lossless() {
+        for (dtd, fds, doc) in [
+            (university_dtd(), UNIVERSITY_FDS, figure_1a()),
+            (dblp_dtd(), DBLP_FDS, dblp_doc()),
+        ] {
+            let sigma = XmlFdSet::parse(fds).unwrap();
+            let result = normalize(&dtd, &sigma, &NormalizeOptions::default()).unwrap();
+            let trace = verify_lossless_trace(&dtd, &result, &doc).unwrap();
+            assert_eq!(trace.len(), result.steps.len());
+            for report in &trace {
+                assert!(report.ok(), "step {} failed: {report:?}", report.index);
+            }
+        }
     }
 
     #[test]

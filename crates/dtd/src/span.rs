@@ -109,4 +109,45 @@ mod tests {
     fn line_col_display() {
         assert_eq!(LineCol { line: 3, col: 14 }.to_string(), "3:14");
     }
+
+    #[test]
+    fn crlf_line_endings() {
+        // \r counts as an ordinary byte of its line; only \n breaks.
+        let src = b"ab\r\ncd\r\nef";
+        assert_eq!(line_col(src, 2), LineCol { line: 1, col: 3 }); // at \r
+        assert_eq!(line_col(src, 3), LineCol { line: 1, col: 4 }); // at \n
+        assert_eq!(line_col(src, 4), LineCol { line: 2, col: 1 }); // 'c'
+        assert_eq!(line_col(src, 9), LineCol { line: 3, col: 2 }); // 'f'
+                                                                   // line_text keeps the \r (it strips only the \n), matching the
+                                                                   // documented bytes-not-graphemes contract.
+        assert_eq!(line_text("ab\r\ncd\r\nef", 5), "cd\r");
+    }
+
+    #[test]
+    fn multibyte_utf8_counts_bytes() {
+        // 'é' is two bytes; columns are byte columns by contract.
+        let src = "aé\nbß"; // a(1) é(2) \n b(1) ß(2)
+        assert_eq!(line_col_str(src, 1), LineCol { line: 1, col: 2 }); // at é
+        assert_eq!(line_col_str(src, 3), LineCol { line: 1, col: 4 }); // at \n
+        assert_eq!(line_col_str(src, 4), LineCol { line: 2, col: 1 }); // at b
+        assert_eq!(line_col_str(src, 5), LineCol { line: 2, col: 2 }); // at ß
+                                                                       // line_text never splits a multi-byte character: it slices at
+                                                                       // newline boundaries only, even for offsets inside a character.
+        assert_eq!(line_text(src, 2), "aé");
+        assert_eq!(line_text(src, 6), "bß");
+    }
+
+    #[test]
+    fn end_of_input_positions() {
+        // Exactly at the end: one past the final byte.
+        assert_eq!(line_col(b"ab\ncd", 5), LineCol { line: 2, col: 3 });
+        // End of input right after a trailing newline: start of the next
+        // (empty) line — where an "unexpected end of input" points.
+        assert_eq!(line_col(b"ab\n", 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_text("ab\n", 3), "");
+        // Empty source: everything resolves to START.
+        assert_eq!(line_col(b"", 0), LineCol::START);
+        assert_eq!(line_col(b"", 42), LineCol::START);
+        assert_eq!(line_text("", 7), "");
+    }
 }

@@ -106,6 +106,163 @@ fn sample_word(re: &Regex, rng: &mut impl Rng, params: &DocParams, out: &mut Vec
     }
 }
 
+/// Generates up to `count` documents that conform to `dtd` **and**
+/// satisfy `sigma` — the precondition of the losslessness oracle
+/// (`verify_lossless` checks `T ⊨ (D, Σ) ⇒ …`, so feeding it
+/// Σ-violating documents tests nothing).
+///
+/// Each candidate starts as a [`random_document`] and goes through a few
+/// rounds of *FD repair*:
+///
+/// * a violated FD whose right-hand side is all value paths is repaired by
+///   rewriting each group's attribute/text values to the group's canonical
+///   (first-seen) value;
+/// * a violated FD with an element path on the right (a node-equality
+///   constraint that value rewriting cannot establish) is repaired from
+///   the *left*: the offending groups' left-hand-side attribute values are
+///   renamed to fresh unique values, splitting the group.
+///
+/// Repair rounds can invalidate other FDs, so the document is re-checked
+/// after each round; candidates still violating Σ after
+/// `max_repair_rounds` are rejected and re-drawn. Returns the accepted
+/// documents — possibly fewer than `count` if `max_attempts` candidates
+/// are exhausted (callers report the shortfall).
+pub fn satisfying_documents(
+    dtd: &Dtd,
+    sigma: &xnf_core::XmlFdSet,
+    rng: &mut impl Rng,
+    params: &DocParams,
+    count: usize,
+    max_attempts: usize,
+) -> Vec<XmlTree> {
+    let paths = dtd.paths().expect("satisfying_documents needs paths(D)");
+    let resolved = match sigma.resolve(&paths) {
+        Ok(r) => r,
+        Err(_) => return Vec::new(), // unresolvable Σ: no document applies
+    };
+    let mut out = Vec::with_capacity(count);
+    let mut fresh = 0usize;
+    const MAX_REPAIR_ROUNDS: usize = 4;
+    for _ in 0..max_attempts {
+        if out.len() >= count {
+            break;
+        }
+        let mut doc = random_document(dtd, rng, params);
+        for _ in 0..MAX_REPAIR_ROUNDS {
+            match repair_round(&mut doc, dtd, &paths, &resolved, &mut fresh) {
+                Ok(true) => continue, // something changed: another round
+                Ok(false) => break,   // fixpoint
+                Err(_) => break,      // tuple enumeration failed: reject
+            }
+        }
+        let satisfied = sigma.satisfied_by(&doc, dtd, &paths).unwrap_or(false);
+        if satisfied {
+            out.push(doc);
+        }
+    }
+    out
+}
+
+/// One repair round over all FDs; returns whether anything was rewritten.
+fn repair_round(
+    doc: &mut XmlTree,
+    dtd: &Dtd,
+    paths: &xnf_dtd::PathSet,
+    resolved: &[xnf_core::fd::ResolvedFd],
+    fresh: &mut usize,
+) -> Result<bool, xnf_core::CoreError> {
+    use std::collections::HashMap;
+    use xnf_relational::Value;
+    let mut changed = false;
+    for fd in resolved {
+        let tuples = xnf_core::tuples_d(doc, dtd, paths)?;
+        let ids: Vec<NodeId> = doc.node_ids().collect();
+        // Group tuples with a fully non-null LHS by their LHS projection.
+        let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, t) in tuples.iter().enumerate() {
+            if fd.lhs.iter().any(|&p| t.get(p).is_null()) {
+                continue;
+            }
+            let key: Vec<Value> = fd.lhs.iter().map(|&p| t.get(p).clone()).collect();
+            groups.entry(key).or_default().push(i);
+        }
+        let rhs_is_value = fd
+            .rhs
+            .iter()
+            .all(|&r| !matches!(paths.step(r), xnf_dtd::Step::Elem(_)));
+        for members in groups.values() {
+            let canon: Vec<&Value> = fd.rhs.iter().map(|&r| tuples[members[0]].get(r)).collect();
+            let offenders: Vec<usize> = members[1..]
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    fd.rhs
+                        .iter()
+                        .zip(&canon)
+                        .any(|(&r, &c)| tuples[i].get(r) != c)
+                })
+                .collect();
+            if offenders.is_empty() {
+                continue;
+            }
+            if rhs_is_value {
+                // Rewrite the offenders' RHS values to the canonical ones.
+                for &i in &offenders {
+                    for (&r, &c) in fd.rhs.iter().zip(&canon) {
+                        let Value::Str(canon_str) = c else { continue };
+                        let Some(parent) = paths.parent(r) else {
+                            continue;
+                        };
+                        let Value::Vert(idx) = tuples[i].get(parent) else {
+                            continue; // structurally null: not value-repairable
+                        };
+                        let node = ids[*idx as usize];
+                        match paths.step(r) {
+                            xnf_dtd::Step::Attr(name) => {
+                                doc.set_attr(node, &**name, &**canon_str);
+                            }
+                            xnf_dtd::Step::Text => {
+                                doc.set_text(node, &**canon_str);
+                            }
+                            xnf_dtd::Step::Elem(_) => unreachable!("rhs_is_value"),
+                        }
+                        changed = true;
+                    }
+                }
+            } else {
+                // Split the group: rename one LHS attribute/text value on
+                // each offender to a fresh unique value.
+                for &i in &offenders {
+                    for &l in &fd.lhs {
+                        if matches!(paths.step(l), xnf_dtd::Step::Elem(_)) {
+                            continue;
+                        }
+                        let Some(parent) = paths.parent(l) else {
+                            continue;
+                        };
+                        let Value::Vert(idx) = tuples[i].get(parent) else {
+                            continue;
+                        };
+                        let node = ids[*idx as usize];
+                        *fresh += 1;
+                        let value = format!("u{fresh}");
+                        match paths.step(l) {
+                            xnf_dtd::Step::Attr(name) => {
+                                doc.set_attr(node, &**name, value);
+                            }
+                            xnf_dtd::Step::Text => doc.set_text(node, value),
+                            xnf_dtd::Step::Elem(_) => unreachable!("filtered"),
+                        }
+                        changed = true;
+                        break; // one split per offender suffices
+                    }
+                }
+            }
+        }
+    }
+    Ok(changed)
+}
+
 /// A scaled Example 1.1 document: `courses` courses, `students_per_course`
 /// students each; student numbers are drawn from a pool of
 /// `student_pool` ids, and each id maps to one of `names` names — so the
@@ -233,6 +390,56 @@ mod tests {
         let sigma = XmlFdSet::parse(xnf_core::fd::DBLP_FDS).unwrap();
         let ps = dtd.paths().unwrap();
         assert!(sigma.satisfied_by(&doc, &dtd, &ps).unwrap());
+    }
+
+    #[test]
+    fn satisfying_documents_conform_and_satisfy() {
+        let dtd = xnf_dtd::parse_dtd(
+            "<!ELEMENT courses (course*)>
+             <!ELEMENT course (title, taken_by)>
+             <!ATTLIST course cno CDATA #REQUIRED>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT taken_by (student*)>
+             <!ELEMENT student (name, grade)>
+             <!ATTLIST student sno CDATA #REQUIRED>
+             <!ELEMENT name (#PCDATA)>
+             <!ELEMENT grade (#PCDATA)>",
+        )
+        .unwrap();
+        let sigma = XmlFdSet::parse(xnf_core::fd::UNIVERSITY_FDS).unwrap();
+        let ps = dtd.paths().unwrap();
+        let mut rng = crate::rng(17);
+        let docs = satisfying_documents(&dtd, &sigma, &mut rng, &DocParams::default(), 20, 200);
+        assert!(docs.len() >= 15, "only {} / 20 accepted", docs.len());
+        for doc in &docs {
+            assert!(xnf_xml::conforms(doc, &dtd).is_ok());
+            assert!(sigma.satisfied_by(doc, &dtd, &ps).unwrap());
+        }
+    }
+
+    #[test]
+    fn satisfying_documents_on_random_specs() {
+        for seed in 0..10u64 {
+            let dtd = simple_dtd(
+                &mut crate::rng(seed),
+                &SimpleDtdParams {
+                    elements: 7,
+                    ..SimpleDtdParams::default()
+                },
+            );
+            let ps = dtd.paths().unwrap();
+            let sigma = crate::fd::random_fds(
+                &dtd,
+                &mut crate::rng(seed + 1000),
+                &crate::fd::FdParams::default(),
+            );
+            let mut rng = crate::rng(seed + 2000);
+            let docs = satisfying_documents(&dtd, &sigma, &mut rng, &DocParams::default(), 5, 100);
+            for doc in &docs {
+                assert!(xnf_xml::conforms(doc, &dtd).is_ok(), "seed {seed}");
+                assert!(sigma.satisfied_by(doc, &dtd, &ps).unwrap(), "seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -36,20 +36,31 @@ pub fn simple_dtd(rng: &mut impl Rng, params: &SimpleDtdParams) -> Dtd {
     let n = params.elements.max(1);
     let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
     // Assign each element (except the root) a parent among the earlier
-    // elements, so every element is reachable.
+    // elements, so every element is reachable. A drawn parent that is
+    // already at `max_children` is replaced by the lowest-numbered earlier
+    // element with spare capacity — processing children in ascending order
+    // guarantees one exists (parents `0..k` hold `k-1` children against
+    // `k·max_children` slots). The overflow re-homing is deterministic and
+    // draws no RNG, so seeds that never overflow generate byte-identical
+    // DTDs to the previous scheme, which silently dropped overflow
+    // children from the content model and left them declared but
+    // unreachable (the E16 XNF007 generator quirk).
+    let cap = params.max_children.max(1);
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for i in 1..n {
-        let parent = rng.random_range(0..i);
-        children[parent].push(i);
+    for k in 1..n {
+        let drawn = rng.random_range(0..k);
+        let parent = if children[drawn].len() < cap {
+            drawn
+        } else {
+            (0..k)
+                .find(|&j| children[j].len() < cap)
+                .expect("parents 0..k always have a spare slot")
+        };
+        children[parent].push(k);
     }
     let mut b = Dtd::builder(names[0].clone());
     for i in 0..n {
-        // Cap the children used in the content model.
-        let kids: Vec<usize> = children[i]
-            .iter()
-            .copied()
-            .take(params.max_children.max(1))
-            .collect();
+        let kids: Vec<usize> = children[i].clone();
         let content = if kids.is_empty() {
             if rng.random_bool(params.text_leaf_prob) {
                 ContentModel::Text
@@ -79,8 +90,6 @@ pub fn simple_dtd(rng: &mut impl Rng, params: &SimpleDtdParams) -> Dtd {
         let attrs: Vec<String> = (0..n_attrs).map(|a| format!("a{i}_{a}")).collect();
         b = b.decl(names[i].clone(), content, attrs);
     }
-    // Unreferenced extra children beyond max_children must still be
-    // declared; the builder covers all names above, so nothing to do.
     b.build().expect("generated simple DTDs are well-formed")
 }
 

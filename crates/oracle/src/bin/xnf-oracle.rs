@@ -1,0 +1,100 @@
+//! `xnf-oracle` — the seeded fuzz driver.
+//!
+//! ```text
+//! xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--out DIR]
+//! ```
+//!
+//! Runs the oracle battery (losslessness + metamorphic invariants) over
+//! `N` consecutive seeds. Failures are minimized by greedy FD-subset
+//! reduction and, with `--out`, written as `<seed>.dtd` / `<seed>.fds`
+//! (plus a `<seed>.txt` finding report) ready to be checked into
+//! `tests/oracle_corpus/`. Exits nonzero iff any seed failed.
+
+use std::process::ExitCode;
+use xnf_oracle::{fuzz_seed, minimize, FuzzConfig};
+
+const USAGE: &str = "xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--out DIR]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(failures) => {
+            eprintln!("xnf-oracle: {failures} failing seed(s)");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("xnf-oracle: {msg}");
+            eprintln!("usage: {USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<usize, String> {
+    let mut args = args.iter();
+    match args.next().map(String::as_str) {
+        Some("fuzz") => {}
+        Some(other) => return Err(format!("unknown subcommand `{other}`")),
+        None => return Err("missing subcommand".to_string()),
+    }
+
+    let mut seeds: u64 = 100;
+    let mut start: u64 = 0;
+    let mut out: Option<String> = None;
+    let mut cfg = FuzzConfig::default();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => seeds = parse(value("--seeds")?)?,
+            "--start" => start = parse(value("--start")?)?,
+            "--docs" => cfg.docs_per_spec = parse(value("--docs")?)?,
+            "--out" => out = Some(value("--out")?.clone()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let mut failures = 0usize;
+    for seed in start..start.saturating_add(seeds) {
+        let Some(found) = fuzz_seed(seed, &cfg) else {
+            continue;
+        };
+        failures += 1;
+        let shrunk = minimize(&found, &cfg);
+        println!(
+            "seed {seed}: {} — {}",
+            shrunk.kind.as_str(),
+            shrunk.detail.trim_end()
+        );
+        if let Some(dir) = &out {
+            write_corpus(dir, &shrunk).map_err(|e| format!("writing corpus: {e}"))?;
+        }
+    }
+    println!(
+        "fuzzed seeds {start}..{}: {failures} failure(s)",
+        start.saturating_add(seeds)
+    );
+    Ok(failures)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn write_corpus(dir: &str, failure: &xnf_oracle::FuzzFailure) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("{dir}/seed-{}-{}", failure.seed, failure.kind.as_str());
+    std::fs::write(format!("{stem}.dtd"), &failure.dtd_text)?;
+    std::fs::write(format!("{stem}.fds"), &failure.fds_text)?;
+    std::fs::write(
+        format!("{stem}.txt"),
+        format!(
+            "seed: {}\nkind: {}\n{}\n",
+            failure.seed,
+            failure.kind.as_str(),
+            failure.detail
+        ),
+    )
+}

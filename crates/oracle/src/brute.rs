@@ -1,0 +1,164 @@
+//! Brute-force FD implication by document enumeration.
+//!
+//! `(D, Σ) ⊢ φ` means every tree `T ⊨ D`, `T ⊨ Σ` also satisfies `φ`
+//! (Section 4). The contrapositive is directly executable: a single
+//! conforming, Σ-satisfying document that violates `φ` *certifies*
+//! non-implication. This module generates a pool of such documents for a
+//! spec and tests candidate FDs against the pool through the Codd-table
+//! satisfaction path ([`xnf_relational::Relation::satisfies_fd`] over
+//! [`xnf_core::tuples_relation`]) — a code path disjoint from both the
+//! chase engine and the hash-grouped `check_tuples` fast path, which is
+//! what makes the differential test against
+//! [`xnf_core::ImplicationCache`] meaningful.
+//!
+//! The oracle is one-sided by nature: finding a witness refutes
+//! implication *soundly*; finding none is merely "no small witness" (the
+//! pool is finite), which the differential harness treats as consistent
+//! with either verdict unless the chase's own
+//! [`xnf_core::CounterexampleSearch`] certifies non-implication.
+
+use xnf_core::{tuples_relation, CoreError, XmlFd, XmlFdSet};
+use xnf_dtd::{Dtd, Path, PathSet};
+use xnf_gen::doc::{satisfying_documents, DocParams};
+use xnf_relational::Relation;
+use xnf_xml::XmlTree;
+
+/// A document-pool implication refuter for one spec `(D, Σ)`.
+#[derive(Debug)]
+pub struct BruteForce<'a> {
+    dtd: &'a Dtd,
+    paths: PathSet,
+    pool: Vec<(XmlTree, Relation)>,
+}
+
+impl<'a> BruteForce<'a> {
+    /// Builds the pool: up to `pool_size` documents with `T ⊨ D`,
+    /// `T ⊨ Σ`, materialized as Codd-table relations. The same pool is
+    /// shared by every FD later tested against this spec.
+    pub fn new(
+        dtd: &'a Dtd,
+        sigma: &XmlFdSet,
+        seed: u64,
+        pool_size: usize,
+        params: &DocParams,
+    ) -> Result<BruteForce<'a>, CoreError> {
+        let paths = dtd.paths()?;
+        let mut rng = xnf_gen::rng(seed);
+        let docs = satisfying_documents(dtd, sigma, &mut rng, params, pool_size, pool_size * 20);
+        let mut pool = Vec::with_capacity(docs.len());
+        for doc in docs {
+            let rel = tuples_relation(&doc, dtd, &paths)?;
+            pool.push((doc, rel));
+        }
+        Ok(BruteForce { dtd, paths, pool })
+    }
+
+    /// Number of pooled witness candidates.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The path set of the spec's DTD.
+    pub fn paths(&self) -> &PathSet {
+        &self.paths
+    }
+
+    /// Searches the pool for a document violating `fd`; returns its index.
+    ///
+    /// A `Some(i)` answer is a certified refutation of `(D, Σ) ⊢ fd`:
+    /// [`Self::witness`]`(i)` conforms to `D`, satisfies `Σ`, and violates
+    /// `fd`. `None` only means the pool contains no witness.
+    pub fn refutes(&self, fd: &XmlFd) -> Result<Option<usize>, CoreError> {
+        let lhs: Vec<String> = fd.lhs().iter().map(Path::to_string).collect();
+        let rhs: Vec<String> = fd.rhs().iter().map(Path::to_string).collect();
+        for (i, (_, rel)) in self.pool.iter().enumerate() {
+            let sat = rel
+                .satisfies_fd(&lhs, &rhs)
+                .map_err(|e| CoreError::InconsistentTuples(format!("fd column lookup: {e}")))?;
+            if !sat {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The `i`-th pooled document.
+    pub fn witness(&self, i: usize) -> &XmlTree {
+        &self.pool[i].0
+    }
+
+    /// Debug-asserts the pool's invariants (used by the differential
+    /// tests): every pooled document conforms to `D`.
+    pub fn pool_conforms(&self) -> bool {
+        self.pool
+            .iter()
+            .all(|(doc, _)| xnf_xml::conforms(doc, self.dtd).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xnf_core::{Chase, Implication};
+
+    #[test]
+    fn brute_force_refutes_known_non_implications() {
+        // Example 5.1: sno → student is not implied by the university Σ.
+        let dtd = xnf_dtd::parse_dtd(
+            "<!ELEMENT courses (course*)>
+             <!ELEMENT course (title, taken_by)>
+             <!ATTLIST course cno CDATA #REQUIRED>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT taken_by (student*)>
+             <!ELEMENT student (name, grade)>
+             <!ATTLIST student sno CDATA #REQUIRED>
+             <!ELEMENT name (#PCDATA)>
+             <!ELEMENT grade (#PCDATA)>",
+        )
+        .unwrap();
+        let sigma = XmlFdSet::parse(xnf_core::fd::UNIVERSITY_FDS).unwrap();
+        let brute = BruteForce::new(
+            &dtd,
+            &sigma,
+            7,
+            48,
+            &DocParams {
+                reps: (0, 3),
+                value_alphabet: 2,
+                max_nodes: 200,
+            },
+        )
+        .unwrap();
+        assert!(brute.pool_size() > 0);
+        assert!(brute.pool_conforms());
+        let not_implied =
+            XmlFd::parse("courses.course.taken_by.student.@sno -> courses.course.taken_by.student")
+                .unwrap();
+        let witness = brute.refutes(&not_implied).unwrap();
+        assert!(witness.is_some(), "expected a pool witness");
+        // And the refutation never contradicts the (sound) chase.
+        let paths = dtd.paths().unwrap();
+        let chase = Chase::new(&dtd, &paths);
+        let resolved_sigma = sigma.resolve(&paths).unwrap();
+        assert!(!chase.implies(&resolved_sigma, &not_implied.resolve(&paths).unwrap()));
+    }
+
+    #[test]
+    fn brute_force_never_refutes_an_implied_fd() {
+        let dtd = xnf_dtd::parse_dtd(
+            "<!ELEMENT courses (course*)>
+             <!ELEMENT course (title)>
+             <!ATTLIST course cno CDATA #REQUIRED>
+             <!ELEMENT title (#PCDATA)>",
+        )
+        .unwrap();
+        let sigma = XmlFdSet::parse("courses.course.@cno -> courses.course").unwrap();
+        let brute = BruteForce::new(&dtd, &sigma, 11, 32, &DocParams::default()).unwrap();
+        // Trivially implied (reflexivity through the node): course → title.S.
+        let implied = XmlFd::parse("courses.course -> courses.course.title.S").unwrap();
+        assert_eq!(brute.refutes(&implied).unwrap(), None);
+        // In Σ itself: must never be refuted by a Σ-satisfying pool.
+        let in_sigma = XmlFd::parse("courses.course.@cno -> courses.course").unwrap();
+        assert_eq!(brute.refutes(&in_sigma).unwrap(), None);
+    }
+}

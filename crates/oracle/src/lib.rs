@@ -1,0 +1,41 @@
+//! # `xnf-oracle` — end-to-end conformance oracles
+//!
+//! The paper's central guarantee — the Figure 4 decomposition is
+//! *lossless* (Section 6) and its output is in *XNF* — is asserted by the
+//! unit tests of `xnf-core` on hand-picked specs. This crate **executes**
+//! those definitions on concrete inputs, independently of the code under
+//! test, so that every future refactor or optimization PR has a
+//! machine-checked conformance layer to pass:
+//!
+//! * [`spec`] — the losslessness oracle: given `(D, Σ)`, normalize, check
+//!   `is_xnf` on the output, then push generated Σ-satisfying conforming
+//!   documents through the transformation and verify conformance, Σ'
+//!   satisfaction, the reconstruction round trip, and (independently of
+//!   the core tuple machinery) preservation of the document's
+//!   value projection.
+//! * [`brute`] — a brute-force FD-implication refuter: enumerate small
+//!   Σ-satisfying documents and test the candidate FD on each through the
+//!   Codd-table satisfaction path. A violating document is a *certified*
+//!   proof of non-implication, differential-tested against the chase-based
+//!   [`xnf_core::ImplicationCache`].
+//! * [`metamorphic`] — normalize must be invariant under FD reordering and
+//!   must commute with consistent element renamings; attribute renamings
+//!   must preserve the structural fingerprint of the run.
+//! * [`fuzz`] — a seeded, minimizing fuzz driver over random specs; the
+//!   `xnf-oracle fuzz` binary shrinks failures to checked-in corpus specs.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod brute;
+pub mod fuzz;
+pub mod metamorphic;
+pub mod spec;
+
+pub use brute::BruteForce;
+pub use fuzz::{fuzz_range, fuzz_seed, minimize, FailureKind, FuzzConfig, FuzzFailure};
+pub use metamorphic::{
+    check_attribute_rename, check_element_rename, check_fd_reorder, fingerprint, rename_spec,
+    Fingerprint, RenameOutcome,
+};
+pub use spec::{check_spec, DocFailure, SpecOracleConfig, SpecOracleReport};

@@ -1,0 +1,387 @@
+//! Metamorphic invariants of the Figure 4 decomposition.
+//!
+//! The normalization algorithm is defined on the *abstract* spec `(D, Σ)`;
+//! none of the paper's constructions depend on what the element types are
+//! called, nor on the order Σ is written down in. That gives executable
+//! relations with no reference implementation needed:
+//!
+//! * **FD reordering** — `normalize(D, Σ)` is invariant under permuting
+//!   the FDs of Σ (both through the text parser and through
+//!   [`XmlFdSet::from_fds`]).
+//! * **Element renaming** — for an injective renaming `ρ` of element
+//!   types, `normalize(ρ(D), ρ(Σ))` must commute with `ρ` exactly when no
+//!   step manufactures names derived from element names (`CreateElement`
+//!   introduces `info`/`{l}_ref` elements and text folding derives fresh
+//!   attribute names from element names).
+//! * **Attribute renaming** — the spec-isomorphism invariants must be
+//!   preserved.
+//!
+//! Renamings use a common fresh *prefix*, which preserves the
+//! lexicographic order of names — the algorithm's deterministic
+//! tie-breaking sorts by name, so order-preserving maps are exactly the
+//! ones that must commute.
+//!
+//! **What "preserved" can mean.** Once a *derived* fresh name enters the
+//! name pool (`fold_text` derives attribute names from element names,
+//! `AddId` mints `id`, `CreateElement` mints `info`/`{l}_ref` element
+//! names from attribute stems), its lexicographic position relative to
+//! the renamed names differs from the original run, and the algorithm's
+//! name-ordered tie-breaking may legitimately pick a different (equally
+//! correct) decomposition from the second iteration on — fuzzing finds
+//! such seeds readily. The invariants that hold unconditionally are the
+//! parts fixed by the spec *up to isomorphism* before any derived name
+//! exists: the first step's kind, the initial anomalous-FD count
+//! `ap_trace[0]`, and `is_xnf` on the output ([`Fingerprint::weak`]).
+//! The full [`Fingerprint`] — and exact commutation — is only demanded
+//! when the run mints no order-shifting names.
+
+use std::collections::BTreeMap;
+use xnf_core::normalize::{normalize, NormalizeOptions, NormalizeResult};
+use xnf_core::{is_xnf, CoreError, Step, XmlFd, XmlFdSet};
+use xnf_dtd::{Dtd, Path};
+
+/// A name-independent digest of one normalization run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// The kind of each applied step, in order.
+    pub step_kinds: Vec<&'static str>,
+    /// `|AP(D, Σ)|` trace (strictly decreasing by Proposition 6).
+    pub ap_trace: Vec<usize>,
+    /// Number of element types in the output DTD.
+    pub output_elements: usize,
+    /// Number of FDs in the output Σ.
+    pub output_sigma_len: usize,
+    /// Whether the output satisfies `is_xnf`.
+    pub output_is_xnf: bool,
+}
+
+impl Fingerprint {
+    /// The part of the digest fixed by the spec up to isomorphism (see the
+    /// module docs): first step kind, initial anomalous-FD count, and
+    /// whether the output is in XNF. Later steps may legitimately diverge
+    /// under renamings once derived fresh names shift tie-breaking order.
+    pub fn weak(&self) -> (Option<&'static str>, Option<usize>, bool) {
+        (
+            self.step_kinds.first().copied(),
+            self.ap_trace.first().copied(),
+            self.output_is_xnf,
+        )
+    }
+}
+
+fn step_kind(step: &Step) -> &'static str {
+    match step {
+        Step::FoldText { .. } => "fold_text",
+        Step::AddId { .. } => "add_id",
+        Step::MoveAttribute { .. } => "move_attribute",
+        Step::CreateElement { .. } => "create_element",
+    }
+}
+
+fn fingerprint_of(result: &NormalizeResult) -> Result<Fingerprint, CoreError> {
+    Ok(Fingerprint {
+        step_kinds: result.steps.iter().map(step_kind).collect(),
+        ap_trace: result.ap_trace.clone(),
+        output_elements: result.dtd.num_elements(),
+        output_sigma_len: result.sigma.len(),
+        output_is_xnf: is_xnf(&result.dtd, &result.sigma)?,
+    })
+}
+
+/// Normalizes `(D, Σ)` and digests the run into a [`Fingerprint`].
+pub fn fingerprint(dtd: &Dtd, sigma: &XmlFdSet) -> Result<Fingerprint, CoreError> {
+    fingerprint_of(&normalize(dtd, sigma, &NormalizeOptions::default())?)
+}
+
+/// Applies an element-type renaming to a whole spec.
+///
+/// `map` sends old element names to new ones; element types not in the map
+/// keep their name. FD paths are rewritten step-by-step; attribute and
+/// text steps are untouched.
+pub fn rename_spec(
+    dtd: &Dtd,
+    sigma: &XmlFdSet,
+    map: &BTreeMap<String, String>,
+) -> Result<(Dtd, XmlFdSet), CoreError> {
+    let mut renamed = dtd.clone();
+    for (old, new) in map {
+        renamed.rename_element(old, new)?;
+    }
+    let rename_path = |p: &Path| rename_path(p, map);
+    let fds: Result<Vec<XmlFd>, CoreError> = sigma
+        .iter()
+        .map(|fd| {
+            XmlFd::new(
+                fd.lhs().iter().map(rename_path),
+                fd.rhs().iter().map(rename_path),
+            )
+        })
+        .collect();
+    Ok((renamed, XmlFdSet::from_fds(fds?)))
+}
+
+fn rename_path(p: &Path, map: &BTreeMap<String, String>) -> Path {
+    let renamed = |name: &str| -> Box<str> {
+        map.get(name)
+            .map_or_else(|| name.into(), |n| n.as_str().into())
+    };
+    let mut steps = p.steps().iter();
+    let mut out = match steps.next().expect("paths are non-empty") {
+        xnf_dtd::Step::Elem(name) => Path::root(renamed(name)),
+        _ => unreachable!("paths start at the root element"),
+    };
+    for step in steps {
+        out = match step {
+            xnf_dtd::Step::Elem(name) => out.child_elem(renamed(name)),
+            xnf_dtd::Step::Attr(name) => out.child_attr(name.clone()),
+            xnf_dtd::Step::Text => out.child_text(),
+        };
+    }
+    out
+}
+
+/// Verdict of a renaming metamorphic check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RenameOutcome {
+    /// The strongest property held: `normalize ∘ ρ = ρ ∘ normalize` as an
+    /// exact equality of revised DTDs and FD sets.
+    Commutes,
+    /// Fresh-name generation makes exact commutation inapplicable, but the
+    /// spec-isomorphism invariants ([`Fingerprint::weak`]) were preserved.
+    FingerprintMatch,
+    /// The invariant was violated; the string says how.
+    Violation(String),
+}
+
+impl RenameOutcome {
+    /// Whether the invariant held (in either strength).
+    pub fn ok(&self) -> bool {
+        !matches!(self, RenameOutcome::Violation(_))
+    }
+}
+
+/// Picks a prefix such that `prefix + name` collides with no existing
+/// element or attribute name of `dtd`.
+fn fresh_prefix(dtd: &Dtd) -> String {
+    let mut prefix = String::from("r_");
+    let collides = |p: &str| {
+        dtd.elements()
+            .any(|id| dtd.name(id).starts_with(p) || dtd.attrs(id).any(|a| a.starts_with(p)))
+    };
+    while collides(&prefix) {
+        prefix.insert(0, 'r');
+    }
+    prefix
+}
+
+/// Checks that normalization commutes with a consistent renaming of every
+/// element type (same-prefix, hence order-preserving).
+pub fn check_element_rename(dtd: &Dtd, sigma: &XmlFdSet) -> Result<RenameOutcome, CoreError> {
+    let prefix = fresh_prefix(dtd);
+    let map: BTreeMap<String, String> = dtd
+        .elements()
+        .map(|id| {
+            let name = dtd.name(id);
+            (name.to_string(), format!("{prefix}{name}"))
+        })
+        .collect();
+    let (rdtd, rsigma) = rename_spec(dtd, sigma, &map)?;
+
+    let base = normalize(dtd, sigma, &NormalizeOptions::default())?;
+    let renamed = normalize(&rdtd, &rsigma, &NormalizeOptions::default())?;
+
+    let base_fp = fingerprint_of(&base)?;
+    let renamed_fp = fingerprint_of(&renamed)?;
+    if base_fp.weak() != renamed_fp.weak() {
+        return Ok(RenameOutcome::Violation(format!(
+            "weak fingerprint changed under element renaming: {base_fp:?} vs {renamed_fp:?}"
+        )));
+    }
+
+    // `CreateElement` mints `info`/`{l}_ref` element types and text folding
+    // derives fresh attribute names from element names; both break exact
+    // equality of outputs. Without them the runs must agree verbatim.
+    let exact_applies = !base
+        .steps
+        .iter()
+        .any(|s| matches!(s, Step::CreateElement { .. } | Step::FoldText { .. }));
+    if exact_applies {
+        let (expected_dtd, expected_sigma) = rename_spec(&base.dtd, &base.sigma, &map)?;
+        if renamed.dtd != expected_dtd {
+            return Ok(RenameOutcome::Violation(
+                "revised DTDs differ under element renaming".into(),
+            ));
+        }
+        if renamed.sigma != expected_sigma {
+            return Ok(RenameOutcome::Violation(
+                "revised FD sets differ under element renaming".into(),
+            ));
+        }
+        return Ok(RenameOutcome::Commutes);
+    }
+    Ok(RenameOutcome::FingerprintMatch)
+}
+
+/// Checks that the run [`Fingerprint`] is invariant under a consistent
+/// renaming of every attribute (fresh names derive from attribute stems,
+/// so only the name-independent digest is required to match).
+pub fn check_attribute_rename(dtd: &Dtd, sigma: &XmlFdSet) -> Result<RenameOutcome, CoreError> {
+    let prefix = fresh_prefix(dtd);
+    let mut renamed = dtd.clone();
+    for id in dtd.elements() {
+        let attrs: Vec<String> = dtd.attrs(id).map(str::to_string).collect();
+        for attr in attrs {
+            renamed.remove_attribute(id, &attr);
+            renamed.add_attribute(id, &format!("{prefix}{attr}"))?;
+        }
+    }
+    let rename_path = |p: &Path| -> Path {
+        let mut steps = p.steps().iter();
+        let mut out = match steps.next().expect("paths are non-empty") {
+            xnf_dtd::Step::Elem(name) => Path::root(name.clone()),
+            _ => unreachable!("paths start at the root element"),
+        };
+        for step in steps {
+            out = match step {
+                xnf_dtd::Step::Elem(name) => out.child_elem(name.clone()),
+                xnf_dtd::Step::Attr(name) => out.child_attr(format!("{prefix}{name}")),
+                xnf_dtd::Step::Text => out.child_text(),
+            };
+        }
+        out
+    };
+    let fds: Result<Vec<XmlFd>, CoreError> = sigma
+        .iter()
+        .map(|fd| {
+            XmlFd::new(
+                fd.lhs().iter().map(rename_path),
+                fd.rhs().iter().map(rename_path),
+            )
+        })
+        .collect();
+    let rsigma = XmlFdSet::from_fds(fds?);
+
+    let base = normalize(dtd, sigma, &NormalizeOptions::default())?;
+    let base_fp = fingerprint_of(&base)?;
+    let renamed_fp = fingerprint(&renamed, &rsigma)?;
+    if base_fp.weak() != renamed_fp.weak() {
+        return Ok(RenameOutcome::Violation(format!(
+            "weak fingerprint changed under attribute renaming: {base_fp:?} vs {renamed_fp:?}"
+        )));
+    }
+    // With no steps at all there is no fresh-name feedback: the renamed
+    // spec must already be in XNF verbatim.
+    if base.steps.is_empty() {
+        let rerun = normalize(&renamed, &rsigma, &NormalizeOptions::default())?;
+        if !rerun.steps.is_empty() || rerun.dtd != renamed {
+            return Ok(RenameOutcome::Violation(
+                "XNF spec became non-XNF under attribute renaming".into(),
+            ));
+        }
+        return Ok(RenameOutcome::Commutes);
+    }
+    Ok(RenameOutcome::FingerprintMatch)
+}
+
+/// Checks that `normalize` is invariant under reordering of Σ.
+///
+/// Feeds the same FDs in reversed order through [`XmlFdSet::from_fds`] and
+/// in rotated order through the text parser; all three runs must produce
+/// identical `(D', Σ', steps)`.
+pub fn check_fd_reorder(dtd: &Dtd, sigma: &XmlFdSet) -> Result<bool, CoreError> {
+    let base = normalize(dtd, sigma, &NormalizeOptions::default())?;
+
+    let reversed = {
+        let mut fds: Vec<XmlFd> = sigma.iter().cloned().collect();
+        fds.reverse();
+        XmlFdSet::from_fds(fds)
+    };
+    let rot = {
+        let mut lines: Vec<String> = sigma.iter().map(ToString::to_string).collect();
+        let mid = lines.len() / 2;
+        lines.rotate_left(mid);
+        XmlFdSet::parse(&lines.join(";"))?
+    };
+    for variant in [reversed, rot] {
+        let run = normalize(dtd, &variant, &NormalizeOptions::default())?;
+        if run.dtd != base.dtd || run.sigma != base.sigma || run.steps != base.steps {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIVERSITY_DTD: &str = "<!ELEMENT courses (course*)>
+         <!ELEMENT course (title, taken_by)>
+         <!ATTLIST course cno CDATA #REQUIRED>
+         <!ELEMENT title (#PCDATA)>
+         <!ELEMENT taken_by (student*)>
+         <!ELEMENT student (name, grade)>
+         <!ATTLIST student sno CDATA #REQUIRED>
+         <!ELEMENT name (#PCDATA)>
+         <!ELEMENT grade (#PCDATA)>";
+
+    fn university() -> (Dtd, XmlFdSet) {
+        (
+            xnf_dtd::parse_dtd(UNIVERSITY_DTD).unwrap(),
+            XmlFdSet::parse(xnf_core::fd::UNIVERSITY_FDS).unwrap(),
+        )
+    }
+
+    #[test]
+    fn university_is_invariant_under_fd_reordering() {
+        let (dtd, sigma) = university();
+        assert!(check_fd_reorder(&dtd, &sigma).unwrap());
+    }
+
+    #[test]
+    fn university_fingerprint_survives_renamings() {
+        let (dtd, sigma) = university();
+        let elem = check_element_rename(&dtd, &sigma).unwrap();
+        assert!(elem.ok(), "{elem:?}");
+        let attr = check_attribute_rename(&dtd, &sigma).unwrap();
+        assert!(attr.ok(), "{attr:?}");
+    }
+
+    #[test]
+    fn rename_spec_round_trips_through_the_inverse_map() {
+        let (dtd, sigma) = university();
+        let map: BTreeMap<String, String> = dtd
+            .elements()
+            .map(|id| (dtd.name(id).to_string(), format!("z_{}", dtd.name(id))))
+            .collect();
+        let (rdtd, rsigma) = rename_spec(&dtd, &sigma, &map).unwrap();
+        assert_eq!(rdtd.root_name(), "z_courses");
+        let inverse: BTreeMap<String, String> =
+            map.into_iter().map(|(old, new)| (new, old)).collect();
+        let (back_dtd, back_sigma) = rename_spec(&rdtd, &rsigma, &inverse).unwrap();
+        assert_eq!(back_dtd, dtd);
+        assert_eq!(back_sigma, sigma);
+    }
+
+    #[test]
+    fn a_move_attribute_only_spec_commutes_exactly() {
+        // Figure 1(b)-style: @year on book is anomalous and gets moved; no
+        // new element types are created, so the exact commute applies.
+        let dtd = xnf_dtd::parse_dtd(
+            "<!ELEMENT db (conf*)>
+             <!ELEMENT conf (issue*)>
+             <!ATTLIST conf name CDATA #REQUIRED>
+             <!ELEMENT issue (inproceedings*)>
+             <!ELEMENT inproceedings (#PCDATA)>
+             <!ATTLIST inproceedings key CDATA #REQUIRED year CDATA #REQUIRED>",
+        )
+        .unwrap();
+        let sigma = XmlFdSet::parse(
+            "db.conf.issue -> db.conf.issue.inproceedings.@year\n\
+             db.conf.issue.inproceedings.@key -> db.conf.issue.inproceedings",
+        )
+        .unwrap();
+        let outcome = check_element_rename(&dtd, &sigma).unwrap();
+        assert!(outcome.ok(), "{outcome:?}");
+    }
+}

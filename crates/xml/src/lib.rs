@@ -37,7 +37,7 @@ pub mod write;
 pub use crate::conform::{compatible, conforms, ConformError};
 pub use crate::order::{embeds_in, unordered_eq};
 pub use crate::parse::parse;
-pub use crate::paths::{nodes_at, paths_of, values_at};
+pub use crate::paths::{nodes_at, paths_of, value_projection, values_at};
 pub use crate::tree::{NodeContent, NodeId, XmlTree};
 pub use crate::write::to_string_pretty;
 

@@ -8,7 +8,7 @@
 //! diagnostics want).
 
 use crate::tree::{NodeContent, NodeId, XmlTree};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use xnf_dtd::{Path, Step};
 
 /// Enumerates `paths(T)`, deduplicated and sorted.
@@ -79,6 +79,32 @@ pub fn values_at(tree: &XmlTree, path: &Path) -> Vec<String> {
     }
 }
 
+/// The *value projection* of a document: for every realized path, the
+/// multiset of values at it — attribute/text values (sorted, with
+/// duplicates) for value paths, and the node count for element paths.
+///
+/// This is the tree-tuple content of `T` seen purely from the document
+/// side — no DTD, no `tuples_D` machinery — so two documents with equal
+/// projections carry the same information up to node identity and sibling
+/// order. The oracle layer compares projections before/after a
+/// transform/restore round trip as an information-preservation check that
+/// is *independent* of the core crate's tuple code.
+pub fn value_projection(tree: &XmlTree) -> BTreeMap<String, Vec<String>> {
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for path in paths_of(tree) {
+        let entry = match path.last() {
+            Step::Elem(_) => vec![format!("#nodes={}", nodes_at(tree, &path).len())],
+            Step::Attr(_) | Step::Text => {
+                let mut values = values_at(tree, &path);
+                values.sort();
+                values
+            }
+        };
+        out.insert(path.to_string(), entry);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +159,33 @@ mod tests {
                 "path {p} of T missing from paths(D)"
             );
         }
+    }
+
+    #[test]
+    fn value_projection_ignores_order_but_not_content() {
+        let t = doc();
+        let proj = value_projection(&t);
+        assert_eq!(
+            proj["courses.course.@cno"],
+            vec!["c1".to_string(), "c2".to_string()]
+        );
+        assert_eq!(proj["courses.course"], vec!["#nodes=2".to_string()]);
+        // Sibling order does not matter…
+        let swapped = parse(
+            r#"<courses>
+              <course cno="c2"><title>T2</title><taken_by/></course>
+              <course cno="c1"><title>T1</title><taken_by>
+                <student sno="s1"><name>N</name><grade>A</grade></student>
+              </taken_by></course>
+            </courses>"#,
+        )
+        .unwrap();
+        assert_eq!(proj, value_projection(&swapped));
+        // …but values do.
+        let changed =
+            parse(r#"<courses><course cno="c9"><title>T1</title><taken_by/></course></courses>"#)
+                .unwrap();
+        assert_ne!(proj, value_projection(&changed));
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Replays the fuzz-found corpus under `tests/oracle_corpus/` through the
+//! full oracle battery as deterministic unit tests.
+//!
+//! Provenance: each spec was found by `xnf-oracle fuzz` over seeds
+//! 0..20000 and minimized by greedy FD-subset reduction. All of them
+//! originally tripped an over-strict metamorphic invariant — their
+//! normalizations take *different but equally valid* decompositions under
+//! attribute renaming, because fresh `info`/`{l}_ref` element names
+//! derived from attribute stems shift the algorithm's lexicographic
+//! tie-breaking in later iterations. They are pinned here so that:
+//!
+//! * the full battery (losslessness, FD reordering, both renamings under
+//!   the spec-isomorphism invariants) stays green on exactly the specs
+//!   that exercise the fresh-name feedback paths;
+//! * any future change to fresh-name generation or anomalous-FD
+//!   tie-breaking that breaks a *real* invariant (XNF output, initial
+//!   anomalous count, losslessness) is caught by a named, stable spec
+//!   rather than a roving fuzz seed.
+
+use std::path::PathBuf;
+use xnf::core::XmlFdSet;
+use xnf_oracle::fuzz::{replay, spec_for_seed};
+use xnf_oracle::FuzzConfig;
+
+/// (seed, file stem) pairs; the seed regenerates the *unminimized* spec,
+/// the files hold the minimized one.
+const CORPUS: &[u64] = &[3449, 5195, 6742, 11775, 12710, 17154, 19327, 19683];
+
+fn corpus_file(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("tests");
+    p.push("oracle_corpus");
+    p.push(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("reading {}: {e}", p.display()))
+}
+
+#[test]
+fn minimized_corpus_specs_pass_the_full_battery() {
+    let cfg = FuzzConfig::default();
+    for &seed in CORPUS {
+        let dtd = xnf::dtd::parse_dtd(&corpus_file(&format!("seed-{seed}.dtd"))).unwrap();
+        let sigma = XmlFdSet::parse(&corpus_file(&format!("seed-{seed}.fds"))).unwrap();
+        assert!(
+            !sigma.is_empty(),
+            "seed {seed}: minimization must leave the failing core"
+        );
+        if let Some(failure) = replay(seed, &dtd, &sigma, &cfg) {
+            panic!(
+                "corpus seed {seed} regressed: {} — {}",
+                failure.kind.as_str(),
+                failure.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_seeds_regenerate_and_pass_unminimized() {
+    // The seeds themselves must also stay clean: this is the exact check
+    // the nightly fuzz sweep runs, pinned to the historical finds.
+    let cfg = FuzzConfig::default();
+    for &seed in CORPUS {
+        let (dtd, sigma) = spec_for_seed(seed, &cfg);
+        if let Some(failure) = replay(seed, &dtd, &sigma, &cfg) {
+            panic!(
+                "generator seed {seed} regressed: {} — {}",
+                failure.kind.as_str(),
+                failure.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_specs_exercise_the_fresh_name_feedback_path() {
+    // Guard against the corpus rotting into triviality: every pinned spec
+    // must still normalize through at least one CreateElement step (the
+    // source of attribute-derived fresh element names).
+    use xnf::core::{normalize, NormalizeOptions, Step};
+    for &seed in CORPUS {
+        let dtd = xnf::dtd::parse_dtd(&corpus_file(&format!("seed-{seed}.dtd"))).unwrap();
+        let sigma = XmlFdSet::parse(&corpus_file(&format!("seed-{seed}.fds"))).unwrap();
+        let result = normalize(&dtd, &sigma, &NormalizeOptions::default()).unwrap();
+        assert!(
+            result
+                .steps
+                .iter()
+                .any(|s| matches!(s, Step::CreateElement { .. })),
+            "seed {seed}: minimized spec no longer creates elements"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Differential conformance: the chase-based implication engine against
+//! the brute-force document oracle of `xnf-oracle`.
+//!
+//! The two sides share no code: the chase reasons symbolically over
+//! two-tuple states; [`xnf_oracle::BruteForce`] generates concrete
+//! Σ-satisfying conforming documents and evaluates the candidate FD on
+//! their Codd-table relations. The contract is one-sided soundness:
+//!
+//! * if the brute oracle finds a witness (a conforming, Σ-satisfying
+//!   document violating φ), then `(D, Σ) ⊬ φ` — a chase verdict of
+//!   `Implied` on such an instance is a hard bug on one side or the
+//!   other, and the assertion names the seed;
+//! * when the chase answers `NotImplied`, its own counterexample search
+//!   can certify it: the constructed witness must check out through the
+//!   same relation path the brute oracle uses.
+//!
+//! The sweep covers ≥ 1000 generated `(D, Σ, φ)` instances in the default
+//! `cargo test` run.
+
+use xnf::core::implication::{CounterexampleSearch, Implication};
+use xnf::core::{tuples_relation, Chase, ImplicationCache, XmlFd};
+use xnf_gen::doc::DocParams;
+use xnf_gen::dtd::{simple_dtd, SimpleDtdParams};
+use xnf_gen::fd::{random_fds, FdParams};
+use xnf_oracle::BruteForce;
+
+fn fd_columns(fd: &XmlFd) -> (Vec<String>, Vec<String>) {
+    (
+        fd.lhs().iter().map(ToString::to_string).collect(),
+        fd.rhs().iter().map(ToString::to_string).collect(),
+    )
+}
+
+#[test]
+fn brute_force_oracle_agrees_with_the_implication_cache() {
+    let mut instances = 0usize;
+    let mut refuted = 0usize;
+    let mut certified = 0usize;
+    for seed in 0..300u64 {
+        let mut rng = xnf_gen::rng(seed ^ 0x0b5e55ed);
+        let dtd = simple_dtd(
+            &mut rng,
+            &SimpleDtdParams {
+                elements: 6,
+                max_children: 3,
+                max_attrs: 2,
+                text_leaf_prob: 0.4,
+            },
+        );
+        let sigma = random_fds(
+            &dtd,
+            &mut rng,
+            &FdParams {
+                count: 2,
+                max_lhs: 2,
+            },
+        );
+        let candidates = random_fds(
+            &dtd,
+            &mut rng,
+            &FdParams {
+                count: 4,
+                max_lhs: 2,
+            },
+        );
+        let paths = dtd.paths().unwrap();
+        let resolved = sigma.resolve(&paths).unwrap();
+        let chase = Chase::new(&dtd, &paths);
+        let cache = ImplicationCache::new(&chase, &resolved);
+        let search = CounterexampleSearch::new(&dtd, &paths);
+        let brute = BruteForce::new(
+            &dtd,
+            &sigma,
+            seed,
+            6,
+            &DocParams {
+                reps: (0, 2),
+                value_alphabet: 2,
+                max_nodes: 150,
+            },
+        )
+        .unwrap();
+        assert!(brute.pool_conforms(), "seed {seed}: pool must conform");
+
+        for fd in candidates.iter() {
+            let r = fd.resolve(&paths).unwrap();
+            let implied = cache.implies(&resolved, &r);
+            instances += 1;
+            if let Some(i) = brute.refutes(fd).unwrap() {
+                refuted += 1;
+                assert!(
+                    !implied,
+                    "seed {seed}: chase claims (D, Σ) ⊢ {fd} but document {i} \
+                     of the brute pool satisfies Σ and violates it:\n{}",
+                    xnf::xml::to_string_pretty(brute.witness(i))
+                );
+            }
+            if !implied {
+                // Positive certification of NotImplied: the chase's own
+                // counterexample must survive the brute oracle's relation
+                // path — satisfy every FD of Σ and violate the candidate.
+                if let Some(w) = search.find(&resolved, &r) {
+                    certified += 1;
+                    let rel = tuples_relation(&w.tree, &dtd, &paths).unwrap();
+                    for s in sigma.iter() {
+                        let (lhs, rhs) = fd_columns(s);
+                        assert!(
+                            rel.satisfies_fd(&lhs, &rhs).unwrap(),
+                            "seed {seed}: counterexample for {fd} violates Σ member {s}"
+                        );
+                    }
+                    let (lhs, rhs) = fd_columns(fd);
+                    assert!(
+                        !rel.satisfies_fd(&lhs, &rhs).unwrap(),
+                        "seed {seed}: counterexample for {fd} does not violate it"
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        instances >= 1000,
+        "differential sweep too small: {instances} instances"
+    );
+    // The sweep must actually exercise both verdicts, or the agreement
+    // assertions above are vacuous.
+    assert!(
+        refuted > 0,
+        "no brute-force refutations in {instances} instances"
+    );
+    assert!(
+        certified > 0,
+        "no certified counterexamples in {instances} instances"
+    );
+}

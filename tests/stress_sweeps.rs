@@ -7,12 +7,28 @@
 //! ```text
 //! cargo test --release --test stress_sweeps -- --ignored --nocapture
 //! ```
+//!
+//! The nightly CI job runs these with `XNF_SWEEP_SEED_BASE` set to the
+//! run id, so every night covers a fresh seed window; each sweep logs its
+//! base so a red night is reproducible locally with
+//! `XNF_SWEEP_SEED_BASE=<base> cargo test --release --test stress_sweeps -- --ignored`.
 
 use xnf::core::implication::{CounterexampleSearch, Implication};
 use xnf::core::{is_xnf, normalize, NormalizeOptions};
 use xnf_gen::doc::{random_document, DocParams};
 use xnf_gen::dtd::{disjunctive_dtd, simple_dtd, SimpleDtdParams};
 use xnf_gen::fd::{random_fds, FdParams};
+
+/// Offset added to every sweep's seed range; defaults to 0 for local
+/// determinism, set by nightly CI to rotate the window.
+fn seed_base(sweep: &str) -> u64 {
+    let base = std::env::var("XNF_SWEEP_SEED_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0u64);
+    println!("{sweep}: XNF_SWEEP_SEED_BASE={base}");
+    base
+}
 
 fn dtd_params(elements: usize) -> SimpleDtdParams {
     SimpleDtdParams {
@@ -82,8 +98,9 @@ fn check_both_directions(dtd: &xnf::dtd::Dtd, seed: u64) -> Result<(), String> {
 #[test]
 #[ignore = "dense sweep; run explicitly"]
 fn sweep_implication_disjunctive() {
+    let base = seed_base("sweep_implication_disjunctive");
     let mut failures = Vec::new();
-    for seed in 0..1500u64 {
+    for seed in base..base + 1500 {
         for elements in 3..8 {
             for disjunctions in 1..3 {
                 let mut rng = xnf_gen::rng(seed);
@@ -100,8 +117,9 @@ fn sweep_implication_disjunctive() {
 #[test]
 #[ignore = "dense sweep; run explicitly"]
 fn sweep_implication_simple() {
+    let base = seed_base("sweep_implication_simple");
     let mut failures = Vec::new();
-    for seed in 0..1500u64 {
+    for seed in base..base + 1500 {
         for elements in 3..10 {
             let mut rng = xnf_gen::rng(seed);
             let dtd = simple_dtd(&mut rng, &dtd_params(elements));
@@ -116,8 +134,9 @@ fn sweep_implication_simple() {
 #[test]
 #[ignore = "dense sweep; run explicitly"]
 fn sweep_normalization() {
+    let base = seed_base("sweep_normalization");
     let mut failures = Vec::new();
-    for seed in 0..4000u64 {
+    for seed in base..base + 4000 {
         for elements in 3..9 {
             let mut rng = xnf_gen::rng(seed);
             let dtd = simple_dtd(&mut rng, &dtd_params(elements));
@@ -152,4 +171,30 @@ fn sweep_normalization() {
         }
     }
     assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+#[ignore = "dense sweep; run explicitly"]
+fn sweep_oracle_fuzz() {
+    // The full xnf-oracle battery — losslessness on generated documents,
+    // FD-reorder invariance, element/attribute renaming — over a dense
+    // seed window. Failures are pre-minimized, ready for
+    // tests/oracle_corpus/.
+    let base = seed_base("sweep_oracle_fuzz");
+    let cfg = xnf_oracle::FuzzConfig::default();
+    let failures: Vec<String> = xnf_oracle::fuzz_range(base, 5000, &cfg)
+        .iter()
+        .map(|f| {
+            let min = xnf_oracle::minimize(f, &cfg);
+            format!(
+                "seed {}: {} — {}\n--- dtd ---\n{}\n--- fds ---\n{}",
+                min.seed,
+                min.kind.as_str(),
+                min.detail.trim_end(),
+                min.dtd_text,
+                min.fds_text
+            )
+        })
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
 }
