@@ -24,6 +24,21 @@
 //! xnf-tool mvd        <dtd> <xml> <mvd…>     # check MVDs ("lhs ->> dep | indep")
 //! ```
 //!
+//! The governed subcommands — `normalize`, `is-xnf`, `lint`, `verify` —
+//! additionally accept resource limits:
+//!
+//! ```text
+//! --timeout <secs>      wall-clock deadline (fractional seconds)
+//! --fuel <units>        checkpoint fuel (chase steps, derivative steps, …)
+//! --max-memory <bytes>  peak governed-allocation cap
+//! ```
+//!
+//! With no limit given the engine runs ungoverned, byte-identical to the
+//! flagless invocation. When a limit trips, the command stops cleanly
+//! with exit code 4: `normalize` prints the partial step trace completed
+//! so far, clearly marked non-final; the others print the structured
+//! exhaustion message.
+//!
 //! `normalize` and `is-xnf` run the linter as a preflight: hard lint
 //! errors abort with the rendered report and a nonzero exit before the
 //! engine touches the spec; `--no-lint` opts out. Warnings and infos never
@@ -37,11 +52,13 @@
 
 use std::fmt;
 use std::fs;
+use std::time::Duration;
 use xnf_core::implication::{CounterexampleSearch, Implication};
 use xnf_core::lossless::{transform_document, verify_lossless};
 use xnf_core::{normalize, NormalizeOptions, XmlFd, XmlFdSet};
 use xnf_dtd::classify::{DtdClass, DtdShapes};
 use xnf_dtd::Dtd;
+use xnf_govern::Budget;
 
 /// CLI errors: usage problems, I/O, or any library error.
 #[derive(Debug)]
@@ -58,6 +75,11 @@ pub enum CliError {
     /// A failed `verify` run; the string is the fully rendered report
     /// (`main` prints it to stdout, without a prefix, and exits nonzero).
     Verify(String),
+    /// A `--timeout`/`--fuel`/`--max-memory` limit tripped; the string is
+    /// the full output so far (for `normalize`, the partial step trace
+    /// marked non-final; otherwise the structured exhaustion message).
+    /// `main` prints it to stdout, without a prefix, and exits with 4.
+    Exhausted(String),
 }
 
 impl fmt::Display for CliError {
@@ -68,27 +90,52 @@ impl fmt::Display for CliError {
             CliError::Lib(e) => write!(f, "{e}"),
             CliError::Lint(report) => write!(f, "{report}"),
             CliError::Verify(report) => write!(f, "{report}"),
+            CliError::Exhausted(report) => write!(f, "{report}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
 
+impl From<xnf_govern::Exhausted> for CliError {
+    fn from(e: xnf_govern::Exhausted) -> Self {
+        CliError::Exhausted(format!("budget exhausted: {e}\n"))
+    }
+}
+
 impl From<xnf_dtd::DtdError> for CliError {
     fn from(e: xnf_dtd::DtdError) -> Self {
-        CliError::Lib(e.to_string())
+        match e {
+            xnf_dtd::DtdError::Exhausted(e) => e.into(),
+            e => CliError::Lib(e.to_string()),
+        }
     }
 }
 
 impl From<xnf_core::CoreError> for CliError {
     fn from(e: xnf_core::CoreError) -> Self {
-        CliError::Lib(e.to_string())
+        match e {
+            xnf_core::CoreError::Exhausted(e) => e.into(),
+            e => CliError::Lib(e.to_string()),
+        }
     }
 }
 
 impl From<xnf_xml::XmlError> for CliError {
     fn from(e: xnf_xml::XmlError) -> Self {
-        CliError::Lib(e.to_string())
+        match e {
+            xnf_xml::XmlError::Exhausted(e) => e.into(),
+            e => CliError::Lib(e.to_string()),
+        }
+    }
+}
+
+// Formatting into the output `String` cannot fail in practice; routing
+// the impossible error through `Lib` keeps the command bodies free of
+// `.expect` calls (enforced by the repository's panic audit).
+impl From<std::fmt::Error> for CliError {
+    fn from(e: std::fmt::Error) -> Self {
+        CliError::Lib(format!("formatting output: {e}"))
     }
 }
 
@@ -123,6 +170,76 @@ fn preflight_lint(dtd_src: &str, fds_src: Option<&str>) -> Result<(), CliError> 
     }
 }
 
+/// The shared `--timeout <secs>` / `--fuel <units>` / `--max-memory
+/// <bytes>` flags of the governed subcommands. With none given,
+/// [`BudgetFlags::build`] returns [`Budget::unlimited`] so the flagless
+/// invocation stays byte-identical to the ungoverned engine.
+#[derive(Default)]
+struct BudgetFlags {
+    timeout: Option<f64>,
+    fuel: Option<u64>,
+    memory: Option<u64>,
+}
+
+impl BudgetFlags {
+    /// Parses the governance flag at `args[*i]` and its value. Leaves
+    /// `*i` on the value, matching the callers' trailing `i += 1`.
+    fn set(&mut self, args: &[String], i: &mut usize) -> Result<(), CliError> {
+        let flag = args[*i].clone();
+        *i += 1;
+        let value = args
+            .get(*i)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--timeout" => {
+                let secs: f64 = value.parse().map_err(|_| {
+                    CliError::Usage("--timeout needs a number of seconds (e.g. 2.5)".into())
+                })?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(CliError::Usage(
+                        "--timeout needs a finite, non-negative number of seconds".into(),
+                    ));
+                }
+                self.timeout = Some(secs);
+            }
+            "--fuel" => {
+                self.fuel = Some(value.parse().map_err(|_| {
+                    CliError::Usage("--fuel needs a number of checkpoint units".into())
+                })?);
+            }
+            "--max-memory" => {
+                self.memory =
+                    Some(value.parse().map_err(|_| {
+                        CliError::Usage("--max-memory needs a number of bytes".into())
+                    })?);
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn build(&self) -> Budget {
+        if self.timeout.is_none() && self.fuel.is_none() && self.memory.is_none() {
+            return Budget::unlimited();
+        }
+        let mut b = Budget::builder();
+        if let Some(secs) = self.timeout {
+            b = b.deadline(Duration::from_secs_f64(secs));
+        }
+        if let Some(units) = self.fuel {
+            b = b.fuel(units);
+        }
+        if let Some(bytes) = self.memory {
+            b = b.memory(bytes);
+        }
+        b.build()
+    }
+}
+
+/// Matches the flags [`BudgetFlags::set`] accepts (callers dispatch on
+/// this before handing the argument over).
+const BUDGET_FLAGS: [&str; 3] = ["--timeout", "--fuel", "--max-memory"];
+
 const USAGE: &str =
     "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|lint|normalize|verify|keys|mvd> …";
 
@@ -139,17 +256,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let dtd = load_dtd(dtd_path)?;
             let shapes = DtdShapes::analyze(&dtd);
-            writeln!(out, "{dtd}").expect("string write");
-            writeln!(out, "root: {}", dtd.root_name()).expect("string write");
-            writeln!(out, "elements: {}", dtd.num_elements()).expect("string write");
-            writeln!(out, "size |D|: {}", dtd.size()).expect("string write");
-            writeln!(out, "recursive: {}", dtd.is_recursive()).expect("string write");
+            writeln!(out, "{dtd}")?;
+            writeln!(out, "root: {}", dtd.root_name())?;
+            writeln!(out, "elements: {}", dtd.num_elements())?;
+            writeln!(out, "size |D|: {}", dtd.size())?;
+            writeln!(out, "recursive: {}", dtd.is_recursive())?;
             let class = match shapes.class() {
                 DtdClass::Simple => "simple".to_string(),
                 DtdClass::Disjunctive { nd } => format!("disjunctive (N_D = {nd})"),
                 DtdClass::General => "general (not disjunctive)".to_string(),
             };
-            writeln!(out, "class: {class}").expect("string write");
+            writeln!(out, "class: {class}")?;
         }
         "paths" => {
             let [_, dtd_path] = args else {
@@ -159,7 +276,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let paths = dtd.paths()?;
             for p in paths.iter() {
                 let kind = if paths.is_element_path(p) { "E" } else { " " };
-                writeln!(out, "{kind} {}", paths.format(p)).expect("string write");
+                writeln!(out, "{kind} {}", paths.format(p))?;
             }
         }
         "tuples" => {
@@ -170,8 +287,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let tree = load_xml(xml_path)?;
             let paths = dtd.paths()?;
             let rel = xnf_core::tuples_relation(&tree, &dtd, &paths)?;
-            writeln!(out, "{rel}").expect("string write");
-            writeln!(out, "{} tuple(s)", rel.len()).expect("string write");
+            writeln!(out, "{rel}")?;
+            writeln!(out, "{} tuple(s)", rel.len())?;
         }
         "check" => {
             let [_, dtd_path, xml_path, fds_path] = args else {
@@ -181,14 +298,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let tree = load_xml(xml_path)?;
             let fds = load_fds(fds_path)?;
             match xnf_xml::conforms(&tree, &dtd) {
-                Ok(()) => writeln!(out, "conforms: yes").expect("string write"),
-                Err(e) => writeln!(out, "conforms: NO — {e}").expect("string write"),
+                Ok(()) => writeln!(out, "conforms: yes")?,
+                Err(e) => writeln!(out, "conforms: NO — {e}")?,
             }
             let paths = dtd.paths()?;
             for fd in fds.iter() {
                 let ok = fd.satisfied_by(&tree, &dtd, &paths)?;
-                writeln!(out, "{}  {fd}", if ok { "holds   " } else { "VIOLATED" })
-                    .expect("string write");
+                writeln!(out, "{}  {fd}", if ok { "holds   " } else { "VIOLATED" })?;
             }
         }
         "implies" => {
@@ -206,22 +322,36 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let fd: XmlFd = fd_text.parse()?;
                 let r = fd.resolve(&paths)?;
                 if search.chase().implies(&resolved, &r) {
-                    writeln!(out, "implied      {fd}").expect("string write");
+                    writeln!(out, "implied      {fd}")?;
                 } else if let Some(w) = search.find(&resolved, &r) {
-                    writeln!(out, "NOT implied  {fd}; witness:").expect("string write");
+                    writeln!(out, "NOT implied  {fd}; witness:")?;
                     out.push_str(&xnf_xml::to_string_pretty(&w.tree));
                 } else {
-                    writeln!(out, "NOT implied  {fd} (no small witness constructed)")
-                        .expect("string write");
+                    writeln!(out, "NOT implied  {fd} (no small witness constructed)")?;
                 }
             }
         }
         "is-xnf" => {
-            let no_lint = args.iter().any(|a| a == "--no-lint");
-            let files: Vec<&String> = args[1..].iter().filter(|a| *a != "--no-lint").collect();
+            let mut no_lint = false;
+            let mut budget_flags = BudgetFlags::default();
+            let mut files: Vec<&str> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--no-lint" => no_lint = true,
+                    flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}`")));
+                    }
+                    file => files.push(file),
+                }
+                i += 1;
+            }
             let [dtd_path, fds_path] = files[..] else {
                 return Err(CliError::Usage(
-                    "xnf-tool is-xnf <dtd> <fds> [--no-lint]".into(),
+                    "xnf-tool is-xnf <dtd> <fds> [--no-lint] [--timeout <s>] [--fuel <n>] \
+                     [--max-memory <b>]"
+                        .into(),
                 ));
             };
             let dtd_src = read(dtd_path)?;
@@ -231,24 +361,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             let dtd = xnf_dtd::parse_dtd(&dtd_src)?;
             let sigma = XmlFdSet::parse(&fds_src)?;
-            let violations = xnf_core::anomalous_fds(&dtd, &sigma)?;
+            let budget = budget_flags.build();
+            let violations = xnf_core::anomalous_fds_governed(&dtd, &sigma, &budget)?;
             if violations.is_empty() {
-                writeln!(out, "in XNF: yes").expect("string write");
+                writeln!(out, "in XNF: yes")?;
             } else {
-                writeln!(out, "in XNF: NO — {} anomalous FD(s):", violations.len())
-                    .expect("string write");
+                writeln!(out, "in XNF: NO — {} anomalous FD(s):", violations.len())?;
                 for v in violations {
-                    writeln!(out, "  {}", v.fd).expect("string write");
+                    writeln!(out, "  {}", v.fd)?;
                 }
             }
         }
         "normalize" => {
             if args.len() < 3 {
                 return Err(CliError::Usage(
-                    "xnf-tool normalize <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] [--threads <n>] [--no-lint]".into(),
+                    "xnf-tool normalize <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] \
+                     [--threads <n>] [--no-lint] [--timeout <s>] [--fuel <n>] [--max-memory <b>]"
+                        .into(),
                 ));
             }
             let mut options = NormalizeOptions::default();
+            let mut budget_flags = BudgetFlags::default();
             let mut doc_path: Option<&str> = None;
             let mut show_stats = false;
             let mut no_lint = false;
@@ -258,6 +391,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "--sigma-only" => options.use_implication = false,
                     "--stats" => show_stats = true,
                     "--no-lint" => no_lint = true,
+                    flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
                     "--threads" => {
                         i += 1;
                         options.threads =
@@ -286,13 +420,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             let dtd = xnf_dtd::parse_dtd(&dtd_src)?;
             let sigma = XmlFdSet::parse(&fds_src)?;
+            options.budget = budget_flags.build();
             let result = normalize(&dtd, &sigma, &options)?;
-            writeln!(out, "=== steps ({}) ===", result.steps.len()).expect("string write");
-            for s in &result.steps {
-                writeln!(out, "{s:?}").expect("string write");
+            if let Some(e) = &result.exhausted {
+                writeln!(out, "*** PARTIAL RESULT — budget exhausted: {e} ***")?;
+                writeln!(
+                    out,
+                    "*** every step below is fully applied, but the design is NOT \
+                     certified XNF; rerun with a larger budget ***"
+                )?;
             }
-            writeln!(out, "=== revised DTD ===\n{}", result.dtd).expect("string write");
-            writeln!(out, "=== revised FDs ===\n{}", result.sigma).expect("string write");
+            writeln!(out, "=== steps ({}) ===", result.steps.len())?;
+            for s in &result.steps {
+                writeln!(out, "{s:?}")?;
+            }
+            writeln!(out, "=== revised DTD ===\n{}", result.dtd)?;
+            writeln!(out, "=== revised FDs ===\n{}", result.sigma)?;
             if show_stats {
                 let s = &result.stats;
                 let c = &s.chase;
@@ -302,47 +445,51 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 } else {
                     100.0 * c.cache_hits as f64 / queries as f64
                 };
-                writeln!(out, "=== stats ===").expect("string write");
-                writeln!(out, "iterations:        {}", s.iterations).expect("string write");
-                writeln!(out, "chase runs:        {}", c.runs).expect("string write");
-                writeln!(out, "rule firings:      {}", c.rule_firings).expect("string write");
-                writeln!(out, "ternary flips:     {}", c.ternary_flips).expect("string write");
+                writeln!(out, "=== stats ===")?;
+                writeln!(out, "iterations:        {}", s.iterations)?;
+                writeln!(out, "chase runs:        {}", c.runs)?;
+                writeln!(out, "rule firings:      {}", c.rule_firings)?;
+                writeln!(out, "ternary flips:     {}", c.ternary_flips)?;
                 writeln!(
                     out,
                     "implication cache: {} hits / {} misses ({hit_rate:.1}% hit rate)",
                     c.cache_hits, c.cache_misses
-                )
-                .expect("string write");
+                )?;
                 writeln!(
                     out,
                     "wall time:         search {:?}, decide {:?}, guards {:?}, apply {:?}",
                     s.search_time, s.decide_time, s.guard_time, s.apply_time
-                )
-                .expect("string write");
+                )?;
             }
             if let Some(doc_path) = doc_path {
                 let tree = load_xml(doc_path)?;
                 let transformed = transform_document(&dtd, &result, &tree)?;
-                writeln!(out, "=== transformed document ===").expect("string write");
+                writeln!(out, "=== transformed document ===")?;
                 out.push_str(&xnf_xml::to_string_pretty(&transformed));
                 let report = verify_lossless(&dtd, &result, &tree)?;
                 writeln!(
                     out,
                     "lossless round-trip: {}",
                     if report.ok() { "verified" } else { "FAILED" }
-                )
-                .expect("string write");
+                )?;
+            }
+            // A partial trace is still shown in full, but the run must not
+            // look like a success: exit code 4, like every exhaustion.
+            if result.exhausted.is_some() {
+                return Err(CliError::Exhausted(out));
             }
         }
         "verify" => {
             let mut docs: usize = 100;
             let mut seed: u64 = 0xA1;
             let mut no_lint = false;
+            let mut budget_flags = BudgetFlags::default();
             let mut files: Vec<&str> = Vec::new();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--no-lint" => no_lint = true,
+                    flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
                     "--docs" => {
                         i += 1;
                         docs = args
@@ -366,7 +513,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             let [dtd_path, fds_path] = files[..] else {
                 return Err(CliError::Usage(
-                    "xnf-tool verify <dtd> <fds> [--docs <n>] [--seed <s>] [--no-lint]".into(),
+                    "xnf-tool verify <dtd> <fds> [--docs <n>] [--seed <s>] [--no-lint] \
+                     [--timeout <s>] [--fuel <n>] [--max-memory <b>]"
+                        .into(),
                 ));
             };
             let dtd_src = read(dtd_path)?;
@@ -379,6 +528,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let config = xnf_oracle::SpecOracleConfig {
                 docs,
                 seed,
+                budget: budget_flags.build(),
                 ..xnf_oracle::SpecOracleConfig::default()
             };
             let report = xnf_oracle::check_spec(&dtd, &sigma, &config)?;
@@ -386,8 +536,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 out,
                 "verify {dtd_path} + {fds_path} ({} step(s))",
                 report.steps
-            )
-            .expect("string write");
+            )?;
             out.push_str(&report.render());
             // A generation shortfall silently weakens the oracle, so it
             // fails the run just like a real finding does.
@@ -396,14 +545,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 out.push_str("verification FAILED\n");
                 return Err(CliError::Verify(out));
             }
-            writeln!(out, "verification PASSED").expect("string write");
+            writeln!(out, "verification PASSED")?;
         }
         "lint" => {
             let mut format_json = false;
+            let mut budget_flags = BudgetFlags::default();
             let mut files: Vec<&str> = Vec::new();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
                     "--format" => {
                         i += 1;
                         match args.get(i).map(String::as_str) {
@@ -428,13 +579,16 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 [dtd, fds] => (dtd, Some(fds)),
                 _ => {
                     return Err(CliError::Usage(
-                        "xnf-tool lint <dtd> [<fds>] [--format json]".into(),
+                        "xnf-tool lint <dtd> [<fds>] [--format json] [--timeout <s>] \
+                         [--fuel <n>] [--max-memory <b>]"
+                            .into(),
                     ));
                 }
             };
             let dtd_src = read(dtd_path)?;
             let fds_src = fds_path.map(read).transpose()?;
-            let report = xnf_lint::lint_spec(&dtd_src, fds_src.as_deref());
+            let budget = budget_flags.build();
+            let report = xnf_lint::lint_spec_governed(&dtd_src, fds_src.as_deref(), &budget)?;
             let rendered = if format_json {
                 let mut j = report.to_json();
                 j.push('\n');
@@ -468,10 +622,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .unwrap_or(2);
             let keys = xnf_core::keys::find_keys(&dtd, &sigma, &target, max_size)?;
             if keys.is_empty() {
-                writeln!(out, "no keys of size <= {max_size} for {target}").expect("string write");
+                writeln!(out, "no keys of size <= {max_size} for {target}")?;
             }
             for k in keys {
-                writeln!(out, "{k}").expect("string write");
+                writeln!(out, "{k}")?;
             }
         }
         "mvd" => {
@@ -486,12 +640,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             for mvd_text in &args[3..] {
                 let mvd: xnf_core::mvd::XmlMvd = mvd_text.parse()?;
                 let ok = mvd.satisfied_by(&tree, &dtd, &paths)?;
-                writeln!(out, "{}  {mvd}", if ok { "holds   " } else { "VIOLATED" })
-                    .expect("string write");
+                writeln!(out, "{}  {mvd}", if ok { "holds   " } else { "VIOLATED" })?;
             }
         }
         "" | "-h" | "--help" | "help" => {
-            writeln!(out, "usage: {USAGE}").expect("string write");
+            writeln!(out, "usage: {USAGE}")?;
         }
         other => {
             return Err(CliError::Usage(format!(
@@ -859,5 +1012,87 @@ courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.
         let linted = run_ok(&["is-xnf", &dtd, &fds]);
         let skipped = run_ok(&["is-xnf", &dtd, &fds, "--no-lint"]);
         assert_eq!(linted, skipped, "preflight must not change clean output");
+    }
+
+    #[test]
+    fn generous_budget_flags_leave_output_identical() {
+        let dtd = write_tmp("g1.dtd", DBLP_DTD);
+        let fds = write_tmp("g1.fds", DBLP_FDS);
+        for cmd in ["normalize", "is-xnf", "lint", "verify"] {
+            let mut plain = vec![cmd, dtd.as_str(), fds.as_str()];
+            if cmd == "verify" {
+                plain.extend(["--docs", "5", "--seed", "3"]);
+            }
+            let mut governed = plain.clone();
+            governed.extend([
+                "--fuel",
+                "100000000",
+                "--timeout",
+                "600",
+                "--max-memory",
+                "1000000000",
+            ]);
+            assert_eq!(
+                run_ok(&plain),
+                run_ok(&governed),
+                "{cmd}: generous limits must not change the output"
+            );
+        }
+    }
+
+    #[test]
+    fn starved_normalize_returns_partial_marked_non_final() {
+        let dtd = write_tmp("g2.dtd", DBLP_DTD);
+        let fds = write_tmp("g2.fds", DBLP_FDS);
+        let args: Vec<String> = ["normalize", &dtd, &fds, "--fuel", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match run(&args) {
+            Err(CliError::Exhausted(output)) => {
+                assert!(output.contains("PARTIAL RESULT"), "{output}");
+                assert!(output.contains("NOT"), "{output}");
+                assert!(output.contains("=== steps ("), "{output}");
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starved_is_xnf_lint_and_verify_exhaust_cleanly() {
+        let dtd = write_tmp("g3.dtd", DBLP_DTD);
+        let fds = write_tmp("g3.fds", DBLP_FDS);
+        for cmd in ["is-xnf", "lint", "verify"] {
+            let args: Vec<String> = [cmd, &dtd, &fds, "--fuel", "2", "--no-lint"]
+                .iter()
+                .filter(|a| !(cmd == "lint" && **a == "--no-lint"))
+                .map(|s| s.to_string())
+                .collect();
+            match run(&args) {
+                Err(CliError::Exhausted(msg)) => {
+                    assert!(msg.contains("budget exhausted"), "{cmd}: {msg}")
+                }
+                other => panic!("{cmd}: expected exhaustion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_flags_reject_bad_values() {
+        let dtd = write_tmp("g4.dtd", DBLP_DTD);
+        let fds = write_tmp("g4.fds", DBLP_FDS);
+        for bad in [
+            vec!["is-xnf", &dtd, &fds, "--fuel"],
+            vec!["is-xnf", &dtd, &fds, "--fuel", "lots"],
+            vec!["is-xnf", &dtd, &fds, "--timeout", "-1"],
+            vec!["is-xnf", &dtd, &fds, "--timeout", "inf"],
+            vec!["is-xnf", &dtd, &fds, "--max-memory", "big"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(run(&args), Err(CliError::Usage(_))),
+                "{bad:?} must be a usage error"
+            );
+        }
     }
 }

@@ -15,6 +15,14 @@ fn main() {
             print!("{report}");
             std::process::exit(1);
         }
+        // Budget exhaustion is a distinct, scriptable outcome: the output
+        // so far (a partial normalize trace, or the structured exhaustion
+        // message) goes to stdout, and the exit code is 4 so wrappers can
+        // tell "ran out of budget" from "found a problem".
+        Err(xnf_cli::CliError::Exhausted(output)) => {
+            print!("{output}");
+            std::process::exit(4);
+        }
         Err(e) => {
             eprintln!("xnf-tool: {e}");
             std::process::exit(1);

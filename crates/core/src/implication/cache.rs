@@ -22,6 +22,7 @@ use super::Implication;
 use crate::fd::ResolvedFd;
 use std::collections::HashMap;
 use std::sync::Mutex;
+use xnf_govern::Exhausted;
 
 /// Interned-key memo tables; all lookups are exact (no fingerprint
 /// collisions possible).
@@ -145,6 +146,31 @@ impl Implication for ImplicationCache<'_> {
             .verdicts
             .insert(key, verdict);
         verdict
+    }
+
+    fn try_implies(&self, sigma: &[ResolvedFd], fd: &ResolvedFd) -> Result<bool, Exhausted> {
+        self.chase.budget().checkpoint("cache.lookup")?;
+        let key = {
+            let mut tables = self.tables.lock().expect("cache lock");
+            let sid = self.sigma_id(&mut tables, sigma);
+            let fid = tables.intern_fd(fd);
+            if let Some(&verdict) = tables.verdicts.get(&(sid, fid)) {
+                ChaseStats::bump(&self.chase.stats().cache_hits);
+                return Ok(verdict);
+            }
+            (sid, fid)
+        };
+        ChaseStats::bump(&self.chase.stats().cache_misses);
+        // Only completed verdicts are memoized: an exhausted chase run
+        // returns here via `?` without touching the tables, so a rerun
+        // with a larger budget starts from trustworthy entries only.
+        let verdict = self.chase.try_implies(sigma, fd)?;
+        self.tables
+            .lock()
+            .expect("cache lock")
+            .verdicts
+            .insert(key, verdict);
+        Ok(verdict)
     }
 }
 

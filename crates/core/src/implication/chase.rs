@@ -23,10 +23,12 @@
 
 use crate::fd::ResolvedFd;
 use crate::implication::Implication;
+use crate::UNLIMITED;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use xnf_dtd::classify::{classify_content, letter_bounds, Factor, SimpleContent};
 use xnf_dtd::{ContentModel, Dtd, PathId, PathSet, Step};
+use xnf_govern::{Budget, Exhausted};
 
 /// Instrumentation counters for the implication machinery.
 ///
@@ -201,6 +203,11 @@ pub struct Chase<'a> {
     groups: Vec<Group>,
     config: ChaseConfig,
     stats: ChaseStats,
+    /// Resource budget consulted by [`Chase::try_run`] (and every governed
+    /// caller above it). `run`/`implies` ignore it by contract. The handle
+    /// is an `Arc` clone, so cancellation reaches all workers sharing this
+    /// engine.
+    budget: Budget,
 }
 
 /// The outcome of one chase run.
@@ -311,7 +318,22 @@ impl<'a> Chase<'a> {
             groups,
             config,
             stats: ChaseStats::default(),
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Installs a resource [`Budget`] consulted by [`Chase::try_run`] and
+    /// [`Implication::try_implies`]; the infallible `run`/`implies` stay
+    /// ungoverned regardless.
+    pub fn with_budget(mut self, budget: Budget) -> Chase<'a> {
+        self.budget = budget;
+        self
+    }
+
+    /// The installed resource budget (unlimited unless
+    /// [`Chase::with_budget`] was used).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The instrumentation counters of this engine (shared with any
@@ -325,9 +347,33 @@ impl<'a> Chase<'a> {
     /// Multi-path right-hand sides are handled by conjunction: `S → S₂`
     /// is implied iff `S → q` is implied for every `q ∈ S₂`.
     pub fn run(&self, sigma: &[ResolvedFd], fd: &ResolvedFd) -> ChaseOutcome {
+        match self.run_with(UNLIMITED, sigma, fd) {
+            Ok(outcome) => outcome,
+            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+        }
+    }
+
+    /// Budget-governed [`Chase::run`]: charges the installed [`Budget`]
+    /// (see [`Chase::with_budget`]) per chase run, per saturation step and
+    /// per case-split, returning [`Exhausted`] instead of an unreliable
+    /// outcome when it runs out.
+    pub fn try_run(
+        &self,
+        sigma: &[ResolvedFd],
+        fd: &ResolvedFd,
+    ) -> Result<ChaseOutcome, Exhausted> {
+        self.run_with(&self.budget, sigma, fd)
+    }
+
+    fn run_with(
+        &self,
+        budget: &Budget,
+        sigma: &[ResolvedFd],
+        fd: &ResolvedFd,
+    ) -> Result<ChaseOutcome, Exhausted> {
         let mut last_state = None;
         for &q in &fd.rhs {
-            match self.run_single(sigma, &fd.lhs, q) {
+            match self.run_single(sigma, &fd.lhs, q, budget)? {
                 ChaseOutcome::Implied => continue,
                 not_implied => {
                     last_state = Some(not_implied);
@@ -335,14 +381,22 @@ impl<'a> Chase<'a> {
                 }
             }
         }
-        last_state.unwrap_or(ChaseOutcome::Implied)
+        Ok(last_state.unwrap_or(ChaseOutcome::Implied))
     }
 
-    fn run_single(&self, sigma: &[ResolvedFd], lhs: &[PathId], q: PathId) -> ChaseOutcome {
+    fn run_single(
+        &self,
+        sigma: &[ResolvedFd],
+        lhs: &[PathId],
+        q: PathId,
+        budget: &Budget,
+    ) -> Result<ChaseOutcome, Exhausted> {
         ChaseStats::bump(&self.stats.runs);
-        let mut session = self.session();
+        budget.checkpoint("chase.run")?;
+        let mut session = self.session_with(budget);
         if !session.assume_goal(sigma, lhs, q) {
-            return ChaseOutcome::Implied;
+            session.check_exhausted()?;
+            return Ok(ChaseOutcome::Implied);
         }
         // Bounded case-splitting on *blocked premises*: an FD whose LHS
         // is entirely `eq = True` but whose null-status is open can fire
@@ -351,11 +405,11 @@ impl<'a> Chase<'a> {
         // conclusion); if the budget runs out, the current consistent
         // state is returned (leaning "not implied", which the verified
         // counterexample pipeline treats as merely "unproven").
-        let mut budget = self.config.split_budget;
-        match Self::split_search(session, sigma, &mut budget) {
+        let mut splits = self.config.split_budget;
+        Ok(match Self::split_search(session, sigma, &mut splits)? {
             Some(state) => ChaseOutcome::NotImplied(state),
             None => ChaseOutcome::Implied,
-        }
+        })
     }
 
     /// DFS over presence case-splits; returns a consistent completed
@@ -363,24 +417,30 @@ impl<'a> Chase<'a> {
     fn split_search(
         session: Session<'_, 'a>,
         sigma: &[ResolvedFd],
-        budget: &mut usize,
-    ) -> Option<Vec<PairState>> {
+        splits: &mut usize,
+    ) -> Result<Option<Vec<PairState>>, Exhausted> {
+        session.check_exhausted()?;
         let Some(pivot) = session.find_blocked_premise(sigma) else {
-            return Some(session.into_state());
+            return Ok(Some(session.into_state()));
         };
-        if *budget == 0 {
-            return Some(session.into_state());
+        if *splits == 0 {
+            return Ok(Some(session.into_state()));
         }
-        *budget -= 1;
+        *splits -= 1;
+        session.budget.checkpoint("chase.split")?;
         for null in [false, true] {
             let mut branch = session.clone();
             if branch.assume_null(sigma, 0, pivot, null) {
-                if let Some(state) = Self::split_search(branch, sigma, budget) {
-                    return Some(state);
+                // Exhaustion mid-saturation leaves the branch looking
+                // consistent; the recursive call's entry check surfaces it.
+                if let Some(state) = Self::split_search(branch, sigma, splits)? {
+                    return Ok(Some(state));
                 }
+            } else {
+                branch.check_exhausted()?;
             }
         }
-        None
+        Ok(None)
     }
 
     /// Opens an incremental chase session with an empty state. Used by
@@ -389,11 +449,17 @@ impl<'a> Chase<'a> {
     /// decision (e.g. an FD firing because an optional subtree was
     /// materialized) is propagated before values are assigned.
     pub fn session(&self) -> Session<'_, 'a> {
+        self.session_with(UNLIMITED)
+    }
+
+    fn session_with<'c>(&'c self, budget: &'c Budget) -> Session<'c, 'a> {
         Session {
             chase: self,
             state: vec![PairState::UNKNOWN; self.paths.len()],
             queue: VecDeque::new(),
             contradiction: false,
+            budget,
+            exhausted: None,
         }
     }
 
@@ -440,12 +506,25 @@ pub struct Session<'c, 'a> {
     state: Vec<PairState>,
     queue: VecDeque<(PathId, FactKind)>,
     contradiction: bool,
+    budget: &'c Budget,
+    exhausted: Option<Exhausted>,
 }
 
 impl<'c, 'a> Session<'c, 'a> {
     /// Whether a contradiction has been derived.
     pub fn contradiction(&self) -> bool {
         self.contradiction
+    }
+
+    /// Propagates budget exhaustion recorded during saturation. Saturation
+    /// stops on the spot when the budget runs out, so `contradiction` is
+    /// never set on an exhausted session — an apparently consistent state
+    /// must not be trusted until this has been checked.
+    pub fn check_exhausted(&self) -> Result<(), Exhausted> {
+        match &self.exhausted {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
     }
 
     /// The state of path `p`.
@@ -576,9 +655,16 @@ impl Session<'_, '_> {
         // rather than indexing, re-scan Σ whenever progress was made —
         // each FD fires at most once per RHS path, so the total work stays
         // polynomial.
+        if self.exhausted.is_some() {
+            return;
+        }
         loop {
             while let Some((p, kind)) = self.queue.pop_front() {
                 if self.contradiction {
+                    return;
+                }
+                if let Err(e) = self.budget.checkpoint("chase.saturate.queue") {
+                    self.exhausted = Some(e);
                     return;
                 }
                 self.apply_structural(p, kind);
@@ -588,6 +674,10 @@ impl Session<'_, '_> {
             }
             let mut progressed = false;
             for fd in sigma {
+                if let Err(e) = self.budget.checkpoint("chase.saturate.fd") {
+                    self.exhausted = Some(e);
+                    return;
+                }
                 progressed |= self.apply_fd(fd);
                 if self.contradiction {
                     return;
@@ -974,6 +1064,10 @@ impl Implication for Chase<'_> {
     fn implies(&self, sigma: &[ResolvedFd], fd: &ResolvedFd) -> bool {
         matches!(self.run(sigma, fd), ChaseOutcome::Implied)
     }
+
+    fn try_implies(&self, sigma: &[ResolvedFd], fd: &ResolvedFd) -> Result<bool, Exhausted> {
+        Ok(matches!(self.try_run(sigma, fd)?, ChaseOutcome::Implied))
+    }
 }
 
 #[cfg(test)]
@@ -1292,5 +1386,54 @@ mod tests {
         // would need node equality, which two a-children refute; the
         // vacuous direction a → r still holds upward.
         assert!(implies(&d, "", "r.a -> r"));
+    }
+
+    #[test]
+    fn governed_chase_agrees_with_ungoverned() {
+        // A generous finite budget must not perturb a single verdict.
+        for (dtd, fds) in [(university_dtd(), UNIVERSITY_FDS), (dblp_dtd(), DBLP_FDS)] {
+            let paths = dtd.paths().unwrap();
+            let sigma = XmlFdSet::parse(fds).unwrap().resolve(&paths).unwrap();
+            let plain = Chase::new(&dtd, &paths);
+            let governed =
+                Chase::new(&dtd, &paths).with_budget(Budget::builder().fuel(10_000_000).build());
+            for fd in &sigma {
+                assert_eq!(
+                    governed.try_implies(&sigma, fd).unwrap(),
+                    plain.implies(&sigma, fd)
+                );
+                assert_eq!(governed.try_is_trivial(fd).unwrap(), plain.is_trivial(fd));
+            }
+        }
+    }
+
+    #[test]
+    fn governed_chase_exhausts_on_tiny_fuel() {
+        let dtd = university_dtd();
+        let paths = dtd.paths().unwrap();
+        let sigma = XmlFdSet::parse(UNIVERSITY_FDS)
+            .unwrap()
+            .resolve(&paths)
+            .unwrap();
+        let chase = Chase::new(&dtd, &paths).with_budget(Budget::builder().fuel(3).build());
+        let err = chase.try_implies(&sigma, &sigma[0]).unwrap_err();
+        assert_eq!(err.resource, xnf_govern::Resource::Fuel);
+        // The infallible entry point stays ungoverned by contract.
+        assert!(chase.implies(&sigma, &sigma[0]));
+    }
+
+    #[test]
+    fn governed_chase_observes_cancellation() {
+        let dtd = university_dtd();
+        let paths = dtd.paths().unwrap();
+        let sigma = XmlFdSet::parse(UNIVERSITY_FDS)
+            .unwrap()
+            .resolve(&paths)
+            .unwrap();
+        let budget = Budget::builder().fuel(u64::MAX).build();
+        budget.cancel();
+        let chase = Chase::new(&dtd, &paths).with_budget(budget);
+        let err = chase.try_implies(&sigma, &sigma[0]).unwrap_err();
+        assert_eq!(err.resource, xnf_govern::Resource::Cancelled);
     }
 }

@@ -32,14 +32,28 @@ pub use chase::{
 pub use search::{Counterexample, CounterexampleSearch};
 
 use crate::fd::ResolvedFd;
+use xnf_govern::Exhausted;
 
 /// An FD implication oracle over a fixed `(D, paths(D))`.
 pub trait Implication {
     /// Whether `(D, Σ) ⊢ φ`.
     fn implies(&self, sigma: &[ResolvedFd], fd: &ResolvedFd) -> bool;
 
+    /// Budget-aware variant of [`implies`](Implication::implies): returns
+    /// [`Exhausted`] instead of an unreliable verdict when the oracle's
+    /// resource budget runs out. The default delegates to the infallible
+    /// `implies`, so oracles without internal governance never exhaust.
+    fn try_implies(&self, sigma: &[ResolvedFd], fd: &ResolvedFd) -> Result<bool, Exhausted> {
+        Ok(self.implies(sigma, fd))
+    }
+
     /// Whether `φ` is trivial, i.e. `(D, ∅) ⊢ φ`.
     fn is_trivial(&self, fd: &ResolvedFd) -> bool {
         self.implies(&[], fd)
+    }
+
+    /// Budget-aware variant of [`is_trivial`](Implication::is_trivial).
+    fn try_is_trivial(&self, fd: &ResolvedFd) -> Result<bool, Exhausted> {
+        self.try_implies(&[], fd)
     }
 }

@@ -59,7 +59,9 @@ pub use crate::lossless::{
 pub use crate::normalize::{normalize, NormalizeOptions, NormalizeResult, NormalizeStats, Step};
 pub use crate::tuple::TreeTuple;
 pub use crate::tuples::{trees_d, tuples_d, tuples_d_recursive, tuples_relation};
-pub use crate::xnf::{anomalous_fds, anomalous_fds_threaded, is_xnf};
+pub use crate::xnf::{
+    anomalous_fds, anomalous_fds_governed, anomalous_fds_threaded, is_xnf, is_xnf_governed,
+};
 
 use std::fmt;
 use xnf_dtd::DtdError;
@@ -97,6 +99,10 @@ pub enum CoreError {
     /// preprocessing rewrite is impossible (e.g. folding a repeated
     /// element).
     BadFdPath(String),
+    /// A resource budget ran out mid-computation (see [`xnf_govern`]). The
+    /// answer is unknown — callers must not treat this as a negative
+    /// verdict.
+    Exhausted(xnf_govern::Exhausted),
 }
 
 impl fmt::Display for CoreError {
@@ -131,6 +137,7 @@ impl fmt::Display for CoreError {
                  cannot represent (Section 6, footnote 1)"
             ),
             CoreError::BadFdPath(p) => write!(f, "FD path `{p}` cannot be used here"),
+            CoreError::Exhausted(e) => write!(f, "{e}"),
         }
     }
 }
@@ -149,6 +156,16 @@ impl From<DtdError> for CoreError {
         CoreError::Dtd(e)
     }
 }
+
+impl From<xnf_govern::Exhausted> for CoreError {
+    fn from(e: xnf_govern::Exhausted) -> Self {
+        CoreError::Exhausted(e)
+    }
+}
+
+/// The shared ungoverned budget, for infallible wrappers around governed
+/// internals (its checkpoints can never fail).
+pub(crate) const UNLIMITED: &xnf_govern::Budget = &xnf_govern::Budget::unlimited();
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -35,6 +35,7 @@ use crate::xnf::anomalous_candidate;
 use crate::{CoreError, Result};
 use std::time::{Duration, Instant};
 use xnf_dtd::{ContentModel, Dtd, Path, PathId, PathSet, Regex, Step as PathStep};
+use xnf_govern::{Budget, Exhausted};
 
 /// Options controlling the decomposition algorithm.
 #[derive(Debug, Clone)]
@@ -52,6 +53,13 @@ pub struct NormalizeOptions {
     /// The output is byte-identical for every setting — candidates are
     /// independent pure implication queries merged deterministically.
     pub threads: usize,
+    /// Resource budget (deadline / fuel / memory / cancellation) charged
+    /// throughout the run. On exhaustion the algorithm degrades
+    /// gracefully: [`normalize`] returns `Ok` with the partial step trace
+    /// completed so far and [`NormalizeResult::exhausted`] set — never a
+    /// half-applied step, never a design claimed to be in XNF. The
+    /// default, [`Budget::unlimited`], is a zero-cost passthrough.
+    pub budget: Budget,
 }
 
 impl Default for NormalizeOptions {
@@ -60,6 +68,7 @@ impl Default for NormalizeOptions {
             use_implication: true,
             max_steps: 1000,
             threads: 1,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -148,6 +157,12 @@ pub struct NormalizeResult {
     /// Instrumentation: implication-engine counters and per-phase wall
     /// time.
     pub stats: NormalizeStats,
+    /// `Some` iff the run's resource budget ran out before the algorithm
+    /// finished: the result is **non-final** — `dtd`/`sigma` reflect only
+    /// the steps in `steps` (each individually applied in full and
+    /// replayable on documents), and the design is *not* certified to be
+    /// in XNF. `None` means the run completed normally.
+    pub exhausted: Option<Exhausted>,
 }
 
 /// Runs the XNF decomposition algorithm of Figure 4.
@@ -197,7 +212,16 @@ pub fn normalize(
     }
     let mut ap_trace = Vec::new();
     let mut stats = NormalizeStats::default();
+    let mut exhausted_out: Option<Exhausted> = None;
     for _ in 0..options.max_steps {
+        // Graceful degradation: exhaustion anywhere in the decide phase
+        // abandons only the *current* (not yet applied) iteration. The
+        // `(D, Σ)` pair and the step trace stay at the last fully applied
+        // step, so the partial result below is consistent and replayable.
+        if let Err(e) = options.budget.checkpoint("normalize.iteration") {
+            exhausted_out = Some(e);
+            break;
+        }
         let paths = dtd.paths()?;
         stats.iterations += 1;
         // Decide the next action *and* the guards to materialize with the
@@ -206,127 +230,158 @@ pub fn normalize(
         // re-asks exactly the `S → parent(q)` queries of the candidate
         // search, so with the cache those are pure hits instead of fresh
         // chase runs against a rebuilt engine.
-        let (action, guards) = {
-            let chase = Chase::new(&dtd, &paths);
+        let decided = {
+            let chase = Chase::new(&dtd, &paths).with_budget(options.budget.clone());
             let resolved = sigma.resolve(&paths)?;
             let oracle = ImplicationCache::new(&chase, &resolved);
-            let search_start = Instant::now();
-            let violations = find_anomalous_fd(&oracle, &paths, &resolved, options.threads);
-            stats.search_time += search_start.elapsed();
-            let ap: std::collections::BTreeSet<_> = violations.iter().map(|(_, p)| *p).collect();
-            ap_trace.push(ap.len());
-            let decide_start = Instant::now();
-            let action = if violations.is_empty() {
-                Action::Done
-            } else {
-                // Step 2: moving attributes, if some q ∈ S determines S.
-                let mut action = None;
-                if options.use_implication {
-                    'outer: for (fd, q_attr) in &violations {
-                        for &q in &fd.lhs {
-                            if !paths.is_element_path(q) {
+            let decided = (|| -> std::result::Result<(Action, Vec<XmlFd>), Exhausted> {
+                let search_start = Instant::now();
+                let violations =
+                    find_anomalous_fd(&oracle, &paths, &resolved, options.threads, &options.budget);
+                stats.search_time += search_start.elapsed();
+                let violations = violations?;
+                let ap: std::collections::BTreeSet<_> =
+                    violations.iter().map(|(_, p)| *p).collect();
+                ap_trace.push(ap.len());
+                let decide_start = Instant::now();
+                let action = if violations.is_empty() {
+                    Action::Done
+                } else {
+                    // Step 2: moving attributes, if some q ∈ S determines S.
+                    let mut action = None;
+                    if options.use_implication {
+                        'outer: for (fd, q_attr) in &violations {
+                            for &q in &fd.lhs {
+                                if !paths.is_element_path(q) {
+                                    continue;
+                                }
+                                let q_to_s =
+                                    crate::fd::ResolvedFd::from_ids([q], fd.lhs.iter().copied());
+                                // Also require q → p.@l itself: under the null
+                                // semantics of Section 4, q → S and S → p.@l
+                                // do *not* compose when S can be ⊥ while p.@l
+                                // is not — the moved attribute's value would
+                                // then be ill-defined per q-node. (On the
+                                // paper's examples, where q lies on p's own
+                                // path, the conditions coincide.)
+                                let q_to_attr = crate::fd::ResolvedFd::from_ids([q], [*q_attr]);
+                                // The move must leave *every* FD of Σ with
+                                // this RHS non-anomalous: after
+                                // `D[p.@l := q.@m]` each reads `S' → q.@m`,
+                                // whose XNF guard is `S' → q`. This covers
+                                // both the currently anomalous ones (the
+                                // anomaly must not simply follow the
+                                // attribute, or |AP| would not shrink —
+                                // Proposition 6) and the currently guarded
+                                // ones (whose old guard `S' → p` becomes
+                                // irrelevant at the new home).
+                                let mut resolves_all = true;
+                                for other in
+                                    resolved.iter().filter(|other| other.rhs.contains(q_attr))
+                                {
+                                    let to_q = crate::fd::ResolvedFd::from_ids(
+                                        other.lhs.iter().copied(),
+                                        [q],
+                                    );
+                                    if !oracle.try_implies(&resolved, &to_q)? {
+                                        resolves_all = false;
+                                        break;
+                                    }
+                                }
+                                if resolves_all
+                                    && oracle.try_implies(&resolved, &q_to_s)?
+                                    && oracle.try_implies(&resolved, &q_to_attr)?
+                                {
+                                    action = Some(Action::Move(*q_attr, q));
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    match action {
+                        Some(action) => action,
+                        None => {
+                            // Step 3: a (D,Σ)-minimal anomalous FD.
+                            let (fd, q_attr) = violations[0].clone();
+                            let minimal = if options.use_implication {
+                                minimize(
+                                    &oracle,
+                                    &paths,
+                                    &resolved,
+                                    fd.lhs.clone(),
+                                    q_attr,
+                                    &options.budget,
+                                )?
+                            } else {
+                                (fd.lhs.clone(), q_attr)
+                            };
+                            // The construction needs attribute paths; fold any
+                            // remaining `.S` path first.
+                            let s_path = minimal
+                                .0
+                                .iter()
+                                .copied()
+                                .chain([minimal.1])
+                                .find(|&p| matches!(paths.step(p), PathStep::Text));
+                            match s_path {
+                                Some(p) => Action::Fold(paths.path(p)),
+                                None => Action::Create(minimal.0, minimal.1),
+                            }
+                        }
+                    }
+                };
+                stats.decide_time += decide_start.elapsed();
+                // Materialize the *guards* of Σ before transforming: for
+                // every FD `X → q` with a value-path RHS whose node guard
+                // `X → parent(q)` is currently implied, add the guard
+                // explicitly. Guards are in `(D,Σ)⁺`, so this never changes
+                // the constraint semantics — but it keeps shadow implications
+                // alive across the Σ-based step rewriting (the closure-based
+                // paper version keeps them implicitly), preserving
+                // Proposition 6's strict decrease of the anomalous-path set.
+                let guard_start = Instant::now();
+                let guards = if matches!(action, Action::Done) {
+                    Vec::new()
+                } else {
+                    let mut guards: Vec<XmlFd> = Vec::new();
+                    for fd in &resolved {
+                        options.budget.checkpoint("normalize.guard")?;
+                        for &q in &fd.rhs {
+                            if paths.is_element_path(q) {
                                 continue;
                             }
-                            let q_to_s =
-                                crate::fd::ResolvedFd::from_ids([q], fd.lhs.iter().copied());
-                            // Also require q → p.@l itself: under the null
-                            // semantics of Section 4, q → S and S → p.@l
-                            // do *not* compose when S can be ⊥ while p.@l
-                            // is not — the moved attribute's value would
-                            // then be ill-defined per q-node. (On the
-                            // paper's examples, where q lies on p's own
-                            // path, the conditions coincide.)
-                            let q_to_attr = crate::fd::ResolvedFd::from_ids([q], [*q_attr]);
-                            // The move must leave *every* FD of Σ with
-                            // this RHS non-anomalous: after
-                            // `D[p.@l := q.@m]` each reads `S' → q.@m`,
-                            // whose XNF guard is `S' → q`. This covers
-                            // both the currently anomalous ones (the
-                            // anomaly must not simply follow the
-                            // attribute, or |AP| would not shrink —
-                            // Proposition 6) and the currently guarded
-                            // ones (whose old guard `S' → p` becomes
-                            // irrelevant at the new home).
-                            let resolves_all = resolved
-                                .iter()
-                                .filter(|other| other.rhs.contains(q_attr))
-                                .all(|other| {
-                                    oracle.implies(
-                                        &resolved,
-                                        &crate::fd::ResolvedFd::from_ids(
-                                            other.lhs.iter().copied(),
-                                            [q],
-                                        ),
-                                    )
-                                });
-                            if resolves_all
-                                && oracle.implies(&resolved, &q_to_s)
-                                && oracle.implies(&resolved, &q_to_attr)
-                            {
-                                action = Some(Action::Move(*q_attr, q));
-                                break 'outer;
+                            let parent = paths.parent(q).expect("value paths have parents");
+                            let guard =
+                                crate::fd::ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
+                            if oracle.try_is_trivial(&guard)? {
+                                continue;
+                            }
+                            if oracle.try_implies(&resolved, &guard)? {
+                                guards.push(guard.to_fd(&paths));
                             }
                         }
                     }
-                }
-                action.unwrap_or_else(|| {
-                    // Step 3: a (D,Σ)-minimal anomalous FD.
-                    let (fd, q_attr) = violations[0].clone();
-                    let minimal = if options.use_implication {
-                        minimize(&oracle, &paths, &resolved, fd.lhs.clone(), q_attr)
-                    } else {
-                        (fd.lhs.clone(), q_attr)
-                    };
-                    // The construction needs attribute paths; fold any
-                    // remaining `.S` path first.
-                    let s_path = minimal
-                        .0
-                        .iter()
-                        .copied()
-                        .chain([minimal.1])
-                        .find(|&p| matches!(paths.step(p), PathStep::Text));
-                    match s_path {
-                        Some(p) => Action::Fold(paths.path(p)),
-                        None => Action::Create(minimal.0, minimal.1),
-                    }
-                })
-            };
-            stats.decide_time += decide_start.elapsed();
-            // Materialize the *guards* of Σ before transforming: for
-            // every FD `X → q` with a value-path RHS whose node guard
-            // `X → parent(q)` is currently implied, add the guard
-            // explicitly. Guards are in `(D,Σ)⁺`, so this never changes
-            // the constraint semantics — but it keeps shadow implications
-            // alive across the Σ-based step rewriting (the closure-based
-            // paper version keeps them implicitly), preserving
-            // Proposition 6's strict decrease of the anomalous-path set.
-            let guard_start = Instant::now();
-            let guards = if matches!(action, Action::Done) {
-                Vec::new()
-            } else {
-                let mut guards: Vec<XmlFd> = Vec::new();
-                for fd in &resolved {
-                    for &q in &fd.rhs {
-                        if paths.is_element_path(q) {
-                            continue;
-                        }
-                        let parent = paths.parent(q).expect("value paths have parents");
-                        let guard =
-                            crate::fd::ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
-                        if oracle.is_trivial(&guard) {
-                            continue;
-                        }
-                        if oracle.implies(&resolved, &guard) {
-                            guards.push(guard.to_fd(&paths));
-                        }
-                    }
-                }
-                guards
-            };
-            stats.guard_time += guard_start.elapsed();
+                    guards
+                };
+                stats.guard_time += guard_start.elapsed();
+                Ok((action, guards))
+            })();
             stats.chase += chase.stats().snapshot();
-            (action, guards)
+            decided
         };
+        let (action, guards) = match decided {
+            Ok(decided) => decided,
+            Err(e) => {
+                exhausted_out = Some(e);
+                break;
+            }
+        };
+        // Last checkpoint before the iteration mutates anything: past this
+        // point the chosen action and its guards are applied atomically.
+        if let Err(e) = options.budget.checkpoint("normalize.apply") {
+            exhausted_out = Some(e);
+            break;
+        }
         for g in guards {
             sigma.push(g);
         }
@@ -340,6 +395,7 @@ pub fn normalize(
                     ap_trace,
                     stages,
                     stats,
+                    exhausted: None,
                 });
             }
             Action::Move(q_attr, q) => {
@@ -361,6 +417,23 @@ pub fn normalize(
         stages.push((dtd.clone(), sigma.clone()));
         stats.apply_time += apply_start.elapsed();
     }
+    if let Some(e) = exhausted_out {
+        // Graceful degradation: every step in `steps` was applied in full
+        // and `dtd`/`sigma`/`stages` are consistent with it — only the
+        // XNF certificate is missing. `exhausted` marks the result
+        // non-final; rerunning with a larger budget converges to the
+        // ungoverned output (the algorithm is deterministic and each
+        // prefix of steps is a valid starting point).
+        return Ok(NormalizeResult {
+            dtd,
+            sigma,
+            steps,
+            ap_trace,
+            stages,
+            stats,
+            exhausted: Some(e),
+        });
+    }
     Err(CoreError::TooManySteps)
 }
 
@@ -380,7 +453,8 @@ pub(crate) fn find_anomalous_fd<O: Implication + Sync>(
     paths: &PathSet,
     sigma: &[ResolvedFd],
     threads: usize,
-) -> Vec<(ResolvedFd, PathId)> {
+    budget: &Budget,
+) -> std::result::Result<Vec<(ResolvedFd, PathId)>, Exhausted> {
     let items: Vec<(&ResolvedFd, PathId)> = sigma
         .iter()
         .flat_map(|fd| fd.rhs.iter().map(move |&q| (fd, q)))
@@ -391,33 +465,45 @@ pub(crate) fn find_anomalous_fd<O: Implication + Sync>(
     }
     .min(items.len().max(1));
     let mut out: Vec<(ResolvedFd, PathId)> = if threads <= 1 {
-        items
-            .iter()
-            .filter_map(|&(fd, q)| anomalous_candidate(oracle, paths, sigma, fd, q))
-            .collect()
+        let mut hits = Vec::new();
+        for &(fd, q) in &items {
+            if let Some(hit) = anomalous_candidate(oracle, paths, sigma, fd, q, budget)? {
+                hits.push(hit);
+            }
+        }
+        hits
     } else {
         let chunk_len = items.len().div_ceil(threads);
+        // On exhaustion the first (in enumeration order) worker's error is
+        // returned; the cancellation flag in a shared budget makes the
+        // sibling workers wind down at their next checkpoint.
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk_len)
                 .map(|chunk| {
                     scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .filter_map(|&(fd, q)| anomalous_candidate(oracle, paths, sigma, fd, q))
-                            .collect::<Vec<_>>()
+                        let mut hits = Vec::new();
+                        for &(fd, q) in chunk {
+                            if let Some(hit) =
+                                anomalous_candidate(oracle, paths, sigma, fd, q, budget)?
+                            {
+                                hits.push(hit);
+                            }
+                        }
+                        Ok(hits)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("anomalous-FD search worker panicked"))
-                .collect()
-        })
+            let mut all = Vec::new();
+            for h in handles {
+                all.extend(h.join().expect("anomalous-FD search worker panicked")?);
+            }
+            Ok::<_, Exhausted>(all)
+        })?
     };
     out.sort_by(|a, b| (a.1, &a.0.lhs).cmp(&(b.1, &b.0.lhs)));
     out.dedup();
-    out
+    Ok(out)
 }
 
 /// Finds a `(D,Σ)`-minimal anomalous FD, starting from `lhs → target`
@@ -431,11 +517,13 @@ fn minimize(
     sigma: &[crate::fd::ResolvedFd],
     mut lhs: Vec<xnf_dtd::PathId>,
     mut target: xnf_dtd::PathId,
-) -> (Vec<xnf_dtd::PathId>, xnf_dtd::PathId) {
+    budget: &Budget,
+) -> std::result::Result<(Vec<xnf_dtd::PathId>, xnf_dtd::PathId), Exhausted> {
     use xnf_dtd::PathId;
     // Each round strictly shrinks or rewrites the candidate; the cap
     // guards against pathological ping-pong between same-size FDs.
     for _ in 0..64 {
+        budget.checkpoint("normalize.minimize")?;
         let elem_paths: Vec<PathId> = lhs
             .iter()
             .copied()
@@ -492,12 +580,12 @@ fn minimize(
                         continue;
                     }
                     let fd = crate::fd::ResolvedFd::from_ids(cand.clone(), [a]);
-                    if oracle.is_trivial(&fd) || !oracle.implies(sigma, &fd) {
+                    if oracle.try_is_trivial(&fd)? || !oracle.try_implies(sigma, &fd)? {
                         continue;
                     }
                     let parent = paths.parent(a).expect("attribute paths have parents");
                     let node_fd = crate::fd::ResolvedFd::from_ids(cand.clone(), [parent]);
-                    if oracle.implies(sigma, &node_fd) {
+                    if oracle.try_implies(sigma, &node_fd)? {
                         continue; // not anomalous
                     }
                     found = Some((cand, a));
@@ -510,10 +598,10 @@ fn minimize(
                 lhs = cand;
                 target = a;
             }
-            None => return (lhs, target),
+            None => return Ok((lhs, target)),
         }
     }
-    (lhs, target)
+    Ok((lhs, target))
 }
 
 /// Applies `D[p.@l := q.@m]` and rewrites Σ.
@@ -987,10 +1075,11 @@ mod tests {
             let paths = dtd.paths().unwrap();
             let resolved = sigma.resolve(&paths).unwrap();
             let chase = Chase::new(&dtd, &paths);
-            let seq = find_anomalous_fd(&chase, &paths, &resolved, 1);
+            let unlimited = Budget::unlimited();
+            let seq = find_anomalous_fd(&chase, &paths, &resolved, 1, &unlimited).unwrap();
             for threads in [0, 2, 3, 8] {
                 assert_eq!(
-                    find_anomalous_fd(&chase, &paths, &resolved, threads),
+                    find_anomalous_fd(&chase, &paths, &resolved, threads, &unlimited).unwrap(),
                     seq,
                     "threads={threads} must match sequential"
                 );
@@ -998,8 +1087,14 @@ mod tests {
             // The cache-wrapped oracle must not change the answer either,
             // even when shared by concurrent workers.
             let cache = ImplicationCache::new(&chase, &resolved);
-            assert_eq!(find_anomalous_fd(&cache, &paths, &resolved, 4), seq);
-            assert_eq!(find_anomalous_fd(&cache, &paths, &resolved, 1), seq);
+            assert_eq!(
+                find_anomalous_fd(&cache, &paths, &resolved, 4, &unlimited).unwrap(),
+                seq
+            );
+            assert_eq!(
+                find_anomalous_fd(&cache, &paths, &resolved, 1, &unlimited).unwrap(),
+                seq
+            );
             assert!(chase.stats().snapshot().cache_hits > 0);
         }
     }
@@ -1197,5 +1292,88 @@ mod tests {
         let r = normalize(&d, &sigma, &NormalizeOptions::default()).unwrap();
         assert!(is_xnf(&r.dtd, &r.sigma).unwrap());
         assert!(r.steps.iter().any(|s| matches!(s, Step::AddId { .. })));
+    }
+
+    #[test]
+    fn unlimited_budget_output_is_identical() {
+        // Budget::unlimited() (the default) must be a pure passthrough:
+        // the revised design, step trace and AP trace are identical.
+        for (dtd, fds) in [(university_dtd(), UNIVERSITY_FDS), (dblp_dtd(), DBLP_FDS)] {
+            let sigma = XmlFdSet::parse(fds).unwrap();
+            let plain = normalize(&dtd, &sigma, &NormalizeOptions::default()).unwrap();
+            let governed = normalize(
+                &dtd,
+                &sigma,
+                &NormalizeOptions {
+                    budget: Budget::unlimited(),
+                    ..NormalizeOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(format!("{}", plain.dtd), format!("{}", governed.dtd));
+            assert_eq!(plain.sigma.to_string(), governed.sigma.to_string());
+            assert_eq!(plain.steps, governed.steps);
+            assert_eq!(plain.ap_trace, governed.ap_trace);
+            assert!(governed.exhausted.is_none());
+        }
+    }
+
+    #[test]
+    fn exhausted_normalize_degrades_gracefully() {
+        // Starve the run at every fuel level: the result is either the
+        // full ungoverned answer or a partial-but-consistent prefix marked
+        // non-final — never an error, never a half-applied step.
+        let dtd = university_dtd();
+        let sigma = XmlFdSet::parse(UNIVERSITY_FDS).unwrap();
+        let full = normalize(&dtd, &sigma, &NormalizeOptions::default()).unwrap();
+        let mut saw_partial = false;
+        for fuel in [1, 10, 100, 1_000, 10_000] {
+            let opts = NormalizeOptions {
+                budget: Budget::builder().fuel(fuel).build(),
+                ..NormalizeOptions::default()
+            };
+            let r = normalize(&dtd, &sigma, &opts).unwrap();
+            match &r.exhausted {
+                Some(_) => {
+                    saw_partial = true;
+                    assert!(r.steps.len() <= full.steps.len());
+                    assert_eq!(r.steps[..], full.steps[..r.steps.len()]);
+                    // Stages stay parallel to steps, so the partial trace
+                    // is replayable on documents.
+                    assert_eq!(r.stages.len(), r.steps.len());
+                }
+                None => {
+                    assert_eq!(r.steps, full.steps);
+                    assert_eq!(format!("{}", r.dtd), format!("{}", full.dtd));
+                }
+            }
+        }
+        assert!(saw_partial, "tiny budgets must exhaust");
+    }
+
+    #[test]
+    fn rerun_with_larger_budget_converges() {
+        // Resuming after Exhausted = rerunning with a larger budget; the
+        // algorithm is deterministic, so once the budget suffices the
+        // output is byte-identical to the ungoverned run.
+        let dtd = dblp_dtd();
+        let sigma = XmlFdSet::parse(DBLP_FDS).unwrap();
+        let full = normalize(&dtd, &sigma, &NormalizeOptions::default()).unwrap();
+        let mut fuel = 1u64;
+        loop {
+            let opts = NormalizeOptions {
+                budget: Budget::builder().fuel(fuel).build(),
+                ..NormalizeOptions::default()
+            };
+            let r = normalize(&dtd, &sigma, &opts).unwrap();
+            if r.exhausted.is_none() {
+                assert_eq!(format!("{}", r.dtd), format!("{}", full.dtd));
+                assert_eq!(r.sigma.to_string(), full.sigma.to_string());
+                assert_eq!(r.steps, full.steps);
+                break;
+            }
+            fuel *= 4;
+            assert!(fuel < 1 << 40, "never converged");
+        }
     }
 }

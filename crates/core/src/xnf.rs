@@ -16,6 +16,7 @@ use crate::implication::{Chase, Implication};
 use crate::Result;
 use std::collections::BTreeSet;
 use xnf_dtd::{Dtd, Path, PathId, PathSet, Step};
+use xnf_govern::{Budget, Exhausted};
 
 /// A detected XNF violation: the witnessing anomalous FD.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,11 +47,32 @@ pub fn anomalous_fds_threaded(
     sigma: &XmlFdSet,
     threads: usize,
 ) -> Result<Vec<Violation>> {
+    anomalous_fds_with(dtd, sigma, threads, Budget::unlimited())
+}
+
+/// Budget-governed [`anomalous_fds`]: implication queries charge `budget`
+/// and the search aborts with [`CoreError::Exhausted`](crate::CoreError)
+/// when it runs out. An `Err` means the verdict is *unknown* — never
+/// "no violations".
+pub fn anomalous_fds_governed(
+    dtd: &Dtd,
+    sigma: &XmlFdSet,
+    budget: &Budget,
+) -> Result<Vec<Violation>> {
+    anomalous_fds_with(dtd, sigma, 1, budget.clone())
+}
+
+fn anomalous_fds_with(
+    dtd: &Dtd,
+    sigma: &XmlFdSet,
+    threads: usize,
+    budget: Budget,
+) -> Result<Vec<Violation>> {
     let paths = dtd.paths()?;
-    let chase = Chase::new(dtd, &paths);
+    let chase = Chase::new(dtd, &paths).with_budget(budget);
     let resolved = sigma.resolve(&paths)?;
     let oracle = crate::implication::ImplicationCache::new(&chase, &resolved);
-    crate::normalize::find_anomalous_fd(&oracle, &paths, &resolved, threads)
+    crate::normalize::find_anomalous_fd(&oracle, &paths, &resolved, threads, chase.budget())?
         .into_iter()
         .map(|(fd, p)| {
             Ok(Violation {
@@ -70,30 +92,39 @@ pub(crate) fn anomalous_candidate(
     sigma: &[ResolvedFd],
     fd: &ResolvedFd,
     q: PathId,
-) -> Option<(ResolvedFd, PathId)> {
+    budget: &Budget,
+) -> std::result::Result<Option<(ResolvedFd, PathId)>, Exhausted> {
+    budget.checkpoint("xnf.candidate")?;
     // Only value paths (attributes / text) can be anomalous.
     if matches!(paths.step(q), Step::Elem(_)) {
-        return None;
+        return Ok(None);
     }
     let single = ResolvedFd::from_ids(fd.lhs.iter().copied(), [q]);
     // Non-trivial: not implied by the DTD alone.
-    if oracle.is_trivial(&single) {
-        return None;
+    if oracle.try_is_trivial(&single)? {
+        return Ok(None);
     }
     // Σ ⊢ S → q holds by assumption (q ∈ rhs of an FD in Σ); the
     // XNF condition asks for S → parent(q).
     let parent = paths.parent(q).expect("value paths have parents");
     let node_fd = ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
-    if !oracle.implies(sigma, &node_fd) {
-        Some((single, q))
+    if !oracle.try_implies(sigma, &node_fd)? {
+        Ok(Some((single, q)))
     } else {
-        None
+        Ok(None)
     }
 }
 
 /// Whether `(D, Σ)` is in XNF (Definition 8, via the Proposition 10 test).
 pub fn is_xnf(dtd: &Dtd, sigma: &XmlFdSet) -> Result<bool> {
     Ok(anomalous_fds(dtd, sigma)?.is_empty())
+}
+
+/// Budget-governed [`is_xnf`]. Returns
+/// `Err(CoreError::Exhausted(..))` — never a wrong `bool` — when
+/// `budget` runs out before the verdict is decided.
+pub fn is_xnf_governed(dtd: &Dtd, sigma: &XmlFdSet, budget: &Budget) -> Result<bool> {
+    Ok(anomalous_fds_governed(dtd, sigma, budget)?.is_empty())
 }
 
 /// The set of anomalous paths `AP(D, Σ)`: right-hand sides of anomalous
@@ -223,5 +254,25 @@ mod tests {
         )
         .unwrap();
         assert!(is_xnf(&d, &sigma).unwrap());
+    }
+
+    #[test]
+    fn governed_is_xnf_agrees_or_errs_never_lies() {
+        let d = university_dtd();
+        let sigma = XmlFdSet::parse(UNIVERSITY_FDS).unwrap();
+        let truth = is_xnf(&d, &sigma).unwrap();
+        // Generous budget: same verdict as ungoverned.
+        let generous = Budget::builder().fuel(10_000_000).build();
+        assert_eq!(is_xnf_governed(&d, &sigma, &generous).unwrap(), truth);
+        // Starving budgets: every outcome is either the true verdict or a
+        // structured Exhausted error — never the opposite verdict.
+        for fuel in 1..200 {
+            let tight = Budget::builder().fuel(fuel).build();
+            match is_xnf_governed(&d, &sigma, &tight) {
+                Ok(v) => assert_eq!(v, truth, "fuel={fuel} produced a wrong verdict"),
+                Err(crate::CoreError::Exhausted(_)) => {}
+                Err(e) => panic!("fuel={fuel}: unexpected error {e}"),
+            }
+        }
     }
 }

@@ -11,6 +11,8 @@
 //! to produce guaranteed members of a content model's language.
 
 use crate::regex::Regex;
+use crate::UNLIMITED;
+use xnf_govern::{Budget, Exhausted};
 
 /// The Brzozowski derivative `∂_a r`: a regex whose language is
 /// `{ w : a·w ∈ L(r) }`. `None` stands for the empty language `∅`
@@ -54,14 +56,33 @@ fn union_opt(a: Option<Regex>, b: Option<Regex>) -> Option<Regex> {
 /// Membership by iterated derivatives: `w ∈ L(re)` iff `∂_w re` is
 /// nullable.
 pub fn matches<'a>(re: &Regex, word: impl IntoIterator<Item = &'a str>) -> bool {
+    match matches_governed(re, word, UNLIMITED) {
+        Ok(b) => b,
+        Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+    }
+}
+
+/// [`matches`] under a resource [`Budget`]: each derivative step spends
+/// one checkpoint and charges the intermediate expression's size against
+/// the memory cap (Brzozowski derivatives can grow large on adversarial
+/// expressions before simplification tames them).
+pub fn matches_governed<'a>(
+    re: &Regex,
+    word: impl IntoIterator<Item = &'a str>,
+    budget: &Budget,
+) -> Result<bool, Exhausted> {
     let mut current = re.clone();
     for a in word {
+        budget.checkpoint("derivative.step")?;
         match derivative(&current, a) {
-            Some(d) => current = d.simplified(),
-            None => return false,
+            Some(d) => {
+                current = d.simplified();
+                budget.charge("derivative.size", current.size() as u64)?;
+            }
+            None => return Ok(false),
         }
     }
-    current.nullable()
+    Ok(current.nullable())
 }
 
 /// Produces the length-lexicographically first member of `L(re)` with at
@@ -218,6 +239,22 @@ mod tests {
             );
             assert!(Matcher::new(&r).matches(refs.iter().copied()));
         }
+    }
+
+    #[test]
+    fn governed_derivative_matching_agrees_and_exhausts() {
+        let r = re("((a | b)*, c?)");
+        let generous = Budget::builder().fuel(10_000).build();
+        for w in [&["a", "b", "c"][..], &["c", "a"][..], &[][..]] {
+            assert_eq!(
+                matches_governed(&r, w.iter().copied(), &generous).unwrap(),
+                matches(&r, w.iter().copied()),
+            );
+        }
+        let tiny = Budget::builder().fuel(2).build();
+        let long = ["a"; 32];
+        let err = matches_governed(&r, long.iter().copied(), &tiny).unwrap_err();
+        assert_eq!(err.resource, xnf_govern::Resource::Fuel);
     }
 
     #[test]

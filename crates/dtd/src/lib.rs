@@ -42,12 +42,16 @@ pub mod span;
 
 pub use crate::classify::{DtdClass, Multiplicity, SimpleContent};
 pub use crate::dtd::{ContentModel, Dtd, DtdBuilder, ElemId, ElementDecl};
-pub use crate::parse::parse_dtd;
+pub use crate::parse::{parse_dtd, parse_dtd_governed, ParseLimits};
 pub use crate::paths::{Path, PathId, PathSet, Step};
 pub use crate::regex::Regex;
 pub use crate::span::LineCol;
 
 use std::fmt;
+
+/// The shared ungoverned budget, for infallible wrappers around governed
+/// internals (its checkpoints can never fail).
+pub(crate) const UNLIMITED: &xnf_govern::Budget = &xnf_govern::Budget::unlimited();
 
 /// Errors produced while building, parsing or analysing DTDs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +102,8 @@ pub enum DtdError {
     },
     /// A path string could not be resolved against `paths(D)`.
     NoSuchPath(String),
+    /// A resource budget ran out mid-computation (see [`xnf_govern`]).
+    Exhausted(xnf_govern::Exhausted),
 }
 
 impl fmt::Display for DtdError {
@@ -142,7 +148,14 @@ impl fmt::Display for DtdError {
                  paths(D) is infinite"
             ),
             DtdError::NoSuchPath(p) => write!(f, "`{p}` is not a path of this DTD"),
+            DtdError::Exhausted(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<xnf_govern::Exhausted> for DtdError {
+    fn from(e: xnf_govern::Exhausted) -> Self {
+        DtdError::Exhausted(e)
     }
 }
 

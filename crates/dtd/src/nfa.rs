@@ -8,7 +8,9 @@
 //! the size of the expression.
 
 use crate::regex::Regex;
+use crate::UNLIMITED;
 use std::collections::HashMap;
+use xnf_govern::{Budget, Exhausted};
 
 /// A compiled matcher for one content-model regular expression.
 #[derive(Debug, Clone)]
@@ -23,12 +25,13 @@ pub struct Matcher {
     accept: u32,
 }
 
-struct Builder {
+struct Builder<'b> {
     eps: Vec<Vec<u32>>,
     trans: Vec<Vec<(usize, u32)>>,
+    budget: &'b Budget,
 }
 
-impl Builder {
+impl Builder<'_> {
     fn state(&mut self) -> u32 {
         self.eps.push(Vec::new());
         self.trans.push(Vec::new());
@@ -36,8 +39,17 @@ impl Builder {
     }
 
     /// Thompson construction: returns `(start, accept)` for `re`.
-    fn compile(&mut self, re: &Regex, alphabet: &HashMap<Box<str>, usize>) -> (u32, u32) {
-        match re {
+    ///
+    /// Governed: each expression node charges ~2 states against the
+    /// budget's memory cap, so pathologically large content models stop
+    /// early instead of allocating without bound.
+    fn compile(
+        &mut self,
+        re: &Regex,
+        alphabet: &HashMap<Box<str>, usize>,
+    ) -> Result<(u32, u32), Exhausted> {
+        self.budget.charge("nfa.build.node", 2)?;
+        Ok(match re {
             Regex::Epsilon => {
                 let s = self.state();
                 let a = self.state();
@@ -54,9 +66,9 @@ impl Builder {
             Regex::Seq(parts) => {
                 debug_assert!(!parts.is_empty());
                 let mut iter = parts.iter();
-                let (start, mut acc) = self.compile(iter.next().expect("non-empty"), alphabet);
+                let (start, mut acc) = self.compile(iter.next().expect("non-empty"), alphabet)?;
                 for p in iter {
-                    let (s2, a2) = self.compile(p, alphabet);
+                    let (s2, a2) = self.compile(p, alphabet)?;
                     self.eps[acc as usize].push(s2);
                     acc = a2;
                 }
@@ -66,7 +78,7 @@ impl Builder {
                 let s = self.state();
                 let a = self.state();
                 for p in parts {
-                    let (ps, pa) = self.compile(p, alphabet);
+                    let (ps, pa) = self.compile(p, alphabet)?;
                     self.eps[s as usize].push(ps);
                     self.eps[pa as usize].push(a);
                 }
@@ -75,7 +87,7 @@ impl Builder {
             Regex::Star(r) => {
                 let s = self.state();
                 let a = self.state();
-                let (rs, ra) = self.compile(r, alphabet);
+                let (rs, ra) = self.compile(r, alphabet)?;
                 self.eps[s as usize].push(rs);
                 self.eps[s as usize].push(a);
                 self.eps[ra as usize].push(rs);
@@ -85,26 +97,35 @@ impl Builder {
             Regex::Opt(r) => {
                 let s = self.state();
                 let a = self.state();
-                let (rs, ra) = self.compile(r, alphabet);
+                let (rs, ra) = self.compile(r, alphabet)?;
                 self.eps[s as usize].push(rs);
                 self.eps[s as usize].push(a);
                 self.eps[ra as usize].push(a);
                 (s, a)
             }
             Regex::Plus(r) => {
-                let (rs, ra) = self.compile(r, alphabet);
+                let (rs, ra) = self.compile(r, alphabet)?;
                 let a = self.state();
                 self.eps[ra as usize].push(rs);
                 self.eps[ra as usize].push(a);
                 (rs, a)
             }
-        }
+        })
     }
 }
 
 impl Matcher {
     /// Compiles `re` into an NFA matcher.
     pub fn new(re: &Regex) -> Self {
+        match Self::new_governed(re, UNLIMITED) {
+            Ok(m) => m,
+            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+        }
+    }
+
+    /// Compiles `re` under a resource [`Budget`]: the construction charges
+    /// its state count against the budget's memory cap.
+    pub fn new_governed(re: &Regex, budget: &Budget) -> Result<Self, Exhausted> {
         let mut alphabet: HashMap<Box<str>, usize> = HashMap::new();
         re.visit_leaves(&mut |name| {
             let next = alphabet.len();
@@ -113,15 +134,16 @@ impl Matcher {
         let mut b = Builder {
             eps: Vec::new(),
             trans: Vec::new(),
+            budget,
         };
-        let (start, accept) = b.compile(re, &alphabet);
-        Matcher {
+        let (start, accept) = b.compile(re, &alphabet)?;
+        Ok(Matcher {
             alphabet,
             eps: b.eps,
             trans: b.trans,
             start,
             accept,
-        }
+        })
     }
 
     fn closure(&self, set: &mut [bool], stack: &mut Vec<u32>) {
@@ -138,6 +160,19 @@ impl Matcher {
     /// Whether the word (a sequence of element names) belongs to the
     /// language of the compiled expression.
     pub fn matches<'a>(&self, word: impl IntoIterator<Item = &'a str>) -> bool {
+        match self.matches_governed(word, UNLIMITED) {
+            Ok(b) => b,
+            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+        }
+    }
+
+    /// [`matches`](Matcher::matches) under a resource [`Budget`]: the
+    /// subset simulation spends one checkpoint per input symbol.
+    pub fn matches_governed<'a>(
+        &self,
+        word: impl IntoIterator<Item = &'a str>,
+        budget: &Budget,
+    ) -> Result<bool, Exhausted> {
         let n = self.eps.len();
         let mut current = vec![false; n];
         current[self.start as usize] = true;
@@ -145,8 +180,9 @@ impl Matcher {
         self.closure(&mut current, &mut stack);
 
         for sym_name in word {
+            budget.checkpoint("nfa.match.step")?;
             let Some(&sym) = self.alphabet.get(sym_name) else {
-                return false; // symbol outside the alphabet: no word matches
+                return Ok(false); // symbol outside the alphabet: no word matches
             };
             let mut next = vec![false; n];
             let mut stack = Vec::new();
@@ -162,12 +198,12 @@ impl Matcher {
                 }
             }
             if stack.is_empty() {
-                return false;
+                return Ok(false);
             }
             self.closure(&mut next, &mut stack);
             current = next;
         }
-        current[self.accept as usize]
+        Ok(current[self.accept as usize])
     }
 
     /// Number of NFA states (for diagnostics and size accounting).
@@ -264,6 +300,40 @@ mod tests {
         assert!(!m.matches(["c"]));
         assert!(!m.matches(["a", "c", "c", "d"]));
         assert!(!m.matches(["d", "a"]));
+    }
+
+    #[test]
+    fn governed_matching_agrees_with_ungoverned() {
+        let re = Regex::seq([Regex::alt([a(), b()]).star(), c().opt()]);
+        let matcher = m(&re);
+        let generous = Budget::builder().fuel(1_000_000).build();
+        for word in [&["a", "b", "c"][..], &["c", "c"][..], &[][..]] {
+            assert_eq!(
+                matcher
+                    .matches_governed(word.iter().copied(), &generous)
+                    .unwrap(),
+                matcher.matches(word.iter().copied()),
+            );
+        }
+    }
+
+    #[test]
+    fn governed_matching_exhausts_on_tiny_fuel() {
+        let matcher = m(&a().star());
+        let budget = Budget::builder().fuel(3).build();
+        let word = ["a"; 16];
+        let err = matcher
+            .matches_governed(word.iter().copied(), &budget)
+            .unwrap_err();
+        assert_eq!(err.resource, xnf_govern::Resource::Fuel);
+    }
+
+    #[test]
+    fn governed_build_respects_memory_cap() {
+        let re = Regex::seq((0..64).map(|i| Regex::elem(format!("e{i}"))));
+        assert!(Matcher::new_governed(&re, &Budget::builder().memory(16).build()).is_err());
+        let m = Matcher::new_governed(&re, &Budget::builder().memory(100_000).build()).unwrap();
+        assert_eq!(m.num_states(), Matcher::new(&re).num_states());
     }
 
     #[test]

@@ -16,18 +16,71 @@ use crate::dtd::{ContentModel, Dtd};
 use crate::regex::Regex;
 use crate::{DtdError, Result};
 use std::collections::HashMap;
+use xnf_govern::Budget;
+
+/// Hard limits guarding the parser against adversarial input. The
+/// defaults are far above anything a real DTD needs, but low enough that
+/// a hostile input (a 100MB declaration blob, a pathologically nested
+/// content model) is rejected with a spanned [`DtdError::Syntax`] instead
+/// of consuming unbounded time or stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input size in bytes.
+    pub max_input: usize,
+    /// Maximum parenthesis-nesting depth in content models (the parser
+    /// recurses once per group, so this bounds stack use).
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_input: 64 << 20, // 64 MiB
+            max_depth: 256,
+        }
+    }
+}
 
 struct Scanner<'a> {
     input: &'a [u8],
     pos: usize,
+    limits: ParseLimits,
+    /// Current content-model nesting depth (checked against
+    /// `limits.max_depth`).
+    depth: usize,
+    budget: &'a Budget,
 }
+
+use crate::UNLIMITED;
 
 impl<'a> Scanner<'a> {
     fn new(input: &'a str) -> Self {
+        Scanner::with_limits(input, ParseLimits::default(), UNLIMITED)
+    }
+
+    fn with_limits(input: &'a str, limits: ParseLimits, budget: &'a Budget) -> Self {
         Scanner {
             input: input.as_bytes(),
             pos: 0,
+            limits,
+            depth: 0,
+            budget,
         }
+    }
+
+    fn check_input_size(&self) -> Result<()> {
+        if self.input.len() > self.limits.max_input {
+            return Err(DtdError::syntax(
+                self.input,
+                0,
+                format!(
+                    "input is {} bytes, over the {}-byte limit",
+                    self.input.len(),
+                    self.limits.max_input
+                ),
+            ));
+        }
+        Ok(())
     }
 
     fn err(&self, message: impl Into<String>) -> DtdError {
@@ -160,11 +213,20 @@ impl<'a> Scanner<'a> {
     }
 
     fn regex_atom(&mut self) -> Result<Regex> {
+        self.budget.checkpoint("dtd.parse.atom")?;
         self.skip_ws_and_comments()?;
         if self.eat("(") {
+            self.depth += 1;
+            if self.depth > self.limits.max_depth {
+                return Err(self.err(format!(
+                    "content model nested deeper than {} groups",
+                    self.limits.max_depth
+                )));
+            }
             let inner = self.regex_alt()?;
             self.skip_ws_and_comments()?;
             self.expect(")")?;
+            self.depth -= 1;
             Ok(inner)
         } else if self.eat("#PCDATA") {
             Err(self.err(
@@ -218,13 +280,25 @@ fn content_spec(s: &mut Scanner<'_>) -> Result<ContentModel> {
 
 /// Parses a sequence of `<!ELEMENT …>` and `<!ATTLIST …>` declarations into
 /// a [`Dtd`]. The root is the first declared element.
+///
+/// Applies [`ParseLimits::default`] and no budget; use
+/// [`parse_dtd_governed`] to tune either.
 pub fn parse_dtd(input: &str) -> Result<Dtd> {
-    let mut s = Scanner::new(input);
+    parse_dtd_governed(input, ParseLimits::default(), UNLIMITED)
+}
+
+/// [`parse_dtd`] with explicit adversarial-input limits and a resource
+/// [`Budget`] (checked once per declaration and once per content-model
+/// atom).
+pub fn parse_dtd_governed(input: &str, limits: ParseLimits, budget: &Budget) -> Result<Dtd> {
+    let mut s = Scanner::with_limits(input, limits, budget);
+    s.check_input_size()?;
     let mut decls: Vec<(String, ContentModel)> = Vec::new();
     let mut attlists: HashMap<String, Vec<String>> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
 
     loop {
+        budget.checkpoint("dtd.parse.decl")?;
         s.skip_ws_and_comments()?;
         if s.pos == s.input.len() {
             break;
@@ -455,6 +529,64 @@ mod tests {
         .unwrap();
         assert_eq!(d.root_name(), "ProcessSpecification");
         assert!(!d.is_recursive());
+    }
+
+    #[test]
+    fn rejects_oversized_input() {
+        // Satellite regression: a 100MB synthetic "DTD" must be rejected
+        // up front (O(1), before any scanning) with a spanned error.
+        let mut big = String::with_capacity(100 << 20);
+        big.push_str("<!ELEMENT r EMPTY>\n<!-- ");
+        while big.len() < 100 << 20 {
+            big.push_str("padding padding padding padding padding padding padding\n");
+        }
+        big.push_str(" -->\n");
+        let err = parse_dtd(&big).unwrap_err();
+        match err {
+            DtdError::Syntax { message, .. } => {
+                assert!(message.contains("over the"), "{message}")
+            }
+            other => panic!("expected a spanned Syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let mut src = String::from("<!ELEMENT r ");
+        let depth = 50_000;
+        for _ in 0..depth {
+            src.push('(');
+        }
+        src.push('a');
+        for _ in 0..depth {
+            src.push(')');
+        }
+        src.push_str("> <!ELEMENT a EMPTY>");
+        let err = parse_dtd(&src).unwrap_err();
+        match err {
+            DtdError::Syntax { message, .. } => {
+                assert!(message.contains("nested deeper"), "{message}")
+            }
+            other => panic!("expected a spanned Syntax error, got {other:?}"),
+        }
+        // A custom limit admits what the default rejects.
+        let shallow = "<!ELEMENT r (((a)))> <!ELEMENT a EMPTY>";
+        let tight = ParseLimits {
+            max_depth: 2,
+            ..ParseLimits::default()
+        };
+        assert!(parse_dtd(shallow).is_ok());
+        assert!(parse_dtd_governed(shallow, tight, UNLIMITED).is_err());
+    }
+
+    #[test]
+    fn governed_parse_surfaces_exhaustion() {
+        let src = "<!ELEMENT r (a, b)> <!ELEMENT a EMPTY> <!ELEMENT b EMPTY>";
+        let budget = Budget::builder().fuel(2).build();
+        let err = parse_dtd_governed(src, ParseLimits::default(), &budget).unwrap_err();
+        assert!(matches!(err, DtdError::Exhausted(_)), "{err:?}");
+        // The same call under no budget parses fine.
+        assert!(parse_dtd(src).is_ok());
     }
 
     #[test]

@@ -1,0 +1,490 @@
+//! # `xnf-govern` — resource governance for the XNF engine
+//!
+//! The implication problem the engine solves is coNP-complete for general
+//! DTDs (Theorem 5 of Arenas & Libkin), so every hot path — the chase,
+//! the normalize loop, automaton construction and matching, document
+//! parsing and conformance — accepts a [`Budget`]: a cheap, cloneable
+//! handle carrying a wall-clock deadline, a step-fuel allowance, a memory
+//! cap (in caller-defined units), and a cooperative cancellation flag.
+//!
+//! Code under governance calls [`Budget::checkpoint`] at loop heads and
+//! recursion sites (and [`Budget::charge`] where it allocates) and
+//! propagates the structured [`Exhausted`] error instead of doing
+//! unbounded work. [`Budget::unlimited`] is a no-allocation handle whose
+//! checkpoints compile to a single `Option` test, so governed code run
+//! ungoverned stays on the pre-governance fast path.
+//!
+//! Budgets are shared by cloning: all clones see the same counters, so a
+//! deadline or [`Budget::cancel`] call observed by one worker thread stops
+//! the others at their next checkpoint.
+//!
+//! With the `fault-injection` feature (test-only) a deterministic
+//! [`FaultPlan`] can trip a synthetic exhaustion at the Nth checkpoint,
+//! and budgets record the distinct checkpoint site labels they visit —
+//! the substrate for the property tests asserting every injection site
+//! surfaces a clean error and never a wrong verdict.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in checkpoints) the wall-clock deadline is consulted.
+/// `Instant::now` costs tens of nanoseconds; amortizing it keeps the
+/// per-checkpoint overhead of a governed run within the <3% target.
+const DEADLINE_STRIDE: u64 = 64;
+
+/// The resource whose budget ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The step-fuel allowance was spent.
+    Fuel,
+    /// The memory cap (in caller-defined units) was exceeded.
+    Memory,
+    /// The budget was cooperatively cancelled.
+    Cancelled,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::Deadline => "wall-clock deadline",
+            Resource::Fuel => "step fuel",
+            Resource::Memory => "memory cap",
+            Resource::Cancelled => "cancellation",
+        })
+    }
+}
+
+/// A budget ran out: the structured error every governed path returns
+/// instead of doing unbounded work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exhausted {
+    /// Which resource ran out.
+    pub resource: Resource,
+    /// Where governed execution stopped (checkpoint site label and
+    /// ordinal) — enough to see how far the computation got.
+    pub progress: String,
+}
+
+impl fmt::Display for Exhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resource budget exhausted ({}) {}",
+            self.resource, self.progress
+        )
+    }
+}
+
+impl std::error::Error for Exhausted {}
+
+/// A deterministic failure plan: trips a synthetic [`Exhausted`] of the
+/// given [`Resource`] at exactly the `trip_at`-th checkpoint (1-based).
+///
+/// Test-only (`fault-injection` feature): sweeping `trip_at` over the
+/// checkpoint ordinals of a computation exercises every injection site.
+#[cfg(feature = "fault-injection")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 1-based checkpoint ordinal at which to trip.
+    pub trip_at: u64,
+    /// The resource the synthetic exhaustion reports.
+    pub resource: Resource,
+}
+
+#[cfg(feature = "fault-injection")]
+impl FaultPlan {
+    /// Derives a plan from a seed: `trip_at ∈ 1..=max_ordinal` and a
+    /// resource, both via a splitmix64 step so plans are reproducible
+    /// without an RNG dependency.
+    pub fn seeded(seed: u64, max_ordinal: u64) -> FaultPlan {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let trip_at = 1 + z % max_ordinal.max(1);
+        let resource = match (z >> 33) % 4 {
+            0 => Resource::Deadline,
+            1 => Resource::Fuel,
+            2 => Resource::Memory,
+            _ => Resource::Cancelled,
+        };
+        FaultPlan { trip_at, resource }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    deadline: Option<Instant>,
+    /// Remaining fuel; `u64::MAX` means unmetered.
+    fuel: AtomicU64,
+    fuel_metered: bool,
+    memory_cap: Option<u64>,
+    memory_used: AtomicU64,
+    cancelled: AtomicBool,
+    /// Total checkpoints observed (drives deadline amortization and the
+    /// fault plan's ordinals).
+    ticks: AtomicU64,
+    #[cfg(feature = "fault-injection")]
+    fault: Option<FaultPlan>,
+    /// Site label → ordinal of its first visit (1-based): both the
+    /// coverage ledger and the targeting table for fault sweeps.
+    #[cfg(feature = "fault-injection")]
+    sites: std::sync::Mutex<std::collections::BTreeMap<&'static str, u64>>,
+}
+
+impl Inner {
+    fn exhausted(&self, resource: Resource, site: &'static str, ordinal: u64) -> Exhausted {
+        Exhausted {
+            resource,
+            progress: format!("at `{site}` after {ordinal} checkpoints"),
+        }
+    }
+
+    fn tick(&self, site: &'static str, memory_units: u64) -> Result<(), Exhausted> {
+        let ordinal = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        #[cfg(feature = "fault-injection")]
+        {
+            if let Ok(mut sites) = self.sites.lock() {
+                sites.entry(site).or_insert(ordinal);
+            }
+            if let Some(plan) = self.fault {
+                if ordinal == plan.trip_at {
+                    return Err(self.exhausted(plan.resource, site, ordinal));
+                }
+            }
+        }
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(self.exhausted(Resource::Cancelled, site, ordinal));
+        }
+        if self.fuel_metered {
+            let mut cur = self.fuel.load(Ordering::Relaxed);
+            loop {
+                if cur == 0 {
+                    return Err(self.exhausted(Resource::Fuel, site, ordinal));
+                }
+                match self.fuel.compare_exchange_weak(
+                    cur,
+                    cur - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        if memory_units > 0 {
+            if let Some(cap) = self.memory_cap {
+                let used =
+                    self.memory_used.fetch_add(memory_units, Ordering::Relaxed) + memory_units;
+                if used > cap {
+                    return Err(self.exhausted(Resource::Memory, site, ordinal));
+                }
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if (ordinal == 1 || ordinal.is_multiple_of(DEADLINE_STRIDE))
+                && Instant::now() >= deadline
+            {
+                return Err(self.exhausted(Resource::Deadline, site, ordinal));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Configures and builds a governed [`Budget`]; see [`Budget::builder`].
+///
+/// Every budget a builder produces is *governed* (it owns shared
+/// counters, so it is cancellable) even when no limit is set; the
+/// zero-overhead ungoverned handle is [`Budget::unlimited`].
+#[derive(Debug, Default)]
+pub struct BudgetBuilder {
+    deadline: Option<Duration>,
+    fuel: Option<u64>,
+    memory: Option<u64>,
+    #[cfg(feature = "fault-injection")]
+    fault: Option<FaultPlan>,
+}
+
+impl BudgetBuilder {
+    /// Sets a wall-clock deadline `d` from now.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the step-fuel allowance: each checkpoint consumes one unit.
+    pub fn fuel(mut self, units: u64) -> Self {
+        self.fuel = Some(units);
+        self
+    }
+
+    /// Sets the memory cap, in the units governed code passes to
+    /// [`Budget::charge`] (this library does not prescribe bytes).
+    pub fn memory(mut self, units: u64) -> Self {
+        self.memory = Some(units);
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] (test-only).
+    #[cfg(feature = "fault-injection")]
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Builds the budget, starting the deadline clock now.
+    pub fn build(self) -> Budget {
+        Budget {
+            inner: Some(Arc::new(Inner {
+                deadline: self.deadline.map(|d| Instant::now() + d),
+                fuel: AtomicU64::new(self.fuel.unwrap_or(u64::MAX)),
+                fuel_metered: self.fuel.is_some(),
+                memory_cap: self.memory,
+                memory_used: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+                ticks: AtomicU64::new(0),
+                #[cfg(feature = "fault-injection")]
+                fault: self.fault,
+                #[cfg(feature = "fault-injection")]
+                sites: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+            })),
+        }
+    }
+}
+
+/// A shared resource budget. Clones share the same counters.
+///
+/// The two construction paths:
+///
+/// * [`Budget::unlimited`] (also [`Default`]) — ungoverned: checkpoints
+///   are a single pointer test, nothing can exhaust, [`Budget::cancel`]
+///   is a no-op. Exactly the pre-governance behavior.
+/// * [`Budget::builder`] — governed: deadline, fuel, and memory limits
+///   are each optional, and the handle is cooperatively cancellable.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Budget {
+    /// The ungoverned budget: nothing is metered, nothing can exhaust.
+    pub const fn unlimited() -> Budget {
+        Budget { inner: None }
+    }
+
+    /// Starts configuring a governed budget.
+    pub fn builder() -> BudgetBuilder {
+        BudgetBuilder::default()
+    }
+
+    /// Whether this handle meters anything (false for [`unlimited`]).
+    ///
+    /// [`unlimited`]: Budget::unlimited
+    pub fn is_governed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one unit of work at the named site; errors once any
+    /// resource is exhausted. Call this at loop heads and recursion
+    /// sites of governed code.
+    #[inline]
+    pub fn checkpoint(&self, site: &'static str) -> Result<(), Exhausted> {
+        match &self.inner {
+            None => Ok(()),
+            Some(inner) => inner.tick(site, 0),
+        }
+    }
+
+    /// Like [`checkpoint`], additionally charging `units` against the
+    /// memory cap. Units are caller-defined (nodes, states, tuples …).
+    ///
+    /// [`checkpoint`]: Budget::checkpoint
+    #[inline]
+    pub fn charge(&self, site: &'static str, units: u64) -> Result<(), Exhausted> {
+        match &self.inner {
+            None => Ok(()),
+            Some(inner) => inner.tick(site, units),
+        }
+    }
+
+    /// Cooperatively cancels every clone of this budget: the next
+    /// checkpoint anywhere returns [`Resource::Cancelled`]. No-op on an
+    /// ungoverned budget.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether [`cancel`] has been called on any clone.
+    ///
+    /// [`cancel`]: Budget::cancel
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancelled.load(Ordering::Relaxed))
+    }
+
+    /// Total checkpoints observed so far (0 for an ungoverned budget).
+    pub fn ticks(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.ticks.load(Ordering::Relaxed))
+    }
+
+    /// Remaining fuel, if fuel is metered.
+    pub fn remaining_fuel(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .filter(|i| i.fuel_metered)
+            .map(|i| i.fuel.load(Ordering::Relaxed))
+    }
+
+    /// Memory units charged so far (0 for an ungoverned budget).
+    pub fn memory_used(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.memory_used.load(Ordering::Relaxed))
+    }
+
+    /// The distinct checkpoint site labels this budget has visited, in
+    /// sorted order (test-only; the fault-injection property tests assert
+    /// coverage of the injection surface with this).
+    #[cfg(feature = "fault-injection")]
+    pub fn sites(&self) -> Vec<&'static str> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.sites.lock().ok().map(|s| s.keys().copied().collect()))
+            .unwrap_or_default()
+    }
+
+    /// Each visited site with the 1-based ordinal of its *first* visit
+    /// (test-only). On a deterministic workload these ordinals are the
+    /// targeting table for a fault sweep: installing a [`FaultPlan`] that
+    /// trips at a site's first-visit ordinal injects precisely there.
+    #[cfg(feature = "fault-injection")]
+    pub fn site_ordinals(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .as_ref()
+            .and_then(|i| {
+                i.sites
+                    .lock()
+                    .ok()
+                    .map(|s| s.iter().map(|(&k, &v)| (k, v)).collect())
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            b.checkpoint("test.site").unwrap();
+            b.charge("test.site", 1 << 40).unwrap();
+        }
+        assert!(!b.is_governed());
+        assert_eq!(b.ticks(), 0);
+        b.cancel();
+        b.checkpoint("test.site").unwrap();
+    }
+
+    #[test]
+    fn fuel_exhausts_after_exactly_n_checkpoints() {
+        let b = Budget::builder().fuel(5).build();
+        for _ in 0..5 {
+            b.checkpoint("test.fuel").unwrap();
+        }
+        let err = b.checkpoint("test.fuel").unwrap_err();
+        assert_eq!(err.resource, Resource::Fuel);
+        assert!(err.progress.contains("test.fuel"), "{}", err.progress);
+        // Exhaustion is sticky: fuel stays at zero.
+        assert_eq!(b.remaining_fuel(), Some(0));
+        assert!(b.checkpoint("test.fuel").is_err());
+    }
+
+    #[test]
+    fn memory_cap_trips_on_the_overflowing_charge() {
+        let b = Budget::builder().memory(10).build();
+        b.charge("test.mem", 6).unwrap();
+        let err = b.charge("test.mem", 6).unwrap_err();
+        assert_eq!(err.resource, Resource::Memory);
+        assert!(b.memory_used() >= 10);
+    }
+
+    #[test]
+    fn expired_deadline_trips_on_the_first_checkpoint() {
+        let b = Budget::builder().deadline(Duration::ZERO).build();
+        let err = b.checkpoint("test.deadline").unwrap_err();
+        assert_eq!(err.resource, Resource::Deadline);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let b = Budget::builder()
+            .deadline(Duration::from_secs(3600))
+            .build();
+        for _ in 0..1000 {
+            b.checkpoint("test.deadline").unwrap();
+        }
+    }
+
+    #[test]
+    fn cancellation_is_seen_by_clones() {
+        let b = Budget::builder().build();
+        let clone = b.clone();
+        clone.checkpoint("test.cancel").unwrap();
+        b.cancel();
+        let err = clone.checkpoint("test.cancel").unwrap_err();
+        assert_eq!(err.resource, Resource::Cancelled);
+        assert!(b.is_cancelled() && clone.is_cancelled());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let b = Budget::builder().fuel(0).build();
+        let err = b.checkpoint("chase.saturate.queue").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("step fuel"), "{msg}");
+        assert!(msg.contains("chase.saturate.queue"), "{msg}");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn fault_plan_trips_at_exactly_the_nth_checkpoint() {
+        let plan = FaultPlan {
+            trip_at: 3,
+            resource: Resource::Memory,
+        };
+        let b = Budget::builder().fault(plan).build();
+        b.checkpoint("a").unwrap();
+        b.checkpoint("b").unwrap();
+        let err = b.checkpoint("c").unwrap_err();
+        assert_eq!(err.resource, Resource::Memory);
+        assert_eq!(b.sites(), vec!["a", "b", "c"]);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..200 {
+            let a = FaultPlan::seeded(seed, 50);
+            let b = FaultPlan::seeded(seed, 50);
+            assert_eq!(a, b);
+            assert!((1..=50).contains(&a.trip_at));
+        }
+    }
+}

@@ -49,6 +49,10 @@ pub use source::DeclIndex;
 pub use structural::{generating_set, reachable_set, DtdCtx};
 
 use xnf_dtd::parse_dtd;
+use xnf_govern::{Budget, Exhausted};
+
+/// The shared ungoverned budget backing the infallible [`lint_spec`].
+const UNLIMITED: &Budget = &Budget::unlimited();
 
 /// Which tier a rule belongs to (how it is driven).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +226,23 @@ pub fn registry() -> &'static [Rule] {
 /// DTDs (flagged `XNF011` instead). If the DTD failed to parse, FD
 /// linting degrades to per-FD syntax checking.
 pub fn lint_spec(dtd_src: &str, fds_src: Option<&str>) -> LintReport {
+    match lint_spec_governed(dtd_src, fds_src, UNLIMITED) {
+        Ok(report) => report,
+        Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+    }
+}
+
+/// Budget-governed [`lint_spec`]: the implication-backed semantic rules
+/// (the only potentially expensive tier) charge `budget` per FD and per
+/// chase run, and the whole lint aborts with [`Exhausted`] instead of
+/// running unboundedly. An `Err` means the report was *not* completed —
+/// no partial report is returned, so a clean report always means a fully
+/// linted spec.
+pub fn lint_spec_governed(
+    dtd_src: &str,
+    fds_src: Option<&str>,
+    budget: &Budget,
+) -> Result<LintReport, Exhausted> {
     let mut diags = Vec::new();
     let index = DeclIndex::scan(dtd_src);
     structural::duplicate_decls(dtd_src, &index, &mut diags);
@@ -239,7 +260,7 @@ pub fn lint_spec(dtd_src: &str, fds_src: Option<&str>) -> LintReport {
                 if dtd.is_recursive() {
                     semantic::lint_fd_syntax_only(fds_src, &mut diags);
                 } else {
-                    semantic::lint_fds(&ctx, fds_src, &mut diags);
+                    semantic::lint_fds(&ctx, fds_src, budget, &mut diags)?;
                 }
             }
         }
@@ -250,7 +271,7 @@ pub fn lint_spec(dtd_src: &str, fds_src: Option<&str>) -> LintReport {
             }
         }
     }
-    LintReport::new(diags)
+    Ok(LintReport::new(diags))
 }
 
 /// Lints the DTD alone (structural tier only).
@@ -290,5 +311,20 @@ mod tests {
             Some("r.a.@k -> r.a"),
         );
         assert!(report.is_clean(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn governed_lint_agrees_and_exhausts() {
+        let dtd = "<!ELEMENT r (a*)> <!ELEMENT a (#PCDATA)> <!ATTLIST a k CDATA #REQUIRED>";
+        let fds = "r.a.@k -> r.a\nr.a -> r";
+        let plain = lint_spec(dtd, Some(fds));
+        // Generous budget: identical report.
+        let generous = Budget::builder().fuel(1_000_000).build();
+        let governed = lint_spec_governed(dtd, Some(fds), &generous).unwrap();
+        assert_eq!(governed.codes(), plain.codes());
+        // Tiny budget: a structured error, never a truncated report.
+        let tiny = Budget::builder().fuel(2).build();
+        let err = lint_spec_governed(dtd, Some(fds), &tiny).unwrap_err();
+        assert_eq!(err.resource, xnf_govern::Resource::Fuel);
     }
 }

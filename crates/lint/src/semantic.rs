@@ -22,6 +22,7 @@ use xnf_core::implication::{Chase, Implication, ImplicationCache};
 use xnf_core::XmlFd;
 use xnf_dtd::paths::Step;
 use xnf_dtd::{Dtd, PathSet, Regex};
+use xnf_govern::{Budget, Exhausted};
 
 /// One successfully parsed, resolved, non-duplicate member of Σ.
 struct Member {
@@ -39,13 +40,21 @@ struct Member {
 
 /// Runs the semantic tier over `fds_src`. `ctx` must come from a
 /// successfully parsed, non-recursive DTD (the driver gates on XNF011).
-pub fn lint_fds(ctx: &DtdCtx<'_>, fds_src: &str, out: &mut Vec<Diagnostic>) {
+/// The implication-backed rules charge `budget`; on exhaustion the
+/// partial diagnostics already pushed to `out` are abandoned by the
+/// driver (no partial report escapes).
+pub fn lint_fds(
+    ctx: &DtdCtx<'_>,
+    fds_src: &str,
+    budget: &Budget,
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), Exhausted> {
     let segments = fd_segments(fds_src);
     let parsed = parse_segments(fds_src, &segments, out);
 
     let Ok(paths) = ctx.dtd.paths() else {
         // Recursive DTDs are filtered by the driver; defensive only.
-        return;
+        return Ok(());
     };
 
     let mut members = resolve_and_dedup(ctx, fds_src, &segments, parsed, &paths, out);
@@ -79,15 +88,16 @@ pub fn lint_fds(ctx: &DtdCtx<'_>, fds_src: &str, out: &mut Vec<Diagnostic>) {
     }
 
     let sigma: Vec<ResolvedFd> = members.iter().map(|m| m.resolved.clone()).collect();
-    let chase = Chase::new(ctx.dtd, &paths);
+    let chase = Chase::new(ctx.dtd, &paths).with_budget(budget.clone());
     let oracle = ImplicationCache::new(&chase, &sigma);
 
     // XNF105 — trivial FDs: implied by the DTD alone.
     for m in &mut members {
+        budget.checkpoint("lint.semantic.fd")?;
         if m.vacuous {
             continue;
         }
-        if implied(&oracle, &[], &m.resolved) {
+        if implied(&oracle, &[], &m.resolved)? {
             m.trivial = true;
             let (src, off, len) = at(m.seg);
             out.push(
@@ -121,7 +131,7 @@ pub fn lint_fds(ctx: &DtdCtx<'_>, fds_src: &str, out: &mut Vec<Diagnostic>) {
             with_i.push(sigma[i].clone());
             let mut with_j = base;
             with_j.push(sigma[j].clone());
-            if implied(&oracle, &with_i, &sigma[j]) && implied(&oracle, &with_j, &sigma[i]) {
+            if implied(&oracle, &with_i, &sigma[j])? && implied(&oracle, &with_j, &sigma[i])? {
                 members[i].equivalent = true;
                 members[j].equivalent = true;
                 let other = segments[members[i].seg].text.clone();
@@ -150,7 +160,7 @@ pub fn lint_fds(ctx: &DtdCtx<'_>, fds_src: &str, out: &mut Vec<Diagnostic>) {
             .filter(|&(k, _)| k != i)
             .map(|(_, fd)| fd.clone())
             .collect();
-        if implied(&oracle, &rest, &m.resolved) {
+        if implied(&oracle, &rest, &m.resolved)? {
             let (src, off, len) = at(m.seg);
             out.push(
                 Diagnostic::new(
@@ -180,7 +190,7 @@ pub fn lint_fds(ctx: &DtdCtx<'_>, fds_src: &str, out: &mut Vec<Diagnostic>) {
                 .filter(|&(k2, _)| k2 != k)
                 .map(|(_, &p)| p);
             let derives_x = ResolvedFd::from_ids(rest_lhs, [x]);
-            if implied(&oracle, &[], &derives_x) {
+            if implied(&oracle, &[], &derives_x)? {
                 let (src, off, len) = at(m.seg);
                 out.push(
                     Diagnostic::new(
@@ -198,6 +208,7 @@ pub fn lint_fds(ctx: &DtdCtx<'_>, fds_src: &str, out: &mut Vec<Diagnostic>) {
             }
         }
     }
+    Ok(())
 }
 
 /// Surfaces per-FD syntax errors even when the DTD itself failed to parse
@@ -287,11 +298,18 @@ fn resolve_and_dedup(
 
 /// Whether `(D, sigma) ⊢ fd`, splitting a multi-path RHS into single-RHS
 /// queries (the conjunction is implied iff every component is).
-fn implied(oracle: &ImplicationCache<'_>, sigma: &[ResolvedFd], fd: &ResolvedFd) -> bool {
-    fd.rhs.iter().all(|&q| {
+fn implied(
+    oracle: &ImplicationCache<'_>,
+    sigma: &[ResolvedFd],
+    fd: &ResolvedFd,
+) -> Result<bool, Exhausted> {
+    for &q in &fd.rhs {
         let single = ResolvedFd::from_ids(fd.lhs.iter().copied(), [q]);
-        oracle.implies(sigma, &single)
-    })
+        if !oracle.try_implies(sigma, &single)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
 }
 
 /// Witness that two FD paths can never be instantiated in one tree tuple.

@@ -247,13 +247,15 @@ pub fn map_parse_error(src: &str, index: &DeclIndex, err: &DtdError, out: &mut V
                 None => d,
             });
         }
-        // parse_dtd never returns these; keep the mapping total so a
-        // future parser change cannot drop an error on the floor.
-        DtdError::RecursiveDtd { .. } | DtdError::NoSuchPath(_) => out.push(Diagnostic::new(
-            Code::DtdSyntax,
-            SourceKind::Dtd,
-            err.to_string(),
-        )),
+        // parse_dtd never returns these (the ungoverned entry point cannot
+        // exhaust); keep the mapping total so a future parser change
+        // cannot drop an error on the floor.
+        DtdError::RecursiveDtd { .. } | DtdError::NoSuchPath(_) | DtdError::Exhausted(_) => out
+            .push(Diagnostic::new(
+                Code::DtdSyntax,
+                SourceKind::Dtd,
+                err.to_string(),
+            )),
     }
 }
 

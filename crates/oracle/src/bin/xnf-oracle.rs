@@ -1,19 +1,21 @@
 //! `xnf-oracle` — the seeded fuzz driver.
 //!
 //! ```text
-//! xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--out DIR]
+//! xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--fuel F] [--out DIR]
 //! ```
 //!
 //! Runs the oracle battery (losslessness + metamorphic invariants) over
 //! `N` consecutive seeds. Failures are minimized by greedy FD-subset
 //! reduction and, with `--out`, written as `<seed>.dtd` / `<seed>.fds`
 //! (plus a `<seed>.txt` finding report) ready to be checked into
-//! `tests/oracle_corpus/`. Exits nonzero iff any seed failed.
+//! `tests/oracle_corpus/`. `--fuel` caps per-seed engine work (exhausted
+//! seeds are skipped, not failed) so a sweep over adversarial seeds is
+//! time-bounded. Exits nonzero iff any seed failed.
 
 use std::process::ExitCode;
 use xnf_oracle::{fuzz_seed, minimize, FuzzConfig};
 
-const USAGE: &str = "xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--out DIR]";
+const USAGE: &str = "xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--fuel F] [--out DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +53,7 @@ fn run(args: &[String]) -> Result<usize, String> {
             "--seeds" => seeds = parse(value("--seeds")?)?,
             "--start" => start = parse(value("--start")?)?,
             "--docs" => cfg.docs_per_spec = parse(value("--docs")?)?,
+            "--fuel" => cfg.fuel_per_spec = Some(parse(value("--fuel")?)?),
             "--out" => out = Some(value("--out")?.clone()),
             other => return Err(format!("unknown flag `{other}`")),
         }

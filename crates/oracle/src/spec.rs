@@ -19,9 +19,10 @@
 
 use xnf_core::lossless::{verify_lossless, verify_lossless_trace};
 use xnf_core::normalize::{normalize, NormalizeOptions, NormalizeResult};
-use xnf_core::{is_xnf, CoreError, XmlFdSet};
+use xnf_core::{CoreError, XmlFdSet};
 use xnf_dtd::Dtd;
 use xnf_gen::doc::{satisfying_documents, DocParams};
+use xnf_govern::Budget;
 use xnf_xml::value_projection;
 
 /// Configuration for [`check_spec`].
@@ -36,6 +37,10 @@ pub struct SpecOracleConfig {
     pub doc_params: DocParams,
     /// Cap on generation attempts (rejection sampling) across the run.
     pub max_attempts: usize,
+    /// Resource budget for the normalization run and the per-document
+    /// checks. Exhaustion surfaces as [`CoreError::Exhausted`] from
+    /// [`check_spec`] — never as a passing report.
+    pub budget: Budget,
 }
 
 impl Default for SpecOracleConfig {
@@ -49,6 +54,7 @@ impl Default for SpecOracleConfig {
                 max_nodes: 400,
             },
             max_attempts: 2_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -118,8 +124,18 @@ pub fn check_spec(
     sigma: &XmlFdSet,
     config: &SpecOracleConfig,
 ) -> Result<SpecOracleReport, CoreError> {
-    let result = normalize(dtd, sigma, &NormalizeOptions::default())?;
-    let output_is_xnf = is_xnf(&result.dtd, &result.sigma)?;
+    let options = NormalizeOptions {
+        budget: config.budget.clone(),
+        ..NormalizeOptions::default()
+    };
+    let result = normalize(dtd, sigma, &options)?;
+    if let Some(e) = result.exhausted {
+        // A partial decomposition is useless to the oracle — there is no
+        // final design to verify against. Surface the exhaustion instead
+        // of reporting on a non-final result.
+        return Err(CoreError::Exhausted(e));
+    }
+    let output_is_xnf = xnf_core::is_xnf_governed(&result.dtd, &result.sigma, &config.budget)?;
     let mut rng = xnf_gen::rng(config.seed);
     let docs = satisfying_documents(
         dtd,
@@ -138,6 +154,7 @@ pub fn check_spec(
         failures: Vec::new(),
     };
     for (doc_index, doc) in docs.iter().enumerate() {
+        config.budget.checkpoint("oracle.doc")?;
         match check_document(dtd, &result, doc) {
             DocVerdict::Pass => report.docs_checked += 1,
             DocVerdict::Skip => report.docs_skipped += 1,

@@ -1,9 +1,11 @@
 //! Conformance `T ⊨ D` and compatibility `T ◁ D` — Definition 3.
 
 use crate::tree::{NodeContent, NodeId, XmlTree};
+use crate::UNLIMITED;
 use std::collections::HashMap;
 use std::fmt;
 use xnf_dtd::{ContentModel, Dtd};
+use xnf_govern::{Budget, Exhausted};
 
 /// Why a tree fails to conform to a DTD.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +48,10 @@ pub enum ConformError {
         /// Attributes on the node that are not in `R(τ)`.
         unexpected: Vec<String>,
     },
+    /// A resource budget ran out mid-check (see [`xnf_govern`]). The
+    /// conformance verdict is unknown: callers must not treat this as a
+    /// non-conformance.
+    Exhausted(Exhausted),
 }
 
 impl fmt::Display for ConformError {
@@ -86,11 +92,18 @@ impl fmt::Display for ConformError {
                 missing.join(", "),
                 unexpected.join(", ")
             ),
+            ConformError::Exhausted(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ConformError {}
+
+impl From<Exhausted> for ConformError {
+    fn from(e: Exhausted) -> Self {
+        ConformError::Exhausted(e)
+    }
+}
 
 /// Checks `T ⊨ D` (Definition 3): every label is a declared element type,
 /// the root is labelled `r`, every node's children word is in the language
@@ -98,6 +111,15 @@ impl std::error::Error for ConformError {}
 /// empty element `<t></t>` accepted as the empty string), and every node
 /// defines exactly the attributes `R(lab(v))`.
 pub fn conforms(t: &XmlTree, d: &Dtd) -> Result<(), ConformError> {
+    conforms_governed(t, d, UNLIMITED)
+}
+
+/// [`conforms`] under a resource [`Budget`]: one checkpoint is spent per
+/// document node, and content-model compilation/matching are charged
+/// through the same budget. On exhaustion the result is
+/// [`ConformError::Exhausted`] — an "unknown" verdict, never a spurious
+/// mismatch.
+pub fn conforms_governed(t: &XmlTree, d: &Dtd, budget: &Budget) -> Result<(), ConformError> {
     if t.label(t.root()) != d.root_name() {
         return Err(ConformError::WrongRoot {
             expected: d.root_name().to_string(),
@@ -106,6 +128,7 @@ pub fn conforms(t: &XmlTree, d: &Dtd) -> Result<(), ConformError> {
     }
     let mut matchers: HashMap<xnf_dtd::ElemId, xnf_dtd::nfa::Matcher> = HashMap::new();
     for v in t.descendants() {
+        budget.checkpoint("xml.conform.node")?;
         let label = t.label(v);
         let elem = d
             .elem_id(label)
@@ -149,10 +172,13 @@ pub fn conforms(t: &XmlTree, d: &Dtd) -> Result<(), ConformError> {
                 });
             }
             (ContentModel::Regex(re), NodeContent::Children(children)) => {
-                let m = matchers
-                    .entry(elem)
-                    .or_insert_with(|| xnf_dtd::nfa::Matcher::new(re));
-                if !m.matches(children.iter().map(|&c| t.label(c))) {
+                let m = match matchers.entry(elem) {
+                    std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(vac) => {
+                        vac.insert(xnf_dtd::nfa::Matcher::new_governed(re, budget)?)
+                    }
+                };
+                if !m.matches_governed(children.iter().map(|&c| t.label(c)), budget)? {
                     return Err(ConformError::ContentMismatch {
                         element: label.to_string(),
                         found: children.iter().map(|&c| t.label(c).to_string()).collect(),
@@ -341,6 +367,21 @@ mod tests {
         let t = parse(r#"<r><part id="1"><part id="2"><part id="3"/></part></part></r>"#).unwrap();
         assert!(compatible(&t, &d));
         assert_eq!(conforms(&t, &d), Ok(()));
+    }
+
+    #[test]
+    fn governed_conformance_agrees_and_exhausts() {
+        let t = figure_1a();
+        let d = university_dtd();
+        let generous = Budget::builder().fuel(1_000_000).build();
+        assert_eq!(conforms_governed(&t, &d, &generous), Ok(()));
+        let tiny = Budget::builder().fuel(3).build();
+        match conforms_governed(&t, &d, &tiny) {
+            Err(ConformError::Exhausted(e)) => {
+                assert_eq!(e.resource, xnf_govern::Resource::Fuel);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
     }
 
     #[test]

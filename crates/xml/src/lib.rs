@@ -34,9 +34,9 @@ pub mod paths;
 pub mod tree;
 pub mod write;
 
-pub use crate::conform::{compatible, conforms, ConformError};
+pub use crate::conform::{compatible, conforms, conforms_governed, ConformError};
 pub use crate::order::{embeds_in, unordered_eq};
-pub use crate::parse::parse;
+pub use crate::parse::{parse, parse_governed, ParseLimits};
 pub use crate::paths::{nodes_at, paths_of, value_projection, values_at};
 pub use crate::tree::{NodeContent, NodeId, XmlTree};
 pub use crate::write::to_string_pretty;
@@ -61,6 +61,8 @@ pub enum XmlError {
         /// Label of the offending element.
         element: String,
     },
+    /// A resource budget ran out mid-parse (see [`xnf_govern`]).
+    Exhausted(xnf_govern::Exhausted),
 }
 
 impl fmt::Display for XmlError {
@@ -74,11 +76,22 @@ impl fmt::Display for XmlError {
                 "element `{element}` at byte {offset} has mixed content \
                  (Definition 2 requires all-element or single-string content)"
             ),
+            XmlError::Exhausted(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for XmlError {}
+
+impl From<xnf_govern::Exhausted> for XmlError {
+    fn from(e: xnf_govern::Exhausted) -> Self {
+        XmlError::Exhausted(e)
+    }
+}
+
+/// The shared ungoverned budget, for infallible wrappers around governed
+/// internals (its checkpoints can never fail).
+pub(crate) const UNLIMITED: &xnf_govern::Budget = &xnf_govern::Budget::unlimited();
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, XmlError>;

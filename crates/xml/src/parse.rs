@@ -7,11 +7,35 @@
 //! children), which Definition 2 disallows.
 
 use crate::tree::{NodeId, XmlTree};
-use crate::{Result, XmlError};
+use crate::{Result, XmlError, UNLIMITED};
+use xnf_govern::Budget;
+
+/// Hard limits guarding the parser against adversarial documents:
+/// `max_depth` bounds element nesting (the parser is iterative, so depth
+/// is an ordinary resource limit, not a stack hazard) and `max_input`
+/// rejects oversized payloads up front, O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input size in bytes.
+    pub max_input: usize,
+    /// Maximum element nesting depth (the root is depth 1).
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_input: 256 << 20, // 256 MiB
+            max_depth: 1_024,
+        }
+    }
+}
 
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    limits: ParseLimits,
+    budget: &'a Budget,
 }
 
 impl<'a> Parser<'a> {
@@ -19,6 +43,16 @@ impl<'a> Parser<'a> {
         XmlError::Syntax {
             offset: self.pos,
             message: message.into(),
+        }
+    }
+
+    /// A spanned error at the current position: the message carries the
+    /// 1-based line/column so callers see where the limit tripped.
+    fn err_spanned(&self, message: impl Into<String>) -> XmlError {
+        let at = xnf_dtd::span::line_col(self.input, self.pos);
+        XmlError::Syntax {
+            offset: self.pos,
+            message: format!("{} (line {}, column {})", message.into(), at.line, at.col),
         }
     }
 
@@ -198,22 +232,20 @@ impl<'a> Parser<'a> {
         Err(self.err("unterminated attribute value"))
     }
 
-    /// Parses one element, appending into `tree` under `parent` (or as the
-    /// root when `parent` is `None`, in which case `tree` is created by the
-    /// caller with the right label).
-    fn element(&mut self, tree: &mut XmlTree, node: NodeId) -> Result<()> {
-        // Caller consumed `<name`; we parse attributes then content.
+    /// Parses the attribute list of an element whose `<name` the caller
+    /// consumed. Returns `true` when the element is self-closing (`…/>`).
+    fn open_tag(&mut self, tree: &mut XmlTree, node: NodeId) -> Result<bool> {
         loop {
             self.skip_ws();
             match self.peek() {
                 Some(b'/') => {
                     self.pos += 1;
                     self.expect(">")?;
-                    return Ok(());
+                    return Ok(true);
                 }
                 Some(b'>') => {
                     self.pos += 1;
-                    break;
+                    return Ok(false);
                 }
                 _ => {
                     let name = self.name()?;
@@ -228,11 +260,28 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        // Content: text, children, comments, CDATA, then `</name>`.
-        let mut text = String::new();
-        let mut text_start = self.pos;
-        let mut has_children = false;
-        loop {
+    }
+
+    /// Parses the content and closing tag of `node` (whose `<name` and
+    /// attributes the caller has consumed), including all nested elements.
+    ///
+    /// Iterative with an explicit frame stack: nesting depth is governed by
+    /// `limits.max_depth` as an ordinary resource limit instead of being a
+    /// call-stack-overflow hazard, so adversarially deep documents fail
+    /// with a spanned `Syntax` error rather than aborting the process.
+    fn element(&mut self, tree: &mut XmlTree, node: NodeId) -> Result<()> {
+        self.budget.checkpoint("xml.parse.node")?;
+        if self.open_tag(tree, node)? {
+            return Ok(());
+        }
+        let mut stack = vec![Frame {
+            node,
+            text: String::new(),
+            text_start: self.pos,
+            has_children: false,
+        }];
+        while !stack.is_empty() {
+            let top = stack.len() - 1;
             if self.starts_with("<!--") {
                 self.pos += 4;
                 self.skip_until("-->")?;
@@ -242,37 +291,64 @@ impl<'a> Parser<'a> {
                 self.skip_until("]]>")?;
                 let raw = std::str::from_utf8(&self.input[start..self.pos - 3])
                     .map_err(|_| self.err("CDATA is not valid UTF-8"))?;
-                text.push_str(raw);
+                stack[top].text.push_str(raw);
             } else if self.starts_with("</") {
                 self.pos += 2;
                 let close = self.name()?;
-                if close != tree.label(node) {
+                if close != tree.label(stack[top].node) {
                     return Err(self.err(format!(
                         "mismatched closing tag `</{close}>` for `<{}>`",
-                        tree.label(node)
+                        tree.label(stack[top].node)
                     )));
                 }
                 self.skip_ws();
                 self.expect(">")?;
-                break;
+                if !stack[top].text.trim().is_empty() {
+                    if stack[top].has_children {
+                        return Err(XmlError::MixedContent {
+                            offset: stack[top].text_start,
+                            element: tree.label(stack[top].node).to_string(),
+                        });
+                    }
+                    let text = std::mem::take(&mut stack[top].text);
+                    tree.set_text(stack[top].node, text);
+                }
+                stack.pop();
             } else if self.starts_with("<") {
                 self.pos += 1;
                 let name = self.name()?;
-                if !text.trim().is_empty() {
+                if !stack[top].text.trim().is_empty() {
                     return Err(XmlError::MixedContent {
-                        offset: text_start,
-                        element: tree.label(node).to_string(),
+                        offset: stack[top].text_start,
+                        element: tree.label(stack[top].node).to_string(),
                     });
                 }
-                text.clear();
-                has_children = true;
-                let child = tree.add_child(node, name);
-                self.element(tree, child)?;
+                stack[top].text.clear();
+                stack[top].has_children = true;
+                self.budget.checkpoint("xml.parse.node")?;
+                if stack.len() + 1 > self.limits.max_depth {
+                    return Err(self.err_spanned(format!(
+                        "document nested deeper than {} elements",
+                        self.limits.max_depth
+                    )));
+                }
+                let child = tree.add_child(stack[top].node, name);
+                if !self.open_tag(tree, child)? {
+                    stack.push(Frame {
+                        node: child,
+                        text: String::new(),
+                        text_start: self.pos,
+                        has_children: false,
+                    });
+                }
             } else if self.peek().is_none() {
-                return Err(self.err(format!("unterminated element `{}`", tree.label(node))));
+                return Err(self.err(format!(
+                    "unterminated element `{}`",
+                    tree.label(stack[top].node)
+                )));
             } else {
-                if text.is_empty() {
-                    text_start = self.pos;
+                if stack[top].text.is_empty() {
+                    stack[top].text_start = self.pos;
                 }
                 let start = self.pos;
                 while let Some(c) = self.peek() {
@@ -283,28 +359,46 @@ impl<'a> Parser<'a> {
                 }
                 let raw = std::str::from_utf8(&self.input[start..self.pos])
                     .map_err(|_| self.err("text is not valid UTF-8"))?;
-                text.push_str(&self.unescape(raw, start)?);
+                let unescaped = self.unescape(raw, start)?;
+                stack[top].text.push_str(&unescaped);
             }
-        }
-        if !text.trim().is_empty() {
-            if has_children {
-                return Err(XmlError::MixedContent {
-                    offset: text_start,
-                    element: tree.label(node).to_string(),
-                });
-            }
-            tree.set_text(node, text);
         }
         Ok(())
     }
 }
 
+/// One open element on the explicit parse stack.
+struct Frame {
+    node: NodeId,
+    text: String,
+    text_start: usize,
+    has_children: bool,
+}
+
 /// Parses an XML document into an [`XmlTree`].
+///
+/// Applies [`ParseLimits::default`] and no budget; use [`parse_governed`]
+/// to tune either.
 pub fn parse(input: &str) -> Result<XmlTree> {
+    parse_governed(input, ParseLimits::default(), UNLIMITED)
+}
+
+/// [`parse`] with explicit adversarial-input limits and a resource
+/// [`Budget`] (checked once per element node).
+pub fn parse_governed(input: &str, limits: ParseLimits, budget: &Budget) -> Result<XmlTree> {
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
+        limits,
+        budget,
     };
+    if p.input.len() > p.limits.max_input {
+        return Err(p.err_spanned(format!(
+            "input is {} bytes, over the {}-byte limit",
+            p.input.len(),
+            p.limits.max_input
+        )));
+    }
     p.skip_misc()?;
     p.expect("<")?;
     let root_label = p.name()?;
@@ -417,5 +511,61 @@ mod tests {
     #[test]
     fn unknown_entity_rejected() {
         assert!(parse("<r>&nbsp;</r>").is_err());
+    }
+
+    #[test]
+    fn million_deep_document_rejected_not_overflowed() {
+        // 1,000,000 nested open tags: an unbounded recursive parser blows
+        // the stack near ~50k levels; the depth limit must trip first with
+        // a spanned syntax error.
+        let mut doc = String::with_capacity(4_000_000);
+        for _ in 0..1_000_000 {
+            doc.push_str("<a>");
+        }
+        let err = parse(&doc).unwrap_err();
+        match err {
+            XmlError::Syntax { message, .. } => {
+                assert!(message.contains("nested deeper"), "{message}");
+                assert!(message.contains("line"), "{message}");
+            }
+            other => panic!("expected a spanned Syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_depth_limit_is_enforced() {
+        let limits = ParseLimits {
+            max_depth: 2,
+            ..ParseLimits::default()
+        };
+        assert!(parse_governed("<a><b/></a>", limits, UNLIMITED).is_ok());
+        let err = parse_governed("<a><b><c/></b></a>", limits, UNLIMITED).unwrap_err();
+        assert!(
+            matches!(err, XmlError::Syntax { ref message, .. } if message.contains("nested deeper"))
+        );
+    }
+
+    #[test]
+    fn oversized_input_rejected_up_front() {
+        let limits = ParseLimits {
+            max_input: 16,
+            ..ParseLimits::default()
+        };
+        let err = parse_governed("<root>0123456789</root>", limits, UNLIMITED).unwrap_err();
+        assert!(
+            matches!(err, XmlError::Syntax { ref message, .. } if message.contains("over the")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn governed_parse_surfaces_exhaustion() {
+        let budget = Budget::builder().fuel(2).build();
+        let err =
+            parse_governed("<r><a/><b/><c/></r>", ParseLimits::default(), &budget).unwrap_err();
+        assert!(matches!(err, XmlError::Exhausted(_)), "{err}");
+        let generous = Budget::builder().fuel(1_000).build();
+        let t = parse_governed("<r><a/><b/></r>", ParseLimits::default(), &generous).unwrap();
+        assert_eq!(t.children(t.root()).len(), 2);
     }
 }

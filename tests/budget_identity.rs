@@ -1,0 +1,128 @@
+//! Budget-plumbing identity: governance must be *observationally free*
+//! when it does not trip.
+//!
+//! For each of the three paper specs (`examples/specs/`), the outputs of
+//! `normalize` and `is-xnf` must be byte-identical across
+//!
+//! * the ungoverned fast path ([`Budget::unlimited`], a no-op handle),
+//! * a governed handle with no limits (`Budget::builder().build()`,
+//!   which owns counters and records every checkpoint), and
+//! * a governed handle with generous finite limits (the flags a cautious
+//!   operator would pass).
+//!
+//! Any divergence means a checkpoint changed control flow, which would
+//! make every governed verdict suspect.
+
+use std::path::PathBuf;
+use xnf_core::{normalize, NormalizeOptions, XmlFdSet};
+use xnf_govern::Budget;
+
+const SPECS: [&str; 3] = ["university", "dblp", "ebxml"];
+
+fn spec_path(name: &str, ext: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/specs")
+        .join(format!("{name}.{ext}"))
+}
+
+fn generous() -> Budget {
+    Budget::builder()
+        .fuel(100_000_000)
+        .deadline(std::time::Duration::from_secs(600))
+        .memory(1_000_000_000)
+        .build()
+}
+
+/// A canonical rendering of everything `normalize` decides: final DTD,
+/// final Σ, and the full step trace.
+fn normalize_fingerprint(name: &str, budget: Budget) -> String {
+    let dtd_src = std::fs::read_to_string(spec_path(name, "dtd")).expect("spec DTD exists");
+    let fds_src = std::fs::read_to_string(spec_path(name, "fds")).expect("spec FDs exist");
+    let dtd = xnf_dtd::parse_dtd(&dtd_src).expect("spec DTD parses");
+    let sigma = XmlFdSet::parse(&fds_src).expect("spec FDs parse");
+    let options = NormalizeOptions {
+        budget,
+        ..NormalizeOptions::default()
+    };
+    let result = normalize(&dtd, &sigma, &options).expect("spec normalizes");
+    assert!(
+        result.exhausted.is_none(),
+        "{name}: a generous budget must not exhaust: {:?}",
+        result.exhausted
+    );
+    format!(
+        "dtd:\n{}\nsigma:\n{}\nsteps:\n{:#?}\n",
+        result.dtd, result.sigma, result.steps
+    )
+}
+
+#[test]
+fn normalize_is_byte_identical_across_budgets_on_the_paper_specs() {
+    for name in SPECS {
+        let ungoverned = normalize_fingerprint(name, Budget::unlimited());
+        let governed_limitless = normalize_fingerprint(name, Budget::builder().build());
+        let governed_generous = normalize_fingerprint(name, generous());
+        assert_eq!(
+            ungoverned, governed_limitless,
+            "{name}: a limitless governed budget changed normalize output"
+        );
+        assert_eq!(
+            ungoverned, governed_generous,
+            "{name}: a generous finite budget changed normalize output"
+        );
+    }
+}
+
+#[test]
+fn is_xnf_verdicts_are_identical_across_budgets_on_the_paper_specs() {
+    for name in SPECS {
+        let dtd_src = std::fs::read_to_string(spec_path(name, "dtd")).expect("spec DTD exists");
+        let fds_src = std::fs::read_to_string(spec_path(name, "fds")).expect("spec FDs exist");
+        let dtd = xnf_dtd::parse_dtd(&dtd_src).expect("spec DTD parses");
+        let sigma = XmlFdSet::parse(&fds_src).expect("spec FDs parse");
+        let truth = xnf_core::is_xnf(&dtd, &sigma).expect("ungoverned is-xnf succeeds");
+        for (label, budget) in [
+            ("limitless governed", Budget::builder().build()),
+            ("generous governed", generous()),
+        ] {
+            let got = xnf_core::is_xnf_governed(&dtd, &sigma, &budget)
+                .unwrap_or_else(|e| panic!("{name}: {label} budget exhausted: {e}"));
+            assert_eq!(got, truth, "{name}: {label} budget changed the verdict");
+        }
+    }
+}
+
+/// The same identity through the CLI render path: `xnf-tool normalize`
+/// and `is-xnf` with generous `--timeout/--fuel/--max-memory` flags
+/// print byte-for-byte what the unflagged invocation prints.
+#[test]
+fn cli_output_is_byte_identical_with_generous_budget_flags() {
+    let flags = [
+        "--fuel",
+        "100000000",
+        "--timeout",
+        "600",
+        "--max-memory",
+        "1000000000",
+    ];
+    for name in SPECS {
+        let dtd = spec_path(name, "dtd").display().to_string();
+        let fds = spec_path(name, "fds").display().to_string();
+        for cmd in ["normalize", "is-xnf"] {
+            let plain: Vec<String> = [cmd, &dtd, &fds].iter().map(|s| s.to_string()).collect();
+            let governed: Vec<String> = [cmd, &dtd, &fds]
+                .iter()
+                .map(|s| s.to_string())
+                .chain(flags.iter().map(|s| s.to_string()))
+                .collect();
+            let plain_out = xnf_cli::run(&plain)
+                .unwrap_or_else(|e| panic!("{name}: plain `{cmd}` failed: {e}"));
+            let governed_out = xnf_cli::run(&governed)
+                .unwrap_or_else(|e| panic!("{name}: governed `{cmd}` failed: {e}"));
+            assert_eq!(
+                plain_out, governed_out,
+                "{name}: `{cmd}` output changed under generous budget flags"
+            );
+        }
+    }
+}

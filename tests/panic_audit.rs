@@ -203,6 +203,32 @@ fn library_crates_have_no_unwhitelisted_panic_sites() {
     );
 }
 
+/// The CLI crate is held to a stricter bar than the `.unwrap()`/`panic!`
+/// audit above: `run` returns `Result` end to end (formatting errors
+/// flow through `From<std::fmt::Error>`), so not even `.expect(` is
+/// allowed outside tests. This pins the conversion of the historical
+/// `.expect("string write")` sites and keeps new ones out.
+#[test]
+fn cli_crate_has_no_expect_sites() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates/cli/src"), &mut files);
+    assert!(!files.is_empty(), "crates/cli/src has moved");
+    let mut violations = Vec::new();
+    for path in files {
+        let src = std::fs::read_to_string(&path).expect("source file is UTF-8");
+        let count = strip_tests_and_comments(&src).matches(".expect(").count();
+        if count != 0 {
+            violations.push(format!("  {}: {count} `.expect(` site(s)", path.display()));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "the CLI must stay expect-free outside tests (return a CliError instead):\n{}",
+        violations.join("\n")
+    );
+}
+
 #[test]
 fn stripper_removes_test_modules_and_comments() {
     let src = r#"
