@@ -2,13 +2,22 @@
 //! prints the qualitative paper-vs-implementation comparison recorded in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|e17|e18|all]`
+//! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|e17|e18|e19|all]`
+//!
+//! Alongside the human output, every run writes `BENCH_obs.json` — one
+//! record per experiment (id, wall time, counter snapshot, git SHA) —
+//! so perf trajectories can be diffed across commits. Engine-driven
+//! experiments run under a recorder-enabled budget; the overhead
+//! experiments (e18, e19) manage their own budgets and report empty
+//! counter snapshots.
 
 #![forbid(unsafe_code)]
 
+use xnf_bench::obs_report::{self, ExperimentRecord};
 use xnf_core::lossless::{transform_document, verify_lossless};
-use xnf_core::{anomalous_fds, is_xnf, normalize, tuples_d, NormalizeOptions, XmlFdSet};
+use xnf_core::{normalize, tuples_d, NormalizeOptions, XmlFdSet};
 use xnf_dtd::classify::{DtdClass, DtdShapes};
+use xnf_govern::{Budget, Recorder};
 use xnf_relational::nested::{unnest, NestedSchema, NestedTuple};
 
 fn university() -> (xnf_dtd::Dtd, xnf_xml::XmlTree, XmlFdSet) {
@@ -41,18 +50,21 @@ fn university() -> (xnf_dtd::Dtd, xnf_xml::XmlTree, XmlFdSet) {
     (dtd, doc, sigma)
 }
 
-fn fig1() {
+fn fig1(budget: &Budget) {
     println!("================ Figure 1 — the university example ================");
     let (dtd, doc, sigma) = university();
     println!("-- Figure 1(a): the original document --");
     print!("{}", xnf_xml::to_string_pretty(&doc));
     assert!(xnf_xml::conforms(&doc, &dtd).is_ok());
     println!("\n-- XNF analysis --");
-    for v in anomalous_fds(&dtd, &sigma).expect("XNF test runs") {
+    for v in xnf_core::anomalous_fds_governed(&dtd, &sigma, budget).expect("XNF test runs") {
         println!("anomalous FD: {}", v.fd);
     }
-    let mut result =
-        normalize(&dtd, &sigma, &NormalizeOptions::default()).expect("normalization succeeds");
+    let options = NormalizeOptions {
+        budget: budget.clone(),
+        ..NormalizeOptions::default()
+    };
+    let mut result = normalize(&dtd, &sigma, &options).expect("normalization succeeds");
     let transformed = transform_document(&dtd, &result, &doc).expect("transform succeeds");
     xnf_core::normalize::rename_element(&mut result.dtd, &mut result.sigma, "sno_ref", "number")
         .expect("rename succeeds");
@@ -60,8 +72,7 @@ fn fig1() {
     print!("{}", result.dtd);
     println!("\n-- Figure 1(b): the transformed document --");
     print!("{}", xnf_xml::to_string_pretty(&transformed));
-    let pre_rename =
-        normalize(&dtd, &sigma, &NormalizeOptions::default()).expect("normalization succeeds");
+    let pre_rename = normalize(&dtd, &sigma, &options).expect("normalization succeeds");
     let report = verify_lossless(&dtd, &pre_rename, &doc).expect("verification runs");
     println!("\nlossless: {:?}", report);
     assert!(report.ok());
@@ -140,7 +151,7 @@ fn fig3() {
     println!("-- coded DTD (Section 5) --\n{dtd}");
 }
 
-fn fig4() {
+fn fig4(budget: &Budget) {
     println!("================ Figure 4 — the decomposition algorithm, traced ================");
     for (name, dtd_text, fds) in [
         (
@@ -171,7 +182,11 @@ fn fig4() {
     ] {
         let dtd = xnf_dtd::parse_dtd(dtd_text).expect("DTD parses");
         let sigma = XmlFdSet::parse(fds).expect("FDs parse");
-        let r = normalize(&dtd, &sigma, &NormalizeOptions::default()).expect("normalizes");
+        let options = NormalizeOptions {
+            budget: budget.clone(),
+            ..NormalizeOptions::default()
+        };
+        let r = normalize(&dtd, &sigma, &options).expect("normalizes");
         println!(
             "-- {name}: |AP| trace {:?} (Proposition 6: strictly decreasing) --",
             r.ap_trace
@@ -179,7 +194,7 @@ fn fig4() {
         for s in &r.steps {
             println!("   {s:?}");
         }
-        assert!(is_xnf(&r.dtd, &r.sigma).expect("XNF test runs"));
+        assert!(xnf_core::is_xnf_governed(&r.dtd, &r.sigma, budget).expect("XNF test runs"));
         println!("   result is in XNF ✓");
     }
 }
@@ -214,13 +229,16 @@ fn fig5() {
     }
 }
 
-fn e17() {
+fn e17(budget: &Budget) {
     println!("================ E17 — end-to-end verification oracle ================");
     // The same battery `xnf-tool verify` runs, over the paper's university
     // spec plus a randomized differential sample, with the headline
     // numbers printed for EXPERIMENTS.md.
     let (dtd, _, sigma) = university();
-    let config = xnf_oracle::SpecOracleConfig::default();
+    let config = xnf_oracle::SpecOracleConfig {
+        budget: budget.clone(),
+        ..xnf_oracle::SpecOracleConfig::default()
+    };
     let report = xnf_oracle::check_spec(&dtd, &sigma, &config).expect("spec oracle runs");
     println!(
         "university spec: output in XNF: {}, {} step(s); losslessness on \
@@ -284,7 +302,6 @@ fn e17() {
 
 fn e18() {
     use std::time::{Duration, Instant};
-    use xnf_govern::Budget;
     println!("================ E18 — governed execution overhead ================");
     // The implication-heavy workload every budget checkpoint rides on:
     // a full `normalize` plus the XNF test of its output, on the paper's
@@ -346,34 +363,166 @@ fn e18() {
     println!("acceptance: metered overhead < 3% (see EXPERIMENTS.md E18)");
 }
 
+fn e19() {
+    use std::time::{Duration, Instant};
+    println!("================ E19 — observability overhead ================");
+    // The same implication-heavy workload as E18, but varying the
+    // *recorder*: the ungoverned baseline, a governed budget whose
+    // recorder stays disabled (the default — every checkpoint pays one
+    // extra `Option` test), and a governed budget with an enabled
+    // recorder capturing every span, counter, and site tally.
+    let (dtd, _, sigma) = university();
+    let workload = |budget: &Budget| {
+        let options = NormalizeOptions {
+            budget: budget.clone(),
+            ..NormalizeOptions::default()
+        };
+        let result = normalize(&dtd, &sigma, &options).expect("normalization succeeds");
+        assert!(result.exhausted.is_none(), "generous budgets cannot trip");
+        let in_xnf =
+            xnf_core::is_xnf_governed(&result.dtd, &result.sigma, budget).expect("XNF test runs");
+        assert!(in_xnf, "normalization reaches XNF");
+    };
+    const BATCH: usize = 20;
+    const ROUNDS: usize = 120;
+    // A fresh recorder per enabled round: one round models one CLI
+    // `--trace` run (a process-lifetime recorder observing a bounded
+    // number of engine runs). Sharing a single recorder across the
+    // whole series would instead measure appending to an ever-growing
+    // multi-megabyte span buffer, a steady state no real run reaches.
+    let enabled_round_mk = || {
+        let recorder = Recorder::enabled();
+        move || Budget::builder().recorder(recorder.clone()).build()
+    };
+    // Interleaved median-of-N: each round times one batch of every
+    // config back to back; each config reports the median of its round
+    // times. Round-robin interleaving (instead of E18's per-config
+    // batch runs) cancels slow machine-load drift, and the median (not
+    // the minimum) shrugs off the occasional preempted batch — on a
+    // shared box both effects dwarf the few-percent cost being
+    // measured here.
+    let mut times: [Vec<Duration>; 3] = [const { Vec::new() }; 3];
+    let warm_enabled = enabled_round_mk();
+    for mk in [
+        &Budget::unlimited as &dyn Fn() -> Budget,
+        &|| Budget::builder().build(),
+        &warm_enabled,
+    ] {
+        for _ in 0..3 {
+            workload(&mk());
+        }
+    }
+    for _ in 0..ROUNDS {
+        let enabled_mk = enabled_round_mk();
+        let configs: [&dyn Fn() -> Budget; 3] = [
+            &Budget::unlimited,
+            &|| Budget::builder().build(),
+            &enabled_mk,
+        ];
+        for (slot, mk) in times.iter_mut().zip(configs) {
+            let t0 = Instant::now();
+            for _ in 0..BATCH {
+                workload(&mk());
+            }
+            slot.push(t0.elapsed());
+        }
+    }
+    let median = |series: &mut Vec<Duration>| {
+        series.sort_unstable();
+        series[series.len() / 2]
+    };
+    let [ungoverned, disabled, enabled] = times.each_mut().map(median);
+    // One factor at a time: the disabled-recorder cost is measured
+    // against the ungoverned baseline (it adds one `Option` test per
+    // checkpoint), and the recording cost against the disabled-recorder
+    // governed baseline (the run a `--trace` user would otherwise do).
+    let pct = |d: Duration, base: Duration| (d.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0;
+    let probe = Recorder::enabled();
+    workload(&Budget::builder().recorder(probe.clone()).build());
+    let visits: u64 = probe.sites().iter().map(|(_, t)| t.visits).sum();
+    println!("workload: normalize + is-xnf on the university spec, batches of {BATCH} (median of {ROUNDS} interleaved rounds)");
+    println!(
+        "  one workload records {} spans and {} checkpoint visits",
+        probe.span_count(),
+        visits
+    );
+    println!("  ungoverned (Budget::unlimited) : {ungoverned:>12.3?}");
+    println!(
+        "  governed, recorder disabled    : {disabled:>12.3?}  ({:+.2}% vs ungoverned)",
+        pct(disabled, ungoverned)
+    );
+    println!(
+        "  governed, recorder enabled     : {enabled:>12.3?}  ({:+.2}% vs disabled)",
+        pct(enabled, disabled)
+    );
+    // The disabled row re-measures E18's quantity (the governed tick
+    // itself — its config is E18's, minus explicit limits); the
+    // recorder's own probe is the difference against that envelope.
+    println!("acceptance: disabled within the ±3% E18 governance envelope, enabled < +10% vs disabled (see EXPERIMENTS.md E19)");
+}
+
+/// Builds the BENCH_obs counter snapshot for one experiment: the
+/// recorder's named counters plus per-site checkpoint visit tallies
+/// (names never collide — counters are plural, sites singular).
+fn snapshot(recorder: &Recorder) -> xnf_obs::CounterSnapshot {
+    let mut s = xnf_obs::CounterSnapshot::default();
+    for (name, value) in recorder.counters() {
+        s.record(name, value);
+    }
+    for (site, tally) in recorder.sites() {
+        s.record(site, tally.visits);
+    }
+    s
+}
+
+/// One dispatchable experiment: its id and entry point.
+type Experiment = (&'static str, fn(&Budget));
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match arg.as_str() {
-        "fig1" => fig1(),
-        "fig2" => fig2(),
-        "fig3" => fig3(),
-        "fig4" => fig4(),
-        "fig5" => fig5(),
-        "e17" => e17(),
-        "e18" => e18(),
-        "all" => {
-            fig1();
-            println!();
-            fig2();
-            println!();
-            fig3();
-            println!();
-            fig4();
-            println!();
-            fig5();
-            println!();
-            e17();
-            println!();
-            e18();
-        }
-        other => {
-            eprintln!("unknown figure `{other}`; use fig1..fig5, e17, e18, or all");
+    // Every experiment takes the run's recorder-enabled budget; the
+    // self-measuring ones (e18, e19) ignore it and manage their own.
+    let experiments: Vec<Experiment> = vec![
+        ("fig1", fig1),
+        ("fig2", |_| fig2()),
+        ("fig3", |_| fig3()),
+        ("fig4", fig4),
+        ("fig5", |_| fig5()),
+        ("e17", e17),
+        ("e18", |_| e18()),
+        ("e19", |_| e19()),
+    ];
+    let selected: Vec<&Experiment> = if arg == "all" {
+        experiments.iter().collect()
+    } else {
+        let Some(exp) = experiments.iter().find(|(id, _)| *id == arg) else {
+            eprintln!("unknown figure `{arg}`; use fig1..fig5, e17, e18, e19, or all");
             std::process::exit(1);
+        };
+        vec![exp]
+    };
+    let mut records = Vec::new();
+    for (i, (id, f)) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
         }
+        let recorder = Recorder::enabled();
+        let budget = Budget::builder().recorder(recorder.clone()).build();
+        let t0 = std::time::Instant::now();
+        f(&budget);
+        records.push(ExperimentRecord {
+            id: (*id).to_string(),
+            wall_micros: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+            counters: snapshot(&recorder),
+        });
+    }
+    let json = obs_report::render(&obs_report::git_sha(), &records);
+    obs_report::check_schema(&json).expect("rendered BENCH_obs.json passes its own schema");
+    match std::fs::write("BENCH_obs.json", &json) {
+        Ok(()) => println!(
+            "\nwrote BENCH_obs.json ({} experiment record(s))",
+            records.len()
+        ),
+        Err(e) => eprintln!("\ncould not write BENCH_obs.json: {e}"),
     }
 }

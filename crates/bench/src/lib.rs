@@ -2,3 +2,5 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod obs_report;

@@ -39,6 +39,20 @@
 //! so far, clearly marked non-final; the others print the structured
 //! exhaustion message.
 //!
+//! The same four subcommands accept observability flags (see `xnf-obs`):
+//!
+//! ```text
+//! --trace <file>        write a span trace (default format: Chrome trace
+//!                       JSON — load in chrome://tracing or Perfetto)
+//! --metrics <file>      write counters/histograms (default: Prometheus text)
+//! --obs-format <fmt>    override both: chrome|jsonl|prometheus
+//! ```
+//!
+//! With neither flag the recorder stays disabled and output is
+//! byte-identical to the flagless run. Trace/metrics files are written
+//! even when the run exhausts its budget — a trace of the partial run is
+//! exactly what the flags are for.
+//!
 //! `normalize` and `is-xnf` run the linter as a preflight: hard lint
 //! errors abort with the rendered report and a nonzero exit before the
 //! engine touches the spec; `--no-lint` opts out. Warnings and infos never
@@ -58,7 +72,8 @@ use xnf_core::lossless::{transform_document, verify_lossless};
 use xnf_core::{normalize, NormalizeOptions, XmlFd, XmlFdSet};
 use xnf_dtd::classify::{DtdClass, DtdShapes};
 use xnf_dtd::Dtd;
-use xnf_govern::Budget;
+use xnf_govern::{Budget, Recorder};
+use xnf_obs::ObsFormat;
 
 /// CLI errors: usage problems, I/O, or any library error.
 #[derive(Debug)]
@@ -155,6 +170,17 @@ fn load_xml(path: &str) -> Result<xnf_xml::XmlTree, CliError> {
     Ok(xnf_xml::parse(&read(path)?)?)
 }
 
+/// Parses a DTD under the subcommand's budget, so governed runs meter
+/// (and, with a recorder installed, trace) the parse phase too. With an
+/// ungoverned budget this is exactly [`xnf_dtd::parse_dtd`].
+fn parse_governed_dtd(src: &str, budget: &Budget) -> Result<Dtd, CliError> {
+    Ok(xnf_dtd::parse_dtd_governed(
+        src,
+        xnf_dtd::ParseLimits::default(),
+        budget,
+    )?)
+}
+
 /// Runs the linter over raw spec sources and fails with the rendered
 /// report when it finds hard errors. Clean specs (and specs with only
 /// warnings or infos) pass silently.
@@ -222,7 +248,14 @@ impl BudgetFlags {
         if self.timeout.is_none() && self.fuel.is_none() && self.memory.is_none() {
             return Budget::unlimited();
         }
-        let mut b = Budget::builder();
+        self.build_with(Recorder::disabled())
+    }
+
+    /// Builds a *governed* budget carrying `recorder` — used when any
+    /// observability output was requested, since only a governed budget
+    /// can carry a recorder. Limits stay optional.
+    fn build_with(&self, recorder: Recorder) -> Budget {
+        let mut b = Budget::builder().recorder(recorder);
         if let Some(secs) = self.timeout {
             b = b.deadline(Duration::from_secs_f64(secs));
         }
@@ -239,6 +272,78 @@ impl BudgetFlags {
 /// Matches the flags [`BudgetFlags::set`] accepts (callers dispatch on
 /// this before handing the argument over).
 const BUDGET_FLAGS: [&str; 3] = ["--timeout", "--fuel", "--max-memory"];
+
+/// The shared `--trace <file>` / `--metrics <file>` / `--obs-format
+/// <fmt>` flags of the governed subcommands. `--trace` captures the span
+/// timeline (Chrome trace JSON by default — load it in `chrome://tracing`
+/// or Perfetto); `--metrics` captures counters, checkpoint-site tallies,
+/// and duration histograms (Prometheus text by default); `--obs-format`
+/// overrides either (`chrome|jsonl|prometheus`). With neither file flag
+/// given, the recorder stays disabled and the invocation is
+/// byte-identical to the unflagged one.
+#[derive(Default)]
+struct ObsFlags {
+    trace: Option<String>,
+    metrics: Option<String>,
+    format: Option<ObsFormat>,
+    recorder: Recorder,
+}
+
+impl ObsFlags {
+    /// Parses the observability flag at `args[*i]` and its value. Leaves
+    /// `*i` on the value, matching the callers' trailing `i += 1`.
+    fn set(&mut self, args: &[String], i: &mut usize) -> Result<(), CliError> {
+        let flag = args[*i].clone();
+        *i += 1;
+        let value = args
+            .get(*i)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--trace" => self.trace = Some(value.clone()),
+            "--metrics" => self.metrics = Some(value.clone()),
+            "--obs-format" => {
+                self.format = Some(ObsFormat::parse(value).ok_or_else(|| {
+                    CliError::Usage(format!("--obs-format needs one of {}", ObsFormat::NAMES))
+                })?);
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+        Ok(())
+    }
+
+    /// Builds the subcommand's budget: ungoverned (or limits-only) when
+    /// no observability output was requested; otherwise a governed budget
+    /// carrying a freshly enabled recorder, kept here for [`write`].
+    ///
+    /// [`write`]: ObsFlags::write
+    fn build_budget(&mut self, budget_flags: &BudgetFlags) -> Budget {
+        if self.trace.is_none() && self.metrics.is_none() {
+            return budget_flags.build();
+        }
+        self.recorder = Recorder::enabled();
+        budget_flags.build_with(self.recorder.clone())
+    }
+
+    /// Writes the requested export files. Callers invoke this right after
+    /// the engine returns — *before* propagating its error — so traces
+    /// and metrics survive exhaustion, where they matter most.
+    fn write(&self) -> Result<(), CliError> {
+        if let Some(path) = &self.trace {
+            let format = self.format.unwrap_or(ObsFormat::ChromeTrace);
+            fs::write(path, self.recorder.export(format))
+                .map_err(|e| CliError::Io(path.clone(), e))?;
+        }
+        if let Some(path) = &self.metrics {
+            let format = self.format.unwrap_or(ObsFormat::Prometheus);
+            fs::write(path, self.recorder.export(format))
+                .map_err(|e| CliError::Io(path.clone(), e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Matches the flags [`ObsFlags::set`] accepts.
+const OBS_FLAGS: [&str; 3] = ["--trace", "--metrics", "--obs-format"];
 
 const USAGE: &str =
     "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|lint|normalize|verify|keys|mvd> …";
@@ -334,12 +439,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "is-xnf" => {
             let mut no_lint = false;
             let mut budget_flags = BudgetFlags::default();
+            let mut obs_flags = ObsFlags::default();
             let mut files: Vec<&str> = Vec::new();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--no-lint" => no_lint = true,
                     flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
+                    flag if OBS_FLAGS.contains(&flag) => obs_flags.set(args, &mut i)?,
                     flag if flag.starts_with("--") => {
                         return Err(CliError::Usage(format!("unknown flag `{flag}`")));
                     }
@@ -350,7 +457,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let [dtd_path, fds_path] = files[..] else {
                 return Err(CliError::Usage(
                     "xnf-tool is-xnf <dtd> <fds> [--no-lint] [--timeout <s>] [--fuel <n>] \
-                     [--max-memory <b>]"
+                     [--max-memory <b>] [--trace <f>] [--metrics <f>] [--obs-format <fmt>]"
                         .into(),
                 ));
             };
@@ -359,10 +466,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if !no_lint {
                 preflight_lint(&dtd_src, Some(&fds_src))?;
             }
-            let dtd = xnf_dtd::parse_dtd(&dtd_src)?;
+            let budget = obs_flags.build_budget(&budget_flags);
+            let parse_span = budget.recorder().span("spec.parse", "parse");
+            let dtd = parse_governed_dtd(&dtd_src, &budget)?;
             let sigma = XmlFdSet::parse(&fds_src)?;
-            let budget = budget_flags.build();
-            let violations = xnf_core::anomalous_fds_governed(&dtd, &sigma, &budget)?;
+            drop(parse_span);
+            let violations = xnf_core::anomalous_fds_governed(&dtd, &sigma, &budget);
+            obs_flags.write()?;
+            let violations = violations?;
             if violations.is_empty() {
                 writeln!(out, "in XNF: yes")?;
             } else {
@@ -376,12 +487,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if args.len() < 3 {
                 return Err(CliError::Usage(
                     "xnf-tool normalize <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] \
-                     [--threads <n>] [--no-lint] [--timeout <s>] [--fuel <n>] [--max-memory <b>]"
+                     [--threads <n>] [--no-lint] [--timeout <s>] [--fuel <n>] [--max-memory <b>] \
+                     [--trace <f>] [--metrics <f>] [--obs-format <fmt>]"
                         .into(),
                 ));
             }
             let mut options = NormalizeOptions::default();
             let mut budget_flags = BudgetFlags::default();
+            let mut obs_flags = ObsFlags::default();
             let mut doc_path: Option<&str> = None;
             let mut show_stats = false;
             let mut no_lint = false;
@@ -392,6 +505,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "--stats" => show_stats = true,
                     "--no-lint" => no_lint = true,
                     flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
+                    flag if OBS_FLAGS.contains(&flag) => obs_flags.set(args, &mut i)?,
                     "--threads" => {
                         i += 1;
                         options.threads =
@@ -418,10 +532,26 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if !no_lint {
                 preflight_lint(&dtd_src, Some(&fds_src))?;
             }
-            let dtd = xnf_dtd::parse_dtd(&dtd_src)?;
+            options.budget = obs_flags.build_budget(&budget_flags);
+            let parse_span = options.budget.recorder().span("spec.parse", "parse");
+            let dtd = parse_governed_dtd(&dtd_src, &options.budget)?;
             let sigma = XmlFdSet::parse(&fds_src)?;
-            options.budget = budget_flags.build();
-            let result = normalize(&dtd, &sigma, &options)?;
+            drop(parse_span);
+            let result = normalize(&dtd, &sigma, &options);
+            // Publish the run's counter totals, then write trace/metrics
+            // files even when the engine failed or exhausted — a trace of
+            // the partial run is exactly what the flags are for.
+            if let Ok(result) = &result {
+                obs_flags.recorder.merge(&result.stats.chase);
+                obs_flags
+                    .recorder
+                    .add("normalize.iterations", result.stats.iterations);
+                obs_flags
+                    .recorder
+                    .add("normalize.steps", result.steps.len() as u64);
+            }
+            obs_flags.write()?;
+            let result = result?;
             if let Some(e) = &result.exhausted {
                 writeln!(out, "*** PARTIAL RESULT — budget exhausted: {e} ***")?;
                 writeln!(
@@ -439,21 +569,22 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if show_stats {
                 let s = &result.stats;
                 let c = &s.chase;
-                let queries = c.cache_hits + c.cache_misses;
+                let hits = c.get("cache.hits");
+                let misses = c.get("cache.misses");
+                let queries = hits + misses;
                 let hit_rate = if queries == 0 {
                     0.0
                 } else {
-                    100.0 * c.cache_hits as f64 / queries as f64
+                    100.0 * hits as f64 / queries as f64
                 };
                 writeln!(out, "=== stats ===")?;
                 writeln!(out, "iterations:        {}", s.iterations)?;
-                writeln!(out, "chase runs:        {}", c.runs)?;
-                writeln!(out, "rule firings:      {}", c.rule_firings)?;
-                writeln!(out, "ternary flips:     {}", c.ternary_flips)?;
+                writeln!(out, "chase runs:        {}", c.get("chase.runs"))?;
+                writeln!(out, "rule firings:      {}", c.get("chase.rule_firings"))?;
+                writeln!(out, "ternary flips:     {}", c.get("chase.ternary_flips"))?;
                 writeln!(
                     out,
-                    "implication cache: {} hits / {} misses ({hit_rate:.1}% hit rate)",
-                    c.cache_hits, c.cache_misses
+                    "implication cache: {hits} hits / {misses} misses ({hit_rate:.1}% hit rate)",
                 )?;
                 writeln!(
                     out,
@@ -484,12 +615,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let mut seed: u64 = 0xA1;
             let mut no_lint = false;
             let mut budget_flags = BudgetFlags::default();
+            let mut obs_flags = ObsFlags::default();
             let mut files: Vec<&str> = Vec::new();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--no-lint" => no_lint = true,
                     flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
+                    flag if OBS_FLAGS.contains(&flag) => obs_flags.set(args, &mut i)?,
                     "--docs" => {
                         i += 1;
                         docs = args
@@ -514,7 +647,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let [dtd_path, fds_path] = files[..] else {
                 return Err(CliError::Usage(
                     "xnf-tool verify <dtd> <fds> [--docs <n>] [--seed <s>] [--no-lint] \
-                     [--timeout <s>] [--fuel <n>] [--max-memory <b>]"
+                     [--timeout <s>] [--fuel <n>] [--max-memory <b>] \
+                     [--trace <f>] [--metrics <f>] [--obs-format <fmt>]"
                         .into(),
                 ));
             };
@@ -523,15 +657,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             if !no_lint {
                 preflight_lint(&dtd_src, Some(&fds_src))?;
             }
-            let dtd = xnf_dtd::parse_dtd(&dtd_src)?;
+            let budget = obs_flags.build_budget(&budget_flags);
+            let parse_span = budget.recorder().span("spec.parse", "parse");
+            let dtd = parse_governed_dtd(&dtd_src, &budget)?;
             let sigma = XmlFdSet::parse(&fds_src)?;
+            drop(parse_span);
             let config = xnf_oracle::SpecOracleConfig {
                 docs,
                 seed,
-                budget: budget_flags.build(),
+                budget,
                 ..xnf_oracle::SpecOracleConfig::default()
             };
-            let report = xnf_oracle::check_spec(&dtd, &sigma, &config)?;
+            let report = xnf_oracle::check_spec(&dtd, &sigma, &config);
+            obs_flags.write()?;
+            let report = report?;
             writeln!(
                 out,
                 "verify {dtd_path} + {fds_path} ({} step(s))",
@@ -550,11 +689,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "lint" => {
             let mut format_json = false;
             let mut budget_flags = BudgetFlags::default();
+            let mut obs_flags = ObsFlags::default();
             let mut files: Vec<&str> = Vec::new();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
+                    flag if OBS_FLAGS.contains(&flag) => obs_flags.set(args, &mut i)?,
                     "--format" => {
                         i += 1;
                         match args.get(i).map(String::as_str) {
@@ -580,15 +721,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 _ => {
                     return Err(CliError::Usage(
                         "xnf-tool lint <dtd> [<fds>] [--format json] [--timeout <s>] \
-                         [--fuel <n>] [--max-memory <b>]"
+                         [--fuel <n>] [--max-memory <b>] \
+                         [--trace <f>] [--metrics <f>] [--obs-format <fmt>]"
                             .into(),
                     ));
                 }
             };
             let dtd_src = read(dtd_path)?;
             let fds_src = fds_path.map(read).transpose()?;
-            let budget = budget_flags.build();
-            let report = xnf_lint::lint_spec_governed(&dtd_src, fds_src.as_deref(), &budget)?;
+            let budget = obs_flags.build_budget(&budget_flags);
+            let report = xnf_lint::lint_spec_governed(&dtd_src, fds_src.as_deref(), &budget);
+            obs_flags.write()?;
+            let report = report?;
             let rendered = if format_json {
                 let mut j = report.to_json();
                 j.push('\n');
@@ -1044,7 +1188,9 @@ courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.
     fn starved_normalize_returns_partial_marked_non_final() {
         let dtd = write_tmp("g2.dtd", DBLP_DTD);
         let fds = write_tmp("g2.fds", DBLP_FDS);
-        let args: Vec<String> = ["normalize", &dtd, &fds, "--fuel", "2"]
+        // Enough fuel to finish the (governed) DTD parse, little enough to
+        // starve the normalize loop itself — the partial-trace path.
+        let args: Vec<String> = ["normalize", &dtd, &fds, "--fuel", "20"]
             .iter()
             .map(|s| s.to_string())
             .collect();

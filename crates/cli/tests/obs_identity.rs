@@ -1,0 +1,91 @@
+//! Observability identity: `--trace`/`--metrics` must never change what
+//! the tool *says* — only add sidecar files. For each paper spec, the
+//! stdout, stderr, and exit status of `normalize` and `is-xnf` must be
+//! byte-identical between a plain run (disabled recorder) and a traced
+//! run (enabled recorder exporting both sidecars). Any divergence means
+//! a probe leaked into control flow or output formatting, which would
+//! make every traced run unrepresentative of the run it claims to
+//! describe.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SPECS: [&str; 3] = ["university", "dblp", "ebxml"];
+
+fn workspace_file(rel: &str) -> String {
+    // crates/cli → workspace root is two levels up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(rel);
+    p.to_string_lossy().into_owned()
+}
+
+fn xnf_tool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xnf-tool"))
+        .args(args)
+        .output()
+        .expect("xnf-tool runs")
+}
+
+fn scratch(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("xnf-obs-identity-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn assert_identical(plain: &Output, traced: &Output, what: &str) {
+    assert_eq!(
+        plain.status.code(),
+        traced.status.code(),
+        "{what}: exit status diverged"
+    );
+    assert_eq!(
+        plain.stdout,
+        traced.stdout,
+        "{what}: stdout diverged\nplain:\n{}\ntraced:\n{}",
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&traced.stdout)
+    );
+    assert_eq!(
+        plain.stderr,
+        traced.stderr,
+        "{what}: stderr diverged\nplain:\n{}\ntraced:\n{}",
+        String::from_utf8_lossy(&plain.stderr),
+        String::from_utf8_lossy(&traced.stderr)
+    );
+}
+
+#[test]
+fn tracing_is_output_invisible_on_the_paper_specs() {
+    for name in SPECS {
+        let dtd = workspace_file(&format!("examples/specs/{name}.dtd"));
+        let fds = workspace_file(&format!("examples/specs/{name}.fds"));
+        for cmd in ["normalize", "is-xnf"] {
+            let trace = scratch(&format!("{name}-{cmd}.trace.json"));
+            let metrics = scratch(&format!("{name}-{cmd}.metrics.txt"));
+            let plain = xnf_tool(&[cmd, &dtd, &fds]);
+            let traced = xnf_tool(&[cmd, &dtd, &fds, "--trace", &trace, "--metrics", &metrics]);
+            assert_identical(&plain, &traced, &format!("{cmd} {name}"));
+            // The sidecars themselves must exist and be non-empty.
+            for path in [&trace, &metrics] {
+                let meta = std::fs::metadata(path).expect("sidecar written");
+                assert!(meta.len() > 0, "{path} is empty");
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_is_output_invisible_for_lint() {
+    let dtd = workspace_file("examples/specs/university.dtd");
+    let fds = workspace_file("examples/specs/university.fds");
+    let metrics = scratch("lint.metrics.txt");
+    let plain = xnf_tool(&["lint", &dtd, &fds]);
+    let traced = xnf_tool(&["lint", &dtd, &fds, "--metrics", &metrics]);
+    assert_identical(&plain, &traced, "lint university");
+    assert!(std::fs::metadata(&metrics).expect("sidecar written").len() > 0);
+    let _ = std::fs::remove_file(&metrics);
+}

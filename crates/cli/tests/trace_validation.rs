@@ -1,0 +1,126 @@
+//! Trace-export validation at the process level: `normalize --trace`
+//! on each paper spec must produce a Chrome-trace JSON document that a
+//! viewer (`chrome://tracing`, Perfetto) would accept — structurally
+//! well-formed JSON, every event carrying the complete-event required
+//! fields — with at least one span for every instrumented phase the
+//! spec exercises.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn workspace_file(rel: &str) -> String {
+    // crates/cli → workspace root is two levels up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push(rel);
+    p.to_string_lossy().into_owned()
+}
+
+/// Minimal structural JSON check: balanced braces/brackets outside
+/// strings, terminated strings. Not a full parser, but any document that
+/// fails this is one no JSON viewer will load.
+fn assert_well_formed_json(doc: &str, what: &str) {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in doc.chars() {
+        if in_string {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "{what}: unbalanced closing brace/bracket");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_string, "{what}: unterminated string");
+    assert_eq!(depth, 0, "{what}: unbalanced nesting");
+}
+
+fn trace_for(name: &str) -> String {
+    let dtd = workspace_file(&format!("examples/specs/{name}.dtd"));
+    let fds = workspace_file(&format!("examples/specs/{name}.fds"));
+    let path = std::env::temp_dir()
+        .join(format!(
+            "xnf-trace-validation-{}-{name}.json",
+            std::process::id()
+        ))
+        .to_string_lossy()
+        .into_owned();
+    let out = Command::new(env!("CARGO_BIN_EXE_xnf-tool"))
+        .args(["normalize", &dtd, &fds, "--trace", &path])
+        .output()
+        .expect("xnf-tool runs");
+    assert!(
+        out.status.success(),
+        "{name}: normalize failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).expect("trace written");
+    let _ = std::fs::remove_file(&path);
+    doc
+}
+
+#[test]
+fn traces_are_loadable_chrome_trace_json_with_all_phases() {
+    for name in ["university", "dblp", "ebxml"] {
+        let doc = trace_for(name);
+        assert_well_formed_json(&doc, name);
+        // The Chrome trace object form with complete ("X") events:
+        // every event carries ph/ts/dur/name/cat (plus pid/tid for
+        // lanes).
+        assert!(
+            doc.trim_start().starts_with("{\"traceEvents\":["),
+            "{name}: not a traceEvents document"
+        );
+        let events = doc.matches("\"ph\":\"X\"").count();
+        assert!(events > 0, "{name}: no complete events");
+        for field in [
+            "\"ts\":",
+            "\"dur\":",
+            "\"name\":",
+            "\"cat\":",
+            "\"pid\":",
+            "\"tid\":",
+        ] {
+            assert_eq!(
+                doc.matches(field).count(),
+                events,
+                "{name}: some event is missing {field}"
+            );
+        }
+        // One span per instrumented phase every spec exercises: spec
+        // and DTD parsing, the normalize loop, and XNF candidate tests.
+        for span in [
+            "\"name\":\"spec.parse\"",
+            "\"name\":\"dtd.parse\"",
+            "\"name\":\"normalize.iteration\"",
+            "\"name\":\"xnf.candidate\"",
+        ] {
+            assert!(doc.contains(span), "{name}: missing span {span}");
+        }
+        // Specs that leave XNF violations to repair also run the chase
+        // (ebxml is near-XNF and never needs an implication proof).
+        if name != "ebxml" {
+            assert!(
+                doc.contains("\"name\":\"chase.run\""),
+                "{name}: missing span chase.run"
+            );
+            assert!(
+                doc.contains("\"name\":\"step."),
+                "{name}: missing normalize step span"
+            );
+        }
+    }
+}

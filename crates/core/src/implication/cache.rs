@@ -17,7 +17,7 @@
 //! behind a [`Mutex`] — so one instance can serve all workers of the
 //! parallel anomalous-FD search.
 
-use super::chase::{Chase, ChaseStats};
+use super::chase::Chase;
 use super::Implication;
 use crate::fd::ResolvedFd;
 use std::collections::HashMap;
@@ -68,8 +68,9 @@ impl Tables {
 /// [`Implication::is_trivial`], which is also pre-interned) are still
 /// memoized, just keyed by value.
 ///
-/// Cache traffic is reported on the wrapped chase's [`ChaseStats`]
-/// (`cache_hits` / `cache_misses`).
+/// Cache traffic is reported on the wrapped chase's
+/// [`ChaseStats`](super::chase::ChaseStats) (`cache_hits` /
+/// `cache_misses`).
 #[derive(Debug)]
 pub struct ImplicationCache<'a> {
     chase: &'a Chase<'a>,
@@ -130,7 +131,7 @@ impl Implication for ImplicationCache<'_> {
             let sid = self.sigma_id(&mut tables, sigma);
             let fid = tables.intern_fd(fd);
             if let Some(&verdict) = tables.verdicts.get(&(sid, fid)) {
-                ChaseStats::bump(&self.chase.stats().cache_hits);
+                self.chase.stats().cache_hits.bump();
                 return verdict;
             }
             (sid, fid)
@@ -138,7 +139,7 @@ impl Implication for ImplicationCache<'_> {
         // Chase outside the lock: concurrent workers may race on the same
         // key, but the chase is deterministic, so both compute the same
         // verdict and the duplicated work is bounded by the worker count.
-        ChaseStats::bump(&self.chase.stats().cache_misses);
+        self.chase.stats().cache_misses.bump();
         let verdict = self.chase.implies(sigma, fd);
         self.tables
             .lock()
@@ -155,12 +156,12 @@ impl Implication for ImplicationCache<'_> {
             let sid = self.sigma_id(&mut tables, sigma);
             let fid = tables.intern_fd(fd);
             if let Some(&verdict) = tables.verdicts.get(&(sid, fid)) {
-                ChaseStats::bump(&self.chase.stats().cache_hits);
+                self.chase.stats().cache_hits.bump();
                 return Ok(verdict);
             }
             (sid, fid)
         };
-        ChaseStats::bump(&self.chase.stats().cache_misses);
+        self.chase.stats().cache_misses.bump();
         // Only completed verdicts are memoized: an exhausted chase run
         // returns here via `?` without touching the tables, so a rerun
         // with a larger budget starts from trustworthy entries only.
@@ -208,9 +209,9 @@ mod tests {
             }
         }
         let stats = chase.stats().snapshot();
-        assert!(stats.cache_hits > 0, "repeat queries must hit");
-        assert!(stats.cache_misses > 0, "first queries must miss");
-        assert_eq!(cache.len() as u64, stats.cache_misses);
+        assert!(stats.get("cache.hits") > 0, "repeat queries must hit");
+        assert!(stats.get("cache.misses") > 0, "first queries must miss");
+        assert_eq!(cache.len() as u64, stats.get("cache.misses"));
     }
 
     #[test]

@@ -25,72 +25,62 @@ use crate::fd::ResolvedFd;
 use crate::implication::Implication;
 use crate::UNLIMITED;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use xnf_dtd::classify::{classify_content, letter_bounds, Factor, SimpleContent};
 use xnf_dtd::{ContentModel, Dtd, PathId, PathSet, Step};
 use xnf_govern::{Budget, Exhausted};
+use xnf_obs::{Counter, CounterSnapshot};
 
-/// Instrumentation counters for the implication machinery.
+/// Instrumentation counters for the implication machinery, named for
+/// export (`chase.runs`, `cache.hits`, …).
 ///
 /// The counters live on the [`Chase`] (and are shared by any
 /// [`ImplicationCache`](crate::implication::ImplicationCache) wrapping
-/// it), use relaxed atomics so a `&Chase` can be queried from the
-/// parallel anomalous-FD search workers, and are purely observational —
-/// no verdict depends on them.
-#[derive(Debug, Default)]
+/// it), are [`xnf_obs::Counter`]s — relaxed atomics, so a `&Chase` can
+/// be queried from the parallel anomalous-FD search workers — and are
+/// purely observational: no verdict depends on them. A snapshot of the
+/// totals publishes into an [`xnf_obs::Recorder`] via `Recorder::merge`.
+#[derive(Debug)]
 pub struct ChaseStats {
     /// Single-RHS chase runs started (one per `run_single`).
-    pub runs: AtomicU64,
+    pub runs: Counter,
     /// FD-rule firings that derived at least one new fact.
-    pub rule_firings: AtomicU64,
+    pub rule_firings: Counter,
     /// Ternary-state flips: `Unknown → True/False` transitions of an
     /// `n₁`/`n₂`/`eq` fact.
-    pub ternary_flips: AtomicU64,
+    pub ternary_flips: Counter,
     /// Memoized verdicts served by a wrapping `ImplicationCache`.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// Cache misses (each one cost a real chase run).
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Counter,
 }
 
-/// A plain-integer copy of [`ChaseStats`] at one instant.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ChaseStatsSnapshot {
-    /// See [`ChaseStats::runs`].
-    pub runs: u64,
-    /// See [`ChaseStats::rule_firings`].
-    pub rule_firings: u64,
-    /// See [`ChaseStats::ternary_flips`].
-    pub ternary_flips: u64,
-    /// See [`ChaseStats::cache_hits`].
-    pub cache_hits: u64,
-    /// See [`ChaseStats::cache_misses`].
-    pub cache_misses: u64,
+/// A plain-integer copy of [`ChaseStats`] at one instant, keyed by the
+/// counters' export names (`chase.runs`, `cache.hits`, …). Snapshots
+/// accumulate with `+=` and publish via `xnf_obs::Recorder::merge`.
+pub type ChaseStatsSnapshot = CounterSnapshot;
+
+impl Default for ChaseStats {
+    fn default() -> ChaseStats {
+        ChaseStats {
+            runs: Counter::new("chase.runs"),
+            rule_firings: Counter::new("chase.rule_firings"),
+            ternary_flips: Counter::new("chase.ternary_flips"),
+            cache_hits: Counter::new("cache.hits"),
+            cache_misses: Counter::new("cache.misses"),
+        }
+    }
 }
 
 impl ChaseStats {
     /// Reads all counters (relaxed; exact once the workers are joined).
     pub fn snapshot(&self) -> ChaseStatsSnapshot {
-        ChaseStatsSnapshot {
-            runs: self.runs.load(Ordering::Relaxed),
-            rule_firings: self.rule_firings.load(Ordering::Relaxed),
-            ternary_flips: self.ternary_flips.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-        }
-    }
-
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-impl std::ops::AddAssign for ChaseStatsSnapshot {
-    fn add_assign(&mut self, rhs: ChaseStatsSnapshot) {
-        self.runs += rhs.runs;
-        self.rule_firings += rhs.rule_firings;
-        self.ternary_flips += rhs.ternary_flips;
-        self.cache_hits += rhs.cache_hits;
-        self.cache_misses += rhs.cache_misses;
+        CounterSnapshot::of([
+            &self.runs,
+            &self.rule_firings,
+            &self.ternary_flips,
+            &self.cache_hits,
+            &self.cache_misses,
+        ])
     }
 }
 
@@ -391,8 +381,9 @@ impl<'a> Chase<'a> {
         q: PathId,
         budget: &Budget,
     ) -> Result<ChaseOutcome, Exhausted> {
-        ChaseStats::bump(&self.stats.runs);
+        self.stats.runs.bump();
         budget.checkpoint("chase.run")?;
+        let _span = budget.recorder().span("chase.run", "implication");
         let mut session = self.session_with(budget);
         if !session.assume_goal(sigma, lhs, q) {
             session.check_exhausted()?;
@@ -631,7 +622,7 @@ impl Session<'_, '_> {
             return;
         }
         *slot = v;
-        ChaseStats::bump(&self.chase.stats.ternary_flips);
+        self.chase.stats.ternary_flips.bump();
         self.queue.push_back((p, FactKind::Null(i)));
     }
 
@@ -646,7 +637,7 @@ impl Session<'_, '_> {
             return;
         }
         *slot = v;
-        ChaseStats::bump(&self.chase.stats.ternary_flips);
+        self.chase.stats.ternary_flips.bump();
         self.queue.push_back((p, FactKind::Eq));
     }
 
@@ -787,7 +778,7 @@ impl Session<'_, '_> {
             }
         }
         if progressed {
-            ChaseStats::bump(&self.chase.stats.rule_firings);
+            self.chase.stats.rule_firings.bump();
         }
         progressed
     }

@@ -75,7 +75,7 @@ impl Default for NormalizeOptions {
 
 /// Instrumentation accumulated over one [`normalize`] run (also see
 /// the `--stats` flag of the CLI).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NormalizeStats {
     /// Implication-engine counters (chase runs, rule firings, ternary
     /// flips, cache hits/misses) summed over all main-loop iterations.
@@ -222,6 +222,10 @@ pub fn normalize(
             exhausted_out = Some(e);
             break;
         }
+        let _iter_span = options
+            .budget
+            .recorder()
+            .span("normalize.iteration", "normalize");
         let paths = dtd.paths()?;
         stats.iterations += 1;
         // Decide the next action *and* the guards to materialize with the
@@ -236,14 +240,23 @@ pub fn normalize(
             let oracle = ImplicationCache::new(&chase, &resolved);
             let decided = (|| -> std::result::Result<(Action, Vec<XmlFd>), Exhausted> {
                 let search_start = Instant::now();
+                let search_span = options
+                    .budget
+                    .recorder()
+                    .span("normalize.search", "normalize");
                 let violations =
                     find_anomalous_fd(&oracle, &paths, &resolved, options.threads, &options.budget);
+                drop(search_span);
                 stats.search_time += search_start.elapsed();
                 let violations = violations?;
                 let ap: std::collections::BTreeSet<_> =
                     violations.iter().map(|(_, p)| *p).collect();
                 ap_trace.push(ap.len());
                 let decide_start = Instant::now();
+                let decide_span = options
+                    .budget
+                    .recorder()
+                    .span("normalize.decide", "normalize");
                 let action = if violations.is_empty() {
                     Action::Done
                 } else {
@@ -330,6 +343,7 @@ pub fn normalize(
                         }
                     }
                 };
+                drop(decide_span);
                 stats.decide_time += decide_start.elapsed();
                 // Materialize the *guards* of Σ before transforming: for
                 // every FD `X → q` with a value-path RHS whose node guard
@@ -340,6 +354,10 @@ pub fn normalize(
                 // paper version keeps them implicitly), preserving
                 // Proposition 6's strict decrease of the anomalous-path set.
                 let guard_start = Instant::now();
+                let guard_span = options
+                    .budget
+                    .recorder()
+                    .span("normalize.guards", "normalize");
                 let guards = if matches!(action, Action::Done) {
                     Vec::new()
                 } else {
@@ -363,6 +381,7 @@ pub fn normalize(
                     }
                     guards
                 };
+                drop(guard_span);
                 stats.guard_time += guard_start.elapsed();
                 Ok((action, guards))
             })();
@@ -386,6 +405,17 @@ pub fn normalize(
             sigma.push(g);
         }
         let apply_start = Instant::now();
+        // One span per applied step, named by its kind, so the trace shows
+        // the normalize timeline step by step.
+        let _apply_span = options.budget.recorder().span(
+            match &action {
+                Action::Done => "normalize.done",
+                Action::Move(..) => "step.move_attribute",
+                Action::Create(..) => "step.create_element",
+                Action::Fold(..) => "step.fold_text",
+            },
+            "normalize",
+        );
         match action {
             Action::Done => {
                 return Ok(NormalizeResult {
@@ -520,6 +550,7 @@ fn minimize(
     budget: &Budget,
 ) -> std::result::Result<(Vec<xnf_dtd::PathId>, xnf_dtd::PathId), Exhausted> {
     use xnf_dtd::PathId;
+    let _span = budget.recorder().span("normalize.minimize", "normalize");
     // Each round strictly shrinks or rewrites the candidate; the cap
     // guards against pathological ping-pong between same-size FDs.
     for _ in 0..64 {
@@ -1095,7 +1126,7 @@ mod tests {
                 find_anomalous_fd(&cache, &paths, &resolved, 1, &unlimited).unwrap(),
                 seq
             );
-            assert!(chase.stats().snapshot().cache_hits > 0);
+            assert!(chase.stats().snapshot().get("cache.hits") > 0);
         }
     }
 
@@ -1103,13 +1134,13 @@ mod tests {
     fn stats_are_populated() {
         let r = run(&university_dtd(), UNIVERSITY_FDS);
         assert!(r.stats.iterations >= 1);
-        assert!(r.stats.chase.runs > 0, "implication ran");
+        assert!(r.stats.chase.get("chase.runs") > 0, "implication ran");
         assert!(
-            r.stats.chase.cache_misses > 0,
+            r.stats.chase.get("cache.misses") > 0,
             "each distinct query costs one miss"
         );
         assert!(
-            r.stats.chase.cache_hits > 0,
+            r.stats.chase.get("cache.hits") > 0,
             "guard pass repeats search queries, so hits are guaranteed"
         );
     }

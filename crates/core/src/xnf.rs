@@ -95,6 +95,7 @@ pub(crate) fn anomalous_candidate(
     budget: &Budget,
 ) -> std::result::Result<Option<(ResolvedFd, PathId)>, Exhausted> {
     budget.checkpoint("xnf.candidate")?;
+    let _span = budget.recorder().span("xnf.candidate", "xnf");
     // Only value paths (attributes / text) can be anomalous.
     if matches!(paths.step(q), Step::Elem(_)) {
         return Ok(None);

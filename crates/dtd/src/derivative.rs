@@ -71,6 +71,7 @@ pub fn matches_governed<'a>(
     word: impl IntoIterator<Item = &'a str>,
     budget: &Budget,
 ) -> Result<bool, Exhausted> {
+    let _span = budget.recorder().span("derivative.check", "automata");
     let mut current = re.clone();
     for a in word {
         budget.checkpoint("derivative.step")?;

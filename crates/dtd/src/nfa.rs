@@ -126,6 +126,7 @@ impl Matcher {
     /// Compiles `re` under a resource [`Budget`]: the construction charges
     /// its state count against the budget's memory cap.
     pub fn new_governed(re: &Regex, budget: &Budget) -> Result<Self, Exhausted> {
+        let _span = budget.recorder().span("glushkov.build", "automata");
         let mut alphabet: HashMap<Box<str>, usize> = HashMap::new();
         re.visit_leaves(&mut |name| {
             let next = alphabet.len();

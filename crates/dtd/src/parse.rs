@@ -291,6 +291,7 @@ pub fn parse_dtd(input: &str) -> Result<Dtd> {
 /// [`Budget`] (checked once per declaration and once per content-model
 /// atom).
 pub fn parse_dtd_governed(input: &str, limits: ParseLimits, budget: &Budget) -> Result<Dtd> {
+    let _span = budget.recorder().span("dtd.parse", "parse");
     let mut s = Scanner::with_limits(input, limits, budget);
     s.check_input_size()?;
     let mut decls: Vec<(String, ContentModel)> = Vec::new();

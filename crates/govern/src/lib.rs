@@ -23,6 +23,14 @@
 //! and budgets record the distinct checkpoint site labels they visit —
 //! the substrate for the property tests asserting every injection site
 //! surfaces a clean error and never a wrong verdict.
+//!
+//! A governed budget can additionally carry an `xnf-obs` [`Recorder`]
+//! ([`BudgetBuilder::recorder`]): every checkpoint site visit is then
+//! forwarded to [`Recorder::count_site`], and governed code reaches the
+//! recorder through [`Budget::recorder`] to bracket its phases with
+//! spans — no extra parameters anywhere. An ungoverned budget (and a
+//! governed one without a recorder) keeps the disabled recorder, whose
+//! probes are a single `Option` test.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,6 +39,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub use xnf_obs::Recorder;
 
 /// How often (in checkpoints) the wall-clock deadline is consulted.
 /// `Instant::now` costs tens of nanoseconds; amortizing it keeps the
@@ -131,6 +141,10 @@ struct Inner {
     /// Total checkpoints observed (drives deadline amortization and the
     /// fault plan's ordinals).
     ticks: AtomicU64,
+    /// Observability sink; the disabled recorder unless the builder
+    /// installed one, so the default governed path pays one `Option`
+    /// test per checkpoint for it.
+    recorder: Recorder,
     #[cfg(feature = "fault-injection")]
     fault: Option<FaultPlan>,
     /// Site label → ordinal of its first visit (1-based): both the
@@ -149,6 +163,7 @@ impl Inner {
 
     fn tick(&self, site: &'static str, memory_units: u64) -> Result<(), Exhausted> {
         let ordinal = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        self.recorder.count_site(site, memory_units);
         #[cfg(feature = "fault-injection")]
         {
             if let Ok(mut sites) = self.sites.lock() {
@@ -210,6 +225,7 @@ pub struct BudgetBuilder {
     deadline: Option<Duration>,
     fuel: Option<u64>,
     memory: Option<u64>,
+    recorder: Recorder,
     #[cfg(feature = "fault-injection")]
     fault: Option<FaultPlan>,
 }
@@ -234,6 +250,15 @@ impl BudgetBuilder {
         self
     }
 
+    /// Installs an observability [`Recorder`]: every checkpoint site
+    /// visit is forwarded to it, and governed code reaches it through
+    /// [`Budget::recorder`] to emit phase spans. The handle is a cheap
+    /// shared clone, so the caller keeps its copy for export.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Installs a deterministic [`FaultPlan`] (test-only).
     #[cfg(feature = "fault-injection")]
     pub fn fault(mut self, plan: FaultPlan) -> Self {
@@ -252,6 +277,7 @@ impl BudgetBuilder {
                 memory_used: AtomicU64::new(0),
                 cancelled: AtomicBool::new(false),
                 ticks: AtomicU64::new(0),
+                recorder: self.recorder,
                 #[cfg(feature = "fault-injection")]
                 fault: self.fault,
                 #[cfg(feature = "fault-injection")]
@@ -313,6 +339,18 @@ impl Budget {
         match &self.inner {
             None => Ok(()),
             Some(inner) => inner.tick(site, units),
+        }
+    }
+
+    /// The budget's observability [`Recorder`] — the disabled recorder
+    /// unless [`BudgetBuilder::recorder`] installed one (an ungoverned
+    /// budget always reports the disabled recorder). Governed code uses
+    /// this to bracket phases: `let _span = budget.recorder().span(…)`.
+    pub fn recorder(&self) -> &Recorder {
+        static DISABLED: Recorder = Recorder::disabled();
+        match &self.inner {
+            None => &DISABLED,
+            Some(inner) => &inner.recorder,
         }
     }
 
@@ -460,6 +498,43 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("step fuel"), "{msg}");
         assert!(msg.contains("chase.saturate.queue"), "{msg}");
+    }
+
+    #[test]
+    fn recorder_sees_checkpoint_sites_and_units() {
+        let rec = Recorder::enabled();
+        let b = Budget::builder().recorder(rec.clone()).build();
+        b.checkpoint("test.site").unwrap();
+        b.checkpoint("test.site").unwrap();
+        b.charge("test.charge", 5).unwrap();
+        assert!(b.recorder().is_enabled());
+        let sites = rec.sites();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].0, "test.charge");
+        assert_eq!(sites[0].1.visits, 1);
+        assert_eq!(sites[0].1.units, 5);
+        assert_eq!(sites[1].0, "test.site");
+        assert_eq!(sites[1].1.visits, 2);
+    }
+
+    #[test]
+    fn ungoverned_budget_reports_the_disabled_recorder() {
+        let b = Budget::unlimited();
+        assert!(!b.recorder().is_enabled());
+        // Probes through it are inert but safe.
+        let _span = b.recorder().span("phase", "cat");
+        b.recorder().bump("nothing");
+        // A governed budget without an explicit recorder is also dark.
+        assert!(!Budget::builder().build().recorder().is_enabled());
+    }
+
+    #[test]
+    fn exhausting_checkpoint_is_still_counted() {
+        let rec = Recorder::enabled();
+        let b = Budget::builder().fuel(1).recorder(rec.clone()).build();
+        b.checkpoint("test.fuel").unwrap();
+        assert!(b.checkpoint("test.fuel").is_err());
+        assert_eq!(rec.sites()[0].1.visits, 2);
     }
 
     #[cfg(feature = "fault-injection")]

@@ -244,6 +244,7 @@ pub fn lint_spec_governed(
     budget: &Budget,
 ) -> Result<LintReport, Exhausted> {
     let mut diags = Vec::new();
+    let structural_span = budget.recorder().span("lint.structural", "lint");
     let index = DeclIndex::scan(dtd_src);
     structural::duplicate_decls(dtd_src, &index, &mut diags);
 
@@ -256,7 +257,9 @@ pub fn lint_spec_governed(
             structural::rule_determinism(&ctx, &mut diags);
             structural::rule_recursive(&ctx, &mut diags);
             structural::rule_general_class(&ctx, &mut diags);
+            drop(structural_span);
             if let Some(fds_src) = fds_src {
+                let _span = budget.recorder().span("lint.semantic", "lint");
                 if dtd.is_recursive() {
                     semantic::lint_fd_syntax_only(fds_src, &mut diags);
                 } else {
@@ -266,7 +269,9 @@ pub fn lint_spec_governed(
         }
         Err(err) => {
             structural::map_parse_error(dtd_src, &index, &err, &mut diags);
+            drop(structural_span);
             if let Some(fds_src) = fds_src {
+                let _span = budget.recorder().span("lint.semantic", "lint");
                 semantic::lint_fd_syntax_only(fds_src, &mut diags);
             }
         }

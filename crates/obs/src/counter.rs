@@ -1,0 +1,147 @@
+//! Named atomic counters and mergeable snapshots.
+//!
+//! The engine's statistics (the chase's run/firing/cache tallies) want
+//! three things: relaxed-atomic increments cheap enough for hot loops,
+//! point-in-time snapshots that can be diffed and accumulated across
+//! work units, and a single publishing path into the [`Recorder`]
+//! export pipeline. [`Counter`] and [`CounterSnapshot`] are that shared
+//! plumbing, so each subsystem keeps only its domain-specific field
+//! names.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use std::collections::BTreeMap;
+use std::ops::AddAssign;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotone counter with relaxed-atomic increments: the tallies
+/// are advisory instrumentation, so no ordering is needed and increments
+/// stay cheap on hot paths.
+#[derive(Debug, Default)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter with the given export name (e.g. `"chase.runs"`).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's export name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time map of counter values, keyed by export name.
+///
+/// Snapshots accumulate with `+=` (merging by name), which is how the
+/// normalize loop sums per-iteration chase work into a run total.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSnapshot {
+    /// Snapshots the given counters.
+    pub fn of<'a>(counters: impl IntoIterator<Item = &'a Counter>) -> CounterSnapshot {
+        let mut snap = CounterSnapshot::default();
+        for c in counters {
+            snap.record(c.name(), c.get());
+        }
+        snap
+    }
+
+    /// Adds `value` under `name` (merging with any existing entry).
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        *self.values.entry(name).or_insert(0) += value;
+    }
+
+    /// The value recorded under `name` (0 when absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Whether no counter has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl AddAssign for CounterSnapshot {
+    fn add_assign(&mut self, rhs: CounterSnapshot) {
+        for (name, value) in rhs.values {
+            self.record(name, value);
+        }
+    }
+}
+
+impl AddAssign<&CounterSnapshot> for CounterSnapshot {
+    fn add_assign(&mut self, rhs: &CounterSnapshot) {
+        for (name, value) in rhs.iter() {
+            self.record(name, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        static C: Counter = Counter::new("test.counter");
+        C.bump();
+        C.add(4);
+        assert_eq!(C.get(), 5);
+        assert_eq!(C.name(), "test.counter");
+    }
+
+    #[test]
+    fn snapshot_of_counters_and_merge() {
+        let a = Counter::new("a");
+        let b = Counter::new("b");
+        a.add(2);
+        b.add(3);
+        let mut snap = CounterSnapshot::of([&a, &b]);
+        assert_eq!(snap.get("a"), 2);
+        assert_eq!(snap.get("b"), 3);
+        assert_eq!(snap.get("missing"), 0);
+
+        let mut other = CounterSnapshot::default();
+        other.record("a", 10);
+        other.record("c", 1);
+        snap += other;
+        assert_eq!(snap.get("a"), 12);
+        assert_eq!(snap.get("c"), 1);
+        assert_eq!(snap.iter().count(), 3);
+        assert!(!snap.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+use std::time::Instant;
+use xnf_obs::Recorder;
+
+#[test]
+#[ignore]
+fn probe_costs() {
+    let r = Recorder::enabled();
+    const N: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for _ in 0..N {
+        r.count_site("bench.site", 0);
+    }
+    println!("count_site: {:?}/call", t0.elapsed() / N as u32);
+    let t0 = Instant::now();
+    for _ in 0..(N / 10) {
+        let _s = r.span("bench.span", "bench");
+    }
+    println!("span open+drop: {:?}/call", t0.elapsed() / (N / 10) as u32);
+    let d = Recorder::disabled();
+    let t0 = Instant::now();
+    for _ in 0..N {
+        d.count_site("bench.site", 0);
+    }
+    println!("disabled count_site: {:?}/call", t0.elapsed() / N as u32);
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--fuel F] [--out DIR]
+//!                 [--metrics FILE] [--obs-format FMT]
 //! ```
 //!
 //! Runs the oracle battery (losslessness + metamorphic invariants) over
@@ -10,12 +11,18 @@
 //! (plus a `<seed>.txt` finding report) ready to be checked into
 //! `tests/oracle_corpus/`. `--fuel` caps per-seed engine work (exhausted
 //! seeds are skipped, not failed) so a sweep over adversarial seeds is
-//! time-bounded. Exits nonzero iff any seed failed.
+//! time-bounded. `--metrics` enables an `xnf-obs` recorder for the whole
+//! sweep — per-seed progress counters (`fuzz.seeds` / `fuzz.failures`)
+//! plus every engine checkpoint-site tally — and writes it to FILE on
+//! exit (Prometheus text by default; `--obs-format` picks
+//! chrome|jsonl|prometheus). Exits nonzero iff any seed failed.
 
 use std::process::ExitCode;
+use xnf_govern::Recorder;
+use xnf_obs::ObsFormat;
 use xnf_oracle::{fuzz_seed, minimize, FuzzConfig};
 
-const USAGE: &str = "xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--fuel F] [--out DIR]";
+const USAGE: &str = "xnf-oracle fuzz [--seeds N] [--start S] [--docs M] [--fuel F] [--out DIR] [--metrics FILE] [--obs-format FMT]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +51,8 @@ fn run(args: &[String]) -> Result<usize, String> {
     let mut seeds: u64 = 100;
     let mut start: u64 = 0;
     let mut out: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut obs_format: Option<ObsFormat> = None;
     let mut cfg = FuzzConfig::default();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -55,8 +64,19 @@ fn run(args: &[String]) -> Result<usize, String> {
             "--docs" => cfg.docs_per_spec = parse(value("--docs")?)?,
             "--fuel" => cfg.fuel_per_spec = Some(parse(value("--fuel")?)?),
             "--out" => out = Some(value("--out")?.clone()),
+            "--metrics" => metrics = Some(value("--metrics")?.clone()),
+            "--obs-format" => {
+                let v = value("--obs-format")?;
+                obs_format =
+                    Some(ObsFormat::parse(v).ok_or_else(|| {
+                        format!("--obs-format needs one of {}", ObsFormat::NAMES)
+                    })?);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if metrics.is_some() {
+        cfg.recorder = Recorder::enabled();
     }
 
     let mut failures = 0usize;
@@ -74,6 +94,11 @@ fn run(args: &[String]) -> Result<usize, String> {
         if let Some(dir) = &out {
             write_corpus(dir, &shrunk).map_err(|e| format!("writing corpus: {e}"))?;
         }
+    }
+    if let Some(path) = &metrics {
+        let format = obs_format.unwrap_or(ObsFormat::Prometheus);
+        std::fs::write(path, cfg.recorder.export(format))
+            .map_err(|e| format!("writing {path}: {e}"))?;
     }
     println!(
         "fuzzed seeds {start}..{}: {failures} failure(s)",

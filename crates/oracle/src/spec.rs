@@ -128,14 +128,25 @@ pub fn check_spec(
         budget: config.budget.clone(),
         ..NormalizeOptions::default()
     };
+    let normalize_span = config.budget.recorder().span("oracle.normalize", "oracle");
     let result = normalize(dtd, sigma, &options)?;
+    drop(normalize_span);
     if let Some(e) = result.exhausted {
         // A partial decomposition is useless to the oracle — there is no
         // final design to verify against. Surface the exhaustion instead
         // of reporting on a non-final result.
         return Err(CoreError::Exhausted(e));
     }
+    let xnf_span = config
+        .budget
+        .recorder()
+        .span("oracle.certify_xnf", "oracle");
     let output_is_xnf = xnf_core::is_xnf_governed(&result.dtd, &result.sigma, &config.budget)?;
+    drop(xnf_span);
+    let gen_span = config
+        .budget
+        .recorder()
+        .span("oracle.generate_docs", "oracle");
     let mut rng = xnf_gen::rng(config.seed);
     let docs = satisfying_documents(
         dtd,
@@ -145,6 +156,7 @@ pub fn check_spec(
         config.docs,
         config.max_attempts,
     );
+    drop(gen_span);
     let mut report = SpecOracleReport {
         output_is_xnf,
         steps: result.steps.len(),
@@ -153,6 +165,7 @@ pub fn check_spec(
         docs_skipped: 0,
         failures: Vec::new(),
     };
+    let _check_span = config.budget.recorder().span("oracle.check_docs", "oracle");
     for (doc_index, doc) in docs.iter().enumerate() {
         config.budget.checkpoint("oracle.doc")?;
         match check_document(dtd, &result, doc) {

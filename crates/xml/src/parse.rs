@@ -386,6 +386,7 @@ pub fn parse(input: &str) -> Result<XmlTree> {
 /// [`parse`] with explicit adversarial-input limits and a resource
 /// [`Budget`] (checked once per element node).
 pub fn parse_governed(input: &str, limits: ParseLimits, budget: &Budget) -> Result<XmlTree> {
+    let _span = budget.recorder().span("xml.parse", "parse");
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,

@@ -62,7 +62,7 @@ fn check_cached_matches_uncached(dtd: &xnf::dtd::Dtd, seed: u64) {
     }
     let stats = chase.stats().snapshot();
     assert!(
-        stats.cache_hits >= stats.cache_misses,
+        stats.get("cache.hits") >= stats.get("cache.misses"),
         "seed {seed}: second round must be all hits"
     );
 }
