@@ -152,12 +152,15 @@ impl ResolvedFd {
         ResolvedFd { lhs, rhs }
     }
 
-    /// Converts back to an owned-path FD.
+    /// Converts back to an owned-path FD, re-establishing [`XmlFd`]'s
+    /// sorted-path invariant (path-id order and path order differ, and an
+    /// unsorted side would make equal FDs compare unequal).
     pub fn to_fd(&self, paths: &PathSet) -> XmlFd {
-        XmlFd {
-            lhs: self.lhs.iter().map(|&p| paths.path(p)).collect(),
-            rhs: self.rhs.iter().map(|&p| paths.path(p)).collect(),
-        }
+        XmlFd::new(
+            self.lhs.iter().map(|&p| paths.path(p)),
+            self.rhs.iter().map(|&p| paths.path(p)),
+        )
+        .expect("resolved FDs have non-empty sides")
     }
 
     /// Checks the Section 4 satisfaction condition on a materialized tuple
@@ -249,9 +252,20 @@ impl XmlFdSet {
         self.fds.is_empty()
     }
 
-    /// Resolves every FD against a path set.
+    /// Resolves every FD against a path set, in a canonical *structural*
+    /// order: sorted by `(lhs, rhs)` path ids and deduplicated. The chase
+    /// scans Σ in this order when picking case-split pivots, so it must
+    /// not depend on name spellings — the set's own textual order sorts
+    /// FDs lexicographically by path names and is not rename-equivariant.
     pub fn resolve(&self, paths: &PathSet) -> Result<Vec<ResolvedFd>> {
-        self.fds.iter().map(|fd| fd.resolve(paths)).collect()
+        let mut out: Vec<ResolvedFd> = self
+            .fds
+            .iter()
+            .map(|fd| fd.resolve(paths))
+            .collect::<Result<_>>()?;
+        out.sort_by(|a, b| (&a.lhs, &a.rhs).cmp(&(&b.lhs, &b.rhs)));
+        out.dedup();
+        Ok(out)
     }
 
     /// Whether `T` satisfies every FD in the set (`T ⊨ Σ`), sharing one

@@ -1,0 +1,647 @@
+//! Incremental re-checking of implication verdicts under `(D, Σ)` edits.
+//!
+//! The normalization workflow repeatedly asks `(D, Σ) ⊢ φ` for slowly
+//! drifting specs: an editor tweaks one element declaration, adds one FD,
+//! drops another — and the tooling re-validates the whole constraint set.
+//! Re-chasing every query from scratch discards the dominant invariant of
+//! such edits: most chase runs never *looked at* the part of the spec
+//! that changed. [`IncrementalCache`] makes that observation precise and
+//! exact, using the [`RunTrace`] footprint recorded by
+//! [`Chase::run_traced`].
+//!
+//! # Exact-transfer argument
+//!
+//! The chase is deterministic: given the same `paths(D)` (same BFS
+//! order), the same Σ in the same order, and the same query, it performs
+//! the identical sequence of derivations. A cached verdict therefore
+//! transfers to an edited spec iff the edit cannot alter any decision
+//! the original run took. The decisions read three kinds of data, each
+//! covered by one trace field and one transfer rule:
+//!
+//! * **Path states.** Every derivation reads per-path ternary facts.
+//!   Paths the run never set ([`RunTrace::touched`] false) were read —
+//!   if at all — as `Unknown`, and every rule predicate tolerates
+//!   `Unknown` conservatively. A DTD edit is summarized by its *changed
+//!   element set* (added, removed, or redeclared element types, plus the
+//!   root on a root change); a path is *dirty* iff it walks through a
+//!   changed element. Dirty paths may appear, disappear, or change BFS
+//!   position — but a kept entry's touched paths are all clean, so they
+//!   all still exist, and the relative BFS order of clean paths is
+//!   preserved (within one level, sibling order comes from the parent's
+//!   unchanged declaration; across levels, order is depth-first by the
+//!   parents' order, inductively clean). New or dirty paths enter scans
+//!   only through `Unknown`-rejecting predicates, so they are skipped
+//!   exactly like the old run skipped untouched paths.
+//! * **Σ rule applications.** Saturation applies the FDs in canonical
+//!   order; the trace marks the ones that ever made progress
+//!   ([`RunTrace::fired`]). A never-fired FD was a state-preserving
+//!   no-op at every application, so *removing* it leaves the derivation
+//!   sequence intact — but only if it also never served as a case-split
+//!   pivot ([`RunTrace::pivot_source`]), and only if the surviving FDs
+//!   keep their relative canonical order (applying the same no-ops and
+//!   firings against *permuted* intermediate states is not a replay; on
+//!   an order flip the cache flushes wholesale). An *added* FD whose LHS
+//!   paths were all untouched can never fire (the basic, swap and
+//!   contrapositive forms each require a known LHS fact), so it is a
+//!   saturation no-op too.
+//! * **Pivot scans.** `find_blocked_premise` scans a *prefix* of Σ and
+//!   may select a pivot from an FD that never fired — an added FD with
+//!   untouched LHS can still be chosen (its untouched premises have open
+//!   null-status, and zone dischargeability does not require touched
+//!   state). [`RunTrace::scan_reach`] bounds every scan: an added FD
+//!   whose canonical position lies strictly *after* the deepest examined
+//!   old FD is never reached by any replayed scan. When some scan fell
+//!   through all of Σ (`scan_reach == usize::MAX`), no insertion
+//!   position is safe and any Σ addition invalidates the entry.
+//!
+//! A kept entry is thus replayed *literally* by the edited spec: same
+//! derivations, same split tree, same verdict — which is what the
+//! `incremental == from-scratch` differential suite
+//! (`tests/differential_incremental.rs`) checks byte-for-byte, and what
+//! experiment E21 measures the speedup of.
+
+use crate::fd::{ResolvedFd, XmlFd, XmlFdSet};
+use crate::implication::chase::{Chase, ChaseOutcome, RunTrace};
+use crate::Result;
+use std::collections::{BTreeMap, BTreeSet};
+use xnf_dtd::{Dtd, Path, PathSet, Step};
+use xnf_govern::Budget;
+
+/// A DTD edit: the new DTD plus the names of the element types that
+/// differ from the old one (added, removed, content or attribute-list
+/// redeclared — attribute order included — plus both root names on a
+/// root change).
+#[derive(Debug, Clone)]
+pub struct DtdDelta {
+    /// The edited DTD.
+    pub new: Dtd,
+    /// Element type names whose declaration differs between old and new.
+    pub changed: BTreeSet<Box<str>>,
+}
+
+impl DtdDelta {
+    /// Diffs two DTDs into a delta carrying `new`.
+    pub fn between(old: &Dtd, new: &Dtd) -> DtdDelta {
+        let mut changed: BTreeSet<Box<str>> = BTreeSet::new();
+        let decl_of = |dtd: &Dtd, name: &str| -> Option<(xnf_dtd::ContentModel, Vec<String>)> {
+            let id = dtd.elem_id(name)?;
+            Some((
+                dtd.content(id).clone(),
+                dtd.attrs(id).map(str::to_string).collect(),
+            ))
+        };
+        for dtd in [old, new] {
+            for id in dtd.elements() {
+                let name = dtd.name(id);
+                if changed.contains(name) {
+                    continue;
+                }
+                if decl_of(old, name) != decl_of(new, name) {
+                    changed.insert(name.into());
+                }
+            }
+        }
+        if old.root_name() != new.root_name() {
+            changed.insert(old.root_name().into());
+            changed.insert(new.root_name().into());
+        }
+        DtdDelta {
+            new: new.clone(),
+            changed,
+        }
+    }
+
+    /// The identity delta (no declaration changed).
+    pub fn unchanged(dtd: &Dtd) -> DtdDelta {
+        DtdDelta {
+            new: dtd.clone(),
+            changed: BTreeSet::new(),
+        }
+    }
+}
+
+/// A Σ edit: the new FD set plus the FDs added and removed relative to
+/// the old one (as written; canonicalization happens at resolution).
+#[derive(Debug, Clone)]
+pub struct SigmaDelta {
+    /// The edited FD set.
+    pub new: XmlFdSet,
+    /// FDs present in `new` but not in the old set.
+    pub added: Vec<XmlFd>,
+    /// FDs present in the old set but not in `new`.
+    pub removed: Vec<XmlFd>,
+}
+
+impl SigmaDelta {
+    /// Diffs two FD sets into a delta carrying `new`.
+    pub fn between(old: &XmlFdSet, new: &XmlFdSet) -> SigmaDelta {
+        let old_set: BTreeSet<&XmlFd> = old.iter().collect();
+        let new_set: BTreeSet<&XmlFd> = new.iter().collect();
+        SigmaDelta {
+            new: new.clone(),
+            added: new
+                .iter()
+                .filter(|f| !old_set.contains(f))
+                .cloned()
+                .collect(),
+            removed: old
+                .iter()
+                .filter(|f| !new_set.contains(f))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The identity delta (same FD set).
+    pub fn unchanged(sigma: &XmlFdSet) -> SigmaDelta {
+        SigmaDelta {
+            new: sigma.clone(),
+            added: Vec::new(),
+            removed: Vec::new(),
+        }
+    }
+}
+
+/// What [`IncrementalCache::apply_delta`] did to the cached entries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvalidationReport {
+    /// Entries whose verdict (and trace) transferred to the new spec.
+    pub kept: usize,
+    /// Entries invalidated; the next lookup re-chases them.
+    pub invalidated: usize,
+    /// Canonical Σ entries added by the delta.
+    pub sigma_added: usize,
+    /// Canonical Σ entries removed by the delta.
+    pub sigma_removed: usize,
+    /// Element types whose declaration changed.
+    pub dtd_changed: usize,
+    /// The surviving Σ entries changed relative canonical order, which
+    /// voids every replay: the whole cache was flushed.
+    pub order_flush: bool,
+}
+
+/// One cached verdict plus the trace justifying its transfer.
+#[derive(Debug, Clone)]
+struct Entry {
+    implied: bool,
+    /// Owned paths the run touched — path-*name* keyed (not `PathId`),
+    /// so the set survives DTD edits that renumber the BFS interning.
+    touched: BTreeSet<Path>,
+    /// Per canonical Σ index of the *current* spec.
+    fired: Vec<bool>,
+    pivot_source: Vec<bool>,
+    scan_reach: usize,
+}
+
+/// A memoizing implication oracle that survives `(D, Σ)` edits.
+///
+/// Verdicts are cached per query FD together with their [`RunTrace`];
+/// [`IncrementalCache::apply_delta`] keeps exactly the entries whose
+/// recorded footprint is disjoint from the edit (see the module docs for
+/// the soundness argument) and invalidates the rest, which re-chase
+/// lazily on their next lookup. An edit sequence whose steps touch small
+/// parts of the spec therefore re-pays only for the queries that could
+/// have changed — the from-scratch baseline re-pays for all of them
+/// (experiment E21).
+///
+/// Unlike [`ImplicationCache`](crate::implication::ImplicationCache)
+/// (borrowing, single-spec, `Sync`), this cache *owns* its spec and is
+/// single-threaded; the two compose — the sharded search uses the former
+/// within one spec, this one carries verdicts across specs.
+#[derive(Debug)]
+pub struct IncrementalCache {
+    dtd: Dtd,
+    sigma: XmlFdSet,
+    budget: Budget,
+    entries: BTreeMap<XmlFd, Entry>,
+    /// Canonical `XmlFd` forms of `sigma`, in canonical (resolved)
+    /// order — the index space the entries' `fired`/`pivot_source`
+    /// vectors live in. Memoized so `apply_delta` only canonicalizes
+    /// the *new* side of an edit; `None` until first computed.
+    canon: Option<Vec<XmlFd>>,
+    /// The enumerated paths of `dtd` and the resolved form of `sigma`,
+    /// memoized across `apply_delta` → `implies_all` round trips so an
+    /// edit step pays path enumeration and Σ resolution once, not twice.
+    prepared: Option<(PathSet, Vec<ResolvedFd>)>,
+}
+
+impl IncrementalCache {
+    /// An empty cache for `(dtd, sigma)` with an unlimited budget.
+    pub fn new(dtd: Dtd, sigma: XmlFdSet) -> IncrementalCache {
+        IncrementalCache {
+            dtd,
+            sigma,
+            budget: Budget::unlimited(),
+            entries: BTreeMap::new(),
+            canon: None,
+            prepared: None,
+        }
+    }
+
+    /// Installs a resource [`Budget`]: lookups charge `cache.lookup` and
+    /// delta application charges `cache.invalidate` per entry, surfacing
+    /// [`CoreError::Exhausted`](crate::CoreError) instead of partial
+    /// state (an erroring `apply_delta` leaves the cache unchanged and
+    /// still consistent with the *old* spec).
+    pub fn with_budget(mut self, budget: Budget) -> IncrementalCache {
+        self.budget = budget;
+        self
+    }
+
+    /// The current DTD.
+    pub fn dtd(&self) -> &Dtd {
+        &self.dtd
+    }
+
+    /// The current FD set.
+    pub fn sigma(&self) -> &XmlFdSet {
+        &self.sigma
+    }
+
+    /// The number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no verdicts are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `(D, Σ) ⊢ fd`, served from cache when possible.
+    pub fn implies(&mut self, fd: &XmlFd) -> Result<bool> {
+        Ok(self.implies_all(std::slice::from_ref(fd))?[0])
+    }
+
+    /// Batch [`IncrementalCache::implies`]: hits are served without
+    /// building a chase engine at all — an all-hit batch (the typical
+    /// post-`apply_delta` re-check of an edit that missed everything)
+    /// does zero chase work.
+    pub fn implies_all(&mut self, fds: &[XmlFd]) -> Result<Vec<bool>> {
+        self.budget.checkpoint("cache.lookup")?;
+        if fds.iter().any(|f| !self.entries.contains_key(f)) {
+            if self.prepared.is_none() {
+                let paths = self.dtd.paths()?;
+                let resolved = self.sigma.resolve(&paths)?;
+                self.prepared = Some((paths, resolved));
+            }
+            let (paths, sigma) = self.prepared.as_ref().expect("just prepared");
+            if self.canon.is_none() {
+                self.canon = Some(sigma.iter().map(|r| r.to_fd(paths)).collect());
+            }
+            let chase = Chase::new(&self.dtd, paths);
+            let mut fresh: Vec<(XmlFd, Entry)> = Vec::new();
+            for fd in fds {
+                if self.entries.contains_key(fd) || fresh.iter().any(|(k, _)| k == fd) {
+                    continue;
+                }
+                self.budget.checkpoint("cache.lookup")?;
+                let resolved = fd.resolve(paths)?;
+                let (outcome, trace) = chase.run_traced(sigma, &resolved);
+                fresh.push((fd.clone(), Entry::from_trace(outcome, trace, paths)));
+            }
+            for (fd, entry) in fresh {
+                self.entries.insert(fd, entry);
+            }
+        }
+        Ok(fds.iter().map(|f| self.entries[f].implied).collect())
+    }
+
+    /// Applies a `(D, Σ)` edit: transfers every cached verdict whose
+    /// recorded footprint the edit provably cannot have altered,
+    /// invalidates the rest, and swaps in the new spec.
+    ///
+    /// The change sets are recomputed here against the cache's *own*
+    /// current spec (the deltas' `changed`/`added`/`removed` fields are
+    /// informational), so a stale delta degrades to extra invalidation,
+    /// never to a wrong transfer. Queries or FDs of the new Σ that do
+    /// not resolve against the new DTD's paths are an error; entries
+    /// whose *query* no longer resolves are simply dropped.
+    pub fn apply_delta(
+        &mut self,
+        dtd_delta: &DtdDelta,
+        sigma_delta: &SigmaDelta,
+    ) -> Result<InvalidationReport> {
+        let changed = DtdDelta::between(&self.dtd, &dtd_delta.new).changed;
+        let new_paths = dtd_delta.new.paths()?;
+        let new_resolved = sigma_delta.new.resolve(&new_paths)?;
+        // Canonical Σ sequences, keyed by their path-space-independent
+        // (hence comparable across the edit) `XmlFd` forms. The old side
+        // is usually memoized from the previous edit or fill.
+        let computed_old: Vec<XmlFd>;
+        let old_fds: &[XmlFd] = match &self.canon {
+            Some(c) => c,
+            None => {
+                let old_paths = self.dtd.paths()?;
+                let old_resolved = self.sigma.resolve(&old_paths)?;
+                computed_old = old_resolved.iter().map(|r| r.to_fd(&old_paths)).collect();
+                &computed_old
+            }
+        };
+        let new_fds: Vec<XmlFd> = new_resolved.iter().map(|r| r.to_fd(&new_paths)).collect();
+        let new_index: BTreeMap<&XmlFd, usize> =
+            new_fds.iter().enumerate().map(|(i, f)| (f, i)).collect();
+        let old_to_new: Vec<Option<usize>> =
+            old_fds.iter().map(|f| new_index.get(f).copied()).collect();
+        let survivors: Vec<usize> = old_to_new.iter().flatten().copied().collect();
+        let order_ok = survivors.windows(2).all(|w| w[0] < w[1]);
+        let old_set: BTreeSet<&XmlFd> = old_fds.iter().collect();
+        let added: Vec<usize> = new_fds
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !old_set.contains(f))
+            .map(|(i, _)| i)
+            .collect();
+        // Entry-independent views of the Σ edit, hoisted out of the
+        // per-entry decide loop: the removed canonical indices, and
+        // whether the canonical sequence is unchanged outright (the
+        // common DTD-only edit), in which case the entries' Σ-indexed
+        // vectors transfer verbatim.
+        let removed_idx: Vec<usize> = old_to_new
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_none())
+            .map(|(j, _)| j)
+            .collect();
+        let sigma_identity = old_fds == new_fds.as_slice();
+        let dirty = |p: &Path| {
+            p.steps()
+                .iter()
+                .any(|s| matches!(s, Step::Elem(n) if changed.contains(n)))
+        };
+
+        let mut report = InvalidationReport {
+            sigma_added: added.len(),
+            sigma_removed: old_to_new.iter().filter(|n| n.is_none()).count(),
+            dtd_changed: changed.len(),
+            order_flush: !order_ok,
+            ..InvalidationReport::default()
+        };
+        // Decide first (fallible), mutate after: an exhausted budget
+        // leaves the cache untouched and consistent with the old spec.
+        let mut decisions: Vec<bool> = Vec::with_capacity(self.entries.len());
+        for (query, entry) in &self.entries {
+            self.budget.checkpoint("cache.invalidate")?;
+            let _span = self
+                .budget
+                .recorder()
+                .span("cache.invalidate", "implication");
+            // A query whose every path is clean provably still
+            // resolves (each element along it keeps its declaration,
+            // so the parent-child chain survives the edit); only dirty
+            // queries pay the resolution probe.
+            let query_ok = query.lhs().iter().chain(query.rhs()).all(|p| !dirty(p))
+                || query.resolve(&new_paths).is_ok();
+            let keep = order_ok
+                && query_ok
+                && entry.touched.iter().all(|p| !dirty(p))
+                && removed_idx
+                    .iter()
+                    .all(|&j| !entry.fired[j] && !entry.pivot_source[j])
+                && added.iter().all(|&k| {
+                    new_fds[k].lhs().iter().all(|p| !entry.touched.contains(p))
+                        && entry.scan_reach != usize::MAX
+                        && (entry.scan_reach == 0
+                            || matches!(old_to_new[entry.scan_reach - 1], Some(d) if k > d))
+                });
+            decisions.push(keep);
+        }
+        // Infallible from here on. Kept entries move (footprints are
+        // reused, not cloned); only their Σ-indexed vectors are rebuilt
+        // in the new canonical index space.
+        let old_entries = std::mem::take(&mut self.entries);
+        for ((query, mut entry), keep) in old_entries.into_iter().zip(decisions) {
+            if !keep {
+                report.invalidated += 1;
+                continue;
+            }
+            if !sigma_identity {
+                let mut fired = vec![false; new_fds.len()];
+                let mut pivot_source = vec![false; new_fds.len()];
+                for (j, &ni) in old_to_new.iter().enumerate() {
+                    if let Some(ni) = ni {
+                        fired[ni] = entry.fired[j];
+                        pivot_source[ni] = entry.pivot_source[j];
+                    }
+                }
+                entry.scan_reach = match entry.scan_reach {
+                    0 => 0,
+                    usize::MAX => usize::MAX,
+                    r => match old_to_new[r - 1] {
+                        Some(d) => d + 1,
+                        None => unreachable!("a removed pivot source invalidates"),
+                    },
+                };
+                entry.fired = fired;
+                entry.pivot_source = pivot_source;
+            }
+            self.entries.insert(query, entry);
+            report.kept += 1;
+        }
+        self.dtd = dtd_delta.new.clone();
+        self.sigma = sigma_delta.new.clone();
+        self.canon = Some(new_fds);
+        self.prepared = Some((new_paths, new_resolved));
+        Ok(report)
+    }
+}
+
+impl Entry {
+    fn from_trace(outcome: ChaseOutcome, trace: RunTrace, paths: &PathSet) -> Entry {
+        Entry {
+            implied: matches!(outcome, ChaseOutcome::Implied),
+            touched: paths
+                .iter()
+                .filter(|p| trace.touched[p.index()])
+                .map(|p| paths.path(p))
+                .collect(),
+            fired: trace.fired,
+            pivot_source: trace.pivot_source,
+            scan_reach: trace.scan_reach,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::{DBLP_FDS, UNIVERSITY_FDS};
+    use crate::fixtures::{dblp_dtd, university_dtd};
+
+    /// Every value path of Σ as a `S → parent(q)` query — the shape the
+    /// anomalous-FD search asks.
+    fn queries(sigma: &XmlFdSet) -> Vec<XmlFd> {
+        let mut out = Vec::new();
+        for fd in sigma.iter() {
+            for q in fd.rhs() {
+                out.push(XmlFd::new(fd.lhs().to_vec(), vec![q.clone()]).unwrap());
+                if let Some(parent) = q.parent() {
+                    out.push(XmlFd::new(fd.lhs().to_vec(), vec![parent]).unwrap());
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn from_scratch(dtd: &Dtd, sigma: &XmlFdSet, fds: &[XmlFd]) -> Vec<bool> {
+        let paths = dtd.paths().unwrap();
+        let resolved = sigma.resolve(&paths).unwrap();
+        let chase = Chase::new(dtd, &paths);
+        fds.iter()
+            .map(|f| {
+                use crate::implication::Implication;
+                chase.implies(&resolved, &f.resolve(&paths).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_from_scratch_on_first_fill() {
+        for (dtd, fds) in [(university_dtd(), UNIVERSITY_FDS), (dblp_dtd(), DBLP_FDS)] {
+            let sigma = XmlFdSet::parse(fds).unwrap();
+            let qs = queries(&sigma);
+            let mut cache = IncrementalCache::new(dtd.clone(), sigma.clone());
+            assert_eq!(
+                cache.implies_all(&qs).unwrap(),
+                from_scratch(&dtd, &sigma, &qs)
+            );
+            // Second pass is all hits and identical.
+            assert_eq!(
+                cache.implies_all(&qs).unwrap(),
+                from_scratch(&dtd, &sigma, &qs)
+            );
+        }
+    }
+
+    #[test]
+    fn sigma_removal_transfers_and_stays_exact() {
+        let dtd = university_dtd();
+        let sigma = XmlFdSet::parse(UNIVERSITY_FDS).unwrap();
+        let qs = queries(&sigma);
+        let mut cache = IncrementalCache::new(dtd.clone(), sigma.clone());
+        cache.implies_all(&qs).unwrap();
+        // Drop the last FD.
+        let reduced = XmlFdSet::from_fds(sigma.iter().take(sigma.len() - 1).cloned());
+        let report = cache
+            .apply_delta(
+                &DtdDelta::unchanged(&dtd),
+                &SigmaDelta::between(&sigma, &reduced),
+            )
+            .unwrap();
+        assert_eq!(report.kept + report.invalidated, qs.len());
+        assert_eq!(
+            cache.implies_all(&qs).unwrap(),
+            from_scratch(&dtd, &reduced, &qs)
+        );
+    }
+
+    #[test]
+    fn sigma_addition_transfers_and_stays_exact() {
+        let dtd = university_dtd();
+        let base = XmlFdSet::parse(
+            "courses.course.@cno -> courses.course
+             courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student",
+        )
+        .unwrap();
+        let qs = queries(&XmlFdSet::parse(UNIVERSITY_FDS).unwrap());
+        let mut cache = IncrementalCache::new(dtd.clone(), base.clone());
+        cache.implies_all(&qs).unwrap();
+        let extended = XmlFdSet::parse(UNIVERSITY_FDS).unwrap();
+        cache
+            .apply_delta(
+                &DtdDelta::unchanged(&dtd),
+                &SigmaDelta::between(&base, &extended),
+            )
+            .unwrap();
+        assert_eq!(
+            cache.implies_all(&qs).unwrap(),
+            from_scratch(&dtd, &extended, &qs)
+        );
+    }
+
+    #[test]
+    fn dtd_edit_transfers_and_stays_exact() {
+        // Redeclare an element *off* the FDs' fragment: title gains an
+        // attribute. Entries whose runs never touched title paths keep.
+        let old = university_dtd();
+        let new = xnf_dtd::parse_dtd(
+            "<!ELEMENT courses (course*)>
+             <!ELEMENT course (title, taken_by)>
+             <!ATTLIST course cno CDATA #REQUIRED>
+             <!ELEMENT title (#PCDATA)>
+             <!ATTLIST title lang CDATA #REQUIRED>
+             <!ELEMENT taken_by (student*)>
+             <!ELEMENT student (name, grade)>
+             <!ATTLIST student sno CDATA #REQUIRED>
+             <!ELEMENT name (#PCDATA)>
+             <!ELEMENT grade (#PCDATA)>",
+        )
+        .unwrap();
+        let sigma = XmlFdSet::parse(
+            "courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student",
+        )
+        .unwrap();
+        let qs = queries(&sigma);
+        let mut cache = IncrementalCache::new(old.clone(), sigma.clone());
+        cache.implies_all(&qs).unwrap();
+        let delta = DtdDelta::between(&old, &new);
+        assert_eq!(delta.changed, BTreeSet::from(["title".into()]));
+        cache
+            .apply_delta(&delta, &SigmaDelta::unchanged(&sigma))
+            .unwrap();
+        assert_eq!(
+            cache.implies_all(&qs).unwrap(),
+            from_scratch(&new, &sigma, &qs)
+        );
+    }
+
+    #[test]
+    fn stale_delta_cannot_poison_the_cache() {
+        // A delta constructed against the wrong baseline: apply_delta
+        // recomputes the change sets itself, so verdicts stay exact.
+        let dtd = university_dtd();
+        let sigma = XmlFdSet::parse(UNIVERSITY_FDS).unwrap();
+        let qs = queries(&sigma);
+        let mut cache = IncrementalCache::new(dtd.clone(), sigma.clone());
+        cache.implies_all(&qs).unwrap();
+        let reduced = XmlFdSet::from_fds(sigma.iter().skip(1).cloned());
+        // Lie: claim nothing was added or removed.
+        let stale = SigmaDelta {
+            new: reduced.clone(),
+            added: Vec::new(),
+            removed: Vec::new(),
+        };
+        cache
+            .apply_delta(&DtdDelta::unchanged(&dtd), &stale)
+            .unwrap();
+        assert_eq!(
+            cache.implies_all(&qs).unwrap(),
+            from_scratch(&dtd, &reduced, &qs)
+        );
+    }
+
+    #[test]
+    fn exhausted_apply_delta_leaves_the_cache_usable() {
+        let dtd = university_dtd();
+        let sigma = XmlFdSet::parse(UNIVERSITY_FDS).unwrap();
+        let qs = queries(&sigma);
+        let reduced = XmlFdSet::from_fds(sigma.iter().take(1).cloned());
+        let mut starved = IncrementalCache::new(dtd.clone(), sigma.clone());
+        starved.implies_all(&qs).unwrap();
+        starved.budget = Budget::builder().fuel(0).build();
+        assert!(starved
+            .apply_delta(
+                &DtdDelta::unchanged(&dtd),
+                &SigmaDelta::between(&sigma, &reduced)
+            )
+            .is_err());
+        // Old spec still answers exactly.
+        starved.budget = Budget::unlimited();
+        assert_eq!(
+            starved.implies_all(&qs).unwrap(),
+            from_scratch(&dtd, &sigma, &qs)
+        );
+    }
+}

@@ -49,8 +49,9 @@ pub mod xnf;
 
 pub use crate::fd::{XmlFd, XmlFdSet};
 pub use crate::implication::{
-    Chase, ChaseConfig, ChaseStats, ChaseStatsSnapshot, CounterexampleSearch, Implication,
-    ImplicationCache,
+    Chase, ChaseConfig, ChaseStats, ChaseStatsSnapshot, CounterexampleSearch, DtdDelta,
+    Implication, ImplicationCache, IncrementalCache, InvalidationReport, RunTrace, ShardPlan,
+    SigmaDelta,
 };
 pub use crate::lossless::{
     restore_document, transform_document, verify_lossless, verify_lossless_trace, LosslessReport,
@@ -60,7 +61,8 @@ pub use crate::normalize::{normalize, NormalizeOptions, NormalizeResult, Normali
 pub use crate::tuple::TreeTuple;
 pub use crate::tuples::{trees_d, tuples_d, tuples_d_recursive, tuples_relation};
 pub use crate::xnf::{
-    anomalous_fds, anomalous_fds_governed, anomalous_fds_threaded, is_xnf, is_xnf_governed,
+    anomalous_fds, anomalous_fds_governed, anomalous_fds_sharded, anomalous_fds_threaded, is_xnf,
+    is_xnf_governed,
 };
 
 use std::fmt;

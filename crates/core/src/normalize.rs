@@ -30,6 +30,7 @@
 //! the full algorithm.
 
 use crate::fd::{ResolvedFd, XmlFd, XmlFdSet};
+use crate::implication::shard::{candidate_fragment, run_sharded, ShardPlan};
 use crate::implication::{Chase, ChaseStatsSnapshot, Implication, ImplicationCache};
 use crate::xnf::anomalous_candidate;
 use crate::{CoreError, Result};
@@ -470,14 +471,8 @@ pub fn normalize(
 /// The anomalous-FD candidate search driver, shared by the normalization
 /// loop above and the XNF checker ([`crate::xnf::anomalous_fds`]).
 ///
-/// Enumerates the `(FD, value path)` candidates of Σ and tests each with
-/// [`anomalous_candidate`]. With `threads > 1` the items are split into
-/// contiguous chunks fanned across `std::thread::scope` workers and the
-/// per-chunk results are concatenated back in enumeration order, so the
-/// output is byte-identical to the sequential run: each candidate verdict
-/// is an independent pure implication query, and the final sort (stable,
-/// on `(path, lhs)`) + dedup sees the same multiset either way.
-/// `threads == 0` uses `std::thread::available_parallelism()`.
+/// Uses the natural shard plan (one shard per root-child fragment plus a
+/// frontier shard); see [`find_anomalous_fd_sharded`].
 pub(crate) fn find_anomalous_fd<O: Implication + Sync>(
     oracle: &O,
     paths: &PathSet,
@@ -485,52 +480,47 @@ pub(crate) fn find_anomalous_fd<O: Implication + Sync>(
     threads: usize,
     budget: &Budget,
 ) -> std::result::Result<Vec<(ResolvedFd, PathId)>, Exhausted> {
+    find_anomalous_fd_sharded(oracle, paths, sigma, None, threads, budget)
+}
+
+/// Sharded anomalous-FD search: enumerates the `(FD, value path)`
+/// candidates of Σ, partitions them by root-child fragment
+/// ([`candidate_fragment`]), optionally coalesces to `shards` scheduling
+/// units, and fans the shards across `threads` work-stealing workers
+/// ([`run_sharded`]; `0` = all cores, `<= 1` runs on the calling thread
+/// but still through the shard driver, so the `chase.shard`/`chase.merge`
+/// checkpoints fire on every configuration).
+///
+/// The output is **byte-identical** for every `(shards, threads)` pair:
+/// each candidate verdict is an independent pure implication query, the
+/// driver restores enumeration order before returning, and the final
+/// sort (stable, on `(path, lhs)`) + dedup therefore sees the same
+/// sequence as the sequential sweep.
+pub(crate) fn find_anomalous_fd_sharded<O: Implication + Sync>(
+    oracle: &O,
+    paths: &PathSet,
+    sigma: &[ResolvedFd],
+    shards: Option<usize>,
+    threads: usize,
+    budget: &Budget,
+) -> std::result::Result<Vec<(ResolvedFd, PathId)>, Exhausted> {
     let items: Vec<(&ResolvedFd, PathId)> = sigma
         .iter()
         .flat_map(|fd| fd.rhs.iter().map(move |&q| (fd, q)))
         .collect();
-    let threads = match threads {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        n => n,
+    let keys: Vec<Option<PathId>> = items
+        .iter()
+        .map(|&(fd, q)| candidate_fragment(paths, fd, q))
+        .collect();
+    let mut plan = ShardPlan::new(&keys);
+    if let Some(n) = shards {
+        plan = plan.coalesced(n);
     }
-    .min(items.len().max(1));
-    let mut out: Vec<(ResolvedFd, PathId)> = if threads <= 1 {
-        let mut hits = Vec::new();
-        for &(fd, q) in &items {
-            if let Some(hit) = anomalous_candidate(oracle, paths, sigma, fd, q, budget)? {
-                hits.push(hit);
-            }
-        }
-        hits
-    } else {
-        let chunk_len = items.len().div_ceil(threads);
-        // On exhaustion the first (in enumeration order) worker's error is
-        // returned; the cancellation flag in a shared budget makes the
-        // sibling workers wind down at their next checkpoint.
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk_len)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut hits = Vec::new();
-                        for &(fd, q) in chunk {
-                            if let Some(hit) =
-                                anomalous_candidate(oracle, paths, sigma, fd, q, budget)?
-                            {
-                                hits.push(hit);
-                            }
-                        }
-                        Ok(hits)
-                    })
-                })
-                .collect();
-            let mut all = Vec::new();
-            for h in handles {
-                all.extend(h.join().expect("anomalous-FD search worker panicked")?);
-            }
-            Ok::<_, Exhausted>(all)
-        })?
-    };
+    let hits = run_sharded(&plan, threads, budget, |i| {
+        let (fd, q) = items[i];
+        anomalous_candidate(oracle, paths, sigma, fd, q, budget)
+    })?;
+    let mut out: Vec<(ResolvedFd, PathId)> = hits.into_iter().map(|(_, hit)| hit).collect();
     out.sort_by(|a, b| (a.1, &a.0.lhs).cmp(&(b.1, &b.0.lhs)));
     out.dedup();
     Ok(out)
@@ -993,11 +983,21 @@ fn fold_text_paths(dtd: &mut Dtd, fds: &mut [XmlFd], steps: &mut Vec<Step>) -> R
         // positions the transformations operate on). Left-hand `.S`
         // paths are folded lazily, only if a CreateElement step needs
         // them (see the main loop) — this keeps e.g. the DBLP `title.S`
-        // key untouched, as in the paper's Example 5.2.
+        // key untouched, as in the paper's Example 5.2. Candidates are
+        // folded in structural (BFS) order, not the name-sorted Σ order:
+        // fold order fixes the relative position of the minted attributes,
+        // so it must be rename-equivariant.
+        let paths_now = dtd.paths()?;
         let target: Option<Path> = fds
             .iter()
             .flat_map(|fd| fd.rhs().iter())
-            .find(|p| matches!(p.last(), PathStep::Text))
+            .filter(|p| matches!(p.last(), PathStep::Text))
+            .min_by_key(|p| {
+                paths_now
+                    .resolve(p)
+                    .map(PathId::index)
+                    .unwrap_or(usize::MAX)
+            })
             .cloned();
         let Some(s_path) = target else {
             return Ok(());
@@ -1058,10 +1058,20 @@ fn fix_lhs_element_paths(dtd: &mut Dtd, fds: &mut Vec<XmlFd>, steps: &mut Vec<St
             continue;
         }
         // Keep the deepest element path as q; replace each other q' by a
-        // fresh id attribute q'.@id, adding q'.@id → q'.
+        // fresh id attribute q'.@id, adding q'.@id → q'. Depth ties break
+        // on the structural (BFS) position, which is rename-equivariant —
+        // breaking them on the name-sorted LHS order would make the kept
+        // path, and everything downstream, depend on element spellings.
+        let paths_now = dtd.paths()?;
         let q = elem_paths
             .iter()
-            .max_by_key(|p| p.len())
+            .max_by_key(|p| {
+                let pos = paths_now
+                    .resolve(p)
+                    .map(PathId::index)
+                    .unwrap_or(usize::MAX);
+                (p.len(), std::cmp::Reverse(pos))
+            })
             .expect("non-empty")
             .clone();
         let mut lhs: Vec<Path> = fd

@@ -47,7 +47,24 @@ pub fn anomalous_fds_threaded(
     sigma: &XmlFdSet,
     threads: usize,
 ) -> Result<Vec<Violation>> {
-    anomalous_fds_with(dtd, sigma, threads, Budget::unlimited())
+    anomalous_fds_with(dtd, sigma, None, threads, Budget::unlimited())
+}
+
+/// [`anomalous_fds_threaded`] with an explicit shard count: the
+/// candidate space is partitioned by root-child fragment and coalesced
+/// to at most `shards` scheduling units before being fanned across
+/// `threads` work-stealing workers (see
+/// [`run_sharded`](crate::implication::run_sharded)). The output is
+/// byte-identical for every `(shards, threads)` pair — the differential
+/// suite `tests/differential_sharded.rs` pins this against the
+/// sequential path over a generated corpus.
+pub fn anomalous_fds_sharded(
+    dtd: &Dtd,
+    sigma: &XmlFdSet,
+    shards: usize,
+    threads: usize,
+) -> Result<Vec<Violation>> {
+    anomalous_fds_with(dtd, sigma, Some(shards), threads, Budget::unlimited())
 }
 
 /// Budget-governed [`anomalous_fds`]: implication queries charge `budget`
@@ -59,12 +76,13 @@ pub fn anomalous_fds_governed(
     sigma: &XmlFdSet,
     budget: &Budget,
 ) -> Result<Vec<Violation>> {
-    anomalous_fds_with(dtd, sigma, 1, budget.clone())
+    anomalous_fds_with(dtd, sigma, None, 1, budget.clone())
 }
 
 fn anomalous_fds_with(
     dtd: &Dtd,
     sigma: &XmlFdSet,
+    shards: Option<usize>,
     threads: usize,
     budget: Budget,
 ) -> Result<Vec<Violation>> {
@@ -72,15 +90,22 @@ fn anomalous_fds_with(
     let chase = Chase::new(dtd, &paths).with_budget(budget);
     let resolved = sigma.resolve(&paths)?;
     let oracle = crate::implication::ImplicationCache::new(&chase, &resolved);
-    crate::normalize::find_anomalous_fd(&oracle, &paths, &resolved, threads, chase.budget())?
-        .into_iter()
-        .map(|(fd, p)| {
-            Ok(Violation {
-                fd: fd.to_fd(&paths),
-                path: paths.path(p),
-            })
+    crate::normalize::find_anomalous_fd_sharded(
+        &oracle,
+        &paths,
+        &resolved,
+        shards,
+        threads,
+        chase.budget(),
+    )?
+    .into_iter()
+    .map(|(fd, p)| {
+        Ok(Violation {
+            fd: fd.to_fd(&paths),
+            path: paths.path(p),
         })
-        .collect()
+    })
+    .collect()
 }
 
 /// Tests one candidate of the anomalous-FD search: given `S → … q …` in

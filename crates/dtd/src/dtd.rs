@@ -14,7 +14,7 @@ use crate::nfa::Matcher;
 use crate::paths::PathSet;
 use crate::regex::Regex;
 use crate::{DtdError, Result};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a declared element type within one [`Dtd`].
@@ -67,9 +67,13 @@ impl ContentModel {
 pub struct ElementDecl {
     name: Box<str>,
     content: ContentModel,
-    /// Attribute names, stored without the leading `@`, kept sorted for
-    /// deterministic iteration.
-    attrs: BTreeSet<Box<str>>,
+    /// Attribute names, stored without the leading `@`, in declaration
+    /// order. Insertion order is *structural*: it survives element and
+    /// attribute renames unchanged, so every ordering derived from it
+    /// (path enumeration, tie-breaking in the normalizer) is
+    /// rename-equivariant. A sorted set here would leak lexicographic
+    /// name order into `paths(D)` and break that property.
+    attrs: Vec<Box<str>>,
 }
 
 impl ElementDecl {
@@ -83,14 +87,15 @@ impl ElementDecl {
         &self.content
     }
 
-    /// The attribute set `R(τ)` (names without the leading `@`), sorted.
+    /// The attribute set `R(τ)` (names without the leading `@`), in
+    /// declaration order.
     pub fn attrs(&self) -> impl Iterator<Item = &str> {
         self.attrs.iter().map(|a| &**a)
     }
 
     /// Whether attribute `@att` is defined for this element.
     pub fn has_attr(&self, att: &str) -> bool {
-        self.attrs.contains(att)
+        self.attrs.iter().any(|a| &**a == att)
     }
 }
 
@@ -151,7 +156,7 @@ impl Dtd {
         &self.elems[id.index()].content
     }
 
-    /// The attribute set `R(id)`, sorted, without leading `@`.
+    /// The attribute set `R(id)`, in declaration order, without leading `@`.
     pub fn attrs(&self, id: ElemId) -> impl Iterator<Item = &str> {
         self.elems[id.index()].attrs()
     }
@@ -287,20 +292,21 @@ impl Dtd {
                 }
             }
         }
-        let mut set = BTreeSet::new();
+        let mut list: Vec<Box<str>> = Vec::new();
         for a in attrs {
-            if !set.insert(a.clone().into_boxed_str()) {
+            if list.iter().any(|x| **x == *a) {
                 return Err(DtdError::DuplicateAttribute {
                     element: name.to_string(),
                     attribute: a,
                 });
             }
+            list.push(a.into_boxed_str());
         }
         let id = ElemId(self.elems.len() as u32);
         self.elems.push(ElementDecl {
             name: name.into(),
             content,
-            attrs: set,
+            attrs: list,
         });
         self.by_name.insert(name.into(), id);
         Ok(id)
@@ -330,21 +336,32 @@ impl Dtd {
 
     /// Adds attribute `@att` to element `id` (the `R'(last(q)) =
     /// R(last(q)) ∪ {@m}` half of the *moving attributes* transformation).
+    /// The attribute is appended after the existing ones, giving it a
+    /// structural position independent of its name.
     pub fn add_attribute(&mut self, id: ElemId, att: &str) -> Result<()> {
-        if !self.elems[id.index()].attrs.insert(att.into()) {
+        if self.has_attr(id, att) {
             return Err(DtdError::DuplicateAttribute {
                 element: self.name(id).to_string(),
                 attribute: att.to_string(),
             });
         }
+        self.elems[id.index()].attrs.push(att.into());
         Ok(())
     }
 
     /// Removes attribute `@att` from element `id` (the `R'(last(p)) =
     /// R(last(p)) \ {@l}` half of both Section 6 transformations). Returns
-    /// whether the attribute was present.
+    /// whether the attribute was present. The relative order of the
+    /// remaining attributes is preserved.
     pub fn remove_attribute(&mut self, id: ElemId, att: &str) -> bool {
-        self.elems[id.index()].attrs.remove(att)
+        let attrs = &mut self.elems[id.index()].attrs;
+        match attrs.iter().position(|a| &**a == att) {
+            Some(i) => {
+                attrs.remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Renames element type `old` to `new` everywhere (declaration and
@@ -534,21 +551,22 @@ impl DtdBuilder {
             if by_name.contains_key(name.as_str()) {
                 return Err(DtdError::DuplicateElement(name.clone()));
             }
-            let mut set = BTreeSet::new();
+            let mut list: Vec<Box<str>> = Vec::new();
             for a in attrs {
-                if !set.insert(a.clone().into_boxed_str()) {
+                if list.iter().any(|x| **x == **a) {
                     return Err(DtdError::DuplicateAttribute {
                         element: name.clone(),
                         attribute: a.clone(),
                     });
                 }
+                list.push(a.clone().into_boxed_str());
             }
             let id = ElemId(elems.len() as u32);
             by_name.insert(name.clone().into_boxed_str(), id);
             elems.push(ElementDecl {
                 name: name.clone().into_boxed_str(),
                 content: content.clone(),
-                attrs: set,
+                attrs: list,
             });
         }
         let root = *by_name

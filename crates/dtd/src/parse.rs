@@ -475,7 +475,7 @@ mod tests {
         .unwrap();
         let a = d.elem_id("a").unwrap();
         let attrs: Vec<_> = d.attrs(a).collect();
-        assert_eq!(attrs, vec!["fixed", "id", "kind", "quoted"]);
+        assert_eq!(attrs, vec!["kind", "id", "fixed", "quoted"]);
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //!   proof of non-implication, differential-tested against the chase-based
 //!   [`xnf_core::ImplicationCache`].
 //! * [`metamorphic`] — normalize must be invariant under FD reordering and
-//!   must commute with consistent element renamings; attribute renamings
-//!   must preserve the structural fingerprint of the run.
+//!   must commute *exactly* with consistent element and attribute
+//!   renamings, up to a derived bijection on minted fresh names.
 //! * [`fuzz`] — a seeded, minimizing fuzz driver over random specs; the
 //!   `xnf-oracle fuzz` binary shrinks failures to checked-in corpus specs.
 
@@ -35,7 +35,6 @@ pub mod spec;
 pub use brute::BruteForce;
 pub use fuzz::{fuzz_range, fuzz_seed, minimize, FailureKind, FuzzConfig, FuzzFailure};
 pub use metamorphic::{
-    check_attribute_rename, check_element_rename, check_fd_reorder, fingerprint, rename_spec,
-    Fingerprint, RenameOutcome,
+    check_attribute_rename, check_element_rename, check_fd_reorder, rename_spec, RenameOutcome,
 };
 pub use spec::{check_spec, DocFailure, SpecOracleConfig, SpecOracleReport};

@@ -9,63 +9,313 @@
 //!   the FDs of Σ (both through the text parser and through
 //!   [`XmlFdSet::from_fds`]).
 //! * **Element renaming** — for an injective renaming `ρ` of element
-//!   types, `normalize(ρ(D), ρ(Σ))` must commute with `ρ` exactly when no
-//!   step manufactures names derived from element names (`CreateElement`
-//!   introduces `info`/`{l}_ref` elements and text folding derives fresh
-//!   attribute names from element names).
-//! * **Attribute renaming** — the spec-isomorphism invariants must be
-//!   preserved.
+//!   types, `normalize(ρ(D), ρ(Σ))` equals `normalize(D, Σ)` *exactly, up
+//!   to a name bijection*: every tie-break in the engine is derived from
+//!   structural position (attribute declaration order, BFS path ids), so
+//!   the two runs must take the very same steps in the very same order.
+//! * **Attribute renaming** — same exact-commutation property for an
+//!   injective renaming of the attributes.
 //!
-//! Renamings use a common fresh *prefix*, which preserves the
-//! lexicographic order of names — the algorithm's deterministic
-//! tie-breaking sorts by name, so order-preserving maps are exactly the
-//! ones that must commute.
-//!
-//! **What "preserved" can mean.** Once a *derived* fresh name enters the
-//! name pool (`fold_text` derives attribute names from element names,
-//! `AddId` mints `id`, `CreateElement` mints `info`/`{l}_ref` element
-//! names from attribute stems), its lexicographic position relative to
-//! the renamed names differs from the original run, and the algorithm's
-//! name-ordered tie-breaking may legitimately pick a different (equally
-//! correct) decomposition from the second iteration on — fuzzing finds
-//! such seeds readily. The invariants that hold unconditionally are the
-//! parts fixed by the spec *up to isomorphism* before any derived name
-//! exists: the first step's kind, the initial anomalous-FD count
-//! `ap_trace[0]`, and `is_xnf` on the output ([`Fingerprint::weak`]).
-//! The full [`Fingerprint`] — and exact commutation — is only demanded
-//! when the run mints no order-shifting names.
+//! **Why "up to a name bijection".** The runs legitimately differ in the
+//! *spelling* of minted fresh names: `CreateElement` derives `{l}_ref`
+//! element names from attribute stems and `FoldText` derives attribute
+//! names from element names, and collision suffixes (`info` vs `info2`)
+//! depend on which spellings already exist. So the check derives a
+//! bijection Φ — seeded with the renaming ρ and extended by unifying the
+//! two step traces in lockstep — and then demands exact equality of the
+//! step traces, the `|AP|` trace, every intermediate stage, and the final
+//! `(D', Σ')` after pushing the base run through Φ. Any structural
+//! divergence (different step kinds, different paths, different
+//! declaration order, a non-injective name correspondence) is a
+//! [`RenameOutcome::Violation`]. This is the exact-equality promotion of
+//! the earlier weak-fingerprint check, enabled by making the engine's
+//! tie-breaking rename-equivariant.
 
 use std::collections::BTreeMap;
 use xnf_core::normalize::{normalize, NormalizeOptions, NormalizeResult};
-use xnf_core::{is_xnf, CoreError, Step, XmlFd, XmlFdSet};
-use xnf_dtd::{Dtd, Path};
+use xnf_core::{CoreError, Step, XmlFd, XmlFdSet};
+use xnf_dtd::{ContentModel, Dtd, Path, Regex};
 
-/// A name-independent digest of one normalization run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Fingerprint {
-    /// The kind of each applied step, in order.
-    pub step_kinds: Vec<&'static str>,
-    /// `|AP(D, Σ)|` trace (strictly decreasing by Proposition 6).
-    pub ap_trace: Vec<usize>,
-    /// Number of element types in the output DTD.
-    pub output_elements: usize,
-    /// Number of FDs in the output Σ.
-    pub output_sigma_len: usize,
-    /// Whether the output satisfies `is_xnf`.
-    pub output_is_xnf: bool,
+/// An element/attribute name bijection between two normalization runs.
+///
+/// Element names are a single global namespace (DTD element types are
+/// unique); attribute names are scoped by the *base-side* element type
+/// that declares them, since the same attribute name may recur on several
+/// element types and map differently on each.
+#[derive(Debug, Default)]
+struct NameBijection {
+    elem: BTreeMap<Box<str>, Box<str>>,
+    elem_rev: BTreeMap<Box<str>, Box<str>>,
+    attr: BTreeMap<(Box<str>, Box<str>), Box<str>>,
+    attr_rev: BTreeMap<(Box<str>, Box<str>), Box<str>>,
 }
 
-impl Fingerprint {
-    /// The part of the digest fixed by the spec up to isomorphism (see the
-    /// module docs): first step kind, initial anomalous-FD count, and
-    /// whether the output is in XNF. Later steps may legitimately diverge
-    /// under renamings once derived fresh names shift tie-breaking order.
-    pub fn weak(&self) -> (Option<&'static str>, Option<usize>, bool) {
-        (
-            self.step_kinds.first().copied(),
-            self.ap_trace.first().copied(),
-            self.output_is_xnf,
-        )
+impl NameBijection {
+    fn bind_elem(&mut self, b: &str, r: &str) -> Result<(), String> {
+        if let Some(cur) = self.elem.get(b) {
+            return if **cur == *r {
+                Ok(())
+            } else {
+                Err(format!("element `{b}` maps to both `{cur}` and `{r}`"))
+            };
+        }
+        if let Some(other) = self.elem_rev.get(r) {
+            return Err(format!("elements `{other}` and `{b}` both map to `{r}`"));
+        }
+        self.elem.insert(b.into(), r.into());
+        self.elem_rev.insert(r.into(), b.into());
+        Ok(())
+    }
+
+    fn bind_attr(&mut self, elem: &str, b: &str, r: &str) -> Result<(), String> {
+        let key = (Box::from(elem), Box::from(b));
+        if let Some(cur) = self.attr.get(&key) {
+            return if **cur == *r {
+                Ok(())
+            } else {
+                Err(format!(
+                    "attribute `@{b}` of `{elem}` maps to both `@{cur}` and `@{r}`"
+                ))
+            };
+        }
+        let rev_key = (Box::from(elem), Box::from(r));
+        if let Some(other) = self.attr_rev.get(&rev_key) {
+            return Err(format!(
+                "attributes `@{other}` and `@{b}` of `{elem}` both map to `@{r}`"
+            ));
+        }
+        self.attr.insert(key, r.into());
+        self.attr_rev.insert(rev_key, b.into());
+        Ok(())
+    }
+
+    fn map_elem(&self, b: &str) -> Result<&str, String> {
+        self.elem
+            .get(b)
+            .map(|r| &**r)
+            .ok_or_else(|| format!("element `{b}` appears only in the base run"))
+    }
+
+    fn map_attr(&self, elem: &str, b: &str) -> Result<&str, String> {
+        self.attr
+            .get(&(Box::from(elem), Box::from(b)))
+            .map(|r| &**r)
+            .ok_or_else(|| format!("attribute `@{b}` of `{elem}` appears only in the base run"))
+    }
+
+    /// Requires `b` and `r` to be step-for-step identical after mapping
+    /// base names through the bijection, binding names not yet seen.
+    fn unify_path(&mut self, b: &Path, r: &Path) -> Result<(), String> {
+        if b.len() != r.len() {
+            return Err(format!("paths `{b}` and `{r}` differ in length"));
+        }
+        let mut cur_elem: Option<&str> = None;
+        for (sb, sr) in b.steps().iter().zip(r.steps()) {
+            match (sb, sr) {
+                (xnf_dtd::Step::Elem(nb), xnf_dtd::Step::Elem(nr)) => {
+                    self.bind_elem(nb, nr)?;
+                    cur_elem = Some(nb);
+                }
+                (xnf_dtd::Step::Attr(ab), xnf_dtd::Step::Attr(ar)) => {
+                    let elem = cur_elem.ok_or("attribute step with no parent element")?;
+                    self.bind_attr(elem, ab, ar)?;
+                }
+                (xnf_dtd::Step::Text, xnf_dtd::Step::Text) => {}
+                _ => return Err(format!("paths `{b}` and `{r}` differ in step kinds")),
+            }
+        }
+        Ok(())
+    }
+
+    fn unify_step(&mut self, b: &Step, r: &Step) -> Result<(), String> {
+        match (b, r) {
+            (
+                Step::FoldText {
+                    elem_path: pb,
+                    attr: ab,
+                },
+                Step::FoldText {
+                    elem_path: pr,
+                    attr: ar,
+                },
+            ) => {
+                self.unify_path(pb, pr)?;
+                // The minted attribute lands on the *parent* of the folded
+                // element.
+                let parent = pb.parent().ok_or("fold at the root")?;
+                let elem = last_elem_name(&parent).ok_or("fold parent has no element")?;
+                self.bind_attr(&elem, ab, ar)
+            }
+            (
+                Step::AddId {
+                    elem_path: pb,
+                    attr: ab,
+                },
+                Step::AddId {
+                    elem_path: pr,
+                    attr: ar,
+                },
+            ) => {
+                self.unify_path(pb, pr)?;
+                let elem = last_elem_name(pb).ok_or("AddId path has no element")?;
+                self.bind_attr(&elem, ab, ar)
+            }
+            (
+                Step::MoveAttribute {
+                    from: fb,
+                    to: tb,
+                    new_attr: ab,
+                },
+                Step::MoveAttribute {
+                    from: fr,
+                    to: tr,
+                    new_attr: ar,
+                },
+            ) => {
+                self.unify_path(fb, fr)?;
+                self.unify_path(tb, tr)?;
+                let elem = last_elem_name(tb).ok_or("move target has no element")?;
+                self.bind_attr(&elem, ab, ar)
+            }
+            (
+                Step::CreateElement {
+                    q: qb,
+                    lhs_attrs: lb,
+                    value_attr: vb,
+                    tau: taub,
+                    tau_children: cb,
+                },
+                Step::CreateElement {
+                    q: qr,
+                    lhs_attrs: lr,
+                    value_attr: vr,
+                    tau: taur,
+                    tau_children: cr,
+                },
+            ) => {
+                self.unify_path(qb, qr)?;
+                if lb.len() != lr.len() || cb.len() != cr.len() {
+                    return Err("CreateElement arity differs".into());
+                }
+                for (pb, pr) in lb.iter().zip(lr) {
+                    self.unify_path(pb, pr)?;
+                }
+                self.unify_path(vb, vr)?;
+                self.bind_elem(taub, taur)?;
+                // τ carries the moved value attribute; each τᵢ carries its
+                // LHS attribute — bind them in their *new* element scope.
+                self.bind_attr(taub, &attr_name_of(vb)?, &attr_name_of(vr)?)?;
+                for ((childb, childr), (pb, pr)) in cb.iter().zip(cr).zip(lb.iter().zip(lr)) {
+                    self.bind_elem(childb, childr)?;
+                    self.bind_attr(childb, &attr_name_of(pb)?, &attr_name_of(pr)?)?;
+                }
+                Ok(())
+            }
+            _ => Err(format!(
+                "step kinds differ: {} vs {}",
+                step_kind(b),
+                step_kind(r)
+            )),
+        }
+    }
+
+    fn map_path(&self, p: &Path) -> Result<Path, String> {
+        let mut cur_elem: Option<Box<str>> = None;
+        let mut out: Option<Path> = None;
+        for step in p.steps() {
+            let mapped = match step {
+                xnf_dtd::Step::Elem(n) => {
+                    let m = self.map_elem(n)?;
+                    cur_elem = Some(Box::from(&**n));
+                    xnf_dtd::Step::elem(m)
+                }
+                xnf_dtd::Step::Attr(a) => {
+                    let elem = cur_elem
+                        .as_deref()
+                        .ok_or("attribute step with no parent element")?;
+                    xnf_dtd::Step::attr(self.map_attr(elem, a)?)
+                }
+                xnf_dtd::Step::Text => xnf_dtd::Step::Text,
+            };
+            out = Some(match (out, mapped) {
+                (None, xnf_dtd::Step::Elem(n)) => Path::root(n),
+                (None, _) => return Err(format!("path `{p}` does not start at an element")),
+                (Some(prefix), xnf_dtd::Step::Elem(n)) => prefix.child_elem(n),
+                (Some(prefix), xnf_dtd::Step::Attr(a)) => prefix.child_attr(a),
+                (Some(prefix), xnf_dtd::Step::Text) => prefix.child_text(),
+            });
+        }
+        out.ok_or_else(|| "empty path".into())
+    }
+
+    fn map_regex(&self, re: &Regex) -> Result<Regex, String> {
+        Ok(match re {
+            Regex::Epsilon => Regex::Epsilon,
+            Regex::Elem(n) => Regex::Elem(self.map_elem(n)?.into()),
+            Regex::Seq(parts) => Regex::Seq(
+                parts
+                    .iter()
+                    .map(|p| self.map_regex(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Regex::Alt(parts) => Regex::Alt(
+                parts
+                    .iter()
+                    .map(|p| self.map_regex(p))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Regex::Star(inner) => Regex::Star(Box::new(self.map_regex(inner)?)),
+            Regex::Opt(inner) => Regex::Opt(Box::new(self.map_regex(inner)?)),
+            Regex::Plus(inner) => Regex::Plus(Box::new(self.map_regex(inner)?)),
+        })
+    }
+
+    /// Rebuilds `d` with every name pushed through the bijection,
+    /// preserving element and attribute declaration order exactly.
+    fn map_dtd(&self, d: &Dtd) -> Result<Dtd, String> {
+        let mut b = Dtd::builder(self.map_elem(d.root_name())?);
+        for id in d.elements() {
+            let name = d.name(id);
+            let content = match d.content(id) {
+                ContentModel::Text => ContentModel::Text,
+                ContentModel::Regex(re) => ContentModel::Regex(self.map_regex(re)?),
+            };
+            let attrs = d
+                .attrs(id)
+                .map(|a| self.map_attr(name, a).map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?;
+            b = b.decl(self.map_elem(name)?.to_string(), content, attrs);
+        }
+        b.build()
+            .map_err(|e| format!("mapped DTD no longer builds: {e}"))
+    }
+
+    fn map_fds(&self, sigma: &XmlFdSet) -> Result<XmlFdSet, String> {
+        let fds = sigma
+            .iter()
+            .map(|fd| {
+                let map_side = |side: &[Path]| -> Result<Vec<Path>, String> {
+                    side.iter().map(|p| self.map_path(p)).collect()
+                };
+                XmlFd::new(map_side(fd.lhs())?, map_side(fd.rhs())?)
+                    .map_err(|e| format!("mapped FD no longer builds: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(XmlFdSet::from_fds(fds))
+    }
+}
+
+fn last_elem_name(p: &Path) -> Option<Box<str>> {
+    p.steps().iter().rev().find_map(|s| match s {
+        xnf_dtd::Step::Elem(n) => Some(n.clone()),
+        _ => None,
+    })
+}
+
+fn attr_name_of(p: &Path) -> Result<Box<str>, String> {
+    match p.last() {
+        xnf_dtd::Step::Attr(a) => Ok(a.clone()),
+        _ => Err(format!("`{p}` is not an attribute path")),
     }
 }
 
@@ -76,21 +326,6 @@ fn step_kind(step: &Step) -> &'static str {
         Step::MoveAttribute { .. } => "move_attribute",
         Step::CreateElement { .. } => "create_element",
     }
-}
-
-fn fingerprint_of(result: &NormalizeResult) -> Result<Fingerprint, CoreError> {
-    Ok(Fingerprint {
-        step_kinds: result.steps.iter().map(step_kind).collect(),
-        ap_trace: result.ap_trace.clone(),
-        output_elements: result.dtd.num_elements(),
-        output_sigma_len: result.sigma.len(),
-        output_is_xnf: is_xnf(&result.dtd, &result.sigma)?,
-    })
-}
-
-/// Normalizes `(D, Σ)` and digests the run into a [`Fingerprint`].
-pub fn fingerprint(dtd: &Dtd, sigma: &XmlFdSet) -> Result<Fingerprint, CoreError> {
-    fingerprint_of(&normalize(dtd, sigma, &NormalizeOptions::default())?)
 }
 
 /// Applies an element-type renaming to a whole spec.
@@ -143,18 +378,16 @@ fn rename_path(p: &Path, map: &BTreeMap<String, String>) -> Path {
 /// Verdict of a renaming metamorphic check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RenameOutcome {
-    /// The strongest property held: `normalize ∘ ρ = ρ ∘ normalize` as an
-    /// exact equality of revised DTDs and FD sets.
+    /// `normalize ∘ ρ = ρ ∘ normalize` held exactly: identical step trace,
+    /// `|AP|` trace, stages, and output `(D', Σ')` up to the derived
+    /// fresh-name bijection.
     Commutes,
-    /// Fresh-name generation makes exact commutation inapplicable, but the
-    /// spec-isomorphism invariants ([`Fingerprint::weak`]) were preserved.
-    FingerprintMatch,
     /// The invariant was violated; the string says how.
     Violation(String),
 }
 
 impl RenameOutcome {
-    /// Whether the invariant held (in either strength).
+    /// Whether the invariant held.
     pub fn ok(&self) -> bool {
         !matches!(self, RenameOutcome::Violation(_))
     }
@@ -174,8 +407,74 @@ fn fresh_prefix(dtd: &Dtd) -> String {
     prefix
 }
 
-/// Checks that normalization commutes with a consistent renaming of every
-/// element type (same-prefix, hence order-preserving).
+/// Derives the fresh-name bijection from the two runs' step traces and
+/// demands exact equality of everything else under it.
+fn compare_runs(
+    base: &NormalizeResult,
+    renamed: &NormalizeResult,
+    mut phi: NameBijection,
+) -> RenameOutcome {
+    let violation = |msg: String| RenameOutcome::Violation(msg);
+    if base.ap_trace != renamed.ap_trace {
+        return violation(format!(
+            "|AP| traces differ: {:?} vs {:?}",
+            base.ap_trace, renamed.ap_trace
+        ));
+    }
+    if base.steps.len() != renamed.steps.len() {
+        return violation(format!(
+            "step traces differ in length: {} vs {}",
+            base.steps.len(),
+            renamed.steps.len()
+        ));
+    }
+    for (i, (b, r)) in base.steps.iter().zip(&renamed.steps).enumerate() {
+        if let Err(e) = phi.unify_step(b, r) {
+            return violation(format!("step {i} does not unify: {e}"));
+        }
+    }
+    // With Φ complete, the outputs and every intermediate stage must agree
+    // verbatim — including declaration order, which is structural.
+    match phi.map_dtd(&base.dtd) {
+        Ok(d) if d == renamed.dtd => {}
+        Ok(d) => {
+            return violation(format!(
+                "output DTDs differ under Φ:\n{d}\nvs\n{}",
+                renamed.dtd
+            ))
+        }
+        Err(e) => return violation(format!("output DTD does not map: {e}")),
+    }
+    match phi.map_fds(&base.sigma) {
+        Ok(s) if s == renamed.sigma => {}
+        Ok(s) => {
+            return violation(format!(
+                "output Σ differ under Φ:\n{s}\nvs\n{}",
+                renamed.sigma
+            ))
+        }
+        Err(e) => return violation(format!("output Σ does not map: {e}")),
+    }
+    if base.stages.len() != renamed.stages.len() {
+        return violation("stage traces differ in length".into());
+    }
+    for (i, ((bd, bs), (rd, rs))) in base.stages.iter().zip(&renamed.stages).enumerate() {
+        match phi.map_dtd(bd) {
+            Ok(d) if d == *rd => {}
+            Ok(_) => return violation(format!("stage {i} DTDs differ under Φ")),
+            Err(e) => return violation(format!("stage {i} DTD does not map: {e}")),
+        }
+        match phi.map_fds(bs) {
+            Ok(s) if s == *rs => {}
+            Ok(_) => return violation(format!("stage {i} Σ differ under Φ")),
+            Err(e) => return violation(format!("stage {i} Σ does not map: {e}")),
+        }
+    }
+    RenameOutcome::Commutes
+}
+
+/// Checks that normalization commutes *exactly* (up to the derived
+/// fresh-name bijection) with a consistent renaming of every element type.
 pub fn check_element_rename(dtd: &Dtd, sigma: &XmlFdSet) -> Result<RenameOutcome, CoreError> {
     let prefix = fresh_prefix(dtd);
     let map: BTreeMap<String, String> = dtd
@@ -190,46 +489,30 @@ pub fn check_element_rename(dtd: &Dtd, sigma: &XmlFdSet) -> Result<RenameOutcome
     let base = normalize(dtd, sigma, &NormalizeOptions::default())?;
     let renamed = normalize(&rdtd, &rsigma, &NormalizeOptions::default())?;
 
-    let base_fp = fingerprint_of(&base)?;
-    let renamed_fp = fingerprint_of(&renamed)?;
-    if base_fp.weak() != renamed_fp.weak() {
-        return Ok(RenameOutcome::Violation(format!(
-            "weak fingerprint changed under element renaming: {base_fp:?} vs {renamed_fp:?}"
-        )));
+    // Seed Φ with ρ on the elements and the identity on the original
+    // attributes; everything minted during the runs is unified from the
+    // step traces.
+    let mut phi = NameBijection::default();
+    for (old, new) in &map {
+        phi.bind_elem(old, new).expect("ρ is injective");
     }
-
-    // `CreateElement` mints `info`/`{l}_ref` element types and text folding
-    // derives fresh attribute names from element names; both break exact
-    // equality of outputs. Without them the runs must agree verbatim.
-    let exact_applies = !base
-        .steps
-        .iter()
-        .any(|s| matches!(s, Step::CreateElement { .. } | Step::FoldText { .. }));
-    if exact_applies {
-        let (expected_dtd, expected_sigma) = rename_spec(&base.dtd, &base.sigma, &map)?;
-        if renamed.dtd != expected_dtd {
-            return Ok(RenameOutcome::Violation(
-                "revised DTDs differ under element renaming".into(),
-            ));
+    for id in dtd.elements() {
+        for a in dtd.attrs(id) {
+            phi.bind_attr(dtd.name(id), a, a).expect("identity seed");
         }
-        if renamed.sigma != expected_sigma {
-            return Ok(RenameOutcome::Violation(
-                "revised FD sets differ under element renaming".into(),
-            ));
-        }
-        return Ok(RenameOutcome::Commutes);
     }
-    Ok(RenameOutcome::FingerprintMatch)
+    Ok(compare_runs(&base, &renamed, phi))
 }
 
-/// Checks that the run [`Fingerprint`] is invariant under a consistent
-/// renaming of every attribute (fresh names derive from attribute stems,
-/// so only the name-independent digest is required to match).
+/// Checks that normalization commutes *exactly* (up to the derived
+/// fresh-name bijection) with a consistent renaming of every attribute.
 pub fn check_attribute_rename(dtd: &Dtd, sigma: &XmlFdSet) -> Result<RenameOutcome, CoreError> {
     let prefix = fresh_prefix(dtd);
     let mut renamed = dtd.clone();
     for id in dtd.elements() {
         let attrs: Vec<String> = dtd.attrs(id).map(str::to_string).collect();
+        // remove+append in declaration order keeps the structural
+        // (insertion) order of the attribute list intact.
         for attr in attrs {
             renamed.remove_attribute(id, &attr);
             renamed.add_attribute(id, &format!("{prefix}{attr}"))?;
@@ -262,25 +545,20 @@ pub fn check_attribute_rename(dtd: &Dtd, sigma: &XmlFdSet) -> Result<RenameOutco
     let rsigma = XmlFdSet::from_fds(fds?);
 
     let base = normalize(dtd, sigma, &NormalizeOptions::default())?;
-    let base_fp = fingerprint_of(&base)?;
-    let renamed_fp = fingerprint(&renamed, &rsigma)?;
-    if base_fp.weak() != renamed_fp.weak() {
-        return Ok(RenameOutcome::Violation(format!(
-            "weak fingerprint changed under attribute renaming: {base_fp:?} vs {renamed_fp:?}"
-        )));
-    }
-    // With no steps at all there is no fresh-name feedback: the renamed
-    // spec must already be in XNF verbatim.
-    if base.steps.is_empty() {
-        let rerun = normalize(&renamed, &rsigma, &NormalizeOptions::default())?;
-        if !rerun.steps.is_empty() || rerun.dtd != renamed {
-            return Ok(RenameOutcome::Violation(
-                "XNF spec became non-XNF under attribute renaming".into(),
-            ));
+    let renamed_run = normalize(&renamed, &rsigma, &NormalizeOptions::default())?;
+
+    // Seed Φ with the identity on the elements and ρ on the original
+    // attributes.
+    let mut phi = NameBijection::default();
+    for id in dtd.elements() {
+        let name = dtd.name(id);
+        phi.bind_elem(name, name).expect("identity seed");
+        for a in dtd.attrs(id) {
+            phi.bind_attr(name, a, &format!("{prefix}{a}"))
+                .expect("ρ is injective");
         }
-        return Ok(RenameOutcome::Commutes);
     }
-    Ok(RenameOutcome::FingerprintMatch)
+    Ok(compare_runs(&base, &renamed_run, phi))
 }
 
 /// Checks that `normalize` is invariant under reordering of Σ.
@@ -339,12 +617,15 @@ mod tests {
     }
 
     #[test]
-    fn university_fingerprint_survives_renamings() {
+    fn university_commutes_exactly_under_renamings() {
+        // The university run folds text and creates elements — exactly the
+        // fresh-name minting that used to force the weak-fingerprint
+        // fallback. It must now commute exactly.
         let (dtd, sigma) = university();
         let elem = check_element_rename(&dtd, &sigma).unwrap();
-        assert!(elem.ok(), "{elem:?}");
+        assert_eq!(elem, RenameOutcome::Commutes, "{elem:?}");
         let attr = check_attribute_rename(&dtd, &sigma).unwrap();
-        assert!(attr.ok(), "{attr:?}");
+        assert_eq!(attr, RenameOutcome::Commutes, "{attr:?}");
     }
 
     #[test]
@@ -366,7 +647,7 @@ mod tests {
     #[test]
     fn a_move_attribute_only_spec_commutes_exactly() {
         // Figure 1(b)-style: @year on book is anomalous and gets moved; no
-        // new element types are created, so the exact commute applies.
+        // new element types are created.
         let dtd = xnf_dtd::parse_dtd(
             "<!ELEMENT db (conf*)>
              <!ELEMENT conf (issue*)>
@@ -382,6 +663,25 @@ mod tests {
         )
         .unwrap();
         let outcome = check_element_rename(&dtd, &sigma).unwrap();
-        assert!(outcome.ok(), "{outcome:?}");
+        assert_eq!(outcome, RenameOutcome::Commutes, "{outcome:?}");
+    }
+
+    #[test]
+    fn a_tampered_run_is_a_violation() {
+        // Unifying traces from *different* specs must not silently pass:
+        // normalize two unrelated specs and force a comparison.
+        let (dtd, sigma) = university();
+        let base = normalize(&dtd, &sigma, &NormalizeOptions::default()).unwrap();
+        let other_sigma = XmlFdSet::parse("courses.course.@cno -> courses.course").unwrap();
+        let other = normalize(&dtd, &other_sigma, &NormalizeOptions::default()).unwrap();
+        let mut phi = NameBijection::default();
+        for id in dtd.elements() {
+            let name = dtd.name(id);
+            phi.bind_elem(name, name).unwrap();
+            for a in dtd.attrs(id) {
+                phi.bind_attr(name, a, a).unwrap();
+            }
+        }
+        assert!(!compare_runs(&base, &other, phi).ok());
     }
 }

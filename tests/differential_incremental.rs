@@ -1,0 +1,208 @@
+//! Differential tests for the incremental implication cache.
+//!
+//! [`IncrementalCache`] transfers chase verdicts across `(D, Σ)` edits
+//! when the recorded [`RunTrace`] footprint proves the edit invisible to
+//! the run. The transfer must be *exact*: after every edit in a
+//! generated sequence, each cached answer must equal a from-scratch
+//! chase on the edited spec — verdict for verdict, over corpora of
+//! random DTDs, FD pools and edit scripts.
+
+use xnf::core::implication::Implication;
+use xnf::core::{Chase, DtdDelta, IncrementalCache, SigmaDelta, XmlFd, XmlFdSet};
+use xnf::dtd::Dtd;
+use xnf_gen::dtd::{simple_dtd, SimpleDtdParams};
+use xnf_gen::fd::{random_fds, FdParams};
+
+fn dtd_params(elements: usize) -> SimpleDtdParams {
+    SimpleDtdParams {
+        elements,
+        max_children: 3,
+        max_attrs: 2,
+        text_leaf_prob: 0.4,
+    }
+}
+
+fn from_scratch(dtd: &Dtd, sigma: &XmlFdSet, queries: &[XmlFd]) -> Vec<bool> {
+    let paths = dtd.paths().unwrap();
+    let resolved = sigma.resolve(&paths).unwrap();
+    let chase = Chase::new(dtd, &paths);
+    queries
+        .iter()
+        .map(|f| chase.implies(&resolved, &f.resolve(&paths).unwrap()))
+        .collect()
+}
+
+/// Walks an edit script over Σ subsets drawn from one FD pool: each step
+/// adds or removes one FD. After every step the incremental answers must
+/// match the from-scratch chase for every query.
+#[test]
+fn sigma_edit_sequences_match_from_scratch() {
+    let mut steps_checked = 0u32;
+    let mut transfers = 0u64;
+    for seed in 0..60u64 {
+        for elements in 3..7 {
+            let mut rng = xnf_gen::rng(seed);
+            let dtd = simple_dtd(&mut rng, &dtd_params(elements));
+            let pool: Vec<XmlFd> = random_fds(
+                &dtd,
+                &mut rng,
+                &FdParams {
+                    count: 6,
+                    max_lhs: 2,
+                },
+            )
+            .iter()
+            .cloned()
+            .collect();
+            let queries: Vec<XmlFd> = random_fds(
+                &dtd,
+                &mut rng,
+                &FdParams {
+                    count: 6,
+                    max_lhs: 2,
+                },
+            )
+            .iter()
+            .cloned()
+            .collect();
+            if pool.len() < 4 || queries.is_empty() {
+                continue;
+            }
+            // Membership masks per step: grow, shrink, churn.
+            let scripts: [&[usize]; 6] = [
+                &[0, 1, 2],
+                &[0, 1, 2, 3],
+                &[0, 2, 3],
+                &[0, 2],
+                &[0, 2, 1],
+                &[2, 1],
+            ];
+            let sigma_at = |picks: &[usize]| {
+                XmlFdSet::from_fds(picks.iter().filter_map(|&i| pool.get(i).cloned()))
+            };
+            let mut sigma = sigma_at(scripts[0]);
+            let mut cache = IncrementalCache::new(dtd.clone(), sigma.clone());
+            assert_eq!(
+                cache.implies_all(&queries).unwrap(),
+                from_scratch(&dtd, &sigma, &queries),
+                "seed {seed}: initial fill diverged"
+            );
+            for picks in &scripts[1..] {
+                let next = sigma_at(picks);
+                let report = cache
+                    .apply_delta(
+                        &DtdDelta::unchanged(&dtd),
+                        &SigmaDelta::between(&sigma, &next),
+                    )
+                    .unwrap();
+                transfers += report.kept as u64;
+                sigma = next;
+                assert_eq!(
+                    cache.implies_all(&queries).unwrap(),
+                    from_scratch(&dtd, &sigma, &queries),
+                    "seed {seed}, elements {elements}, step {picks:?}: incremental diverged"
+                );
+                steps_checked += 1;
+            }
+        }
+    }
+    assert!(steps_checked > 400, "corpus too small: {steps_checked}");
+    // The point of the cache: a meaningful share of verdicts transfers
+    // instead of re-chasing.
+    assert!(transfers > 500, "no incrementality: {transfers} transfers");
+}
+
+/// DTD edits: add an attribute to some element (a declaration change
+/// that dirties one fragment). Entries off the fragment must transfer;
+/// all answers must match from-scratch.
+#[test]
+fn dtd_edit_sequences_match_from_scratch() {
+    let mut steps_checked = 0u32;
+    for seed in 0..60u64 {
+        for elements in 4..8 {
+            let mut rng = xnf_gen::rng(seed ^ 0xd7d);
+            let dtd = simple_dtd(&mut rng, &dtd_params(elements));
+            let sigma = random_fds(
+                &dtd,
+                &mut rng,
+                &FdParams {
+                    count: 4,
+                    max_lhs: 2,
+                },
+            );
+            let queries: Vec<XmlFd> = random_fds(
+                &dtd,
+                &mut rng,
+                &FdParams {
+                    count: 6,
+                    max_lhs: 2,
+                },
+            )
+            .iter()
+            .cloned()
+            .collect();
+            if queries.is_empty() {
+                continue;
+            }
+            let mut cache = IncrementalCache::new(dtd.clone(), sigma.clone());
+            cache.implies_all(&queries).unwrap();
+            // Edit every element in turn; each is one delta step.
+            let mut current = dtd.clone();
+            for id in dtd.elements() {
+                let mut next = current.clone();
+                let name = next.fresh_attr_name(id, "zz");
+                next.add_attribute(id, &name).unwrap();
+                let delta = DtdDelta::between(&current, &next);
+                assert!(!delta.changed.is_empty());
+                cache
+                    .apply_delta(&delta, &SigmaDelta::unchanged(&sigma))
+                    .unwrap();
+                current = next;
+                assert_eq!(
+                    cache.implies_all(&queries).unwrap(),
+                    from_scratch(&current, &sigma, &queries),
+                    "seed {seed}, elements {elements}, edit {:?}: incremental diverged",
+                    dtd.name(id)
+                );
+                steps_checked += 1;
+            }
+        }
+    }
+    assert!(steps_checked > 500, "corpus too small: {steps_checked}");
+}
+
+/// The identity delta transfers everything: zero re-chasing.
+#[test]
+fn identity_delta_keeps_every_entry() {
+    let mut rng = xnf_gen::rng(7);
+    let dtd = simple_dtd(&mut rng, &dtd_params(5));
+    let sigma = random_fds(
+        &dtd,
+        &mut rng,
+        &FdParams {
+            count: 4,
+            max_lhs: 2,
+        },
+    );
+    let queries: Vec<XmlFd> = random_fds(
+        &dtd,
+        &mut rng,
+        &FdParams {
+            count: 8,
+            max_lhs: 2,
+        },
+    )
+    .iter()
+    .cloned()
+    .collect();
+    let mut cache = IncrementalCache::new(dtd.clone(), sigma.clone());
+    cache.implies_all(&queries).unwrap();
+    let filled = cache.len();
+    assert!(filled > 0);
+    let report = cache
+        .apply_delta(&DtdDelta::unchanged(&dtd), &SigmaDelta::unchanged(&sigma))
+        .unwrap();
+    assert_eq!(report.kept, filled);
+    assert_eq!(report.invalidated, 0);
+    assert!(!report.order_flush);
+}

@@ -1,0 +1,142 @@
+//! Differential tests for the sharded anomalous-FD search.
+//!
+//! The shard plan and the work-stealing pool are pure scheduling: every
+//! `(shard count, thread count)` configuration must produce output
+//! byte-identical to the sequential sweep — the per-candidate verdicts
+//! are independent pure implication queries and the merge restores
+//! enumeration order before the canonical sort. These tests pin that
+//! over a randomized corpus and on the paper's running examples.
+
+use xnf::core::{anomalous_fds, anomalous_fds_sharded, normalize, NormalizeOptions, XmlFdSet};
+use xnf_gen::dtd::{disjunctive_dtd, simple_dtd, SimpleDtdParams};
+use xnf_gen::fd::{random_fds, FdParams};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn dtd_params(elements: usize) -> SimpleDtdParams {
+    SimpleDtdParams {
+        elements,
+        max_children: 3,
+        max_attrs: 2,
+        text_leaf_prob: 0.4,
+    }
+}
+
+fn check_sharded_matches_sequential(dtd: &xnf::dtd::Dtd, seed: u64) -> bool {
+    let mut rng = xnf_gen::rng(seed ^ 0x54a2d);
+    let sigma = random_fds(
+        dtd,
+        &mut rng,
+        &FdParams {
+            count: 4,
+            max_lhs: 2,
+        },
+    );
+    let baseline = anomalous_fds(dtd, &sigma).unwrap();
+    for shards in SHARD_COUNTS {
+        for threads in THREAD_COUNTS {
+            let got = anomalous_fds_sharded(dtd, &sigma, shards, threads).unwrap();
+            assert_eq!(
+                got, baseline,
+                "seed {seed}, shards {shards}, threads {threads}: violations diverged"
+            );
+        }
+    }
+    !baseline.is_empty()
+}
+
+#[test]
+fn sharded_matches_sequential_simple_corpus() {
+    let mut with_violations = 0u32;
+    for seed in 0..120u64 {
+        for elements in 3..8 {
+            let mut rng = xnf_gen::rng(seed);
+            let dtd = simple_dtd(&mut rng, &dtd_params(elements));
+            if check_sharded_matches_sequential(&dtd, seed) {
+                with_violations += 1;
+            }
+        }
+    }
+    // The corpus must exercise the non-trivial branch, not only empty
+    // violation sets.
+    assert!(with_violations > 50, "corpus too tame: {with_violations}");
+}
+
+#[test]
+fn sharded_matches_sequential_disjunctive_corpus() {
+    for seed in 0..80u64 {
+        for elements in 3..7 {
+            let mut rng = xnf_gen::rng(seed);
+            let dtd = disjunctive_dtd(&mut rng, &dtd_params(elements), 2, 2);
+            check_sharded_matches_sequential(&dtd, seed);
+        }
+    }
+}
+
+const UNIVERSITY_DTD: &str = "<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ATTLIST course cno CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (name, grade)>
+<!ATTLIST student sno CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT grade (#PCDATA)>";
+
+const DBLP_DTD: &str = "<!ELEMENT db (conf*)>
+<!ELEMENT conf (title, issue+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT issue (inproceedings+)>
+<!ELEMENT inproceedings (author+, title, booktitle)>
+<!ATTLIST inproceedings
+    key CDATA #REQUIRED
+    pages CDATA #REQUIRED
+    year CDATA #REQUIRED>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT booktitle (#PCDATA)>";
+
+#[test]
+fn paper_examples_identical_across_shard_and_thread_counts() {
+    use xnf::core::fd::{DBLP_FDS, UNIVERSITY_FDS};
+    for (dtd_text, fds) in [(UNIVERSITY_DTD, UNIVERSITY_FDS), (DBLP_DTD, DBLP_FDS)] {
+        let dtd = xnf::dtd::parse_dtd(dtd_text).unwrap();
+        let sigma = XmlFdSet::parse(fds).unwrap();
+        let baseline = anomalous_fds(&dtd, &sigma).unwrap();
+        assert!(!baseline.is_empty(), "paper examples violate XNF");
+        for shards in SHARD_COUNTS {
+            for threads in THREAD_COUNTS {
+                assert_eq!(
+                    anomalous_fds_sharded(&dtd, &sigma, shards, threads).unwrap(),
+                    baseline
+                );
+            }
+        }
+    }
+}
+
+/// The normalization loop now routes *every* run — including
+/// `threads == 1` — through the shard driver; whole-run outputs must
+/// stay byte-identical across thread counts end to end.
+#[test]
+fn normalize_through_shard_driver_is_reproducible() {
+    use xnf::core::fd::UNIVERSITY_FDS;
+    let dtd = xnf::dtd::parse_dtd(UNIVERSITY_DTD).unwrap();
+    let sigma = XmlFdSet::parse(UNIVERSITY_FDS).unwrap();
+    let render = |threads: usize| {
+        let r = normalize(
+            &dtd,
+            &sigma,
+            &NormalizeOptions {
+                threads,
+                ..NormalizeOptions::default()
+            },
+        )
+        .unwrap();
+        format!("{}\n{}\n{:?}", r.dtd, r.sigma, r.steps)
+    };
+    let base = render(1);
+    for threads in [0, 2, 4, 8] {
+        assert_eq!(render(threads), base, "threads {threads}");
+    }
+}

@@ -53,6 +53,7 @@ struct Verdicts {
     output_is_xnf: bool,
     lint_codes: String,
     oracle_summary: String,
+    incremental_summary: String,
 }
 
 /// Runs the whole governed pipeline under `budget`. Exhaustion at any
@@ -162,6 +163,36 @@ fn run_pipeline(budget: &Budget) -> Result<Verdicts, Exhausted> {
         Err(e) => panic!("the oracle must complete: {e}"),
     };
 
+    // Stage 10: governed incremental implication cache (site
+    // `cache.invalidate`; the sharded candidate search of stages 6–7
+    // already exercises `chase.shard`/`chase.merge`, which every
+    // configuration routes through — including this single-threaded
+    // pipeline). One verdict is cached, Σ shrinks by its last FD, the
+    // delta is applied and the verdict re-asked.
+    let mut inc =
+        xnf_core::IncrementalCache::new(dtd.clone(), sigma.clone()).with_budget(budget.clone());
+    let inc_query = sigma
+        .iter()
+        .next()
+        .expect("university FDs are non-empty")
+        .clone();
+    let map_core = |r: xnf_core::Result<bool>| match r {
+        Ok(b) => Ok(b),
+        Err(xnf_core::CoreError::Exhausted(e)) => Err(e),
+        Err(e) => panic!("the incremental cache must answer: {e}"),
+    };
+    let inc_before = map_core(inc.implies(&inc_query))?;
+    let reduced = XmlFdSet::from_fds(sigma.iter().take(sigma.len() - 1).cloned());
+    let report = match inc.apply_delta(
+        &xnf_core::DtdDelta::unchanged(&dtd),
+        &xnf_core::SigmaDelta::between(&sigma, &reduced),
+    ) {
+        Ok(r) => r,
+        Err(xnf_core::CoreError::Exhausted(e)) => return Err(e),
+        Err(e) => panic!("the delta must apply: {e}"),
+    };
+    let inc_after = map_core(inc.implies(&inc_query))?;
+
     Ok(Verdicts {
         doc_conforms,
         word_matches,
@@ -178,6 +209,10 @@ fn run_pipeline(budget: &Budget) -> Result<Verdicts, Exhausted> {
             oracle.docs_checked,
             oracle.docs_skipped,
             oracle.failures.len()
+        ),
+        incremental_summary: format!(
+            "before={inc_before} after={inc_after} kept={} invalidated={}",
+            report.kept, report.invalidated
         ),
     })
 }
@@ -231,6 +266,15 @@ fn governed_pipeline_visits_the_whole_injection_surface() {
         assert!(
             sites.iter().any(|s| s.starts_with(prefix)),
             "no checkpoint site under `{prefix}` was visited; sites: {sites:?}"
+        );
+    }
+    // The sharded search and the incremental cache are load-bearing
+    // checkpoints of this PR's hot path: they must be on the injection
+    // surface by name, even in a single-threaded pipeline.
+    for site in ["chase.shard", "chase.merge", "cache.invalidate"] {
+        assert!(
+            sites.contains(&site),
+            "checkpoint site `{site}` was not visited; sites: {sites:?}"
         );
     }
 }

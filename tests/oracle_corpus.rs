@@ -3,24 +3,25 @@
 //!
 //! Provenance: each spec was found by `xnf-oracle fuzz` over seeds
 //! 0..20000 and minimized by greedy FD-subset reduction. All of them
-//! originally tripped an over-strict metamorphic invariant — their
-//! normalizations take *different but equally valid* decompositions under
-//! attribute renaming, because fresh `info`/`{l}_ref` element names
-//! derived from attribute stems shift the algorithm's lexicographic
-//! tie-breaking in later iterations. They are pinned here so that:
-//!
-//! * the full battery (losslessness, FD reordering, both renamings under
-//!   the spec-isomorphism invariants) stays green on exactly the specs
-//!   that exercise the fresh-name feedback paths;
-//! * any future change to fresh-name generation or anomalous-FD
-//!   tie-breaking that breaks a *real* invariant (XNF output, initial
-//!   anomalous count, losslessness) is caught by a named, stable spec
-//!   rather than a roving fuzz seed.
+//! originally tripped the rename metamorphic invariant: fresh
+//! `info`/`{l}_ref` names minted by `CreateElement` shifted the engine's
+//! then-lexicographic tie-breaking, so renamed runs took different (but
+//! equally valid) decompositions and only a weak fingerprint check could
+//! be demanded. Tie-breaking is now derived from structural position
+//! (attribute declaration order, BFS path ids), which is
+//! rename-equivariant — so these same witnesses are pinned as *exact*
+//! equality tests: both renaming checks must return
+//! [`RenameOutcome::Commutes`], meaning identical step traces, stages and
+//! outputs up to the derived fresh-name bijection. Any future change to
+//! fresh-name generation or tie-breaking that reintroduces
+//! name-dependence is caught by a named, stable spec rather than a roving
+//! fuzz seed.
 
 use std::path::PathBuf;
 use xnf::core::XmlFdSet;
 use xnf_oracle::fuzz::{replay, spec_for_seed};
-use xnf_oracle::FuzzConfig;
+use xnf_oracle::metamorphic::{check_attribute_rename, check_element_rename};
+use xnf_oracle::{FuzzConfig, RenameOutcome};
 
 /// (seed, file stem) pairs; the seed regenerates the *unminimized* spec,
 /// the files hold the minimized one.
@@ -68,6 +69,29 @@ fn corpus_seeds_regenerate_and_pass_unminimized() {
                 failure.detail
             );
         }
+    }
+}
+
+#[test]
+fn corpus_specs_commute_exactly_under_renamings() {
+    // The promotion these witnesses were pinned for: the runs that used to
+    // diverge under renaming (weak-fingerprint era) must now replay with
+    // exact trace equality up to the derived fresh-name bijection.
+    for &seed in CORPUS {
+        let dtd = xnf::dtd::parse_dtd(&corpus_file(&format!("seed-{seed}.dtd"))).unwrap();
+        let sigma = XmlFdSet::parse(&corpus_file(&format!("seed-{seed}.fds"))).unwrap();
+        let elem = check_element_rename(&dtd, &sigma).unwrap();
+        assert_eq!(
+            elem,
+            RenameOutcome::Commutes,
+            "seed {seed} element rename: {elem:?}"
+        );
+        let attr = check_attribute_rename(&dtd, &sigma).unwrap();
+        assert_eq!(
+            attr,
+            RenameOutcome::Commutes,
+            "seed {seed} attribute rename: {attr:?}"
+        );
     }
 }
 
