@@ -2,14 +2,14 @@
 //! prints the qualitative paper-vs-implementation comparison recorded in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|e17|e18|e19|e20|e21|all]`
+//! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|e17|e18|e19|e20|e21|e22|all]`
 //!
 //! Alongside the human output, every run writes `BENCH_obs.json` — one
 //! record per experiment (id, wall time, counter snapshot, git SHA) —
 //! so perf trajectories can be diffed across commits. Engine-driven
 //! experiments run under a recorder-enabled budget; the self-timing
-//! experiments (e18, e19, e20, e21) manage their own budgets and report
-//! empty counter snapshots.
+//! experiments (e18, e19, e20, e21, e22) manage their own budgets and
+//! report empty counter snapshots.
 
 #![forbid(unsafe_code)]
 
@@ -74,7 +74,7 @@ fn fig1(budget: &Budget) {
     print!("{}", xnf_xml::to_string_pretty(&transformed));
     let pre_rename = normalize(&dtd, &sigma, &options).expect("normalization succeeds");
     let report = verify_lossless(&dtd, &pre_rename, &doc).expect("verification runs");
-    println!("\nlossless: {:?}", report);
+    println!("\nlossless: {report:?}");
     assert!(report.ok());
 }
 
@@ -683,6 +683,54 @@ fn e21() {
     );
 }
 
+fn e22() {
+    use xnf_core::analyze::{analyze, e22_family, AnalyzeOptions};
+    println!("================ E22 — static analysis vs executed normalization ================");
+    // The static planner predicts the full Figure-4 run — plan, AP
+    // trace, revised (D, Σ), chase/cache counters, governed tick bill —
+    // without executing it. On specs whose iterations keep re-asking
+    // overlapping implication queries, its cross-iteration incremental
+    // caches transfer verdicts where the real run's per-iteration memo
+    // re-chases, so the analysis runs several times cheaper than the
+    // normalization it predicts. `e22_family(k)` pins that regime: k
+    // key FDs plus k reversed value FDs force k MoveAttribute repairs,
+    // one per fixpoint iteration, with heavily overlapping queries.
+    for k in [5, 10, 25] {
+        let (dtd, sigma) = e22_family(k);
+        let a = analyze(&dtd, &sigma, &AnalyzeOptions::default()).expect("analysis succeeds");
+        let budget = Budget::builder().build();
+        let r = normalize(
+            &dtd,
+            &sigma,
+            &NormalizeOptions {
+                budget: budget.clone(),
+                ..NormalizeOptions::default()
+            },
+        )
+        .expect("normalization succeeds");
+        let ticks = budget.ticks();
+        assert_eq!(a.plan, r.steps, "the predicted plan must be byte-exact");
+        assert_eq!(a.plan.len(), k, "one MoveAttribute per family member");
+        let saving = ticks as f64 / a.cost.analyze_fuel as f64;
+        println!(
+            "  k={k:>2}: plan {:>2} step(s), analyze fuel {:>8}, normalize fuel {:>8}  ({saving:.2}x cheaper)",
+            a.plan.len(),
+            a.cost.analyze_fuel,
+            ticks
+        );
+        if k == 25 {
+            println!(
+                "acceptance: analyze >= 5x cheaper than normalize at k=25 (see EXPERIMENTS.md E22)"
+            );
+            assert!(
+                a.cost.analyze_fuel * 5 <= ticks,
+                "analyze spent {} vs normalize {ticks} — less than the 5x saving",
+                a.cost.analyze_fuel
+            );
+        }
+    }
+}
+
 /// Builds the BENCH_obs counter snapshot for one experiment: the
 /// recorder's named counters plus per-site checkpoint visit tallies
 /// (names never collide — counters are plural, sites singular).
@@ -715,12 +763,15 @@ fn main() {
         ("e19", |_| e19()),
         ("e20", |_| e20()),
         ("e21", |_| e21()),
+        ("e22", |_| e22()),
     ];
     let selected: Vec<&Experiment> = if arg == "all" {
         experiments.iter().collect()
     } else {
         let Some(exp) = experiments.iter().find(|(id, _)| *id == arg) else {
-            eprintln!("unknown figure `{arg}`; use fig1..fig5, e17, e18, e19, e20, e21, or all");
+            eprintln!(
+                "unknown figure `{arg}`; use fig1..fig5, e17, e18, e19, e20, e21, e22, or all"
+            );
             std::process::exit(1);
         };
         vec![exp]

@@ -11,8 +11,13 @@
 //! xnf-tool implies    <dtd> <fds> <fd…>      # (D,Σ) ⊢ φ, with witness on refutation
 //! xnf-tool is-xnf     <dtd> <fds> [--no-lint]
 //!                                            # XNF test, listing anomalous FDs
-//! xnf-tool lint       <dtd> [<fds>] [--format json]
-//!                                            # static analysis (codes XNF001…); nonzero exit on errors
+//! xnf-tool lint       <dtd> [<fds>] [--format json] [--predictive]
+//!                                            # static analysis (codes XNF001…); nonzero exit on errors;
+//!                                            # --predictive adds the XNF2xx forecast tier
+//! xnf-tool analyze    <dtd> <fds> [--format human|json|dot] [--sigma-only]
+//!                                            # static decomposition planner: predicted plan, cost,
+//!                                            # minimal cover, FD graph, anomaly provenance — without
+//!                                            # running normalize
 //! xnf-tool normalize  <dtd> <fds> [--sigma-only] [--doc <xml>] [--stats] [--threads <n>] [--no-lint]
 //!                                            # run the Figure 4 algorithm
 //! xnf-tool verify     <dtd> <fds> [--docs <n>] [--seed <s>] [--no-lint]
@@ -24,8 +29,8 @@
 //! xnf-tool mvd        <dtd> <xml> <mvd…>     # check MVDs ("lhs ->> dep | indep")
 //! ```
 //!
-//! The governed subcommands — `normalize`, `is-xnf`, `lint`, `verify` —
-//! additionally accept resource limits:
+//! The governed subcommands — `normalize`, `is-xnf`, `lint`, `analyze`,
+//! `verify` — additionally accept resource limits:
 //!
 //! ```text
 //! --timeout <secs>      wall-clock deadline (fractional seconds)
@@ -345,15 +350,15 @@ impl ObsFlags {
 /// Matches the flags [`ObsFlags::set`] accepts.
 const OBS_FLAGS: [&str; 3] = ["--trace", "--metrics", "--obs-format"];
 
-const USAGE: &str =
-    "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|lint|normalize|verify|keys|mvd> …";
+const USAGE: &str = "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|lint|analyze|normalize\
+                     |verify|keys|mvd> …";
 
 /// Runs one CLI invocation (without the program name) and returns the
 /// output text.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     use std::fmt::Write;
-    let cmd = args.first().map(String::as_str).unwrap_or("");
+    let cmd = args.first().map_or("", String::as_str);
     match cmd {
         "parse-dtd" => {
             let [_, dtd_path] = args else {
@@ -686,14 +691,155 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             writeln!(out, "verification PASSED")?;
         }
-        "lint" => {
-            let mut format_json = false;
+        "analyze" => {
+            #[derive(PartialEq)]
+            enum Format {
+                Human,
+                Json,
+                Dot,
+            }
+            let mut format = Format::Human;
+            let mut options = xnf_core::AnalyzeOptions::default();
             let mut budget_flags = BudgetFlags::default();
             let mut obs_flags = ObsFlags::default();
             let mut files: Vec<&str> = Vec::new();
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--sigma-only" => options.use_implication = false,
+                    flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
+                    flag if OBS_FLAGS.contains(&flag) => obs_flags.set(args, &mut i)?,
+                    "--format" => {
+                        i += 1;
+                        format = match args.get(i).map(String::as_str) {
+                            Some("human") => Format::Human,
+                            Some("json") => Format::Json,
+                            Some("dot") => Format::Dot,
+                            _ => {
+                                return Err(CliError::Usage(
+                                    "--format needs `human`, `json` or `dot`".into(),
+                                ))
+                            }
+                        };
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}`")));
+                    }
+                    file => files.push(file),
+                }
+                i += 1;
+            }
+            let [dtd_path, fds_path] = files[..] else {
+                return Err(CliError::Usage(
+                    "xnf-tool analyze <dtd> <fds> [--format human|json|dot] [--sigma-only] \
+                     [--timeout <s>] [--fuel <n>] [--max-memory <b>] \
+                     [--trace <f>] [--metrics <f>] [--obs-format <fmt>]"
+                        .into(),
+                ));
+            };
+            let dtd_src = read(dtd_path)?;
+            let fds_src = read(fds_path)?;
+            let budget = obs_flags.build_budget(&budget_flags);
+            let parse_span = budget.recorder().span("spec.parse", "parse");
+            let dtd = parse_governed_dtd(&dtd_src, &budget)?;
+            let sigma = XmlFdSet::parse(&fds_src)?;
+            drop(parse_span);
+            options.budget = budget;
+            let analysis = xnf_core::analyze(&dtd, &sigma, &options);
+            obs_flags.write()?;
+            let analysis = analysis?;
+            match format {
+                Format::Json => out.push_str(&analysis.to_json()),
+                Format::Dot => out.push_str(&analysis.graph.to_dot()),
+                Format::Human => {
+                    if let Some(e) = &analysis.exhausted {
+                        writeln!(out, "*** PARTIAL ANALYSIS — budget exhausted: {e} ***")?;
+                    }
+                    writeln!(out, "=== anomalies ({}) ===", analysis.anomalies.len())?;
+                    for a in &analysis.anomalies {
+                        let resolved = match a.resolved_by_step {
+                            Some(k) => format!("resolved by step {}", k + 1),
+                            None => "unresolved in the predicted plan".to_string(),
+                        };
+                        writeln!(
+                            out,
+                            "{}\n  at {} — {} ({resolved})",
+                            a.fd, a.path, a.predicted_move
+                        )?;
+                    }
+                    writeln!(
+                        out,
+                        "=== minimal cover ({} of {} input FD(s)) ===",
+                        analysis.cover.len(),
+                        sigma.len()
+                    )?;
+                    for fd in &analysis.cover {
+                        writeln!(out, "{fd}")?;
+                    }
+                    writeln!(
+                        out,
+                        "=== fd graph ({} node(s), {} feed edge(s), {} cluster(s)) ===",
+                        analysis.graph.nodes.len(),
+                        analysis.graph.feeds.len(),
+                        analysis.graph.clusters.len()
+                    )?;
+                    for cluster in &analysis.graph.clusters {
+                        if cluster.len() > 1 {
+                            writeln!(out, "cluster of {}:", cluster.len())?;
+                            for &ix in cluster {
+                                writeln!(out, "  {}", analysis.graph.nodes[ix])?;
+                            }
+                        }
+                    }
+                    writeln!(
+                        out,
+                        "=== dead attributes ({}) ===",
+                        analysis.dead_attributes.len()
+                    )?;
+                    for attr in &analysis.dead_attributes {
+                        writeln!(out, "{attr}")?;
+                    }
+                    writeln!(
+                        out,
+                        "=== predicted plan ({} step(s)) ===",
+                        analysis.plan.len()
+                    )?;
+                    for s in &analysis.plan {
+                        writeln!(out, "{s:?}")?;
+                    }
+                    let c = &analysis.cost;
+                    writeln!(out, "=== predicted cost ===")?;
+                    writeln!(out, "iterations:      {}", c.iterations)?;
+                    writeln!(out, "chase runs:      {}", c.chase_runs)?;
+                    writeln!(
+                        out,
+                        "cache:           {} lookups, {} hits, {} misses",
+                        c.cache_lookups, c.cache_hits, c.cache_misses
+                    )?;
+                    writeln!(
+                        out,
+                        "predicted fuel:  {} ({})",
+                        c.predicted_fuel,
+                        if c.fuel_exact { "exact" } else { "estimate" }
+                    )?;
+                    writeln!(out, "analyze fuel:    {}", c.analyze_fuel)?;
+                }
+            }
+            // A partial analysis must not look like a success: exit 4.
+            if analysis.exhausted.is_some() {
+                return Err(CliError::Exhausted(out));
+            }
+        }
+        "lint" => {
+            let mut format_json = false;
+            let mut predictive = false;
+            let mut budget_flags = BudgetFlags::default();
+            let mut obs_flags = ObsFlags::default();
+            let mut files: Vec<&str> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--predictive" => predictive = true,
                     flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
                     flag if OBS_FLAGS.contains(&flag) => obs_flags.set(args, &mut i)?,
                     "--format" => {
@@ -720,17 +866,25 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 [dtd, fds] => (dtd, Some(fds)),
                 _ => {
                     return Err(CliError::Usage(
-                        "xnf-tool lint <dtd> [<fds>] [--format json] [--timeout <s>] \
-                         [--fuel <n>] [--max-memory <b>] \
+                        "xnf-tool lint <dtd> [<fds>] [--format json] [--predictive] \
+                         [--timeout <s>] [--fuel <n>] [--max-memory <b>] \
                          [--trace <f>] [--metrics <f>] [--obs-format <fmt>]"
                             .into(),
                     ));
                 }
             };
+            if predictive && fds_path.is_none() {
+                return Err(CliError::Usage(
+                    "--predictive needs an FD file (the XNF2xx tier analyzes (D, \u{3a3}))".into(),
+                ));
+            }
             let dtd_src = read(dtd_path)?;
             let fds_src = fds_path.map(read).transpose()?;
             let budget = obs_flags.build_budget(&budget_flags);
-            let report = xnf_lint::lint_spec_governed(&dtd_src, fds_src.as_deref(), &budget);
+            let report = match (predictive, fds_src.as_deref()) {
+                (true, Some(fds)) => xnf_lint::lint_spec_predictive(&dtd_src, fds, &budget),
+                _ => xnf_lint::lint_spec_governed(&dtd_src, fds_src.as_deref(), &budget),
+            };
             obs_flags.write()?;
             let report = report?;
             let rendered = if format_json {
@@ -1105,6 +1259,86 @@ courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.
                 assert!(report.contains("\"clean\": false"), "{report}");
             }
             other => panic!("expected lint failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_predictive_adds_the_forecast_tier() {
+        let dtd = write_tmp("lp.dtd", DBLP_DTD);
+        let fds = write_tmp("lp.fds", DBLP_FDS);
+        // Without the flag the spec is clean; with it the XNF2xx
+        // forecast surfaces (warnings never fail the command).
+        let plain = run_ok(&["lint", &dtd, &fds]);
+        assert!(plain.contains("lint: clean"), "{plain}");
+        let predicted = run_ok(&["lint", &dtd, &fds, "--predictive"]);
+        assert!(predicted.contains("warning[XNF200]"), "{predicted}");
+        assert!(predicted.contains("info[XNF203]"), "{predicted}");
+        // JSON carries the same codes.
+        let json = run_ok(&["lint", &dtd, &fds, "--predictive", "--format", "json"]);
+        assert!(json.contains("\"code\": \"XNF200\""), "{json}");
+        // The flag needs an FD file.
+        let args = vec!["lint".to_string(), dtd, "--predictive".into()];
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn analyze_predicts_the_dblp_plan() {
+        let dtd = write_tmp("a1.dtd", DBLP_DTD);
+        let fds = write_tmp("a1.fds", DBLP_FDS);
+        let out = run_ok(&["analyze", &dtd, &fds]);
+        assert!(out.contains("=== anomalies (1) ==="), "{out}");
+        assert!(out.contains("move-attribute"), "{out}");
+        assert!(out.contains("=== predicted plan"), "{out}");
+        assert!(out.contains("MoveAttribute"), "{out}");
+        assert!(out.contains("predicted fuel:"), "{out}");
+        // The prediction agrees with the real run's step trace.
+        let norm = run_ok(&["normalize", &dtd, &fds]);
+        for line in out
+            .lines()
+            .skip_while(|l| !l.starts_with("=== predicted plan"))
+            .skip(1)
+            .take_while(|l| !l.starts_with("==="))
+        {
+            assert!(
+                norm.contains(line),
+                "plan step missing from normalize: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_formats_json_and_dot() {
+        let dtd = write_tmp("a2.dtd", DBLP_DTD);
+        let fds = write_tmp("a2.fds", DBLP_FDS);
+        let json = run_ok(&["analyze", &dtd, &fds, "--format", "json"]);
+        assert!(json.contains("\"version\": 1"), "{json}");
+        assert!(json.contains("\"plan\":"), "{json}");
+        assert!(json.contains("\"predicted_fuel\":"), "{json}");
+        let dot = run_ok(&["analyze", &dtd, &fds, "--format", "dot"]);
+        assert!(dot.starts_with("digraph"), "{dot}");
+        let args: Vec<String> = ["analyze", &dtd, &fds, "--format", "yaml"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn starved_analyze_exits_with_exhaustion() {
+        let dtd = write_tmp("a3.dtd", DBLP_DTD);
+        let fds = write_tmp("a3.fds", DBLP_FDS);
+        let args: Vec<String> = ["analyze", &dtd, &fds, "--fuel", "25"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match run(&args) {
+            Err(CliError::Exhausted(output)) => {
+                assert!(
+                    output.contains("PARTIAL ANALYSIS") || output.contains("budget exhausted"),
+                    "{output}"
+                );
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
         }
     }
 

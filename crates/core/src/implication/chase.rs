@@ -403,14 +403,31 @@ impl<'a> Chase<'a> {
     /// run to be transferable, and an exhausted prefix is not one.
     pub fn run_traced(&self, sigma: &[ResolvedFd], fd: &ResolvedFd) -> (ChaseOutcome, RunTrace) {
         let trace = Rc::new(RefCell::new(RunTrace::new(self.paths.len(), sigma.len())));
-        let outcome = match self.run_with(UNLIMITED, sigma, fd, Some(Rc::clone(&trace))) {
-            Ok(outcome) => outcome,
-            Err(_) => unreachable!("an unlimited budget cannot exhaust"),
+        let Ok(outcome) = self.run_with(UNLIMITED, sigma, fd, Some(Rc::clone(&trace))) else {
+            unreachable!("an unlimited budget cannot exhaust")
         };
         let trace = Rc::try_unwrap(trace)
             .expect("all sessions dropped with the run")
             .into_inner();
         (outcome, trace)
+    }
+
+    /// Budget-governed [`Chase::run_traced`]: charges the installed
+    /// [`Budget`] like [`Chase::try_run`] while recording the run's
+    /// execution footprint. On exhaustion the partial trace is dropped —
+    /// an incomplete footprint is not transferable, so callers (the
+    /// incremental cache) never memoize it.
+    pub fn try_run_traced(
+        &self,
+        sigma: &[ResolvedFd],
+        fd: &ResolvedFd,
+    ) -> Result<(ChaseOutcome, RunTrace), Exhausted> {
+        let trace = Rc::new(RefCell::new(RunTrace::new(self.paths.len(), sigma.len())));
+        let outcome = self.run_with(&self.budget, sigma, fd, Some(Rc::clone(&trace)))?;
+        let trace = Rc::try_unwrap(trace)
+            .expect("all sessions dropped with the run")
+            .into_inner();
+        Ok((outcome, trace))
     }
 
     /// Budget-governed [`Chase::run`]: charges the installed [`Budget`]
@@ -435,7 +452,7 @@ impl<'a> Chase<'a> {
         let mut last_state = None;
         for &q in &fd.rhs {
             match self.run_single(sigma, &fd.lhs, q, budget, trace.clone())? {
-                ChaseOutcome::Implied => continue,
+                ChaseOutcome::Implied => {}
                 not_implied => {
                     last_state = Some(not_implied);
                     break;

@@ -21,10 +21,17 @@
 //! * **Path states.** Every derivation reads per-path ternary facts.
 //!   Paths the run never set ([`RunTrace::touched`] false) were read —
 //!   if at all — as `Unknown`, and every rule predicate tolerates
-//!   `Unknown` conservatively. A DTD edit is summarized by its *changed
-//!   element set* (added, removed, or redeclared element types, plus the
-//!   root on a root change); a path is *dirty* iff it walks through a
-//!   changed element. Dirty paths may appear, disappear, or change BFS
+//!   `Unknown` conservatively. A DTD edit is summarized at two
+//!   granularities (see [`DtdDelta`]): a *changed element set* (added,
+//!   removed, content-redeclared or attribute-reordered element types,
+//!   plus the root on a root change), which dirties every path walking
+//!   through such an element, and a per-element *added/removed attribute
+//!   set* for pure attribute-list edits, which dirties only the affected
+//!   attribute paths themselves (the element's structure — hence every
+//!   other path's existence and relative BFS position — is unchanged,
+//!   and an attribute coordinate referenced by no clean query, FD or
+//!   touched path only ever receives dead-end structural null-facts).
+//!   Dirty paths may appear, disappear, or change BFS
 //!   position — but a kept entry's touched paths are all clean, so they
 //!   all still exist, and the relative BFS order of clean paths is
 //!   preserved (within one level, sibling order comes from the parent's
@@ -59,6 +66,25 @@
 //! `incremental == from-scratch` differential suite
 //! (`tests/differential_incremental.rs`) checks byte-for-byte, and what
 //! experiment E21 measures the speedup of.
+//!
+//! # Monotone-transfer argument
+//!
+//! The replay argument is trace-based and therefore conservative: a
+//! *not-implied* verdict whose refuting run fired (or pivoted on) a
+//! removed FD is invalidated even though the verdict provably cannot
+//! flip. Implication is monotone in Σ — a counterexample tree for
+//! `(D, Σ) ⊬ φ` satisfies every FD of Σ, hence every FD of any
+//! Σ′ ⊆ Σ, so it refutes `(D, Σ′) ⊢ φ` too. The same counterexample
+//! survives a pure attribute-granularity DTD edit (`changed` empty)
+//! when neither φ nor the surviving Σ mentions an edited attribute:
+//! removed attribute coordinates are simply projected away, added ones
+//! are populated with fresh per-vertex values no FD or query observes.
+//! [`IncrementalCache::apply_delta`] therefore keeps every not-implied
+//! entry across a removal-only Σ edit combined with an
+//! attribute-granularity DTD edit, *regardless of its trace*. Such an
+//! entry's trace no longer describes a run under the current spec, so
+//! it is marked semantic-only: future edits can keep it through the
+//! monotone rule again, but never through trace replay.
 
 use crate::fd::{ResolvedFd, XmlFd, XmlFdSet};
 use crate::implication::chase::{Chase, ChaseOutcome, RunTrace};
@@ -67,36 +93,79 @@ use std::collections::{BTreeMap, BTreeSet};
 use xnf_dtd::{Dtd, Path, PathSet, Step};
 use xnf_govern::Budget;
 
-/// A DTD edit: the new DTD plus the names of the element types that
-/// differ from the old one (added, removed, content or attribute-list
-/// redeclared — attribute order included — plus both root names on a
-/// root change).
+/// A DTD edit: the new DTD plus a two-granularity summary of what
+/// differs from the old one.
+///
+/// `changed` names the element types whose *structure* differs — added,
+/// removed, content-model redeclared, attribute list *reordered*, plus
+/// both root names on a root change. A path through such an element may
+/// appear, disappear, or change BFS position, so it dirties everything
+/// it prefixes.
+///
+/// A pure attribute-list edit that only *adds or removes* attributes
+/// (surviving attributes keeping their relative order — the shape every
+/// move-attribute normalization step has) is recorded per attribute in
+/// `attrs_changed` instead: only the added/removed attribute paths
+/// themselves are dirty. The element keeps its content model, so its
+/// element path, its descendants and its untouched sibling attributes
+/// all survive with their relative BFS order intact, and chase runs
+/// that never wrote those attribute coordinates replay literally (an
+/// unreferenced attribute coordinate only ever receives structural
+/// null-facts propagated from its parent, which no surviving read
+/// depends on).
 #[derive(Debug, Clone)]
 pub struct DtdDelta {
     /// The edited DTD.
     pub new: Dtd,
-    /// Element type names whose declaration differs between old and new.
+    /// Element type names whose structure differs between old and new.
     pub changed: BTreeSet<Box<str>>,
+    /// Per element type: attribute names added or removed by a pure
+    /// attribute-list edit (element structure otherwise unchanged).
+    pub attrs_changed: BTreeMap<Box<str>, BTreeSet<Box<str>>>,
 }
 
 impl DtdDelta {
     /// Diffs two DTDs into a delta carrying `new`.
     pub fn between(old: &Dtd, new: &Dtd) -> DtdDelta {
         let mut changed: BTreeSet<Box<str>> = BTreeSet::new();
-        let decl_of = |dtd: &Dtd, name: &str| -> Option<(xnf_dtd::ContentModel, Vec<String>)> {
-            let id = dtd.elem_id(name)?;
-            Some((
-                dtd.content(id).clone(),
-                dtd.attrs(id).map(str::to_string).collect(),
-            ))
-        };
+        let mut attrs_changed: BTreeMap<Box<str>, BTreeSet<Box<str>>> = BTreeMap::new();
         for dtd in [old, new] {
             for id in dtd.elements() {
                 let name = dtd.name(id);
-                if changed.contains(name) {
+                if changed.contains(name) || attrs_changed.contains_key(name) {
                     continue;
                 }
-                if decl_of(old, name) != decl_of(new, name) {
+                let (Some(old_id), Some(new_id)) = (old.elem_id(name), new.elem_id(name)) else {
+                    changed.insert(name.into());
+                    continue;
+                };
+                if old.content(old_id) != new.content(new_id) {
+                    changed.insert(name.into());
+                    continue;
+                }
+                let old_attrs: Vec<&str> = old.attrs(old_id).collect();
+                let new_attrs: Vec<&str> = new.attrs(new_id).collect();
+                if old_attrs == new_attrs {
+                    continue;
+                }
+                // Pure add/remove keeps the survivors' relative order
+                // (each list filtered to the common set must agree);
+                // anything else — a reorder — is a structural change.
+                let old_set: BTreeSet<&str> = old_attrs.iter().copied().collect();
+                let new_set: BTreeSet<&str> = new_attrs.iter().copied().collect();
+                let order_kept = old_attrs
+                    .iter()
+                    .filter(|a| new_set.contains(*a))
+                    .eq(new_attrs.iter().filter(|a| old_set.contains(*a)));
+                if order_kept {
+                    attrs_changed.insert(
+                        name.into(),
+                        old_set
+                            .symmetric_difference(&new_set)
+                            .map(|a| Box::from(*a))
+                            .collect(),
+                    );
+                } else {
                     changed.insert(name.into());
                 }
             }
@@ -105,9 +174,12 @@ impl DtdDelta {
             changed.insert(old.root_name().into());
             changed.insert(new.root_name().into());
         }
+        // A structurally-changed element subsumes its attribute diffs.
+        attrs_changed.retain(|name, _| !changed.contains(name));
         DtdDelta {
             new: new.clone(),
             changed,
+            attrs_changed,
         }
     }
 
@@ -116,6 +188,7 @@ impl DtdDelta {
         DtdDelta {
             new: dtd.clone(),
             changed: BTreeSet::new(),
+            attrs_changed: BTreeMap::new(),
         }
     }
 }
@@ -165,8 +238,12 @@ impl SigmaDelta {
 /// What [`IncrementalCache::apply_delta`] did to the cached entries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InvalidationReport {
-    /// Entries whose verdict (and trace) transferred to the new spec.
+    /// Entries whose verdict transferred to the new spec (trace replays
+    /// and monotone keeps together).
     pub kept: usize,
+    /// The subset of `kept` transferred by the monotone rule alone:
+    /// their verdict is sound but their trace is stale.
+    pub kept_semantic: usize,
     /// Entries invalidated; the next lookup re-chases them.
     pub invalidated: usize,
     /// Canonical Σ entries added by the delta.
@@ -176,7 +253,8 @@ pub struct InvalidationReport {
     /// Element types whose declaration changed.
     pub dtd_changed: usize,
     /// The surviving Σ entries changed relative canonical order, which
-    /// voids every replay: the whole cache was flushed.
+    /// voids every trace replay; only monotone keeps survive such an
+    /// edit.
     pub order_flush: bool,
 }
 
@@ -191,6 +269,10 @@ struct Entry {
     fired: Vec<bool>,
     pivot_source: Vec<bool>,
     scan_reach: usize,
+    /// The entry was once kept by the monotone rule: its verdict is
+    /// sound but its trace no longer replays under the current spec, so
+    /// trace-based transfer is off for it permanently.
+    semantic_only: bool,
 }
 
 /// A memoizing implication oracle that survives `(D, Σ)` edits.
@@ -289,7 +371,7 @@ impl IncrementalCache {
             if self.canon.is_none() {
                 self.canon = Some(sigma.iter().map(|r| r.to_fd(paths)).collect());
             }
-            let chase = Chase::new(&self.dtd, paths);
+            let chase = Chase::new(&self.dtd, paths).with_budget(self.budget.clone());
             let mut fresh: Vec<(XmlFd, Entry)> = Vec::new();
             for fd in fds {
                 if self.entries.contains_key(fd) || fresh.iter().any(|(k, _)| k == fd) {
@@ -297,7 +379,11 @@ impl IncrementalCache {
                 }
                 self.budget.checkpoint("cache.lookup")?;
                 let resolved = fd.resolve(paths)?;
-                let (outcome, trace) = chase.run_traced(sigma, &resolved);
+                // Governed + traced: charge the installed budget for the
+                // chase work (the analyze fuel meter depends on this) and
+                // drop the batch on exhaustion — `fresh` is only committed
+                // below, so a partial batch never pollutes the cache.
+                let (outcome, trace) = chase.try_run_traced(sigma, &resolved)?;
                 fresh.push((fd.clone(), Entry::from_trace(outcome, trace, paths)));
             }
             for (fd, entry) in fresh {
@@ -322,7 +408,8 @@ impl IncrementalCache {
         dtd_delta: &DtdDelta,
         sigma_delta: &SigmaDelta,
     ) -> Result<InvalidationReport> {
-        let changed = DtdDelta::between(&self.dtd, &dtd_delta.new).changed;
+        let recomputed = DtdDelta::between(&self.dtd, &dtd_delta.new);
+        let (changed, attrs_changed) = (recomputed.changed, recomputed.attrs_changed);
         let new_paths = dtd_delta.new.paths()?;
         let new_resolved = sigma_delta.new.resolve(&new_paths)?;
         // Canonical Σ sequences, keyed by their path-space-independent
@@ -365,9 +452,19 @@ impl IncrementalCache {
             .collect();
         let sigma_identity = old_fds == new_fds.as_slice();
         let dirty = |p: &Path| {
-            p.steps()
-                .iter()
-                .any(|s| matches!(s, Step::Elem(n) if changed.contains(n)))
+            let steps = p.steps();
+            steps.iter().enumerate().any(|(i, s)| match s {
+                Step::Elem(n) => changed.contains(n),
+                // An added/removed attribute dirties exactly its own
+                // path: `steps[i - 1]` is the owning element (attribute
+                // steps only follow element steps).
+                Step::Attr(a) => matches!(
+                    steps.get(i.wrapping_sub(1)),
+                    Some(Step::Elem(n))
+                        if attrs_changed.get(n).is_some_and(|d| d.contains(a))
+                ),
+                _ => false,
+            })
         };
 
         let mut report = InvalidationReport {
@@ -377,9 +474,23 @@ impl IncrementalCache {
             order_flush: !order_ok,
             ..InvalidationReport::default()
         };
+        // Whether the edit shape admits the monotone rule at all: a
+        // removal-only Σ edit (Σ' ⊆ Σ canonically) combined with an
+        // attribute-granularity DTD edit. Under such an edit the
+        // surviving Σ cannot mention an edited attribute (it resolved
+        // against the old paths), so a not-implied verdict whose query
+        // still resolves transfers semantically.
+        let monotone_edit = changed.is_empty() && added.is_empty();
+        #[derive(Clone, Copy, PartialEq)]
+        enum Keep {
+            Drop,
+            Trace,
+            Semantic,
+        }
         // Decide first (fallible), mutate after: an exhausted budget
         // leaves the cache untouched and consistent with the old spec.
-        let mut decisions: Vec<bool> = Vec::with_capacity(self.entries.len());
+        let dbg_drops = std::env::var_os("XNF_DBG_INVALIDATE").is_some();
+        let mut decisions: Vec<Keep> = Vec::with_capacity(self.entries.len());
         for (query, entry) in &self.entries {
             self.budget.checkpoint("cache.invalidate")?;
             let _span = self
@@ -392,7 +503,8 @@ impl IncrementalCache {
             // queries pay the resolution probe.
             let query_ok = query.lhs().iter().chain(query.rhs()).all(|p| !dirty(p))
                 || query.resolve(&new_paths).is_ok();
-            let keep = order_ok
+            let trace_keep = !entry.semantic_only
+                && order_ok
                 && query_ok
                 && entry.touched.iter().all(|p| !dirty(p))
                 && removed_idx
@@ -404,36 +516,67 @@ impl IncrementalCache {
                         && (entry.scan_reach == 0
                             || matches!(old_to_new[entry.scan_reach - 1], Some(d) if k > d))
                 });
+            let keep = if trace_keep {
+                Keep::Trace
+            } else if !entry.implied && monotone_edit && query_ok {
+                Keep::Semantic
+            } else {
+                Keep::Drop
+            };
             decisions.push(keep);
+            if dbg_drops && keep == Keep::Drop {
+                eprintln!(
+                    "DROP {query}: order_ok={order_ok} query_ok={query_ok} touched_clean={} removed_fired={:?} removed_pivot={:?} touched_dirty={:?}",
+                    entry.touched.iter().all(|p| !dirty(p)),
+                    removed_idx.iter().map(|&j| entry.fired[j]).collect::<Vec<_>>(),
+                    removed_idx.iter().map(|&j| entry.pivot_source[j]).collect::<Vec<_>>(),
+                    entry.touched.iter().filter(|p| dirty(p)).collect::<Vec<_>>(),
+                );
+            }
         }
         // Infallible from here on. Kept entries move (footprints are
         // reused, not cloned); only their Σ-indexed vectors are rebuilt
         // in the new canonical index space.
         let old_entries = std::mem::take(&mut self.entries);
         for ((query, mut entry), keep) in old_entries.into_iter().zip(decisions) {
-            if !keep {
-                report.invalidated += 1;
-                continue;
-            }
-            if !sigma_identity {
-                let mut fired = vec![false; new_fds.len()];
-                let mut pivot_source = vec![false; new_fds.len()];
-                for (j, &ni) in old_to_new.iter().enumerate() {
-                    if let Some(ni) = ni {
-                        fired[ni] = entry.fired[j];
-                        pivot_source[ni] = entry.pivot_source[j];
+            match keep {
+                Keep::Drop => {
+                    report.invalidated += 1;
+                    continue;
+                }
+                Keep::Semantic => {
+                    // The verdict survives; the trace does not. Poison
+                    // it so only the monotone rule can keep this entry
+                    // in future edits.
+                    entry.semantic_only = true;
+                    entry.touched.clear();
+                    entry.fired = vec![false; new_fds.len()];
+                    entry.pivot_source = vec![false; new_fds.len()];
+                    entry.scan_reach = usize::MAX;
+                    report.kept_semantic += 1;
+                }
+                Keep::Trace => {
+                    if !sigma_identity {
+                        let mut fired = vec![false; new_fds.len()];
+                        let mut pivot_source = vec![false; new_fds.len()];
+                        for (j, &ni) in old_to_new.iter().enumerate() {
+                            if let Some(ni) = ni {
+                                fired[ni] = entry.fired[j];
+                                pivot_source[ni] = entry.pivot_source[j];
+                            }
+                        }
+                        entry.scan_reach = match entry.scan_reach {
+                            0 => 0,
+                            usize::MAX => usize::MAX,
+                            r => match old_to_new[r - 1] {
+                                Some(d) => d + 1,
+                                None => unreachable!("a removed pivot source invalidates"),
+                            },
+                        };
+                        entry.fired = fired;
+                        entry.pivot_source = pivot_source;
                     }
                 }
-                entry.scan_reach = match entry.scan_reach {
-                    0 => 0,
-                    usize::MAX => usize::MAX,
-                    r => match old_to_new[r - 1] {
-                        Some(d) => d + 1,
-                        None => unreachable!("a removed pivot source invalidates"),
-                    },
-                };
-                entry.fired = fired;
-                entry.pivot_source = pivot_source;
             }
             self.entries.insert(query, entry);
             report.kept += 1;
@@ -458,6 +601,7 @@ impl Entry {
             fired: trace.fired,
             pivot_source: trace.pivot_source,
             scan_reach: trace.scan_reach,
+            semantic_only: false,
         }
     }
 }
@@ -538,6 +682,75 @@ mod tests {
     }
 
     #[test]
+    fn monotone_rule_keeps_refuted_verdicts_across_removal() {
+        // Two independent fragments: each fragment's anomaly query
+        // (`S → parent`) is refuted by a run that *fires* the other
+        // fragment's FD, so trace replay cannot keep it across that
+        // FD's removal — but Σ-monotonicity can.
+        let (dtd, sigma) = crate::analyze::e22_family(2);
+        let qs: Vec<XmlFd> = [
+            "root.key01 -> root.val01.item01",
+            "root.key02 -> root.val02.item02",
+        ]
+        .map(|s| XmlFdSet::parse(s).unwrap().iter().next().unwrap().clone())
+        .to_vec();
+        let mut cache = IncrementalCache::new(dtd.clone(), sigma.clone());
+        assert_eq!(cache.implies_all(&qs).unwrap(), vec![false, false]);
+        let reduced = XmlFdSet::from_fds(sigma.iter().take(1).cloned());
+        let report = cache
+            .apply_delta(
+                &DtdDelta::unchanged(&dtd),
+                &SigmaDelta::between(&sigma, &reduced),
+            )
+            .unwrap();
+        assert!(
+            report.kept_semantic > 0,
+            "the refuted cross-fragment verdict should transfer semantically: {report:?}"
+        );
+        assert_eq!(
+            cache.implies_all(&qs).unwrap(),
+            from_scratch(&dtd, &reduced, &qs)
+        );
+    }
+
+    #[test]
+    fn semantic_entries_invalidate_on_fd_addition() {
+        // A semantically-kept refuted verdict must still die when an FD
+        // addition could flip it: add exactly the cached query to Σ.
+        let (dtd, sigma) = crate::analyze::e22_family(2);
+        let query = XmlFdSet::parse("root.key01 -> root.val01.item01")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .clone();
+        let mut cache = IncrementalCache::new(dtd.clone(), sigma.clone());
+        assert!(!cache.implies(&query).unwrap());
+        // Step 1: removal-only edit keeps the verdict via monotonicity.
+        let reduced = XmlFdSet::from_fds(sigma.iter().take(1).cloned());
+        let report = cache
+            .apply_delta(
+                &DtdDelta::unchanged(&dtd),
+                &SigmaDelta::between(&sigma, &reduced),
+            )
+            .unwrap();
+        assert!(report.kept_semantic > 0, "{report:?}");
+        // Step 2: add the query itself as an FD — the verdict flips.
+        let extended = XmlFdSet::from_fds(reduced.iter().cloned().chain([query.clone()]));
+        cache
+            .apply_delta(
+                &DtdDelta::unchanged(&dtd),
+                &SigmaDelta::between(&reduced, &extended),
+            )
+            .unwrap();
+        assert!(cache.implies(&query).unwrap());
+        assert_eq!(
+            cache.implies_all(std::slice::from_ref(&query)).unwrap(),
+            from_scratch(&dtd, &extended, std::slice::from_ref(&query))
+        );
+    }
+
+    #[test]
     fn sigma_addition_transfers_and_stays_exact() {
         let dtd = university_dtd();
         let base = XmlFdSet::parse(
@@ -587,7 +800,13 @@ mod tests {
         let mut cache = IncrementalCache::new(old.clone(), sigma.clone());
         cache.implies_all(&qs).unwrap();
         let delta = DtdDelta::between(&old, &new);
-        assert_eq!(delta.changed, BTreeSet::from(["title".into()]));
+        // A pure attribute add is recorded at attribute granularity:
+        // title's structure is unchanged, only `title.@lang` is dirty.
+        assert_eq!(delta.changed, BTreeSet::new());
+        assert_eq!(
+            delta.attrs_changed,
+            BTreeMap::from([("title".into(), BTreeSet::from(["lang".into()]))])
+        );
         cache
             .apply_delta(&delta, &SigmaDelta::unchanged(&sigma))
             .unwrap();

@@ -36,6 +36,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod encode;
 pub mod fd;
 pub mod implication;
@@ -47,6 +48,7 @@ pub mod tuple;
 pub mod tuples;
 pub mod xnf;
 
+pub use crate::analyze::{analyze, Analysis, AnalyzeOptions, AnomalyInfo, CostEstimate, FdGraph};
 pub use crate::fd::{XmlFd, XmlFdSet};
 pub use crate::implication::{
     Chase, ChaseConfig, ChaseStats, ChaseStatsSnapshot, CounterexampleSearch, DtdDelta,

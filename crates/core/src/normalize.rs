@@ -166,6 +166,217 @@ pub struct NormalizeResult {
     pub exhausted: Option<Exhausted>,
 }
 
+/// One main-loop decision of Figure 4 — what the algorithm will do next,
+/// given the current `(D, Σ)`.
+///
+/// Produced by [`decide_iteration`], which is shared verbatim between
+/// [`normalize`] (which applies the action) and [`crate::analyze`] (which
+/// simulates it): both consumers run the *same* decision code over
+/// equivalent oracle verdicts, which is what makes the predicted plan
+/// byte-exact by construction rather than by parallel reimplementation.
+pub(crate) enum Action {
+    /// No anomalous FD remains: the design is in XNF.
+    Done,
+    /// Step 2: move the attribute at the first path to the element at the
+    /// second (`D[p.@l := q.@m]`).
+    Move(PathId, PathId),
+    /// Step 3: create a fresh element for the minimal anomalous FD
+    /// `lhs → target`.
+    Create(Vec<PathId>, PathId),
+    /// A chosen CreateElement involves a `.S` path (on the left, or as
+    /// the minimized target): fold it first, then re-evaluate.
+    Fold(Path),
+}
+
+/// Checkpoint-level accounting of one [`decide_iteration`] call: every
+/// field counts budget charges the governed [`normalize`] loop makes for
+/// the same decision, which is how [`crate::analyze`] predicts govern
+/// fuel without running the loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct DecideCost {
+    /// `(FD, value path)` candidates enumerated by the anomalous-FD
+    /// search — each charges `xnf.candidate` once.
+    pub candidates: u64,
+    /// Shards of the natural plan — each charges `chase.shard` once (the
+    /// merge adds one `chase.merge` charge per iteration).
+    pub shards: u64,
+    /// `(D,Σ)`-minimality rounds — each charges `normalize.minimize`.
+    pub minimize_rounds: u64,
+    /// FDs visited by the guard pass — each charges `normalize.guard`.
+    /// Zero when the action is [`Action::Done`] (no guard pass runs).
+    pub guard_checks: u64,
+}
+
+/// The decide phase of one Figure 4 iteration: search for anomalous FDs,
+/// push the `|AP|` sample onto `ap_trace`, pick the action (step 2 move /
+/// step 3 create / fold / done) and materialize the implied guards.
+///
+/// Extracted from [`normalize`]'s main loop so that [`crate::analyze`]
+/// can drive the identical decision logic against its own incremental
+/// oracle. Mutates nothing but `stats`/`ap_trace`; the caller owns
+/// applying the action. Exhaustion mid-decide leaves a pushed AP sample
+/// in `ap_trace` (matching the historical partial-trace shape).
+pub(crate) fn decide_iteration<O: Implication + Sync>(
+    oracle: &O,
+    paths: &PathSet,
+    resolved: &[ResolvedFd],
+    options: &NormalizeOptions,
+    stats: &mut NormalizeStats,
+    ap_trace: &mut Vec<usize>,
+) -> std::result::Result<(Action, Vec<XmlFd>, DecideCost), Exhausted> {
+    let mut cost = DecideCost::default();
+    {
+        // Cost bookkeeping only: mirror the candidate enumeration and the
+        // natural shard plan of `find_anomalous_fd` (which recomputes them
+        // internally) so the analyze cost model sees the exact charge
+        // counts of the sweep below.
+        let keys: Vec<Option<PathId>> = resolved
+            .iter()
+            .flat_map(|fd| fd.rhs.iter().map(|&q| candidate_fragment(paths, fd, q)))
+            .collect();
+        cost.candidates = keys.len() as u64;
+        cost.shards = ShardPlan::new(&keys).shards().len() as u64;
+    }
+    let search_start = Instant::now();
+    let search_span = options
+        .budget
+        .recorder()
+        .span("normalize.search", "normalize");
+    let violations = find_anomalous_fd(oracle, paths, resolved, options.threads, &options.budget);
+    drop(search_span);
+    stats.search_time += search_start.elapsed();
+    let violations = violations?;
+    let ap: std::collections::BTreeSet<_> = violations.iter().map(|(_, p)| *p).collect();
+    ap_trace.push(ap.len());
+    let decide_start = Instant::now();
+    let decide_span = options
+        .budget
+        .recorder()
+        .span("normalize.decide", "normalize");
+    let action = if violations.is_empty() {
+        Action::Done
+    } else {
+        // Step 2: moving attributes, if some q ∈ S determines S.
+        let mut action = None;
+        if options.use_implication {
+            'outer: for (fd, q_attr) in &violations {
+                for &q in &fd.lhs {
+                    if !paths.is_element_path(q) {
+                        continue;
+                    }
+                    let q_to_s = crate::fd::ResolvedFd::from_ids([q], fd.lhs.iter().copied());
+                    // Also require q → p.@l itself: under the null
+                    // semantics of Section 4, q → S and S → p.@l
+                    // do *not* compose when S can be ⊥ while p.@l
+                    // is not — the moved attribute's value would
+                    // then be ill-defined per q-node. (On the
+                    // paper's examples, where q lies on p's own
+                    // path, the conditions coincide.)
+                    let q_to_attr = crate::fd::ResolvedFd::from_ids([q], [*q_attr]);
+                    // The move must leave *every* FD of Σ with
+                    // this RHS non-anomalous: after
+                    // `D[p.@l := q.@m]` each reads `S' → q.@m`,
+                    // whose XNF guard is `S' → q`. This covers
+                    // both the currently anomalous ones (the
+                    // anomaly must not simply follow the
+                    // attribute, or |AP| would not shrink —
+                    // Proposition 6) and the currently guarded
+                    // ones (whose old guard `S' → p` becomes
+                    // irrelevant at the new home).
+                    let mut resolves_all = true;
+                    for other in resolved.iter().filter(|other| other.rhs.contains(q_attr)) {
+                        let to_q = crate::fd::ResolvedFd::from_ids(other.lhs.iter().copied(), [q]);
+                        if !oracle.try_implies(resolved, &to_q)? {
+                            resolves_all = false;
+                            break;
+                        }
+                    }
+                    if resolves_all
+                        && oracle.try_implies(resolved, &q_to_s)?
+                        && oracle.try_implies(resolved, &q_to_attr)?
+                    {
+                        action = Some(Action::Move(*q_attr, q));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        match action {
+            Some(action) => action,
+            None => {
+                // Step 3: a (D,Σ)-minimal anomalous FD.
+                let (fd, q_attr) = violations[0].clone();
+                let minimal = if options.use_implication {
+                    minimize(
+                        oracle,
+                        paths,
+                        resolved,
+                        fd.lhs.clone(),
+                        q_attr,
+                        &options.budget,
+                        &mut cost.minimize_rounds,
+                    )?
+                } else {
+                    (fd.lhs.clone(), q_attr)
+                };
+                // The construction needs attribute paths; fold any
+                // remaining `.S` path first.
+                let s_path = minimal
+                    .0
+                    .iter()
+                    .copied()
+                    .chain([minimal.1])
+                    .find(|&p| matches!(paths.step(p), PathStep::Text));
+                match s_path {
+                    Some(p) => Action::Fold(paths.path(p)),
+                    None => Action::Create(minimal.0, minimal.1),
+                }
+            }
+        }
+    };
+    drop(decide_span);
+    stats.decide_time += decide_start.elapsed();
+    // Materialize the *guards* of Σ before transforming: for
+    // every FD `X → q` with a value-path RHS whose node guard
+    // `X → parent(q)` is currently implied, add the guard
+    // explicitly. Guards are in `(D,Σ)⁺`, so this never changes
+    // the constraint semantics — but it keeps shadow implications
+    // alive across the Σ-based step rewriting (the closure-based
+    // paper version keeps them implicitly), preserving
+    // Proposition 6's strict decrease of the anomalous-path set.
+    let guard_start = Instant::now();
+    let guard_span = options
+        .budget
+        .recorder()
+        .span("normalize.guards", "normalize");
+    let guards = if matches!(action, Action::Done) {
+        Vec::new()
+    } else {
+        cost.guard_checks = resolved.len() as u64;
+        let mut guards: Vec<XmlFd> = Vec::new();
+        for fd in resolved {
+            options.budget.checkpoint("normalize.guard")?;
+            for &q in &fd.rhs {
+                if paths.is_element_path(q) {
+                    continue;
+                }
+                let parent = paths.parent(q).expect("value paths have parents");
+                let guard = crate::fd::ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
+                if oracle.try_is_trivial(&guard)? {
+                    continue;
+                }
+                if oracle.try_implies(resolved, &guard)? {
+                    guards.push(guard.to_fd(paths));
+                }
+            }
+        }
+        guards
+    };
+    drop(guard_span);
+    stats.guard_time += guard_start.elapsed();
+    Ok((action, guards, cost))
+}
+
 /// Runs the XNF decomposition algorithm of Figure 4.
 pub fn normalize(
     dtd: &Dtd,
@@ -203,14 +414,6 @@ pub fn normalize(
     let mut sigma = XmlFdSet::from_fds(fds);
 
     // ---------------- Main loop (Figure 4) ----------------
-    enum Action {
-        Done,
-        Move(xnf_dtd::PathId, xnf_dtd::PathId),
-        Create(Vec<xnf_dtd::PathId>, xnf_dtd::PathId),
-        /// A chosen CreateElement involves a `.S` path (on the left, or
-        /// as the minimized target): fold it first, then re-evaluate.
-        Fold(Path),
-    }
     let mut ap_trace = Vec::new();
     let mut stats = NormalizeStats::default();
     let mut exhausted_out: Option<Exhausted> = None;
@@ -239,157 +442,18 @@ pub fn normalize(
             let chase = Chase::new(&dtd, &paths).with_budget(options.budget.clone());
             let resolved = sigma.resolve(&paths)?;
             let oracle = ImplicationCache::new(&chase, &resolved);
-            let decided = (|| -> std::result::Result<(Action, Vec<XmlFd>), Exhausted> {
-                let search_start = Instant::now();
-                let search_span = options
-                    .budget
-                    .recorder()
-                    .span("normalize.search", "normalize");
-                let violations =
-                    find_anomalous_fd(&oracle, &paths, &resolved, options.threads, &options.budget);
-                drop(search_span);
-                stats.search_time += search_start.elapsed();
-                let violations = violations?;
-                let ap: std::collections::BTreeSet<_> =
-                    violations.iter().map(|(_, p)| *p).collect();
-                ap_trace.push(ap.len());
-                let decide_start = Instant::now();
-                let decide_span = options
-                    .budget
-                    .recorder()
-                    .span("normalize.decide", "normalize");
-                let action = if violations.is_empty() {
-                    Action::Done
-                } else {
-                    // Step 2: moving attributes, if some q ∈ S determines S.
-                    let mut action = None;
-                    if options.use_implication {
-                        'outer: for (fd, q_attr) in &violations {
-                            for &q in &fd.lhs {
-                                if !paths.is_element_path(q) {
-                                    continue;
-                                }
-                                let q_to_s =
-                                    crate::fd::ResolvedFd::from_ids([q], fd.lhs.iter().copied());
-                                // Also require q → p.@l itself: under the null
-                                // semantics of Section 4, q → S and S → p.@l
-                                // do *not* compose when S can be ⊥ while p.@l
-                                // is not — the moved attribute's value would
-                                // then be ill-defined per q-node. (On the
-                                // paper's examples, where q lies on p's own
-                                // path, the conditions coincide.)
-                                let q_to_attr = crate::fd::ResolvedFd::from_ids([q], [*q_attr]);
-                                // The move must leave *every* FD of Σ with
-                                // this RHS non-anomalous: after
-                                // `D[p.@l := q.@m]` each reads `S' → q.@m`,
-                                // whose XNF guard is `S' → q`. This covers
-                                // both the currently anomalous ones (the
-                                // anomaly must not simply follow the
-                                // attribute, or |AP| would not shrink —
-                                // Proposition 6) and the currently guarded
-                                // ones (whose old guard `S' → p` becomes
-                                // irrelevant at the new home).
-                                let mut resolves_all = true;
-                                for other in
-                                    resolved.iter().filter(|other| other.rhs.contains(q_attr))
-                                {
-                                    let to_q = crate::fd::ResolvedFd::from_ids(
-                                        other.lhs.iter().copied(),
-                                        [q],
-                                    );
-                                    if !oracle.try_implies(&resolved, &to_q)? {
-                                        resolves_all = false;
-                                        break;
-                                    }
-                                }
-                                if resolves_all
-                                    && oracle.try_implies(&resolved, &q_to_s)?
-                                    && oracle.try_implies(&resolved, &q_to_attr)?
-                                {
-                                    action = Some(Action::Move(*q_attr, q));
-                                    break 'outer;
-                                }
-                            }
-                        }
-                    }
-                    match action {
-                        Some(action) => action,
-                        None => {
-                            // Step 3: a (D,Σ)-minimal anomalous FD.
-                            let (fd, q_attr) = violations[0].clone();
-                            let minimal = if options.use_implication {
-                                minimize(
-                                    &oracle,
-                                    &paths,
-                                    &resolved,
-                                    fd.lhs.clone(),
-                                    q_attr,
-                                    &options.budget,
-                                )?
-                            } else {
-                                (fd.lhs.clone(), q_attr)
-                            };
-                            // The construction needs attribute paths; fold any
-                            // remaining `.S` path first.
-                            let s_path = minimal
-                                .0
-                                .iter()
-                                .copied()
-                                .chain([minimal.1])
-                                .find(|&p| matches!(paths.step(p), PathStep::Text));
-                            match s_path {
-                                Some(p) => Action::Fold(paths.path(p)),
-                                None => Action::Create(minimal.0, minimal.1),
-                            }
-                        }
-                    }
-                };
-                drop(decide_span);
-                stats.decide_time += decide_start.elapsed();
-                // Materialize the *guards* of Σ before transforming: for
-                // every FD `X → q` with a value-path RHS whose node guard
-                // `X → parent(q)` is currently implied, add the guard
-                // explicitly. Guards are in `(D,Σ)⁺`, so this never changes
-                // the constraint semantics — but it keeps shadow implications
-                // alive across the Σ-based step rewriting (the closure-based
-                // paper version keeps them implicitly), preserving
-                // Proposition 6's strict decrease of the anomalous-path set.
-                let guard_start = Instant::now();
-                let guard_span = options
-                    .budget
-                    .recorder()
-                    .span("normalize.guards", "normalize");
-                let guards = if matches!(action, Action::Done) {
-                    Vec::new()
-                } else {
-                    let mut guards: Vec<XmlFd> = Vec::new();
-                    for fd in &resolved {
-                        options.budget.checkpoint("normalize.guard")?;
-                        for &q in &fd.rhs {
-                            if paths.is_element_path(q) {
-                                continue;
-                            }
-                            let parent = paths.parent(q).expect("value paths have parents");
-                            let guard =
-                                crate::fd::ResolvedFd::from_ids(fd.lhs.iter().copied(), [parent]);
-                            if oracle.try_is_trivial(&guard)? {
-                                continue;
-                            }
-                            if oracle.try_implies(&resolved, &guard)? {
-                                guards.push(guard.to_fd(&paths));
-                            }
-                        }
-                    }
-                    guards
-                };
-                drop(guard_span);
-                stats.guard_time += guard_start.elapsed();
-                Ok((action, guards))
-            })();
+            let decided = decide_iteration(
+                &oracle,
+                &paths,
+                &resolved,
+                options,
+                &mut stats,
+                &mut ap_trace,
+            );
             stats.chase += chase.stats().snapshot();
             decided
         };
-        let (action, guards) = match decided {
+        let (action, guards, _cost) = match decided {
             Ok(decided) => decided,
             Err(e) => {
                 exhausted_out = Some(e);
@@ -538,12 +602,14 @@ fn minimize(
     mut lhs: Vec<xnf_dtd::PathId>,
     mut target: xnf_dtd::PathId,
     budget: &Budget,
+    rounds: &mut u64,
 ) -> std::result::Result<(Vec<xnf_dtd::PathId>, xnf_dtd::PathId), Exhausted> {
     use xnf_dtd::PathId;
     let _span = budget.recorder().span("normalize.minimize", "normalize");
     // Each round strictly shrinks or rewrites the candidate; the cap
     // guards against pathological ping-pong between same-size FDs.
     for _ in 0..64 {
+        *rounds += 1;
         budget.checkpoint("normalize.minimize")?;
         let elem_paths: Vec<PathId> = lhs
             .iter()
@@ -626,7 +692,7 @@ fn minimize(
 }
 
 /// Applies `D[p.@l := q.@m]` and rewrites Σ.
-fn apply_move(
+pub(crate) fn apply_move(
     dtd: &mut Dtd,
     sigma: &mut XmlFdSet,
     paths: &PathSet,
@@ -678,7 +744,7 @@ fn apply_move(
 }
 
 /// Applies `D[p.@l := q.τ[τ₁.@l₁, …, τₙ.@lₙ, @l]]` and builds Σ'.
-fn apply_create(
+pub(crate) fn apply_create(
     dtd: &mut Dtd,
     sigma: &mut XmlFdSet,
     paths: &PathSet,
@@ -901,7 +967,7 @@ pub fn rename_element(dtd: &mut Dtd, sigma: &mut XmlFdSet, old: &str, new: &str)
 /// Folds one `p.τ.S` path into an attribute `@τ` of `last(p)`, rewriting
 /// the DTD and the FDs (Section 6: "`p.S` can always be replaced by a
 /// path of the form `p.@l`").
-fn fold_one_text_path(
+pub(crate) fn fold_one_text_path(
     dtd: &mut Dtd,
     fds: &mut [XmlFd],
     s_path: &Path,
@@ -977,7 +1043,11 @@ fn fold_one_text_path(
 
 /// Folds every right-hand-side `.S` path of Σ (see
 /// [`fold_one_text_path`]).
-fn fold_text_paths(dtd: &mut Dtd, fds: &mut [XmlFd], steps: &mut Vec<Step>) -> Result<()> {
+pub(crate) fn fold_text_paths(
+    dtd: &mut Dtd,
+    fds: &mut [XmlFd],
+    steps: &mut Vec<Step>,
+) -> Result<()> {
     loop {
         // Find an FD path ending in `.S` on a *right-hand side* (the
         // positions the transformations operate on). Left-hand `.S`
@@ -992,12 +1062,7 @@ fn fold_text_paths(dtd: &mut Dtd, fds: &mut [XmlFd], steps: &mut Vec<Step>) -> R
             .iter()
             .flat_map(|fd| fd.rhs().iter())
             .filter(|p| matches!(p.last(), PathStep::Text))
-            .min_by_key(|p| {
-                paths_now
-                    .resolve(p)
-                    .map(PathId::index)
-                    .unwrap_or(usize::MAX)
-            })
+            .min_by_key(|p| paths_now.resolve(p).map_or(usize::MAX, PathId::index))
             .cloned();
         let Some(s_path) = target else {
             return Ok(());
@@ -1035,7 +1100,11 @@ fn remove_single_occurrence(re: &Regex, name: &str) -> Option<Regex> {
 /// Ensures every FD's left-hand side has exactly one element path: adds
 /// the root when there is none (free: any two tuples share the root) and
 /// replaces extras by fresh id attributes, per Section 6.
-fn fix_lhs_element_paths(dtd: &mut Dtd, fds: &mut Vec<XmlFd>, steps: &mut Vec<Step>) -> Result<()> {
+pub(crate) fn fix_lhs_element_paths(
+    dtd: &mut Dtd,
+    fds: &mut Vec<XmlFd>,
+    steps: &mut Vec<Step>,
+) -> Result<()> {
     let root_path = Path::root(dtd.root_name());
     let mut i = 0;
     while i < fds.len() {
@@ -1066,10 +1135,7 @@ fn fix_lhs_element_paths(dtd: &mut Dtd, fds: &mut Vec<XmlFd>, steps: &mut Vec<St
         let q = elem_paths
             .iter()
             .max_by_key(|p| {
-                let pos = paths_now
-                    .resolve(p)
-                    .map(PathId::index)
-                    .unwrap_or(usize::MAX);
+                let pos = paths_now.resolve(p).map_or(usize::MAX, PathId::index);
                 (p.len(), std::cmp::Reverse(pos))
             })
             .expect("non-empty")

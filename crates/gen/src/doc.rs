@@ -136,9 +136,9 @@ pub fn satisfying_documents(
     max_attempts: usize,
 ) -> Vec<XmlTree> {
     let paths = dtd.paths().expect("satisfying_documents needs paths(D)");
-    let resolved = match sigma.resolve(&paths) {
-        Ok(r) => r,
-        Err(_) => return Vec::new(), // unresolvable Σ: no document applies
+    // Unresolvable Σ: no document applies.
+    let Ok(resolved) = sigma.resolve(&paths) else {
+        return Vec::new();
     };
     let mut out = Vec::with_capacity(count);
     let mut fresh = 0usize;
@@ -150,9 +150,8 @@ pub fn satisfying_documents(
         let mut doc = random_document(dtd, rng, params);
         for _ in 0..MAX_REPAIR_ROUNDS {
             match repair_round(&mut doc, dtd, &paths, &resolved, &mut fresh) {
-                Ok(true) => continue, // something changed: another round
-                Ok(false) => break,   // fixpoint
-                Err(_) => break,      // tuple enumeration failed: reject
+                Ok(true) => {}               // something changed: another round
+                Ok(false) | Err(_) => break, // fixpoint, or tuple enumeration failed: reject
             }
         }
         let satisfied = sigma.satisfied_by(&doc, dtd, &paths).unwrap_or(false);

@@ -18,6 +18,11 @@
 //!   chase implication engine repurposed as a static analyzer: vacuous
 //!   FDs (mutually exclusive paths), trivial FDs, FDs redundant given the
 //!   rest of Σ, pairwise-equivalent FDs, and redundant LHS paths.
+//! * **Predictive** (`XNF2xx`, opt-in via [`lint_spec_predictive`]) —
+//!   what normalization *would do*: anomalous FDs with provenance,
+//!   predicted schema blow-up, FD interaction clusters, dead attributes,
+//!   and the fixpoint-iteration bound, all driven by the static planner
+//!   [`xnf_core::analyze`] without ever running `normalize`.
 //!
 //! ## Example
 //!
@@ -38,6 +43,7 @@
 
 pub mod determinism;
 mod json;
+pub mod predictive;
 mod report;
 pub mod source;
 mod structural;
@@ -65,6 +71,9 @@ pub enum Tier {
     Structural,
     /// Runs over (DTD, Σ); the implication-backed rules live here.
     Semantic,
+    /// Opt-in: runs the static decomposition planner over (DTD, Σ) and
+    /// reports what normalization would do (`XNF2xx`).
+    Predictive,
 }
 
 /// One registered analysis: its code, tier, and a one-line summary.
@@ -213,6 +222,36 @@ pub fn registry() -> &'static [Rule] {
             true,
             "an LHS path is determined by the other LHS paths",
         ),
+        rule(
+            Code::AnomalousFd,
+            Tier::Predictive,
+            true,
+            "an FD is anomalous: the spec is not in XNF",
+        ),
+        rule(
+            Code::SchemaBlowUp,
+            Tier::Predictive,
+            true,
+            "the predicted decomposition creates many fresh element types",
+        ),
+        rule(
+            Code::FdInteractionCluster,
+            Tier::Predictive,
+            false,
+            "a large cluster of FDs interact through shared paths",
+        ),
+        rule(
+            Code::DeadAttribute,
+            Tier::Predictive,
+            false,
+            "an attribute is mentioned by no FD",
+        ),
+        rule(
+            Code::FixpointIterationBound,
+            Tier::Predictive,
+            true,
+            "normalization needs many fixpoint iterations",
+        ),
     ];
     RULES
 }
@@ -243,6 +282,34 @@ pub fn lint_spec_governed(
     fds_src: Option<&str>,
     budget: &Budget,
 ) -> Result<LintReport, Exhausted> {
+    lint_inner(dtd_src, fds_src, budget, false)
+}
+
+/// [`lint_spec_governed`] plus the opt-in **predictive tier** (`XNF2xx`):
+/// runs the static decomposition planner ([`xnf_core::analyze`]) over
+/// `(D, Σ)` and reports what normalization would do — anomalous FDs with
+/// provenance, predicted schema blow-up, interaction clusters, dead
+/// attributes, and the fixpoint-iteration bound.
+///
+/// Predictive diagnostics are observations about a *valid* spec, so the
+/// tier is skipped whenever the earlier tiers found the spec degenerate
+/// (unparseable, recursive, paths outside `paths(D)`): those runs return
+/// exactly the [`lint_spec_governed`] report. The planner charges
+/// `budget` like any implication-backed rule.
+pub fn lint_spec_predictive(
+    dtd_src: &str,
+    fds_src: &str,
+    budget: &Budget,
+) -> Result<LintReport, Exhausted> {
+    lint_inner(dtd_src, Some(fds_src), budget, true)
+}
+
+fn lint_inner(
+    dtd_src: &str,
+    fds_src: Option<&str>,
+    budget: &Budget,
+    predictive: bool,
+) -> Result<LintReport, Exhausted> {
     let mut diags = Vec::new();
     let structural_span = budget.recorder().span("lint.structural", "lint");
     let index = DeclIndex::scan(dtd_src);
@@ -259,11 +326,17 @@ pub fn lint_spec_governed(
             structural::rule_general_class(&ctx, &mut diags);
             drop(structural_span);
             if let Some(fds_src) = fds_src {
-                let _span = budget.recorder().span("lint.semantic", "lint");
-                if dtd.is_recursive() {
-                    semantic::lint_fd_syntax_only(fds_src, &mut diags);
-                } else {
-                    semantic::lint_fds(&ctx, fds_src, budget, &mut diags)?;
+                {
+                    let _span = budget.recorder().span("lint.semantic", "lint");
+                    if dtd.is_recursive() {
+                        semantic::lint_fd_syntax_only(fds_src, &mut diags);
+                    } else {
+                        semantic::lint_fds(&ctx, fds_src, budget, &mut diags)?;
+                    }
+                }
+                if predictive && !dtd.is_recursive() {
+                    let _span = budget.recorder().span("lint.predictive", "lint");
+                    predictive::lint_predictive(&ctx, fds_src, budget, &mut diags)?;
                 }
             }
         }
@@ -289,24 +362,71 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_codes_are_unique_and_cover_both_tiers() {
+    fn registry_codes_are_unique_and_cover_all_tiers() {
         let rules = registry();
         let mut codes: Vec<&str> = rules.iter().map(|r| r.code.as_str()).collect();
         codes.sort_unstable();
         let before = codes.len();
         codes.dedup();
         assert_eq!(codes.len(), before, "duplicate code in registry");
+        // The registry is total: one row per `Code` variant.
+        assert_eq!(rules.len(), Code::ALL.len());
         let structural = rules
             .iter()
-            .filter(|r| !matches!(r.tier, Tier::Semantic))
+            .filter(|r| !matches!(r.tier, Tier::Semantic | Tier::Predictive))
             .count();
         let implication = rules.iter().filter(|r| r.implication_backed).count();
+        let predictive = rules
+            .iter()
+            .filter(|r| matches!(r.tier, Tier::Predictive))
+            .count();
         assert!(structural >= 4, "ISSUE floor: >= 4 structural rules");
         assert!(
             implication >= 4,
             "ISSUE floor: >= 4 implication-backed rules"
         );
+        assert_eq!(predictive, 5, "the XNF2xx tier has five rules");
         assert!(rules.len() >= 8);
+    }
+
+    /// The predictive tier is strictly opt-in: the default lint stays
+    /// clean on the paper's DBLP spec while [`lint_spec_predictive`]
+    /// surfaces the `XNF2xx` forecast for the very same input.
+    #[test]
+    fn predictive_tier_is_opt_in() {
+        let dtd = "<!ELEMENT db (conf*)>
+             <!ELEMENT conf (title, issue+)>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT issue (inproceedings+)>
+             <!ELEMENT inproceedings (author+, title, booktitle)>
+             <!ATTLIST inproceedings
+                 key CDATA #REQUIRED
+                 pages CDATA #REQUIRED
+                 year CDATA #REQUIRED>
+             <!ELEMENT author (#PCDATA)>
+             <!ELEMENT booktitle (#PCDATA)>";
+        let fds = "db.conf.title.S -> db.conf\n\
+                   db.conf.issue -> db.conf.issue.inproceedings.@year";
+        let plain = lint_spec(dtd, Some(fds));
+        assert!(plain.is_clean(), "{}", plain.render_human());
+        let predicted = lint_spec_predictive(dtd, fds, UNLIMITED).unwrap();
+        assert!(!predicted.is_clean());
+        assert!(
+            predicted.codes().contains(&Code::AnomalousFd),
+            "{:?}",
+            predicted.codes()
+        );
+        // Every extra diagnostic belongs to the predictive band.
+        for d in predicted.diagnostics() {
+            assert!(d.code.as_str().starts_with("XNF2"), "{:?}", d.code);
+        }
+        // A degenerate spec gets no predictive diagnostics: the report
+        // is exactly the default one.
+        let broken = lint_spec_predictive(dtd, "db.nope -> db.conf", UNLIMITED).unwrap();
+        assert_eq!(
+            broken.codes(),
+            lint_spec(dtd, Some("db.nope -> db.conf")).codes()
+        );
     }
 
     #[test]

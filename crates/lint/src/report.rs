@@ -60,7 +60,9 @@ impl SourceKind {
 ///
 /// Codes `XNF001`–`XNF0xx` are structural (the DTD alone); codes
 /// `XNF1xx` are semantic (the FD set Σ against the DTD, several of them
-/// backed by the chase implication engine).
+/// backed by the chase implication engine); codes `XNF2xx` are
+/// *predictive* (opt-in: what the Figure 4 normalization would do to the
+/// spec, computed statically by [`xnf_core::analyze`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Code {
     /// XNF001: the DTD text does not parse.
@@ -113,6 +115,21 @@ pub enum Code {
     /// XNF108: an FD's left-hand side contains a path already determined
     /// by its other left-hand-side paths in every tree.
     RedundantLhsPath,
+    /// XNF200: an FD is anomalous — the spec is not in XNF and
+    /// normalization would rewrite the schema around it.
+    AnomalousFd,
+    /// XNF201: the predicted decomposition creates many fresh element
+    /// types; the normalized schema will look very different.
+    SchemaBlowUp,
+    /// XNF202: a large cluster of interacting FDs (sharing or feeding
+    /// each other's paths) — decomposition order within it matters.
+    FdInteractionCluster,
+    /// XNF203: an attribute no FD constrains; it rides along unchanged
+    /// through every decomposition step.
+    DeadAttribute,
+    /// XNF204: normalization needs many fixpoint iterations to reach
+    /// XNF; the spec is far from normal form.
+    FixpointIterationBound,
 }
 
 impl Code {
@@ -139,7 +156,46 @@ impl Code {
             Code::RedundantFd => "XNF106",
             Code::EquivalentFds => "XNF107",
             Code::RedundantLhsPath => "XNF108",
+            Code::AnomalousFd => "XNF200",
+            Code::SchemaBlowUp => "XNF201",
+            Code::FdInteractionCluster => "XNF202",
+            Code::DeadAttribute => "XNF203",
+            Code::FixpointIterationBound => "XNF204",
         }
+    }
+
+    /// Every code, in report (numeric) order.
+    pub const ALL: &'static [Code] = &[
+        Code::DtdSyntax,
+        Code::DuplicateElement,
+        Code::DuplicateAttribute,
+        Code::UndeclaredElement,
+        Code::RootReferenced,
+        Code::AttlistForUndeclared,
+        Code::UnreachableElement,
+        Code::NonGeneratingElement,
+        Code::UnsatisfiableDtd,
+        Code::NondeterministicContent,
+        Code::RecursiveDtd,
+        Code::GeneralClass,
+        Code::FdSyntax,
+        Code::UnknownFdPath,
+        Code::VacuousFd,
+        Code::DuplicateFd,
+        Code::TrivialFd,
+        Code::RedundantFd,
+        Code::EquivalentFds,
+        Code::RedundantLhsPath,
+        Code::AnomalousFd,
+        Code::SchemaBlowUp,
+        Code::FdInteractionCluster,
+        Code::DeadAttribute,
+        Code::FixpointIterationBound,
+    ];
+
+    /// Parses a stable `XNFnnn` code string back into the code.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.as_str() == s)
     }
 
     /// Short kebab-case rule name (JSON `rule` field, docs).
@@ -165,6 +221,11 @@ impl Code {
             Code::RedundantFd => "redundant-fd",
             Code::EquivalentFds => "equivalent-fds",
             Code::RedundantLhsPath => "redundant-lhs-path",
+            Code::AnomalousFd => "anomalous-fd",
+            Code::SchemaBlowUp => "schema-blow-up",
+            Code::FdInteractionCluster => "fd-interaction-cluster",
+            Code::DeadAttribute => "dead-attribute",
+            Code::FixpointIterationBound => "fixpoint-iteration-bound",
         }
     }
 
@@ -186,11 +247,16 @@ impl Code {
             | Code::RecursiveDtd
             | Code::VacuousFd
             | Code::TrivialFd
-            | Code::RedundantFd => Severity::Warning,
+            | Code::RedundantFd
+            | Code::AnomalousFd
+            | Code::SchemaBlowUp => Severity::Warning,
             Code::GeneralClass
             | Code::DuplicateFd
             | Code::EquivalentFds
-            | Code::RedundantLhsPath => Severity::Info,
+            | Code::RedundantLhsPath
+            | Code::FdInteractionCluster
+            | Code::DeadAttribute
+            | Code::FixpointIterationBound => Severity::Info,
         }
     }
 }
@@ -466,6 +532,34 @@ mod tests {
             text.contains("lint: 1 error, 0 warnings, 0 infos"),
             "{text}"
         );
+    }
+
+    /// Satellite pin: the `Code` ↔ `"XNF###"` mapping round-trips over
+    /// every variant (including the predictive `XNF2xx` tier), the
+    /// strings are unique and well-formed, and `ALL` is in numeric order.
+    #[test]
+    fn code_string_round_trip_is_exhaustive() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &code in Code::ALL {
+            let s = code.as_str();
+            assert_eq!(s.len(), 6, "{s}");
+            assert!(s.starts_with("XNF"), "{s}");
+            assert!(s[3..].chars().all(|c| c.is_ascii_digit()), "{s}");
+            assert_eq!(Code::parse(s), Some(code), "{s} does not round-trip");
+            assert!(seen.insert(s), "duplicate code string {s}");
+            assert!(!code.id().is_empty());
+        }
+        let ordered: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = ordered.clone();
+        sorted.sort_unstable();
+        assert_eq!(ordered, sorted, "Code::ALL is not in numeric order");
+        // Tier bands are populated: structural, semantic, predictive.
+        for band in ["XNF0", "XNF1", "XNF2"] {
+            assert!(ordered.iter().any(|s| s.starts_with(band)), "{band} empty");
+        }
+        assert_eq!(Code::parse("XNF999"), None);
+        assert_eq!(Code::parse("xnf001"), None);
+        assert_eq!(Code::parse(""), None);
     }
 
     #[test]

@@ -350,11 +350,10 @@ pub fn rule_recursive(ctx: &DtdCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.dtd.is_recursive() {
         return;
     }
-    let witness = ctx
-        .dtd
-        .find_cycle_witness()
-        .map(|e| ctx.dtd.name(e).to_string())
-        .unwrap_or_else(|| ctx.dtd.root_name().to_string());
+    let witness = ctx.dtd.find_cycle_witness().map_or_else(
+        || ctx.dtd.root_name().to_string(),
+        |e| ctx.dtd.name(e).to_string(),
+    );
     out.push(
         ctx.at_decl(
             Code::RecursiveDtd,

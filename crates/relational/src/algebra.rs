@@ -217,8 +217,7 @@ impl Query {
                         pairs
                             .iter()
                             .find(|(from, _)| from == c)
-                            .map(|(_, to)| to.clone())
-                            .unwrap_or_else(|| c.clone())
+                            .map_or_else(|| c.clone(), |(_, to)| to.clone())
                     })
                     .collect();
                 let mut out = Relation::new(cols)?;

@@ -210,9 +210,8 @@ impl<'a> Parser<'a> {
     }
 
     fn attr_value(&mut self) -> Result<String> {
-        let quote = match self.peek() {
-            Some(q @ (b'"' | b'\'')) => q,
-            _ => return Err(self.err("expected quoted attribute value")),
+        let Some(quote @ (b'"' | b'\'')) = self.peek() else {
+            return Err(self.err("expected quoted attribute value"));
         };
         self.pos += 1;
         let start = self.pos;

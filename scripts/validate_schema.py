@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a JSON document against a JSON-schema subset, stdlib only.
+
+Usage: validate_schema.py <schema.json> <instance.json | ->
+
+CI uses this to pin machine-readable CLI output (e.g. `xnf-tool analyze
+--format json` against docs/analyze.schema.json) without adding a
+third-party `jsonschema` dependency. It implements exactly the keywords
+those schemas use — type, enum, required, properties,
+additionalProperties (boolean form), items, minItems, maxItems, oneOf —
+and fails loudly on any keyword it does not know, so a schema edit
+cannot silently disable validation.
+"""
+
+import json
+import sys
+
+HANDLED = {
+    "type",
+    "enum",
+    "required",
+    "properties",
+    "additionalProperties",
+    "items",
+    "minItems",
+    "maxItems",
+    "oneOf",
+    # Annotations, valid everywhere and checked nowhere:
+    "$schema",
+    "title",
+    "description",
+}
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def type_ok(value, name):
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    expected = TYPES.get(name)
+    if expected is None:
+        raise SystemExit(f"schema error: unknown type {name!r}")
+    if expected is not bool and isinstance(value, bool):
+        return name == "boolean"
+    return isinstance(value, expected)
+
+
+def validate(value, schema, path):
+    errors = []
+    unknown = set(schema) - HANDLED
+    if unknown:
+        raise SystemExit(f"schema error at {path}: unhandled keywords {sorted(unknown)}")
+
+    if "type" in schema:
+        names = schema["type"]
+        names = names if isinstance(names, list) else [names]
+        if not any(type_ok(value, n) for n in names):
+            return [f"{path}: expected {' or '.join(names)}, got {type(value).__name__}"]
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']!r}")
+
+    if "oneOf" in schema:
+        matches = [
+            alt for alt in schema["oneOf"] if not validate(value, alt, path)
+        ]
+        if len(matches) != 1:
+            errors.append(
+                f"{path}: matched {len(matches)} of {len(schema['oneOf'])} oneOf alternatives"
+            )
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                errors.extend(validate(value[key], sub, f"{path}.{key}"))
+        if schema.get("additionalProperties", True) is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key {key!r}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} item(s), expected >= {schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{path}: {len(value)} item(s), expected <= {schema['maxItems']}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+
+    return errors
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__.strip().splitlines()[2])
+    with open(sys.argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    if sys.argv[2] == "-":
+        instance = json.load(sys.stdin)
+    else:
+        with open(sys.argv[2], encoding="utf-8") as f:
+            instance = json.load(f)
+    errors = validate(instance, schema, "$")
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        raise SystemExit(f"{sys.argv[2]}: {len(errors)} schema violation(s)")
+    print(f"{sys.argv[2]}: valid against {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

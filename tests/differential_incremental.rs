@@ -153,7 +153,10 @@ fn dtd_edit_sequences_match_from_scratch() {
                 let name = next.fresh_attr_name(id, "zz");
                 next.add_attribute(id, &name).unwrap();
                 let delta = DtdDelta::between(&current, &next);
-                assert!(!delta.changed.is_empty());
+                // A pure attribute add is classified at attribute
+                // granularity: the element's structure is unchanged.
+                assert!(delta.changed.is_empty());
+                assert!(!delta.attrs_changed.is_empty());
                 cache
                     .apply_delta(&delta, &SigmaDelta::unchanged(&sigma))
                     .unwrap();
