@@ -24,13 +24,19 @@
 //!                                            # end-to-end oracle: normalize, check is-xnf on the
 //!                                            # output, and verify losslessness on generated
 //!                                            # Σ-satisfying documents (default 100)
+//! xnf-tool shred      <dtd> <fds> <xml> [--format sql|json] [--out <f>] [--force] [--no-lint]
+//!                                            # compile (D, Σ) to a relational schema and shred the
+//!                                            # document into rows (SQL DDL + INSERTs, or JSON); the
+//!                                            # round trip back to the document is verified before
+//!                                            # anything is emitted. Refuses non-XNF specs (they
+//!                                            # materialize redundancy) unless --force
 //! xnf-tool keys       <dtd> <fds> <elem-path> [max-size]
 //!                                            # discover minimal (relative) keys
 //! xnf-tool mvd        <dtd> <xml> <mvd…>     # check MVDs ("lhs ->> dep | indep")
 //! ```
 //!
 //! The governed subcommands — `normalize`, `is-xnf`, `lint`, `analyze`,
-//! `verify` — additionally accept resource limits:
+//! `verify`, `shred` — additionally accept resource limits:
 //!
 //! ```text
 //! --timeout <secs>      wall-clock deadline (fractional seconds)
@@ -44,7 +50,7 @@
 //! so far, clearly marked non-final; the others print the structured
 //! exhaustion message.
 //!
-//! The same four subcommands accept observability flags (see `xnf-obs`):
+//! The same subcommands accept observability flags (see `xnf-obs`):
 //!
 //! ```text
 //! --trace <file>        write a span trace (default format: Chrome trace
@@ -61,7 +67,10 @@
 //! `normalize` and `is-xnf` run the linter as a preflight: hard lint
 //! errors abort with the rendered report and a nonzero exit before the
 //! engine touches the spec; `--no-lint` opts out. Warnings and infos never
-//! block (and stay silent in preflight — use `lint` to see them).
+//! block (and stay silent in preflight — use `lint` to see them). `shred`
+//! preflights with the shred tier included (`xnf_lint::lint_spec_shred`),
+//! so recursive DTDs and mixed content fail with the `XNF3xx` explanation
+//! rather than a bare engine error.
 //!
 //! The command logic lives in [`run`] so it is unit-testable; `main` only
 //! forwards `std::env::args` and prints.
@@ -191,6 +200,21 @@ fn parse_governed_dtd(src: &str, budget: &Budget) -> Result<Dtd, CliError> {
 /// warnings or infos) pass silently.
 fn preflight_lint(dtd_src: &str, fds_src: Option<&str>) -> Result<(), CliError> {
     let report = xnf_lint::lint_spec(dtd_src, fds_src);
+    if report.has_errors() {
+        Err(CliError::Lint(format!(
+            "{}preflight lint failed; fix the errors above or rerun with --no-lint\n",
+            report.render_human()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// [`preflight_lint`] plus the opt-in shred tier (`XNF3xx`): the `shred`
+/// subcommand refuses recursive DTDs and mixed content with the full
+/// shredding-specific diagnostic instead of a bare engine error.
+fn preflight_lint_shred(dtd_src: &str, fds_src: Option<&str>) -> Result<(), CliError> {
+    let report = xnf_lint::lint_spec_shred(dtd_src, fds_src, &Budget::unlimited())?;
     if report.has_errors() {
         Err(CliError::Lint(format!(
             "{}preflight lint failed; fix the errors above or rerun with --no-lint\n",
@@ -351,7 +375,7 @@ impl ObsFlags {
 const OBS_FLAGS: [&str; 3] = ["--trace", "--metrics", "--obs-format"];
 
 const USAGE: &str = "xnf-tool <parse-dtd|paths|tuples|check|implies|is-xnf|lint|analyze|normalize\
-                     |verify|keys|mvd> …";
+                     |verify|shred|keys|mvd> …";
 
 /// Runs one CLI invocation (without the program name) and returns the
 /// output text.
@@ -690,6 +714,127 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 return Err(CliError::Verify(out));
             }
             writeln!(out, "verification PASSED")?;
+        }
+        "shred" => {
+            let mut format_json = false;
+            let mut out_path: Option<&str> = None;
+            let mut force = false;
+            let mut no_lint = false;
+            let mut budget_flags = BudgetFlags::default();
+            let mut obs_flags = ObsFlags::default();
+            let mut files: Vec<&str> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--force" => force = true,
+                    "--no-lint" => no_lint = true,
+                    flag if BUDGET_FLAGS.contains(&flag) => budget_flags.set(args, &mut i)?,
+                    flag if OBS_FLAGS.contains(&flag) => obs_flags.set(args, &mut i)?,
+                    "--format" => {
+                        i += 1;
+                        match args.get(i).map(String::as_str) {
+                            Some("sql") => format_json = false,
+                            Some("json") => format_json = true,
+                            _ => {
+                                return Err(CliError::Usage(
+                                    "--format needs `sql` or `json`".into(),
+                                ))
+                            }
+                        }
+                    }
+                    "--out" => {
+                        i += 1;
+                        out_path = Some(
+                            args.get(i)
+                                .map(String::as_str)
+                                .ok_or_else(|| CliError::Usage("--out needs a file".into()))?,
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{flag}`")));
+                    }
+                    file => files.push(file),
+                }
+                i += 1;
+            }
+            let [dtd_path, fds_path, xml_path] = files[..] else {
+                return Err(CliError::Usage(
+                    "xnf-tool shred <dtd> <fds> <xml> [--format sql|json] [--out <f>] [--force] \
+                     [--no-lint] [--timeout <s>] [--fuel <n>] [--max-memory <b>] \
+                     [--trace <f>] [--metrics <f>] [--obs-format <fmt>]"
+                        .into(),
+                ));
+            };
+            let dtd_src = read(dtd_path)?;
+            let fds_src = read(fds_path)?;
+            if !no_lint {
+                preflight_lint_shred(&dtd_src, Some(&fds_src))?;
+            }
+            let budget = obs_flags.build_budget(&budget_flags);
+            let parse_span = budget.recorder().span("spec.parse", "parse");
+            let dtd = parse_governed_dtd(&dtd_src, &budget)?;
+            let sigma = XmlFdSet::parse(&fds_src)?;
+            drop(parse_span);
+            let tree = load_xml(xml_path)?;
+            // The whole pipeline runs before a single byte is emitted:
+            // exhaustion or any failure yields no partial SQL, and the
+            // document→rows→document round trip is verified first.
+            let run = || -> Result<(String, usize, usize), CliError> {
+                if !force {
+                    let violations = xnf_core::anomalous_fds_governed(&dtd, &sigma, &budget)?;
+                    if !violations.is_empty() {
+                        let mut msg = format!(
+                            "spec is not in XNF — {} anomalous FD(s):\n",
+                            violations.len()
+                        );
+                        for v in &violations {
+                            msg.push_str(&format!("  {}\n", v.fd));
+                        }
+                        msg.push_str(
+                            "shredding a non-XNF spec materializes redundancy in its tables \
+                             (they are not BCNF); normalize first, or rerun with --force",
+                        );
+                        return Err(CliError::Lib(msg));
+                    }
+                }
+                let schema = xnf_core::compile_schema(&dtd, &sigma, &budget)?;
+                let doc = xnf_core::shred_document(&schema, &tree, &budget)?;
+                let rebuilt = xnf_core::unshred_document(&schema, &doc, &budget)?;
+                if !xnf_xml::ordered_eq(&tree, &rebuilt) {
+                    return Err(CliError::Lib(
+                        "round-trip check failed: the rebuilt document differs from the \
+                         input (this is a bug — no output was written)"
+                            .into(),
+                    ));
+                }
+                let payload = if format_json {
+                    format!(
+                        "{{\n\"schema\": {},\n\"data\": {}\n}}\n",
+                        schema.design.to_json(),
+                        doc.to_json()
+                    )
+                } else {
+                    let inserts = doc
+                        .to_insert_sql(&schema.design)
+                        .map_err(|e| CliError::Lib(e.to_string()))?;
+                    format!("{}\n{inserts}", schema.design.to_sql())
+                };
+                Ok((payload, schema.num_tables(), doc.row_count()))
+            };
+            let result = run();
+            obs_flags.write()?;
+            let (payload, tables, rows) = result?;
+            match out_path {
+                Some(path) => {
+                    fs::write(path, &payload).map_err(|e| CliError::Io(path.to_string(), e))?;
+                    writeln!(
+                        out,
+                        "shredded {xml_path}: {tables} table(s), {rows} row(s), \
+                         round trip verified -> {path}"
+                    )?;
+                }
+                None => out.push_str(&payload),
+            }
         }
         "analyze" => {
             #[derive(PartialEq)]
@@ -1455,6 +1600,146 @@ courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.
                 other => panic!("{cmd}: expected exhaustion, got {other:?}"),
             }
         }
+    }
+
+    const UNIVERSITY_DTD: &str = "<!ELEMENT courses (course*)>
+<!ELEMENT course (title, taken_by)>
+<!ATTLIST course cno CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT taken_by (student*)>
+<!ELEMENT student (name, grade)>
+<!ATTLIST student sno CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT grade (#PCDATA)>";
+
+    const UNIVERSITY_FDS: &str = "courses.course.@cno -> courses.course
+courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student
+courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S";
+
+    #[test]
+    fn shred_emits_sql_for_an_xnf_spec() {
+        let dtd = write_tmp(
+            "s1.dtd",
+            "<!ELEMENT r (a*)> <!ELEMENT a (#PCDATA)> <!ATTLIST a k CDATA #REQUIRED>",
+        );
+        let fds = write_tmp("s1.fds", "r.a.@k -> r.a");
+        let xml = write_tmp("s1.xml", r#"<r><a k="1">x</a><a k="2">y</a></r>"#);
+        let out = run_ok(&["shred", &dtd, &fds, &xml]);
+        assert!(out.contains("CREATE TABLE \"r\""), "{out}");
+        assert!(out.contains("CREATE TABLE \"a\""), "{out}");
+        assert!(out.contains("INSERT INTO \"a\""), "{out}");
+        assert!(out.contains("'1'"), "{out}");
+        // JSON carries the same schema and rows.
+        let json = run_ok(&["shred", &dtd, &fds, &xml, "--format", "json"]);
+        assert!(json.contains("\"schema\""), "{json}");
+        assert!(json.contains("\"data\""), "{json}");
+    }
+
+    #[test]
+    fn shred_refuses_non_xnf_specs_unless_forced() {
+        let dtd = write_tmp("s2.dtd", UNIVERSITY_DTD);
+        let fds = write_tmp("s2.fds", UNIVERSITY_FDS);
+        let xml = write_tmp(
+            "s2.xml",
+            r#"<courses><course cno="c1"><title>T</title><taken_by>
+               <student sno="s1"><name>N</name><grade>A</grade></student>
+               </taken_by></course></courses>"#,
+        );
+        let args: Vec<String> = ["shred", &dtd, &fds, &xml]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match run(&args) {
+            Err(CliError::Lib(msg)) => {
+                assert!(msg.contains("not in XNF"), "{msg}");
+                assert!(msg.contains("--force"), "{msg}");
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        let mut args = args;
+        args.push("--force".into());
+        let out = run(&args).expect("--force shreds anyway");
+        assert!(out.contains("CREATE TABLE \"student\""), "{out}");
+    }
+
+    #[test]
+    fn shred_preflight_blocks_recursive_dtds() {
+        let dtd = write_tmp("s3.dtd", "<!ELEMENT r (part)>\n<!ELEMENT part (part*)>");
+        let fds = write_tmp("s3.fds", "");
+        let xml = write_tmp("s3.xml", "<r><part/></r>");
+        let args: Vec<String> = ["shred", &dtd, &fds, &xml]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match run(&args) {
+            Err(CliError::Lint(report)) => {
+                assert!(report.contains("XNF300"), "{report}");
+            }
+            other => panic!("expected shred-tier lint failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_shred_writes_no_partial_file() {
+        let dtd = write_tmp("s4.dtd", UNIVERSITY_DTD);
+        let fds = write_tmp("s4.fds", UNIVERSITY_FDS);
+        let xml = write_tmp(
+            "s4.xml",
+            r#"<courses><course cno="c1"><title>T</title><taken_by>
+               <student sno="s1"><name>N</name><grade>A</grade></student>
+               </taken_by></course></courses>"#,
+        );
+        let out_file = {
+            let mut p = std::env::temp_dir();
+            p.push("xnf-cli-tests");
+            p.push("s4.sql");
+            let _ = std::fs::remove_file(&p);
+            p
+        };
+        for fuel in ["1", "30"] {
+            let args: Vec<String> = [
+                "shred",
+                &dtd,
+                &fds,
+                &xml,
+                "--force",
+                "--no-lint",
+                "--fuel",
+                fuel,
+                "--out",
+                &out_file.to_string_lossy(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            match run(&args) {
+                Err(CliError::Exhausted(msg)) => {
+                    assert!(msg.contains("budget exhausted"), "{msg}")
+                }
+                other => panic!("fuel {fuel}: expected exhaustion, got {other:?}"),
+            }
+            assert!(!out_file.exists(), "fuel {fuel}: partial SQL file written");
+        }
+        // With a generous budget the same invocation writes the file.
+        let args: Vec<String> = [
+            "shred",
+            &dtd,
+            &fds,
+            &xml,
+            "--force",
+            "--no-lint",
+            "--fuel",
+            "100000000",
+            "--out",
+            &out_file.to_string_lossy(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let out = run(&args).expect("generous budget succeeds");
+        assert!(out.contains("round trip verified"), "{out}");
+        let sql = std::fs::read_to_string(&out_file).unwrap();
+        assert!(sql.contains("CREATE TABLE \"courses\""), "{sql}");
     }
 
     #[test]

@@ -556,6 +556,15 @@ impl<'a> Chase<'a> {
             .map(|g| self.groups[g as usize].members.as_slice())
     }
 
+    /// Whether `p` occurs exactly once under each parent node (required
+    /// and at-most-one). The shredder keys singleton-text inlining on
+    /// this — reusing the chase's structural facts keeps the relational
+    /// dictionary and the implication engine on one source of truth.
+    pub(crate) fn is_singleton_child(&self, p: PathId) -> bool {
+        let f = &self.facts[p.index()];
+        f.required && f.at_most_one
+    }
+
     /// Snapshot of the derived per-path structural facts — `testing`-only
     /// introspection for external harnesses (the `xnf-oracle` crate checks
     /// these against a document-level enumeration). Not a stable API.

@@ -30,6 +30,10 @@
 //!   (Proposition 5: NNF ⇔ XNF).
 //! * [`keys`] — keys as the FD subclass of Section 4 (absolute and
 //!   relative), with minimal-key discovery.
+//! * [`shred`] — the XML→relational shredding backend: compiling
+//!   `(D, Σ)` to tables with Σ-derived FDs, shredding documents into
+//!   rows and reconstructing them exactly (the executable side of the
+//!   Proposition 4 correspondence: XNF schemas shred to BCNF tables).
 //! * [`mod@mvd`] — XML multivalued dependencies with swap semantics over
 //!   tree tuples, and the structurally induced MVDs of Section 8.
 
@@ -44,6 +48,7 @@ pub mod keys;
 pub mod lossless;
 pub mod mvd;
 pub mod normalize;
+pub mod shred;
 pub mod tuple;
 pub mod tuples;
 pub mod xnf;
@@ -60,6 +65,9 @@ pub use crate::lossless::{
     StepReport,
 };
 pub use crate::normalize::{normalize, NormalizeOptions, NormalizeResult, NormalizeStats, Step};
+pub use crate::shred::{
+    compile_schema, shred_document, unshred_document, ShredSchema, FD_ENUMERATION_WIDTH,
+};
 pub use crate::tuple::TreeTuple;
 pub use crate::tuples::{trees_d, tuples_d, tuples_d_recursive, tuples_relation};
 pub use crate::xnf::{

@@ -23,6 +23,12 @@
 //!   predicted schema blow-up, FD interaction clusters, dead attributes,
 //!   and the fixpoint-iteration bound, all driven by the static planner
 //!   [`xnf_core::analyze`] without ever running `normalize`.
+//! * **Shred** (`XNF3xx`, opt-in via [`lint_spec_shred`]) — what the
+//!   XML→relational shredding backend would make of the spec: recursive
+//!   DTDs and mixed content (which shredding must refuse), leaf-name
+//!   collisions that mangle table names, and tables too wide for the
+//!   exhaustive derived-key search, driven by [`xnf_core::compile_schema`]
+//!   without emitting any DDL or rows.
 //!
 //! ## Example
 //!
@@ -49,6 +55,7 @@ pub mod source;
 mod structural;
 
 mod semantic;
+mod shred;
 
 pub use report::{Code, Diagnostic, LintReport, Severity, SourceKind, Span};
 pub use source::DeclIndex;
@@ -74,6 +81,9 @@ pub enum Tier {
     /// Opt-in: runs the static decomposition planner over (DTD, Σ) and
     /// reports what normalization would do (`XNF2xx`).
     Predictive,
+    /// Opt-in: compiles the relational shredding layout for (DTD, Σ) and
+    /// reports what the backend would refuse or degrade on (`XNF3xx`).
+    Shred,
 }
 
 /// One registered analysis: its code, tier, and a one-line summary.
@@ -252,6 +262,30 @@ pub fn registry() -> &'static [Rule] {
             true,
             "normalization needs many fixpoint iterations",
         ),
+        rule(
+            Code::ShredRecursive,
+            Tier::Shred,
+            false,
+            "the DTD is recursive; no per-path table layout exists",
+        ),
+        rule(
+            Code::ShredMixedContent,
+            Tier::Shred,
+            false,
+            "mixed #PCDATA/element content has no stable text column",
+        ),
+        rule(
+            Code::ShredNameCollision,
+            Tier::Shred,
+            true,
+            "colliding leaf names force mangled full-path table names",
+        ),
+        rule(
+            Code::ShredWideTable,
+            Tier::Shred,
+            true,
+            "a table exceeds the exhaustive derived-key search width",
+        ),
     ];
     RULES
 }
@@ -282,7 +316,7 @@ pub fn lint_spec_governed(
     fds_src: Option<&str>,
     budget: &Budget,
 ) -> Result<LintReport, Exhausted> {
-    lint_inner(dtd_src, fds_src, budget, false)
+    lint_inner(dtd_src, fds_src, budget, false, false)
 }
 
 /// [`lint_spec_governed`] plus the opt-in **predictive tier** (`XNF2xx`):
@@ -301,7 +335,21 @@ pub fn lint_spec_predictive(
     fds_src: &str,
     budget: &Budget,
 ) -> Result<LintReport, Exhausted> {
-    lint_inner(dtd_src, Some(fds_src), budget, true)
+    lint_inner(dtd_src, Some(fds_src), budget, true, false)
+}
+
+/// [`lint_spec_governed`] plus the opt-in **shred tier** (`XNF3xx`): the
+/// shredding backend's preflight. Compiles the relational layout for
+/// `(D, Σ)` with [`xnf_core::compile_schema`] — without emitting DDL or
+/// rows — and reports what shredding would refuse (recursive DTDs, mixed
+/// content) or silently degrade on (mangled table names, sampled key
+/// search). `xnf-tool shred` runs exactly this before touching a document.
+pub fn lint_spec_shred(
+    dtd_src: &str,
+    fds_src: Option<&str>,
+    budget: &Budget,
+) -> Result<LintReport, Exhausted> {
+    lint_inner(dtd_src, fds_src, budget, false, true)
 }
 
 fn lint_inner(
@@ -309,6 +357,7 @@ fn lint_inner(
     fds_src: Option<&str>,
     budget: &Budget,
     predictive: bool,
+    shred_tier: bool,
 ) -> Result<LintReport, Exhausted> {
     let mut diags = Vec::new();
     let structural_span = budget.recorder().span("lint.structural", "lint");
@@ -339,6 +388,11 @@ fn lint_inner(
                     predictive::lint_predictive(&ctx, fds_src, budget, &mut diags)?;
                 }
             }
+            if shred_tier {
+                let _span = budget.recorder().span("lint.shred", "lint");
+                shred::rule_mixed_content(dtd_src, &index, &mut diags);
+                shred::rule_shred_schema(&dtd, dtd_src, &index, fds_src, budget, &mut diags)?;
+            }
         }
         Err(err) => {
             structural::map_parse_error(dtd_src, &index, &err, &mut diags);
@@ -346,6 +400,11 @@ fn lint_inner(
             if let Some(fds_src) = fds_src {
                 let _span = budget.recorder().span("lint.semantic", "lint");
                 semantic::lint_fd_syntax_only(fds_src, &mut diags);
+            }
+            if shred_tier {
+                // Mixed content *is* a parse failure; explain it anyway.
+                let _span = budget.recorder().span("lint.shred", "lint");
+                shred::rule_mixed_content(dtd_src, &index, &mut diags);
             }
         }
     }
@@ -386,6 +445,11 @@ mod tests {
             "ISSUE floor: >= 4 implication-backed rules"
         );
         assert_eq!(predictive, 5, "the XNF2xx tier has five rules");
+        let shred = rules
+            .iter()
+            .filter(|r| matches!(r.tier, Tier::Shred))
+            .count();
+        assert_eq!(shred, 4, "the XNF3xx tier has four rules");
         assert!(rules.len() >= 8);
     }
 

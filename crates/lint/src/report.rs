@@ -130,6 +130,19 @@ pub enum Code {
     /// XNF204: normalization needs many fixpoint iterations to reach
     /// XNF; the spec is far from normal form.
     FixpointIterationBound,
+    /// XNF300: the DTD is recursive, so the shredding backend cannot
+    /// compile it (a table per element path needs finite `paths(D)`).
+    ShredRecursive,
+    /// XNF301: a content model mixes `#PCDATA` with element children;
+    /// mixed content is outside Definition 2 and not shreddable.
+    ShredMixedContent,
+    /// XNF302: two element paths share a tail name, so their tables
+    /// fall back to full path names (`a_b_x`).
+    ShredNameCollision,
+    /// XNF303: a table has more chase-representable columns than the
+    /// FD derivation enumerates exhaustively; derived FDs (and hence
+    /// the per-table BCNF verdict) may be incomplete on it.
+    ShredWideTable,
 }
 
 impl Code {
@@ -161,6 +174,10 @@ impl Code {
             Code::FdInteractionCluster => "XNF202",
             Code::DeadAttribute => "XNF203",
             Code::FixpointIterationBound => "XNF204",
+            Code::ShredRecursive => "XNF300",
+            Code::ShredMixedContent => "XNF301",
+            Code::ShredNameCollision => "XNF302",
+            Code::ShredWideTable => "XNF303",
         }
     }
 
@@ -191,6 +208,10 @@ impl Code {
         Code::FdInteractionCluster,
         Code::DeadAttribute,
         Code::FixpointIterationBound,
+        Code::ShredRecursive,
+        Code::ShredMixedContent,
+        Code::ShredNameCollision,
+        Code::ShredWideTable,
     ];
 
     /// Parses a stable `XNFnnn` code string back into the code.
@@ -226,6 +247,10 @@ impl Code {
             Code::FdInteractionCluster => "fd-interaction-cluster",
             Code::DeadAttribute => "dead-attribute",
             Code::FixpointIterationBound => "fixpoint-iteration-bound",
+            Code::ShredRecursive => "shred-recursive",
+            Code::ShredMixedContent => "shred-mixed-content",
+            Code::ShredNameCollision => "shred-name-collision",
+            Code::ShredWideTable => "shred-wide-table",
         }
     }
 
@@ -241,7 +266,9 @@ impl Code {
             | Code::UnsatisfiableDtd
             | Code::NondeterministicContent
             | Code::FdSyntax
-            | Code::UnknownFdPath => Severity::Error,
+            | Code::UnknownFdPath
+            | Code::ShredRecursive
+            | Code::ShredMixedContent => Severity::Error,
             Code::UnreachableElement
             | Code::NonGeneratingElement
             | Code::RecursiveDtd
@@ -249,14 +276,16 @@ impl Code {
             | Code::TrivialFd
             | Code::RedundantFd
             | Code::AnomalousFd
-            | Code::SchemaBlowUp => Severity::Warning,
+            | Code::SchemaBlowUp
+            | Code::ShredNameCollision => Severity::Warning,
             Code::GeneralClass
             | Code::DuplicateFd
             | Code::EquivalentFds
             | Code::RedundantLhsPath
             | Code::FdInteractionCluster
             | Code::DeadAttribute
-            | Code::FixpointIterationBound => Severity::Info,
+            | Code::FixpointIterationBound
+            | Code::ShredWideTable => Severity::Info,
         }
     }
 }
@@ -553,8 +582,9 @@ mod tests {
         let mut sorted = ordered.clone();
         sorted.sort_unstable();
         assert_eq!(ordered, sorted, "Code::ALL is not in numeric order");
-        // Tier bands are populated: structural, semantic, predictive.
-        for band in ["XNF0", "XNF1", "XNF2"] {
+        // Tier bands are populated: structural, semantic, predictive,
+        // shred.
+        for band in ["XNF0", "XNF1", "XNF2", "XNF3"] {
             assert!(ordered.iter().any(|s| s.starts_with(band)), "{band} empty");
         }
         assert_eq!(Code::parse("XNF999"), None);

@@ -1,0 +1,272 @@
+//! The opt-in **shred tier** (`XNF3xx`): static checks on how a spec maps
+//! through the XML→relational shredding backend ([`xnf_core::shred`]).
+//!
+//! Shredding compiles `(D, Σ)` into one table per element path of
+//! `paths(D)`. Some specs that are perfectly fine for normalization are
+//! degenerate or surprising for shredding, and these rules surface that
+//! *before* any DDL or rows are emitted:
+//!
+//! * `XNF300` — the DTD is recursive: `paths(D)` is infinite, so the
+//!   per-path table layout does not exist at all.
+//! * `XNF301` — a declaration mixes `#PCDATA` with child elements: the
+//!   text has no stable column to land in. (Mixed content is also a parse
+//!   error, so this rule runs over the raw declaration text and explains
+//!   the rejection in shredding terms.)
+//! * `XNF302` — two element types share a leaf name, so their tables fall
+//!   back to mangled full-path names.
+//! * `XNF303` — a table has more key-candidate columns than the FD
+//!   enumeration window, so the derived-key search degrades from
+//!   exhaustive to sampled.
+
+use crate::report::{Code, Diagnostic, SourceKind};
+use crate::source::DeclIndex;
+use std::collections::BTreeSet;
+use xnf_core::{compile_schema, CoreError, XmlFdSet, FD_ENUMERATION_WIDTH};
+use xnf_dtd::{Dtd, Step};
+use xnf_govern::{Budget, Exhausted};
+
+/// `XNF301`: element declarations whose content model mixes `#PCDATA`
+/// with element names. Runs over the raw text (the strict parser rejects
+/// mixed content outright, so this is the only chance to explain it).
+pub(crate) fn rule_mixed_content(dtd_src: &str, index: &DeclIndex, diags: &mut Vec<Diagnostic>) {
+    let mut seen = BTreeSet::new();
+    for decl in &index.elements {
+        if !seen.insert(decl.name.as_str()) {
+            continue; // duplicate declaration: XNF001 owns that
+        }
+        let model_start = decl.offset + decl.len();
+        let model = match dtd_src[model_start..].find('>') {
+            Some(end) => &dtd_src[model_start..model_start + end],
+            None => &dtd_src[model_start..],
+        };
+        if !model.contains("#PCDATA") {
+            continue;
+        }
+        // Mixed iff some content token besides the PCDATA keyword remains.
+        let mixed = model
+            .split(|c: char| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')))
+            .any(|tok| !tok.is_empty() && tok != "PCDATA");
+        if mixed {
+            diags.push(
+                Diagnostic::new(
+                    Code::ShredMixedContent,
+                    SourceKind::Dtd,
+                    format!(
+                        "element `{}` mixes #PCDATA with child elements; its text \
+                         has no stable column under shredding",
+                        decl.name
+                    ),
+                )
+                .with_span(dtd_src, decl.offset, decl.len())
+                .note("give the text its own wrapper element so it shreds to a column"),
+            );
+        }
+    }
+}
+
+/// The schema-level shred rules (`XNF300`, `XNF302`, `XNF303`): compiles
+/// the spec with [`xnf_core::compile_schema`] and reports on the layout.
+/// Σ parse problems are ignored here (the semantic tier owns them); the
+/// layout rules then run against the empty Σ.
+pub(crate) fn rule_shred_schema(
+    dtd: &Dtd,
+    dtd_src: &str,
+    index: &DeclIndex,
+    fds_src: Option<&str>,
+    budget: &Budget,
+    diags: &mut Vec<Diagnostic>,
+) -> Result<(), Exhausted> {
+    if dtd.is_recursive() {
+        let witness = dtd
+            .find_cycle_witness()
+            .expect("recursive DTDs have a cycle witness");
+        let name = dtd.name(witness);
+        let mut d = Diagnostic::new(
+            Code::ShredRecursive,
+            SourceKind::Dtd,
+            format!("element `{name}` is on a reference cycle; paths(D) is infinite and no per-path table layout exists"),
+        )
+        .note("shredding requires a non-recursive DTD; break the cycle or export the subtree as a document column");
+        if let Some(span) = index.element(name) {
+            d = d.with_span(dtd_src, span.offset, span.len());
+        }
+        diags.push(d);
+        return Ok(());
+    }
+    let sigma = fds_src
+        .and_then(|s| XmlFdSet::parse(s).ok())
+        .unwrap_or_default();
+    let schema = match compile_schema(dtd, &sigma, budget) {
+        Ok(schema) => schema,
+        Err(CoreError::Exhausted(e)) => return Err(e),
+        // Degenerate specs (unknown FD paths, unsatisfiable DTDs, …) are
+        // already diagnosed by the structural and semantic tiers.
+        Err(_) => return Ok(()),
+    };
+    for ix in 0..schema.num_tables() {
+        let path = schema.table_path(ix);
+        let Step::Elem(tail) = path.last() else {
+            continue;
+        };
+        let table = &schema.design.tables[ix];
+        if table.name != sanitize_ident(tail) {
+            let mut d = Diagnostic::new(
+                Code::ShredNameCollision,
+                SourceKind::Dtd,
+                format!(
+                    "element `{tail}` shreds to table `{}`: its leaf name is \
+                     claimed by another element path",
+                    table.name
+                ),
+            )
+            .note("rename one of the colliding element types to keep table names readable");
+            if let Some(span) = index.element(tail) {
+                d = d.with_span(dtd_src, span.offset, span.len());
+            }
+            diags.push(d);
+        }
+        // Key-candidate columns: everything the FD derivation can put on a
+        // LHS (parent, attributes, text) — exactly the columns with a DTD
+        // path, minus the id column itself.
+        let candidates = (1..table.columns.len())
+            .filter(|&c| schema.column_path(ix, c).is_some())
+            .count();
+        if candidates > FD_ENUMERATION_WIDTH {
+            let mut d = Diagnostic::new(
+                Code::ShredWideTable,
+                SourceKind::Dtd,
+                format!(
+                    "table `{}` has {candidates} key-candidate columns \
+                     (> {FD_ENUMERATION_WIDTH}); the derived-key search is \
+                     sampled, not exhaustive",
+                    table.name
+                ),
+            )
+            .note("UNIQUE constraints on wide tables may be incomplete; declare extra keys in Σ");
+            if let Some(span) = index.element(tail) {
+                d = d.with_span(dtd_src, span.offset, span.len());
+            }
+            diags.push(d);
+        }
+    }
+    Ok(())
+}
+
+/// The same identifier sanitization the shred compiler applies to element
+/// names, so an un-collided, un-mangled table name compares equal to its
+/// element's leaf name.
+fn sanitize_ident(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 't');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{lint_spec, lint_spec_shred, Code, Severity};
+    use xnf_govern::Budget;
+
+    const UNLIMITED: &Budget = &Budget::unlimited();
+
+    fn shred_codes(dtd: &str, fds: Option<&str>) -> Vec<Code> {
+        lint_spec_shred(dtd, fds, UNLIMITED)
+            .expect("unlimited budget cannot exhaust")
+            .codes()
+            .into_iter()
+            .filter(|c| c.as_str().starts_with("XNF3"))
+            .collect()
+    }
+
+    #[test]
+    fn recursive_dtd_gets_a_shred_error() {
+        let dtd = "<!ELEMENT r (part)>\n<!ELEMENT part (part*)>";
+        // The shred tier is opt-in: the default lint stays XNF0xx-only.
+        assert!(!lint_spec(dtd, None).codes().contains(&Code::ShredRecursive));
+        let report = lint_spec_shred(dtd, None, UNLIMITED).unwrap();
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::ShredRecursive)
+            .expect("XNF300 fires");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("part"), "{}", d.message);
+    }
+
+    #[test]
+    fn mixed_content_is_explained_in_shredding_terms() {
+        let dtd = "<!ELEMENT r (p*)>\n<!ELEMENT p (#PCDATA | em)*>\n<!ELEMENT em (#PCDATA)>";
+        let report = lint_spec_shred(dtd, None, UNLIMITED).unwrap();
+        // The strict parser rejects mixed content; XNF301 adds the why.
+        assert!(report.codes().contains(&Code::ShredMixedContent));
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::ShredMixedContent)
+            .unwrap();
+        assert!(d.message.contains('p'), "{}", d.message);
+        // Pure #PCDATA is not mixed.
+        let clean = "<!ELEMENT r (p*)>\n<!ELEMENT p (#PCDATA)>";
+        assert_eq!(shred_codes(clean, None), vec![]);
+    }
+
+    #[test]
+    fn leaf_name_collisions_are_flagged_per_element() {
+        let dtd = "<!ELEMENT r (a*, b*)>
+                   <!ELEMENT a (x*)>
+                   <!ELEMENT b (x*)>
+                   <!ELEMENT x (y)>
+                   <!ELEMENT y EMPTY>";
+        let report = lint_spec_shred(dtd, None, UNLIMITED).unwrap();
+        let collisions: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == Code::ShredNameCollision)
+            .collect();
+        // r.a.x vs r.b.x and r.a.x.y vs r.b.x.y all lose their leaf names.
+        assert_eq!(collisions.len(), 4, "{}", report.render_human());
+        assert_eq!(collisions[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn wide_tables_get_an_info_diagnostic() {
+        let dtd = "<!ELEMENT r (w*)>
+                   <!ELEMENT w EMPTY>
+                   <!ATTLIST w a CDATA #REQUIRED b CDATA #REQUIRED c CDATA #REQUIRED
+                               d CDATA #REQUIRED e CDATA #REQUIRED f CDATA #REQUIRED
+                               g CDATA #REQUIRED>";
+        let report = lint_spec_shred(dtd, None, UNLIMITED).unwrap();
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == Code::ShredWideTable)
+            .expect("XNF303 fires: parent + 7 attrs > 6 candidates");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("8 key-candidate"), "{}", d.message);
+    }
+
+    #[test]
+    fn paper_specs_are_shred_clean() {
+        let dtd = "<!ELEMENT courses (course*)>
+             <!ELEMENT course (title, taken_by)>
+             <!ATTLIST course cno CDATA #REQUIRED>
+             <!ELEMENT title (#PCDATA)>
+             <!ELEMENT taken_by (student*)>
+             <!ELEMENT student (name, grade)>
+             <!ATTLIST student sno CDATA #REQUIRED>
+             <!ELEMENT name (#PCDATA)>
+             <!ELEMENT grade (#PCDATA)>";
+        let fds = "courses.course.@cno -> courses.course
+                   courses.course, courses.course.taken_by.student.@sno -> courses.course.taken_by.student
+                   courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S";
+        assert_eq!(shred_codes(dtd, Some(fds)), vec![]);
+    }
+}

@@ -14,16 +14,24 @@
 //!    the original's (information preservation seen purely from the
 //!    document side);
 //!
+//! 4. **shred round trip** — the document shreds into relational rows
+//!    under the *original* spec and rebuilds exactly (ordered structural
+//!    equality), an independent witness that the relational encoding of
+//!    the tree-tuple machinery loses nothing;
+//!
 //! plus, once per spec, `is_xnf(normalize(D, Σ))` — the output really is
-//! in XNF.
+//! in XNF — and the differential Proposition 4 check: the normalized
+//! output compiles to a relational design whose every table is BCNF
+//! under its Σ'-derived FDs.
 
 use xnf_core::lossless::{verify_lossless, verify_lossless_trace};
 use xnf_core::normalize::{normalize, NormalizeOptions, NormalizeResult};
+use xnf_core::shred::ShredSchema;
 use xnf_core::{CoreError, XmlFdSet};
 use xnf_dtd::Dtd;
 use xnf_gen::doc::{satisfying_documents, DocParams};
 use xnf_govern::Budget;
-use xnf_xml::value_projection;
+use xnf_xml::{ordered_eq, value_projection};
 
 /// Configuration for [`check_spec`].
 #[derive(Debug, Clone)]
@@ -73,6 +81,16 @@ pub struct DocFailure {
 pub struct SpecOracleReport {
     /// `is_xnf` holds on the normalization output.
     pub output_is_xnf: bool,
+    /// The normalized output's shred schema has only BCNF tables (the
+    /// executable direction of the Proposition 4 correspondence). Checked
+    /// differentially against [`output_is_xnf`]: the two verdicts must
+    /// agree.
+    ///
+    /// [`output_is_xnf`]: SpecOracleReport::output_is_xnf
+    pub shred_tables_bcnf: bool,
+    /// The non-BCNF tables with their violating FDs (as XML FDs over the
+    /// revised DTD where representable), when that check failed.
+    pub shred_violations: Vec<String>,
     /// Number of transformation steps the decomposition took.
     pub steps: usize,
     /// Documents requested by the configuration.
@@ -90,7 +108,7 @@ pub struct SpecOracleReport {
 impl SpecOracleReport {
     /// Whether the spec passed every check.
     pub fn ok(&self) -> bool {
-        self.output_is_xnf && self.failures.is_empty()
+        self.output_is_xnf && self.shred_tables_bcnf && self.failures.is_empty()
     }
 
     /// Human-readable multi-line summary.
@@ -100,6 +118,17 @@ impl SpecOracleReport {
             "xnf output check: {}\n",
             if self.output_is_xnf { "PASS" } else { "FAIL" }
         ));
+        out.push_str(&format!(
+            "shred schema BCNF check: {}\n",
+            if self.shred_tables_bcnf {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+        for v in &self.shred_violations {
+            out.push_str(&format!("  {v}\n"));
+        }
         out.push_str(&format!(
             "losslessness: {} / {} documents checked ({} skipped on \
              unrepresentable nulls), {} failure(s)\n",
@@ -143,6 +172,24 @@ pub fn check_spec(
         .span("oracle.certify_xnf", "oracle");
     let output_is_xnf = xnf_core::is_xnf_governed(&result.dtd, &result.sigma, &config.budget)?;
     drop(xnf_span);
+    // Differential Proposition 4 check: the normalized output must shred
+    // to an all-BCNF relational design, and the verdict must agree with
+    // `is_xnf` above. The *input* spec compiles too — its schema backs the
+    // per-document shred round trip below.
+    let shred_span = config.budget.recorder().span("oracle.shred", "oracle");
+    let output_schema = xnf_core::compile_schema(&result.dtd, &result.sigma, &config.budget)?;
+    let shred_violations: Vec<String> = output_schema
+        .non_bcnf_tables()
+        .into_iter()
+        .map(|(ix, name, fd)| {
+            let rendered = output_schema
+                .violation_as_xml_fd(ix, &fd)
+                .map_or_else(|| fd.to_string(), |xfd| xfd.to_string());
+            format!("table `{name}` is not BCNF: {rendered}")
+        })
+        .collect();
+    let input_schema = xnf_core::compile_schema(dtd, sigma, &config.budget)?;
+    drop(shred_span);
     let gen_span = config
         .budget
         .recorder()
@@ -159,6 +206,8 @@ pub fn check_spec(
     drop(gen_span);
     let mut report = SpecOracleReport {
         output_is_xnf,
+        shred_tables_bcnf: shred_violations.is_empty(),
+        shred_violations,
         steps: result.steps.len(),
         docs_requested: config.docs,
         docs_checked: 0,
@@ -168,7 +217,11 @@ pub fn check_spec(
     let _check_span = config.budget.recorder().span("oracle.check_docs", "oracle");
     for (doc_index, doc) in docs.iter().enumerate() {
         config.budget.checkpoint("oracle.doc")?;
-        match check_document(dtd, &result, doc) {
+        let mut verdict = check_document(dtd, &result, doc);
+        if matches!(verdict, DocVerdict::Pass) {
+            verdict = check_shred_round_trip(&input_schema, doc, &config.budget)?;
+        }
+        match verdict {
             DocVerdict::Pass => report.docs_checked += 1,
             DocVerdict::Skip => report.docs_skipped += 1,
             DocVerdict::Fail(detail) => {
@@ -178,6 +231,37 @@ pub fn check_spec(
         }
     }
     Ok(report)
+}
+
+/// The stage-4 check: shred `doc` into rows under the input spec's schema
+/// and rebuild it; the result must be *exactly* the input (ordered
+/// structural equality — the `pos` column preserves document order), and
+/// the value projections must agree. Only exhaustion propagates as an
+/// error; everything else is a per-document finding.
+fn check_shred_round_trip(
+    schema: &ShredSchema,
+    doc: &xnf_xml::XmlTree,
+    budget: &Budget,
+) -> Result<DocVerdict, CoreError> {
+    let outcome = xnf_core::shred_document(schema, doc, budget)
+        .and_then(|rows| xnf_core::unshred_document(schema, &rows, budget));
+    match outcome {
+        Ok(rebuilt) => {
+            if !ordered_eq(doc, &rebuilt) {
+                Ok(DocVerdict::Fail(
+                    "shred round trip altered the document".into(),
+                ))
+            } else if value_projection(&rebuilt) != value_projection(doc) {
+                Ok(DocVerdict::Fail(
+                    "shred round trip lost document values".into(),
+                ))
+            } else {
+                Ok(DocVerdict::Pass)
+            }
+        }
+        Err(CoreError::Exhausted(e)) => Err(CoreError::Exhausted(e)),
+        Err(e) => Ok(DocVerdict::Fail(format!("shred round trip error: {e}"))),
+    }
 }
 
 enum DocVerdict {

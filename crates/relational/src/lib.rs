@@ -19,6 +19,10 @@
 //! * [`mvd`] — multivalued dependencies, the dependency basis, 4NF and
 //!   3NF synthesis: the relational groundwork for the paper's stated
 //!   future direction (Section 8: extending XNF with MVDs).
+//! * [`shred`] — shredding target schemas (tables, keys, foreign keys),
+//!   SQL DDL / `INSERT` and JSON rendering, and shredded row sets: the
+//!   relational half of the XML→relational backend whose tables the
+//!   Proposition 4 differential checks for BCNF.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +32,7 @@ pub mod bcnf;
 pub mod fd;
 pub mod mvd;
 pub mod nested;
+pub mod shred;
 pub mod table;
 
 pub use crate::algebra::{Predicate, Query};
@@ -35,6 +40,7 @@ pub use crate::bcnf::{bcnf_decompose, is_bcnf};
 pub use crate::fd::{AttrSet, Fd, FdSet, RelSchema};
 pub use crate::mvd::{DepSet, Mvd};
 pub use crate::nested::{NestedSchema, NestedTuple};
+pub use crate::shred::{Column, ColumnRole, ForeignKey, RelDesign, ShreddedDoc, TableSchema};
 pub use crate::table::{Relation, Value};
 
 use std::fmt;

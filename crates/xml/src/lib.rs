@@ -35,7 +35,7 @@ pub mod tree;
 pub mod write;
 
 pub use crate::conform::{compatible, conforms, conforms_governed, ConformError};
-pub use crate::order::{embeds_in, unordered_eq};
+pub use crate::order::{embeds_in, ordered_eq, unordered_eq};
 pub use crate::parse::{parse, parse_governed, ParseLimits};
 pub use crate::paths::{nodes_at, paths_of, value_projection, values_at};
 pub use crate::tree::{NodeContent, NodeId, XmlTree};

@@ -60,6 +60,30 @@ pub fn unordered_eq(a: &XmlTree, b: &XmlTree) -> bool {
     canon(a, a.root()) == canon(b, b.root())
 }
 
+/// Exact structural equality *with* sibling order: labels, attribute
+/// functions, text, and the sequence of children all agree (only vertex
+/// identities may differ). Strictly finer than [`unordered_eq`] — the
+/// shredding round trip is checked against this, since the `pos` column
+/// preserves document order.
+pub fn ordered_eq(a: &XmlTree, b: &XmlTree) -> bool {
+    fn eq_at(a: &XmlTree, va: NodeId, b: &XmlTree, vb: NodeId) -> bool {
+        if a.label(va) != b.label(vb)
+            || a.num_attrs(va) != b.num_attrs(vb)
+            || !a.attrs(va).all(|(k, v)| b.attr(vb, k) == Some(v))
+        {
+            return false;
+        }
+        match (a.content(va), b.content(vb)) {
+            (NodeContent::Text(s), NodeContent::Text(s2)) => s == s2,
+            (NodeContent::Children(ca), NodeContent::Children(cb)) => {
+                ca.len() == cb.len() && ca.iter().zip(cb.iter()).all(|(&x, &y)| eq_at(a, x, b, y))
+            }
+            _ => false,
+        }
+    }
+    a.num_nodes() == b.num_nodes() && eq_at(a, a.root(), b, b.root())
+}
+
 struct Embedder<'a> {
     a: &'a XmlTree,
     b: &'a XmlTree,
@@ -238,6 +262,18 @@ mod tests {
         let a = parse("<r><g><a/><b/></g><g><c/><d/></g></r>").unwrap();
         let b = parse("<r><g><d/><c/></g><g><b/><a/></g></r>").unwrap();
         assert!(unordered_eq(&a, &b));
+    }
+
+    #[test]
+    fn ordered_eq_is_finer_than_unordered() {
+        let a = parse("<r><x i=\"1\"/><y>t</y></r>").unwrap();
+        let b = parse("<r><y>t</y><x i=\"1\"/></r>").unwrap();
+        let c = parse("<r><x i=\"1\"/><y>t</y></r>").unwrap();
+        assert!(unordered_eq(&a, &b));
+        assert!(!ordered_eq(&a, &b));
+        assert!(ordered_eq(&a, &c));
+        let d = parse("<r><x i=\"1\"/><y>u</y></r>").unwrap();
+        assert!(!ordered_eq(&a, &d));
     }
 
     #[test]

@@ -126,3 +126,94 @@ fn cli_output_is_byte_identical_with_generous_budget_flags() {
         }
     }
 }
+
+/// The same identity for the shredding backend: schema DDL and row SQL
+/// are byte-identical across the ungoverned, limitless-governed, and
+/// generous-governed budgets, on a fixed Σ-satisfying document per spec.
+#[test]
+fn shred_is_byte_identical_across_budgets_on_the_paper_specs() {
+    use xnf_core::{compile_schema, shred_document, unshred_document};
+    for name in SPECS {
+        let dtd_src = std::fs::read_to_string(spec_path(name, "dtd")).expect("spec DTD exists");
+        let fds_src = std::fs::read_to_string(spec_path(name, "fds")).expect("spec FDs exist");
+        let dtd = xnf_dtd::parse_dtd(&dtd_src).expect("spec DTD parses");
+        let sigma = XmlFdSet::parse(&fds_src).expect("spec FDs parse");
+        let mut rng = xnf_gen::rng(0x1de11);
+        let docs = xnf_gen::doc::satisfying_documents(
+            &dtd,
+            &sigma,
+            &mut rng,
+            &xnf_gen::doc::DocParams::default(),
+            1,
+            2_000,
+        );
+        let doc = docs.first().expect("one satisfying document generates");
+        let fingerprint = |budget: &Budget| -> String {
+            let schema = compile_schema(&dtd, &sigma, budget).expect("spec compiles");
+            let rows = shred_document(&schema, doc, budget).expect("document shreds");
+            let rebuilt = unshred_document(&schema, &rows, budget).expect("rows rebuild");
+            assert!(
+                xnf_xml::ordered_eq(doc, &rebuilt),
+                "{name}: round trip broke"
+            );
+            format!(
+                "{}\n{}",
+                schema.design.to_sql(),
+                rows.to_insert_sql(&schema.design).expect("rows render")
+            )
+        };
+        let ungoverned = fingerprint(&Budget::unlimited());
+        assert_eq!(
+            ungoverned,
+            fingerprint(&Budget::builder().build()),
+            "{name}: a limitless governed budget changed shred output"
+        );
+        assert_eq!(
+            ungoverned,
+            fingerprint(&generous()),
+            "{name}: a generous finite budget changed shred output"
+        );
+    }
+}
+
+/// `xnf-tool shred` with generous budget flags prints byte-for-byte what
+/// the unflagged invocation prints (`--force`: the paper specs are the
+/// anomalous inputs, which is the point of the differential suite).
+#[test]
+fn cli_shred_output_is_byte_identical_with_generous_budget_flags() {
+    let flags = [
+        "--fuel",
+        "100000000",
+        "--timeout",
+        "600",
+        "--max-memory",
+        "1000000000",
+    ];
+    let xml = std::env::temp_dir().join(format!("xnf-shred-identity-{}.xml", std::process::id()));
+    std::fs::write(
+        &xml,
+        xnf_xml::to_string_pretty(&xnf_gen::doc::university_document(2, 2, 3, 2)),
+    )
+    .expect("temp document writes");
+    let dtd = spec_path("university", "dtd").display().to_string();
+    let fds = spec_path("university", "fds").display().to_string();
+    let xml = xml.display().to_string();
+    for format in ["sql", "json"] {
+        let base = ["shred", &dtd, &fds, &xml, "--force", "--format", format];
+        let plain: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+        let governed: Vec<String> = base
+            .iter()
+            .map(|s| s.to_string())
+            .chain(flags.iter().map(|s| s.to_string()))
+            .collect();
+        let plain_out =
+            xnf_cli::run(&plain).unwrap_or_else(|e| panic!("plain shred ({format}) failed: {e}"));
+        let governed_out = xnf_cli::run(&governed)
+            .unwrap_or_else(|e| panic!("governed shred ({format}) failed: {e}"));
+        assert_eq!(
+            plain_out, governed_out,
+            "shred --format {format} output changed under generous budget flags"
+        );
+    }
+    let _ = std::fs::remove_file(std::path::Path::new(&xml));
+}

@@ -12,8 +12,9 @@
 //! 1. every site visited at runtime is declared in the source scan
 //!    (no dynamically-built names sneak past grep-ability), and
 //! 2. the engine's known hot loops — the normalize fixpoint, the chase
-//!    saturation, the cache, the sharded search, and the `analyze.*`
-//!    sites of the static planner — are all actually visited.
+//!    saturation, the cache, the sharded search, the `analyze.*` sites
+//!    of the static planner, and the `shred.*` sites of the relational
+//!    backend — are all actually visited.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -28,7 +29,11 @@ const UNIVERSITY_FDS: &str = include_str!("../examples/specs/university.fds");
 /// site added here without a `checkpoint("…")` in the source fails
 /// check 1; a loop added to the engine without a checkpoint will not
 /// appear in `site_ordinals` and should be added here.
-const REQUIRED_HOT_LOOPS: [&str; 13] = [
+const REQUIRED_HOT_LOOPS: [&str; 17] = [
+    "shred.table",
+    "shred.fd",
+    "shred.row",
+    "shred.rebuild",
     "dtd.parse.decl",
     "dtd.parse.atom",
     "normalize.iteration",
@@ -116,6 +121,12 @@ fn visited_sites() -> Vec<(&'static str, u64)> {
     assert!(r.exhausted.is_none());
     xnf_lint::lint_spec_predictive(UNIVERSITY_DTD, UNIVERSITY_FDS, &budget)
         .expect("predictive lint completes");
+    // The shredding backend (sites `shred.*`): compile, shred a
+    // conforming document, rebuild it.
+    let schema = xnf_core::compile_schema(&dtd, &sigma, &budget).expect("schema compiles");
+    let doc = xnf_gen::doc::university_document(2, 2, 3, 2);
+    let rows = xnf_core::shred_document(&schema, &doc, &budget).expect("document shreds");
+    xnf_core::unshred_document(&schema, &rows, &budget).expect("rows rebuild");
     budget.site_ordinals()
 }
 

@@ -4,7 +4,8 @@
 //! The harness drives one *full governed pipeline* — DTD parse, document
 //! generation + parse, conformance, regex derivatives, chase implication
 //! (including a presence case-split), the XNF test, normalization, lint,
-//! and the losslessness oracle — entirely under a single [`Budget`], and
+//! the losslessness oracle, and the relational shredding backend —
+//! entirely under a single [`Budget`], and
 //! then attacks every checkpoint site it visited:
 //!
 //! 1. **Probe.** A governed-but-limitless budget records each site's
@@ -51,6 +52,7 @@ struct Verdicts {
     final_dtd: String,
     final_sigma: String,
     output_is_xnf: bool,
+    shred_summary: String,
     lint_codes: String,
     oracle_summary: String,
     incremental_summary: String,
@@ -193,6 +195,26 @@ fn run_pipeline(budget: &Budget) -> Result<Verdicts, Exhausted> {
     };
     let inc_after = map_core(inc.implies(&inc_query))?;
 
+    // Stage 11: governed shredding (sites `shred.table`, `shred.fd`,
+    // `shred.row`, `shred.rebuild`): compile the relational schema,
+    // shred the stage-2 document, rebuild it, and render the SQL. A
+    // round trip that is not the identity is a corruption, not an
+    // exhaustion, so it panics.
+    fn map_shred<T>(r: xnf_core::Result<T>) -> Result<T, Exhausted> {
+        match r {
+            Ok(v) => Ok(v),
+            Err(xnf_core::CoreError::Exhausted(e)) => Err(e),
+            Err(e) => panic!("shredding the university spec must succeed: {e}"),
+        }
+    }
+    let schema = map_shred(xnf_core::compile_schema(&dtd, &sigma, budget))?;
+    let rows = map_shred(xnf_core::shred_document(&schema, &doc, budget))?;
+    let rebuilt = map_shred(xnf_core::unshred_document(&schema, &rows, budget))?;
+    assert!(
+        xnf_xml::ordered_eq(&doc, &rebuilt),
+        "the shred round trip must be the identity"
+    );
+
     Ok(Verdicts {
         doc_conforms,
         word_matches,
@@ -203,6 +225,17 @@ fn run_pipeline(budget: &Budget) -> Result<Verdicts, Exhausted> {
         final_sigma: result.sigma.to_string(),
         output_is_xnf,
         lint_codes: format!("{:?}", lint_report.codes()),
+        shred_summary: format!(
+            "tables={} rows={} bcnf_violations={} sql_bytes={}",
+            schema.num_tables(),
+            rows.row_count(),
+            schema.non_bcnf_tables().len(),
+            schema.design.to_sql().len()
+                + rows
+                    .to_insert_sql(&schema.design)
+                    .expect("sql renders")
+                    .len()
+        ),
         oracle_summary: format!(
             "xnf={} checked={} skipped={} failures={}",
             oracle.output_is_xnf,
@@ -262,6 +295,7 @@ fn governed_pipeline_visits_the_whole_injection_surface() {
         "normalize.",
         "lint.",
         "oracle.",
+        "shred.",
     ] {
         assert!(
             sites.iter().any(|s| s.starts_with(prefix)),
@@ -271,7 +305,15 @@ fn governed_pipeline_visits_the_whole_injection_surface() {
     // The sharded search and the incremental cache are load-bearing
     // checkpoints of this PR's hot path: they must be on the injection
     // surface by name, even in a single-threaded pipeline.
-    for site in ["chase.shard", "chase.merge", "cache.invalidate"] {
+    for site in [
+        "chase.shard",
+        "chase.merge",
+        "cache.invalidate",
+        "shred.table",
+        "shred.fd",
+        "shred.row",
+        "shred.rebuild",
+    ] {
         assert!(
             sites.contains(&site),
             "checkpoint site `{site}` was not visited; sites: {sites:?}"

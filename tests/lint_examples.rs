@@ -6,7 +6,12 @@
 //!   the expected diagnostic codes, in order, in both the human and the
 //!   JSON rendering.
 
-use xnf::lint::lint_spec;
+//! * The shredding-specific bad specs must produce the `XNF3xx` codes
+//!   under the opt-in shred tier (`lint_spec_shred`) and stay invisible
+//!   to the default tiers.
+
+use xnf::lint::{lint_spec, lint_spec_shred};
+use xnf_govern::Budget;
 
 fn read(rel: &str) -> String {
     let path = format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"));
@@ -81,4 +86,72 @@ fn bad_spec_corpus_produces_exactly_the_expected_codes() {
             );
         }
     }
+}
+
+/// The shredding corpus: (dtd file, exactly-expected codes under the
+/// shred tier). The `XNF3xx` rows are the shredding-specific failure
+/// modes: recursive element types (no finite table layout), mixed
+/// content (text without a column), leaf-name collisions, and tables
+/// wider than the FD enumeration window.
+const SHRED_SPECS: &[(&str, &[&str])] = &[
+    ("tests/bad_specs/recursive.dtd", &["XNF011", "XNF300"]),
+    ("tests/bad_specs/mixed.dtd", &["XNF301", "XNF001"]),
+    ("tests/bad_specs/collide.dtd", &["XNF302", "XNF302"]),
+    ("tests/bad_specs/wide.dtd", &["XNF303"]),
+];
+
+#[test]
+fn shred_bad_specs_produce_exactly_the_expected_codes() {
+    for &(dtd_file, expected) in SHRED_SPECS {
+        let dtd = read(dtd_file);
+        let report = lint_spec_shred(&dtd, None, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust");
+        let got: Vec<&str> = report.codes().iter().map(|c| c.as_str()).collect();
+        assert_eq!(got, expected, "{dtd_file}:\n{}", report.render_human());
+        // The shred tier is opt-in: the default lint never shows XNF3xx.
+        let default = lint_spec(&dtd, None);
+        assert!(
+            default
+                .codes()
+                .iter()
+                .all(|c| !c.as_str().starts_with("XNF3")),
+            "{dtd_file}: default lint leaked a shred diagnostic:\n{}",
+            default.render_human()
+        );
+    }
+}
+
+#[test]
+fn paper_specs_under_the_shred_tier() {
+    // university and dblp shred without a single XNF3xx diagnostic.
+    for name in ["university", "dblp"] {
+        let dtd = read(&format!("examples/specs/{name}.dtd"));
+        let fds = read(&format!("examples/specs/{name}.fds"));
+        let report = lint_spec_shred(&dtd, Some(&fds), &Budget::unlimited()).unwrap();
+        assert!(
+            report
+                .codes()
+                .iter()
+                .all(|c| !c.as_str().starts_with("XNF3")),
+            "examples/specs/{name} should be shred-clean:\n{}",
+            report.render_human()
+        );
+    }
+    // ebxml reuses `Documentation` (and friends) under several parents,
+    // so those tables fall back to mangled path names: XNF302 warnings,
+    // nothing worse. Pin the exact set so drift is visible.
+    let dtd = read("examples/specs/ebxml.dtd");
+    let fds = read("examples/specs/ebxml.fds");
+    let report = lint_spec_shred(&dtd, Some(&fds), &Budget::unlimited()).unwrap();
+    let shred: Vec<&str> = report
+        .codes()
+        .iter()
+        .map(|c| c.as_str())
+        .filter(|c| c.starts_with("XNF3"))
+        .collect();
+    assert!(
+        !shred.is_empty() && shred.iter().all(|&c| c == "XNF302"),
+        "ebxml should produce only XNF302 name-collision warnings:\n{}",
+        report.render_human()
+    );
 }
