@@ -2,13 +2,13 @@
 //! prints the qualitative paper-vs-implementation comparison recorded in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|e17|e18|e19|e20|e21|e22|e23|all]`
+//! Usage: `cargo run -p xnf-bench --bin reproduce [fig1|fig2|fig3|fig4|fig5|e17|e18|e19|e20|e21|e22|e23|e24|all]`
 //!
 //! Alongside the human output, every run writes `BENCH_obs.json` — one
 //! record per experiment (id, wall time, counter snapshot, git SHA) —
 //! so perf trajectories can be diffed across commits. Engine-driven
 //! experiments run under a recorder-enabled budget; the self-timing
-//! experiments (e18, e19, e20, e21, e22) manage their own budgets and
+//! experiments (e18, e19, e20, e21, e22, e24) manage their own budgets and
 //! report empty counter snapshots.
 
 #![forbid(unsafe_code)]
@@ -807,6 +807,168 @@ fn e23(budget: &Budget) {
     println!("acceptance: anomalies visible as non-BCNF tables, normalized schemas all-BCNF, every round trip exact (see EXPERIMENTS.md E23)");
 }
 
+/// E24's tiny HTTP client: one POST, returns (status, latency).
+fn e24_post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, std::time::Duration) {
+    use std::io::{Read as _, Write as _};
+    let t0 = std::time::Instant::now();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to server");
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read full response");
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .expect("well-formed status line");
+    (status, t0.elapsed())
+}
+
+/// A university-spec variant with all element names suffixed, so each
+/// index is a distinct canonical spec (cache and estimate-book miss).
+fn e24_variant(i: usize) -> String {
+    let base = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/specs");
+    let dtd = std::fs::read_to_string(format!("{base}/university.dtd")).expect("spec DTD exists");
+    let fds = std::fs::read_to_string(format!("{base}/university.fds")).expect("spec FDs exist");
+    let tag = format!("courses{i}");
+    let mut body = String::from("{\"dtd\":");
+    xnf_serve::json::write_str(&mut body, &dtd.replace("courses", &tag));
+    body.push_str(",\"fds\":");
+    xnf_serve::json::write_str(&mut body, &fds.replace("courses", &tag));
+    body.push('}');
+    body
+}
+
+fn e24() {
+    use xnf_serve::{ServeConfig, Server};
+    println!(
+        "================ E24 — service under load: latency, shedding, caching ================"
+    );
+
+    // Phase 1 — steady mixed load within capacity: 8 clients, 96
+    // requests over 12 distinct specs (each hit 8 times), so both the
+    // miss path and the single-flight/cache path are measured.
+    let server = Server::spawn(ServeConfig {
+        threads: 4,
+        queue_depth: 256,
+        ..ServeConfig::default()
+    })
+    .expect("spawn phase-1 server");
+    let addr = server.addr();
+    let mut clients = Vec::new();
+    for c in 0..8usize {
+        clients.push(std::thread::spawn(move || {
+            for r in 0..12usize {
+                let body = e24_variant(r);
+                let path = if (c + r) % 2 == 0 {
+                    "/v1/is-xnf"
+                } else {
+                    "/v1/normalize"
+                };
+                let (status, _) = e24_post(addr, path, &body);
+                assert_eq!(status, 200, "phase 1 must stay within capacity");
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("phase-1 client");
+    }
+    let stats = server.cache_stats();
+    let queries = stats.hits + stats.joined + stats.misses;
+    let hit_rate = if queries == 0 {
+        0.0
+    } else {
+        100.0 * (stats.hits + stats.joined) as f64 / queries as f64
+    };
+    let (p50, p99) = server
+        .recorder()
+        .histograms()
+        .into_iter()
+        .find(|(name, _)| *name == "serve.request.micros")
+        .map(|(_, h)| (h.quantile(0.5).unwrap_or(0), h.quantile(0.99).unwrap_or(0)))
+        .expect("request histogram recorded");
+    println!(
+        "  phase 1 (steady): 96 requests, p50 ≤ {p50} µs, p99 ≤ {p99} µs (power-of-two bucket bounds)"
+    );
+    println!(
+        "  cache: {} hits + {} joined / {queries} lookups ({hit_rate:.0}% served without recompute), {} evictions",
+        stats.hits, stats.joined, stats.evictions
+    );
+    assert!(
+        stats.hits + stats.joined > 0,
+        "repeated specs must land on the shared cache"
+    );
+    server.shutdown();
+
+    // Phase 2 — overload: a queue of 2 and a near-zero fuel watermark
+    // against 24 concurrent clients. The service must shed (429), keep
+    // serving (some 200s), and keep latency bounded — degradation, not
+    // collapse.
+    let server = Server::spawn(ServeConfig {
+        threads: 2,
+        queue_depth: 2,
+        fuel_watermark: 1,
+        ..ServeConfig::default()
+    })
+    .expect("spawn phase-2 server");
+    let addr = server.addr();
+    let mut clients = Vec::new();
+    for c in 0..24usize {
+        clients.push(std::thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            for r in 0..4usize {
+                let body = e24_variant(100 + (c * 4 + r) % 16);
+                let (status, latency) = e24_post(addr, "/v1/normalize", &body);
+                outcomes.push((status, latency));
+            }
+            outcomes
+        }));
+    }
+    let mut latencies = Vec::new();
+    let (mut ok, mut shed, mut other) = (0usize, 0usize, 0usize);
+    for c in clients {
+        for (status, latency) in c.join().expect("phase-2 client") {
+            latencies.push(latency);
+            match status {
+                200 => ok += 1,
+                429 => shed += 1,
+                _ => other += 1,
+            }
+        }
+    }
+    latencies.sort();
+    let total = latencies.len();
+    let p99_wall = latencies[(total * 99 / 100).min(total - 1)];
+    let shed_rate = 100.0 * shed as f64 / total as f64;
+    println!(
+        "  phase 2 (overload): {total} requests → {ok} served, {shed} shed with Retry-After ({shed_rate:.0}%), {other} other"
+    );
+    println!(
+        "  phase 2 client-side p99: {:.1} ms (bounded — shedding, not queue collapse)",
+        p99_wall.as_secs_f64() * 1e3
+    );
+    assert!(shed > 0, "overload must shed some load (shed rate > 0)");
+    assert!(
+        ok > 0,
+        "overload must not collapse into shedding everything"
+    );
+    assert!(
+        p99_wall < std::time::Duration::from_secs(10),
+        "p99 under overload must stay bounded"
+    );
+    server.shutdown();
+    println!("acceptance: steady-state served from cache with bucketed p50/p99 reported; overload degrades by shedding 429s while still serving and holding p99 bounded (see EXPERIMENTS.md E24)");
+}
+
 /// Builds the BENCH_obs counter snapshot for one experiment: the
 /// recorder's named counters plus per-site checkpoint visit tallies
 /// (names never collide — counters are plural, sites singular).
@@ -841,13 +1003,14 @@ fn main() {
         ("e21", |_| e21()),
         ("e22", |_| e22()),
         ("e23", e23),
+        ("e24", |_| e24()),
     ];
     let selected: Vec<&Experiment> = if arg == "all" {
         experiments.iter().collect()
     } else {
         let Some(exp) = experiments.iter().find(|(id, _)| *id == arg) else {
             eprintln!(
-                "unknown figure `{arg}`; use fig1..fig5, e17, e18, e19, e20, e21, e22, e23, or all"
+                "unknown figure `{arg}`; use fig1..fig5, e17, e18, e19, e20, e21, e22, e23, e24, or all"
             );
             std::process::exit(1);
         };

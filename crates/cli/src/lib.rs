@@ -78,12 +78,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ops;
+
 use std::fmt;
 use std::fs;
 use std::time::Duration;
 use xnf_core::implication::{CounterexampleSearch, Implication};
-use xnf_core::lossless::{transform_document, verify_lossless};
-use xnf_core::{normalize, NormalizeOptions, XmlFd, XmlFdSet};
+use xnf_core::{NormalizeOptions, XmlFd, XmlFdSet};
 use xnf_dtd::classify::{DtdClass, DtdShapes};
 use xnf_dtd::Dtd;
 use xnf_govern::{Budget, Recorder};
@@ -198,7 +199,7 @@ fn parse_governed_dtd(src: &str, budget: &Budget) -> Result<Dtd, CliError> {
 /// Runs the linter over raw spec sources and fails with the rendered
 /// report when it finds hard errors. Clean specs (and specs with only
 /// warnings or infos) pass silently.
-fn preflight_lint(dtd_src: &str, fds_src: Option<&str>) -> Result<(), CliError> {
+pub(crate) fn preflight_lint(dtd_src: &str, fds_src: Option<&str>) -> Result<(), CliError> {
     let report = xnf_lint::lint_spec(dtd_src, fds_src);
     if report.has_errors() {
         Err(CliError::Lint(format!(
@@ -492,25 +493,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let dtd_src = read(dtd_path)?;
             let fds_src = read(fds_path)?;
-            if !no_lint {
-                preflight_lint(&dtd_src, Some(&fds_src))?;
-            }
             let budget = obs_flags.build_budget(&budget_flags);
-            let parse_span = budget.recorder().span("spec.parse", "parse");
-            let dtd = parse_governed_dtd(&dtd_src, &budget)?;
-            let sigma = XmlFdSet::parse(&fds_src)?;
-            drop(parse_span);
-            let violations = xnf_core::anomalous_fds_governed(&dtd, &sigma, &budget);
+            let options = ops::IsXnfOptions {
+                no_lint,
+                trust: None,
+            };
+            let result = ops::is_xnf(&dtd_src, &fds_src, &options, &budget);
             obs_flags.write()?;
-            let violations = violations?;
-            if violations.is_empty() {
-                writeln!(out, "in XNF: yes")?;
-            } else {
-                writeln!(out, "in XNF: NO — {} anomalous FD(s):", violations.len())?;
-                for v in violations {
-                    writeln!(out, "  {}", v.fd)?;
-                }
-            }
+            out.push_str(&result?);
         }
         "normalize" => {
             if args.len() < 3 {
@@ -558,86 +548,29 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             }
             let dtd_src = read(&args[1])?;
             let fds_src = read(&args[2])?;
-            if !no_lint {
-                preflight_lint(&dtd_src, Some(&fds_src))?;
-            }
-            options.budget = obs_flags.build_budget(&budget_flags);
-            let parse_span = options.budget.recorder().span("spec.parse", "parse");
-            let dtd = parse_governed_dtd(&dtd_src, &options.budget)?;
-            let sigma = XmlFdSet::parse(&fds_src)?;
-            drop(parse_span);
-            let result = normalize(&dtd, &sigma, &options);
-            // Publish the run's counter totals, then write trace/metrics
-            // files even when the engine failed or exhausted — a trace of
-            // the partial run is exactly what the flags are for.
-            if let Ok(result) = &result {
-                obs_flags.recorder.merge(&result.stats.chase);
-                obs_flags
-                    .recorder
-                    .add("normalize.iterations", result.stats.iterations);
-                obs_flags
-                    .recorder
-                    .add("normalize.steps", result.steps.len() as u64);
-            }
+            let doc_src = doc_path.map(read).transpose()?;
+            let budget = obs_flags.build_budget(&budget_flags);
+            let spec_options = ops::NormalizeSpecOptions {
+                sigma_only: !options.use_implication,
+                threads: options.threads,
+                stats: show_stats,
+                no_lint,
+                doc_src: doc_src.as_deref(),
+                trust: None,
+            };
+            // Counter totals are merged inside the op, and trace/metrics
+            // files are written even when the engine failed or exhausted
+            // — a trace of the partial run is exactly what the flags are
+            // for.
+            let result = ops::normalize_spec(
+                &dtd_src,
+                &fds_src,
+                &spec_options,
+                &budget,
+                &obs_flags.recorder,
+            );
             obs_flags.write()?;
-            let result = result?;
-            if let Some(e) = &result.exhausted {
-                writeln!(out, "*** PARTIAL RESULT — budget exhausted: {e} ***")?;
-                writeln!(
-                    out,
-                    "*** every step below is fully applied, but the design is NOT \
-                     certified XNF; rerun with a larger budget ***"
-                )?;
-            }
-            writeln!(out, "=== steps ({}) ===", result.steps.len())?;
-            for s in &result.steps {
-                writeln!(out, "{s:?}")?;
-            }
-            writeln!(out, "=== revised DTD ===\n{}", result.dtd)?;
-            writeln!(out, "=== revised FDs ===\n{}", result.sigma)?;
-            if show_stats {
-                let s = &result.stats;
-                let c = &s.chase;
-                let hits = c.get("cache.hits");
-                let misses = c.get("cache.misses");
-                let queries = hits + misses;
-                let hit_rate = if queries == 0 {
-                    0.0
-                } else {
-                    100.0 * hits as f64 / queries as f64
-                };
-                writeln!(out, "=== stats ===")?;
-                writeln!(out, "iterations:        {}", s.iterations)?;
-                writeln!(out, "chase runs:        {}", c.get("chase.runs"))?;
-                writeln!(out, "rule firings:      {}", c.get("chase.rule_firings"))?;
-                writeln!(out, "ternary flips:     {}", c.get("chase.ternary_flips"))?;
-                writeln!(
-                    out,
-                    "implication cache: {hits} hits / {misses} misses ({hit_rate:.1}% hit rate)",
-                )?;
-                writeln!(
-                    out,
-                    "wall time:         search {:?}, decide {:?}, guards {:?}, apply {:?}",
-                    s.search_time, s.decide_time, s.guard_time, s.apply_time
-                )?;
-            }
-            if let Some(doc_path) = doc_path {
-                let tree = load_xml(doc_path)?;
-                let transformed = transform_document(&dtd, &result, &tree)?;
-                writeln!(out, "=== transformed document ===")?;
-                out.push_str(&xnf_xml::to_string_pretty(&transformed));
-                let report = verify_lossless(&dtd, &result, &tree)?;
-                writeln!(
-                    out,
-                    "lossless round-trip: {}",
-                    if report.ok() { "verified" } else { "FAILED" }
-                )?;
-            }
-            // A partial trace is still shown in full, but the run must not
-            // look like a success: exit code 4, like every exhaustion.
-            if result.exhausted.is_some() {
-                return Err(CliError::Exhausted(out));
-            }
+            out.push_str(&result?);
         }
         "verify" => {
             let mut docs: usize = 100;
@@ -885,95 +818,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let dtd_src = read(dtd_path)?;
             let fds_src = read(fds_path)?;
             let budget = obs_flags.build_budget(&budget_flags);
-            let parse_span = budget.recorder().span("spec.parse", "parse");
-            let dtd = parse_governed_dtd(&dtd_src, &budget)?;
-            let sigma = XmlFdSet::parse(&fds_src)?;
-            drop(parse_span);
-            options.budget = budget;
-            let analysis = xnf_core::analyze(&dtd, &sigma, &options);
+            let spec_options = ops::AnalyzeSpecOptions {
+                format: match format {
+                    Format::Human => ops::AnalyzeFormat::Human,
+                    Format::Json => ops::AnalyzeFormat::Json,
+                    Format::Dot => ops::AnalyzeFormat::Dot,
+                },
+                sigma_only: !options.use_implication,
+                trust: None,
+            };
+            let outcome = ops::analyze_spec(&dtd_src, &fds_src, &spec_options, &budget);
             obs_flags.write()?;
-            let analysis = analysis?;
-            match format {
-                Format::Json => out.push_str(&analysis.to_json()),
-                Format::Dot => out.push_str(&analysis.graph.to_dot()),
-                Format::Human => {
-                    if let Some(e) = &analysis.exhausted {
-                        writeln!(out, "*** PARTIAL ANALYSIS — budget exhausted: {e} ***")?;
-                    }
-                    writeln!(out, "=== anomalies ({}) ===", analysis.anomalies.len())?;
-                    for a in &analysis.anomalies {
-                        let resolved = match a.resolved_by_step {
-                            Some(k) => format!("resolved by step {}", k + 1),
-                            None => "unresolved in the predicted plan".to_string(),
-                        };
-                        writeln!(
-                            out,
-                            "{}\n  at {} — {} ({resolved})",
-                            a.fd, a.path, a.predicted_move
-                        )?;
-                    }
-                    writeln!(
-                        out,
-                        "=== minimal cover ({} of {} input FD(s)) ===",
-                        analysis.cover.len(),
-                        sigma.len()
-                    )?;
-                    for fd in &analysis.cover {
-                        writeln!(out, "{fd}")?;
-                    }
-                    writeln!(
-                        out,
-                        "=== fd graph ({} node(s), {} feed edge(s), {} cluster(s)) ===",
-                        analysis.graph.nodes.len(),
-                        analysis.graph.feeds.len(),
-                        analysis.graph.clusters.len()
-                    )?;
-                    for cluster in &analysis.graph.clusters {
-                        if cluster.len() > 1 {
-                            writeln!(out, "cluster of {}:", cluster.len())?;
-                            for &ix in cluster {
-                                writeln!(out, "  {}", analysis.graph.nodes[ix])?;
-                            }
-                        }
-                    }
-                    writeln!(
-                        out,
-                        "=== dead attributes ({}) ===",
-                        analysis.dead_attributes.len()
-                    )?;
-                    for attr in &analysis.dead_attributes {
-                        writeln!(out, "{attr}")?;
-                    }
-                    writeln!(
-                        out,
-                        "=== predicted plan ({} step(s)) ===",
-                        analysis.plan.len()
-                    )?;
-                    for s in &analysis.plan {
-                        writeln!(out, "{s:?}")?;
-                    }
-                    let c = &analysis.cost;
-                    writeln!(out, "=== predicted cost ===")?;
-                    writeln!(out, "iterations:      {}", c.iterations)?;
-                    writeln!(out, "chase runs:      {}", c.chase_runs)?;
-                    writeln!(
-                        out,
-                        "cache:           {} lookups, {} hits, {} misses",
-                        c.cache_lookups, c.cache_hits, c.cache_misses
-                    )?;
-                    writeln!(
-                        out,
-                        "predicted fuel:  {} ({})",
-                        c.predicted_fuel,
-                        if c.fuel_exact { "exact" } else { "estimate" }
-                    )?;
-                    writeln!(out, "analyze fuel:    {}", c.analyze_fuel)?;
-                }
-            }
-            // A partial analysis must not look like a success: exit 4.
-            if analysis.exhausted.is_some() {
-                return Err(CliError::Exhausted(out));
-            }
+            out.push_str(&outcome?.rendered);
         }
         "lint" => {
             let mut format_json = false;
@@ -1026,23 +882,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let dtd_src = read(dtd_path)?;
             let fds_src = fds_path.map(read).transpose()?;
             let budget = obs_flags.build_budget(&budget_flags);
-            let report = match (predictive, fds_src.as_deref()) {
-                (true, Some(fds)) => xnf_lint::lint_spec_predictive(&dtd_src, fds, &budget),
-                _ => xnf_lint::lint_spec_governed(&dtd_src, fds_src.as_deref(), &budget),
+            let options = ops::LintSpecOptions {
+                json: format_json,
+                predictive,
             };
+            let rendered = ops::lint_sources(&dtd_src, fds_src.as_deref(), &options, &budget);
             obs_flags.write()?;
-            let report = report?;
-            let rendered = if format_json {
-                let mut j = report.to_json();
-                j.push('\n');
-                j
-            } else {
-                report.render_human()
-            };
-            if report.has_errors() {
-                return Err(CliError::Lint(rendered));
-            }
-            out.push_str(&rendered);
+            out.push_str(&rendered?);
         }
         "keys" => {
             if args.len() < 4 {

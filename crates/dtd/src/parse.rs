@@ -41,6 +41,20 @@ impl Default for ParseLimits {
     }
 }
 
+impl ParseLimits {
+    /// Limits for *network-originated* input: what `xnf-serve` trusts
+    /// from an authenticated but unknown client. Much stricter than
+    /// [`ParseLimits::default`], which is tuned for local files the
+    /// operator chose to open — a schema bigger than 1 MiB or nested
+    /// past 64 groups over HTTP is hostile, not ambitious.
+    pub fn untrusted() -> ParseLimits {
+        ParseLimits {
+            max_input: 1 << 20, // 1 MiB
+            max_depth: 64,
+        }
+    }
+}
+
 struct Scanner<'a> {
     input: &'a [u8],
     pos: usize,
@@ -578,6 +592,49 @@ mod tests {
         };
         assert!(parse_dtd(shallow).is_ok());
         assert!(parse_dtd_governed(shallow, tight, UNLIMITED).is_err());
+    }
+
+    #[test]
+    fn untrusted_limits_cap_input_size() {
+        // One declaration padded past 1 MiB with comment bytes: fine for
+        // a local file, rejected for network input.
+        let mut src = String::from("<!ELEMENT r EMPTY>");
+        src.push_str("<!-- ");
+        src.push_str(&"x".repeat(ParseLimits::untrusted().max_input));
+        src.push_str(" -->");
+        assert!(parse_dtd(&src).is_ok());
+        let err = parse_dtd_governed(&src, ParseLimits::untrusted(), UNLIMITED).unwrap_err();
+        match err {
+            DtdError::Syntax { message, .. } => {
+                assert!(message.contains("byte limit"), "{message}")
+            }
+            other => panic!("expected a spanned Syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untrusted_limits_cap_nesting_depth() {
+        let depth = ParseLimits::untrusted().max_depth + 1;
+        let mut src = String::from("<!ELEMENT r ");
+        for _ in 0..depth {
+            src.push('(');
+        }
+        src.push('a');
+        for _ in 0..depth {
+            src.push(')');
+        }
+        src.push_str("> <!ELEMENT a EMPTY>");
+        assert!(
+            parse_dtd(&src).is_ok(),
+            "default limits admit depth {depth}"
+        );
+        let err = parse_dtd_governed(&src, ParseLimits::untrusted(), UNLIMITED).unwrap_err();
+        match err {
+            DtdError::Syntax { message, .. } => {
+                assert!(message.contains("nested deeper"), "{message}")
+            }
+            other => panic!("expected a spanned Syntax error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -223,6 +223,7 @@ impl Inner {
 #[derive(Debug, Default)]
 pub struct BudgetBuilder {
     deadline: Option<Duration>,
+    deadline_at: Option<Instant>,
     fuel: Option<u64>,
     memory: Option<u64>,
     recorder: Recorder,
@@ -234,6 +235,15 @@ impl BudgetBuilder {
     /// Sets a wall-clock deadline `d` from now.
     pub fn deadline(mut self, d: Duration) -> Self {
         self.deadline = Some(d);
+        self
+    }
+
+    /// Sets an *absolute* wall-clock deadline. A service propagating one
+    /// request deadline through several pipeline stages uses this so the
+    /// clock is not restarted per stage; if both this and
+    /// [`BudgetBuilder::deadline`] are given, the earlier instant wins.
+    pub fn deadline_at(mut self, at: Instant) -> Self {
+        self.deadline_at = Some(at);
         self
     }
 
@@ -268,9 +278,14 @@ impl BudgetBuilder {
 
     /// Builds the budget, starting the deadline clock now.
     pub fn build(self) -> Budget {
+        let relative = self.deadline.map(|d| Instant::now() + d);
+        let deadline = match (relative, self.deadline_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         Budget {
             inner: Some(Arc::new(Inner {
-                deadline: self.deadline.map(|d| Instant::now() + d),
+                deadline,
                 fuel: AtomicU64::new(self.fuel.unwrap_or(u64::MAX)),
                 fuel_metered: self.fuel.is_some(),
                 memory_cap: self.memory,
@@ -387,6 +402,14 @@ impl Budget {
             .map(|i| i.fuel.load(Ordering::Relaxed))
     }
 
+    /// The absolute wall-clock deadline, if one is set. A service layer
+    /// uses this to compute the time still available for a nested stage
+    /// (or a `Retry-After` hint) without threading the original
+    /// `Duration` alongside the budget.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
     /// Memory units charged so far (0 for an ungoverned budget).
     pub fn memory_used(&self) -> u64 {
         self.inner
@@ -420,6 +443,81 @@ impl Budget {
                     .map(|s| s.iter().map(|(&k, &v)| (k, v)).collect())
             })
             .unwrap_or_default()
+    }
+}
+
+/// A thread-safe token bucket: the per-tenant admission quota primitive
+/// of `xnf-serve`. Capacity `burst` tokens, refilled continuously at
+/// `per_sec` tokens per second; [`TokenBucket::try_take`] either debits
+/// the cost or reports how long until enough tokens accumulate (the
+/// `Retry-After` hint).
+///
+/// Time is injected by the caller ([`Instant`]s), so tests drive the
+/// bucket deterministically without sleeping.
+#[derive(Debug)]
+pub struct TokenBucket {
+    burst: f64,
+    per_sec: f64,
+    state: std::sync::Mutex<BucketState>,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket holding at most `burst` tokens, refilled at `per_sec`
+    /// tokens per second, starting full at `now`.
+    pub fn new(burst: f64, per_sec: f64, now: Instant) -> TokenBucket {
+        TokenBucket {
+            burst: burst.max(0.0),
+            per_sec: per_sec.max(0.0),
+            state: std::sync::Mutex::new(BucketState {
+                tokens: burst.max(0.0),
+                last: now,
+            }),
+        }
+    }
+
+    /// Attempts to debit `cost` tokens at time `now`. On refusal,
+    /// returns the duration after which the debit would succeed —
+    /// `None` if it never can (cost exceeds the burst capacity, with a
+    /// zero refill rate).
+    #[allow(clippy::missing_errors_doc)]
+    pub fn try_take(&self, cost: f64, now: Instant) -> Result<(), Option<Duration>> {
+        // A poisoned bucket fails closed: refuse with a short retry
+        // hint rather than admit unmetered load.
+        let Ok(mut s) = self.state.lock() else {
+            return Err(Some(Duration::from_secs(1)));
+        };
+        let elapsed = now.saturating_duration_since(s.last).as_secs_f64();
+        s.tokens = (s.tokens + elapsed * self.per_sec).min(self.burst);
+        s.last = now;
+        if s.tokens >= cost {
+            s.tokens -= cost;
+            return Ok(());
+        }
+        // A full bucket could never cover it, or nothing refills: no
+        // amount of waiting helps.
+        if cost > self.burst || self.per_sec == 0.0 {
+            return Err(None);
+        }
+        let deficit = cost - s.tokens;
+        Err(Some(Duration::from_secs_f64(deficit / self.per_sec)))
+    }
+
+    /// Tokens currently available at time `now` (refill applied, no
+    /// debit).
+    pub fn available(&self, now: Instant) -> f64 {
+        match self.state.lock() {
+            Ok(s) => {
+                let elapsed = now.saturating_duration_since(s.last).as_secs_f64();
+                (s.tokens + elapsed * self.per_sec).min(self.burst)
+            }
+            Err(_) => 0.0,
+        }
     }
 }
 
@@ -489,6 +587,51 @@ mod tests {
         let err = clone.checkpoint("test.cancel").unwrap_err();
         assert_eq!(err.resource, Resource::Cancelled);
         assert!(b.is_cancelled() && clone.is_cancelled());
+    }
+
+    #[test]
+    fn absolute_deadline_is_honored_and_readable() {
+        let at = Instant::now() + Duration::from_secs(3600);
+        let b = Budget::builder().deadline_at(at).build();
+        assert_eq!(b.deadline(), Some(at));
+        b.checkpoint("test.abs").unwrap();
+        // When both forms are given, the earlier instant wins.
+        let past = Instant::now();
+        let b = Budget::builder()
+            .deadline(Duration::from_secs(3600))
+            .deadline_at(past)
+            .build();
+        assert_eq!(b.deadline(), Some(past));
+        let err = b.checkpoint("test.abs").unwrap_err();
+        assert_eq!(err.resource, Resource::Deadline);
+        // Unlimited and plain governed budgets expose no deadline.
+        assert_eq!(Budget::unlimited().deadline(), None);
+        assert_eq!(Budget::builder().build().deadline(), None);
+    }
+
+    #[test]
+    fn token_bucket_debits_refuses_and_refills() {
+        let t0 = Instant::now();
+        let bucket = TokenBucket::new(2.0, 1.0, t0);
+        assert!(bucket.try_take(1.0, t0).is_ok());
+        assert!(bucket.try_take(1.0, t0).is_ok());
+        // Empty: refusal carries the refill wait for the missing token.
+        let wait = bucket.try_take(1.0, t0).unwrap_err();
+        let wait = wait.expect("refill makes the debit reachable");
+        assert!(wait <= Duration::from_secs(1), "{wait:?}");
+        // 1.5 simulated seconds later one token has accumulated.
+        let t1 = t0 + Duration::from_millis(1500);
+        assert!(bucket.available(t1) >= 1.0);
+        assert!(bucket.try_take(1.0, t1).is_ok());
+        // A cost above burst capacity is unreachable forever.
+        assert_eq!(bucket.try_take(5.0, t1), Err(None));
+        // Zero refill rate: exhaustion is permanent.
+        let frozen = TokenBucket::new(1.0, 0.0, t0);
+        assert!(frozen.try_take(1.0, t0).is_ok());
+        assert_eq!(
+            frozen.try_take(1.0, t0 + Duration::from_secs(60)),
+            Err(None)
+        );
     }
 
     #[test]

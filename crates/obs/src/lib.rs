@@ -111,6 +111,26 @@ impl Histogram {
             .find(|(_, &c)| c > 0)
             .map(|(k, _)| k)
     }
+
+    /// Approximate `p`-quantile (`0.0 ≤ p ≤ 1.0`): the upper bound
+    /// (`2^k − 1`) of the bucket containing the `⌈p·count⌉`-th
+    /// observation. Within a factor of 2 of the true value — exactly the
+    /// resolution the power-of-two buckets store — which is plenty for
+    /// p50/p99 latency reporting. `None` with no observations.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if k >= 64 { u64::MAX } else { (1u64 << k) - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
 }
 
 /// One site-tally slot of a per-thread table: `key` is the address of
@@ -208,7 +228,16 @@ struct RecorderInner {
     /// can be reused after a recorder is dropped, an id cannot).
     id: u64,
     epoch: Instant,
+    /// Completed spans kept for export, at most [`span_cap`]
+    /// (`RecorderInner::span_cap`) of them; later spans only count into
+    /// [`spans_dropped`] (`RecorderInner::spans_dropped`).
     spans: Mutex<Vec<SpanEvent>>,
+    /// Retention bound on `spans`: a recorder installed on a long-lived
+    /// process (the `xnf-serve` shared recorder) must not grow without
+    /// bound with request count.
+    span_cap: usize,
+    /// Spans discarded because `spans` was already at `span_cap`.
+    spans_dropped: AtomicU64,
     counters: Mutex<BTreeMap<&'static str, u64>>,
     /// Every thread's site table, registered on that thread's first
     /// checkpoint; exporters aggregate across them.
@@ -219,12 +248,14 @@ struct RecorderInner {
 }
 
 impl RecorderInner {
-    fn new() -> RecorderInner {
+    fn new(span_cap: usize) -> RecorderInner {
         static NEXT_ID: AtomicU64 = AtomicU64::new(1);
         RecorderInner {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
             epoch: Instant::now(),
             spans: Mutex::new(Vec::new()),
+            span_cap,
+            spans_dropped: AtomicU64::new(0),
             counters: Mutex::new(BTreeMap::new()),
             thread_sites: Mutex::new(Vec::new()),
             site_names: Mutex::new(BTreeMap::new()),
@@ -303,8 +334,28 @@ impl Recorder {
     /// An enabled recorder whose epoch (span timestamp zero) is now.
     pub fn enabled() -> Recorder {
         Recorder {
-            inner: Some(Arc::new(RecorderInner::new())),
+            inner: Some(Arc::new(RecorderInner::new(usize::MAX))),
         }
+    }
+
+    /// An enabled recorder that retains at most `span_cap` completed
+    /// spans; later spans are discarded (counted by
+    /// [`Recorder::spans_dropped`]) while counters, site tallies, and
+    /// histograms keep accumulating. This is the profile for a recorder
+    /// shared across a long-lived process — `xnf-serve` installs one so
+    /// `/metrics` stays O(1) in request count.
+    pub fn with_span_cap(span_cap: usize) -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(RecorderInner::new(span_cap))),
+        }
+    }
+
+    /// Spans discarded by the [`Recorder::with_span_cap`] retention
+    /// bound (0 for unbounded or disabled recorders).
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.spans_dropped.load(Ordering::Relaxed))
     }
 
     /// Whether this handle records anything.
@@ -514,13 +565,17 @@ impl Drop for Span<'_> {
             // One lock, one push. The per-span duration histogram is
             // derived from the event list at export time, not here.
             if let Ok(mut spans) = state.inner.spans.lock() {
-                spans.push(SpanEvent {
-                    name: state.name,
-                    cat: state.cat,
-                    ts_ns,
-                    dur_ns,
-                    tid: current_tid(),
-                });
+                if spans.len() < state.inner.span_cap {
+                    spans.push(SpanEvent {
+                        name: state.name,
+                        cat: state.cat,
+                        ts_ns,
+                        dur_ns,
+                        tid: current_tid(),
+                    });
+                } else {
+                    state.inner.spans_dropped.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -534,6 +589,39 @@ fn duration_ns(d: std::time::Duration) -> u64 {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    #[test]
+    fn histogram_quantiles_land_in_the_right_bucket() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        // 90 fast observations (~8µs) and 10 slow ones (~1000µs): p50
+        // sits in the fast bucket, p99 in the slow one.
+        for _ in 0..90 {
+            h.observe(8);
+        }
+        for _ in 0..10 {
+            h.observe(1000);
+        }
+        assert_eq!(h.quantile(0.5), Some(15)); // bucket 2^4 − 1
+        assert_eq!(h.quantile(0.99), Some(1023)); // bucket 2^10 − 1
+        assert_eq!(h.quantile(0.0), Some(15));
+        assert_eq!(h.quantile(1.0), Some(1023));
+        // An off-scale observation clamps to the top bucket bound.
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn span_cap_bounds_retention_but_not_counters() {
+        let r = Recorder::with_span_cap(2);
+        for _ in 0..5 {
+            let _span = r.span("req", "serve");
+            r.bump("requests");
+        }
+        assert_eq!(r.span_count(), 2);
+        assert_eq!(r.spans_dropped(), 3);
+        assert_eq!(r.counter("requests"), 5);
+    }
 
     #[test]
     fn disabled_recorder_records_nothing() {

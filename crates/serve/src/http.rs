@@ -1,0 +1,332 @@
+//! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! One request per connection (`Connection: close` on every response):
+//! the service's clients are scripts and load generators, and the
+//! single-shot discipline keeps the shedding and drain paths exact —
+//! a connection is either fully answered or never admitted, so there is
+//! no keep-alive state to strand at shutdown.
+//!
+//! Robustness is in the reader: the head (request line + headers) and
+//! the body are read under independent byte caps, sockets carry
+//! read/write timeouts (a stalled client times out into a well-formed
+//! `408`, never a hung worker), chunked transfer encoding is refused
+//! (`411` — the body cap must be enforceable before reading), and every
+//! violation maps to a status code, not a panic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Byte cap on the request head (request line + headers).
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// The path component of the request target (query string split
+    /// off and discarded — no endpoint uses one).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when there is no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the named header (name lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read; each variant maps to one status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field → `400`.
+    Malformed(String),
+    /// The head exceeded [`MAX_HEAD`] → `431`.
+    HeadTooLarge,
+    /// `Content-Length` exceeded the configured body cap → `413`.
+    BodyTooLarge,
+    /// Chunked or otherwise unframed body → `411` (the service must
+    /// know the length up front to enforce its cap).
+    LengthRequired,
+    /// The client stalled past the socket timeout, or closed mid-head
+    /// → `408`.
+    Timeout,
+}
+
+impl HttpError {
+    /// The status line this error answers with.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::Malformed(_) => (400, "Bad Request"),
+            HttpError::HeadTooLarge => (431, "Request Header Fields Too Large"),
+            HttpError::BodyTooLarge => (413, "Content Too Large"),
+            HttpError::LengthRequired => (411, "Length Required"),
+            HttpError::Timeout => (408, "Request Timeout"),
+        }
+    }
+
+    /// Human detail for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::Malformed(m) => m.clone(),
+            HttpError::HeadTooLarge => format!("request head over the {MAX_HEAD}-byte cap"),
+            HttpError::BodyTooLarge => "request body over the configured cap".to_string(),
+            HttpError::LengthRequired => {
+                "a framed Content-Length body is required (chunked bodies are refused)".to_string()
+            }
+            HttpError::Timeout => "client stalled or closed before a full request".to_string(),
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `stream`, holding the head under
+/// [`MAX_HEAD`] and the body under `max_body` bytes. `io_timeout` is
+/// installed as the socket read timeout before the first byte.
+///
+/// # Errors
+///
+/// [`HttpError`] describing the violation; the caller renders it as a
+/// response with [`HttpError::status`].
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body: usize,
+    io_timeout: Duration,
+) -> Result<Request, HttpError> {
+    stream
+        .set_read_timeout(Some(io_timeout))
+        .map_err(|e| HttpError::Malformed(format!("socket setup failed: {e}")))?;
+
+    // Head: read until the blank line, never past MAX_HEAD.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(at) = find_head_end(&buf) {
+            break at;
+        }
+        if buf.len() >= MAX_HEAD {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Timeout),
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Malformed(format!("read failed: {e}"))),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 request head".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".to_string()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_ascii_uppercase(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    // Body framing: an explicit Content-Length or nothing.
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::LengthRequired);
+    }
+    let declared = match request.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{v}`")))?,
+    };
+    if declared > max_body {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > declared {
+        return Err(HttpError::Malformed(
+            "body longer than Content-Length".to_string(),
+        ));
+    }
+    while body.len() < declared {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::Timeout),
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Malformed(format!("read failed: {e}"))),
+        };
+        body.extend_from_slice(&chunk[..n]);
+        if body.len() > declared {
+            return Err(HttpError::Malformed(
+                "body longer than Content-Length".to_string(),
+            ));
+        }
+    }
+
+    Ok(Request { body, ..request })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Closes the connection without reneging on the response: half-closes
+/// the write side, then discards whatever the client was still sending
+/// (bounded). Closing with unread bytes buffered makes the kernel send
+/// RST, which can destroy an already-written response in flight — the
+/// shed and body-cap paths answer *before* reading the body, so they
+/// must drain before the drop.
+pub fn finish(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    // At most 1 MiB of discard: a client that keeps streaming past
+    // that was never going to read the response anyway.
+    for _ in 0..256 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Writes one response and flushes. Always appends `Connection: close`
+/// and an exact `Content-Length`.
+///
+/// # Errors
+///
+/// The socket write error, if any — callers treat it as the client
+/// having gone away.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral bind");
+        let addr = listener.local_addr().expect("bound addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).expect("connect");
+            c.write_all(&raw).expect("send");
+            c.flush().expect("flush");
+            // Keep the write half open briefly so a short read on the
+            // server side means "timeout", not "closed".
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let got = read_request(&mut stream, 1024, Duration::from_millis(200));
+        writer.join().expect("writer thread");
+        got
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(
+            b"POST /v1/lint?x=1 HTTP/1.1\r\nHost: h\r\nX-Api-Key: k\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .expect("well-formed request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/lint");
+        assert_eq!(req.header("x-api-key"), Some("k"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_and_unframed_bodies() {
+        let over = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 2048\r\n\r\n");
+        assert_eq!(over, Err(HttpError::BodyTooLarge));
+        let chunked = roundtrip(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert_eq!(chunked, Err(HttpError::LengthRequired));
+        let bad = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+        assert!(matches!(bad, Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn stalled_clients_time_out_rather_than_hang() {
+        // Declared 10 body bytes, sent 0: the read must end in Timeout
+        // within the socket timeout, not block forever.
+        let got = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n");
+        assert_eq!(got, Err(HttpError::Timeout));
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        assert!(matches!(
+            roundtrip(b"NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"GET / SPDY/99\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+}

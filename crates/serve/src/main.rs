@@ -1,0 +1,140 @@
+//! `xnf-serve` — the HTTP front end; see the crate docs of `xnf-serve`
+//! for the endpoints and the robustness stack.
+//!
+//! Exit codes: `0` after a graceful drain (stdin EOF or
+//! `POST /admin/drain`), `1` on a bind failure, `2` on bad arguments.
+//! There is no SIGTERM handler — the workspace forbids `unsafe`, so no
+//! signal can be hooked std-only; supervisors should close stdin or
+//! call the drain endpoint, then wait for exit.
+
+use xnf_serve::{ServeConfig, Server, TenantConfig};
+
+const USAGE: &str = "\
+usage: xnf-serve [options]
+  --addr HOST:PORT       bind address (default 127.0.0.1:0; port 0 = ephemeral)
+  --threads N            worker threads (default 4)
+  --queue N              accept-queue depth; beyond it requests shed 429 (default 64)
+  --fuel-watermark N     estimated-fuel-in-flight admission cap (default 4000000)
+  --unknown-cost N       fuel estimate for unseen specs (default 20000)
+  --default-fuel N       per-request fuel cap without tenants (default 2000000)
+  --deadline-ms N        per-request wall deadline without tenants (default 10000)
+  --max-body N           request-body byte cap (default 8388608)
+  --cache-bytes N        result-cache resident byte cap (default 33554432)
+  --io-timeout-ms N      socket read/write timeout (default 5000)
+  --tenant SPEC          KEY:NAME:FUEL:DEADLINE_MS:RATE_PER_SEC:BURST (repeatable)
+  --quiet                do not print the listening line
+
+The process drains gracefully on stdin EOF or POST /admin/drain and
+then exits 0.";
+
+struct Args {
+    config: ServeConfig,
+    quiet: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config = ServeConfig::default();
+    let mut quiet = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--threads" => config.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--queue" => config.queue_depth = parse_num(&value("--queue")?, "--queue")?,
+            "--fuel-watermark" => {
+                config.fuel_watermark = parse_num(&value("--fuel-watermark")?, "--fuel-watermark")?;
+            }
+            "--unknown-cost" => {
+                config.unknown_cost = parse_num(&value("--unknown-cost")?, "--unknown-cost")?;
+            }
+            "--default-fuel" => {
+                config.default_fuel = parse_num(&value("--default-fuel")?, "--default-fuel")?;
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
+            }
+            "--max-body" => config.max_body = parse_num(&value("--max-body")?, "--max-body")?,
+            "--cache-bytes" => {
+                config.cache_bytes = parse_num(&value("--cache-bytes")?, "--cache-bytes")?;
+            }
+            "--io-timeout-ms" => {
+                config.io_timeout_ms = parse_num(&value("--io-timeout-ms")?, "--io-timeout-ms")?;
+            }
+            "--tenant" => config.tenants.push(parse_tenant(&value("--tenant")?)?),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Args { config, quiet })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse::<T>()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+/// `KEY:NAME:FUEL:DEADLINE_MS:RATE_PER_SEC:BURST`.
+fn parse_tenant(spec: &str) -> Result<TenantConfig, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [key, name, fuel, deadline_ms, rate, burst] = parts.as_slice() else {
+        return Err(format!(
+            "--tenant `{spec}`: expected KEY:NAME:FUEL:DEADLINE_MS:RATE_PER_SEC:BURST"
+        ));
+    };
+    Ok(TenantConfig {
+        key: (*key).to_string(),
+        name: (*name).to_string(),
+        fuel: parse_num(fuel, "--tenant FUEL")?,
+        deadline_ms: parse_num(deadline_ms, "--tenant DEADLINE_MS")?,
+        memory: 0,
+        rate_per_sec: parse_num(rate, "--tenant RATE_PER_SEC")?,
+        burst: parse_num(burst, "--tenant BURST")?,
+    })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("xnf-serve: {message}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::spawn(args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xnf-serve: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !args.quiet {
+        // The supervisor contract: one line, the resolved address.
+        println!("xnf-serve listening on {}", server.addr());
+    }
+    // Stdin EOF is the drain signal a std-only binary can observe
+    // (no signal handlers without `unsafe`); CI and supervisors keep
+    // the pipe open for the server's lifetime.
+    let drain = server.drain_handle();
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            match std::io::BufRead::read_line(&mut std::io::stdin().lock(), &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        drain.drain();
+    });
+    server.join();
+}

@@ -31,6 +31,19 @@ impl Default for ParseLimits {
     }
 }
 
+impl ParseLimits {
+    /// Limits for *network-originated* documents: what `xnf-serve`
+    /// accepts from an authenticated but unknown client. Far stricter
+    /// than [`ParseLimits::default`] (tuned for local files the operator
+    /// chose to open): 4 MiB of input and 128 levels of nesting.
+    pub fn untrusted() -> ParseLimits {
+        ParseLimits {
+            max_input: 4 << 20, // 4 MiB
+            max_depth: 128,
+        }
+    }
+}
+
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
@@ -530,6 +543,39 @@ mod tests {
             }
             other => panic!("expected a spanned Syntax error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn untrusted_limits_cap_input_size() {
+        // A flat document just over 4 MiB: fine under the local-file
+        // defaults, rejected under the network profile.
+        let mut doc = String::from("<r>");
+        doc.push_str(&"y".repeat(ParseLimits::untrusted().max_input));
+        doc.push_str("</r>");
+        assert!(parse(&doc).is_ok());
+        let err = parse_governed(&doc, ParseLimits::untrusted(), UNLIMITED).unwrap_err();
+        assert!(
+            matches!(err, XmlError::Syntax { ref message, .. } if message.contains("byte limit")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn untrusted_limits_cap_nesting_depth() {
+        let depth = ParseLimits::untrusted().max_depth + 1;
+        let mut doc = String::new();
+        for _ in 0..depth {
+            doc.push_str("<a>");
+        }
+        for _ in 0..depth {
+            doc.push_str("</a>");
+        }
+        assert!(parse(&doc).is_ok(), "default limits admit depth {depth}");
+        let err = parse_governed(&doc, ParseLimits::untrusted(), UNLIMITED).unwrap_err();
+        assert!(
+            matches!(err, XmlError::Syntax { ref message, .. } if message.contains("nested deeper")),
+            "{err:?}"
+        );
     }
 
     #[test]
