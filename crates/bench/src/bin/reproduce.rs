@@ -8,8 +8,8 @@
 //! record per experiment (id, wall time, counter snapshot, git SHA) —
 //! so perf trajectories can be diffed across commits. Engine-driven
 //! experiments run under a recorder-enabled budget; the self-timing
-//! experiments (e18, e19, e20, e21, e22, e24) manage their own budgets and
-//! report empty counter snapshots.
+//! experiments (e18, e19, e20, e21, e22, e24, e25) manage their own budgets
+//! and report empty counter snapshots.
 
 #![forbid(unsafe_code)]
 
@@ -969,6 +969,122 @@ fn e24() {
     println!("acceptance: steady-state served from cache with bucketed p50/p99 reported; overload degrades by shedding 429s while still serving and holding p99 bounded (see EXPERIMENTS.md E24)");
 }
 
+/// E25's HTTP client: one POST, returns (status, body) — the body is
+/// compared byte-for-byte between the traced and untraced servers.
+fn e25_post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to server");
+    stream
+        .write_all(
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read full response");
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .expect("well-formed status line");
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+fn e25() {
+    use std::time::{Duration, Instant};
+    use xnf_serve::{ServeConfig, Server};
+    println!("================ E25 — request observability overhead ================");
+    // Two otherwise-identical servers: one with full per-request
+    // observability (per-request recorder, absorb-on-completion, flight
+    // ring, labeled latency histograms, access-log formatting skipped —
+    // no file configured), one with `--no-request-obs`. The workload is
+    // steady-state cache-hit traffic: the compute path is identical and
+    // near-free, so the measured difference is the per-request
+    // observability machinery itself — the most adverse realistic case.
+    let traced = Server::spawn(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    })
+    .expect("spawn traced server");
+    let untraced = Server::spawn(ServeConfig {
+        threads: 2,
+        request_recording: false,
+        ..ServeConfig::default()
+    })
+    .expect("spawn untraced server");
+    const SPECS: usize = 6;
+    let bodies: Vec<String> = (0..SPECS).map(e24_variant).collect();
+    // Warm both caches and pin byte-identity: with and without request
+    // recording, every response body must match exactly.
+    for (r, body) in bodies.iter().enumerate() {
+        for path in ["/v1/is-xnf", "/v1/normalize"] {
+            let (st_t, body_t) = e25_post(traced.addr(), path, body);
+            let (st_u, body_u) = e25_post(untraced.addr(), path, body);
+            assert_eq!((st_t, st_u), (200, 200), "warmup spec {r} on {path}");
+            assert_eq!(
+                body_t, body_u,
+                "spec {r} on {path}: traced and untraced responses must be byte-identical"
+            );
+        }
+    }
+    // Interleaved median-of-N rounds, as in E19: each round times one
+    // batch against each server back to back, cancelling load drift;
+    // the median shrugs off preempted rounds.
+    const BATCH: usize = 24;
+    const ROUNDS: usize = 80;
+    let run_batch = |addr: std::net::SocketAddr| {
+        for i in 0..BATCH {
+            let (status, _) = e24_post(addr, "/v1/is-xnf", &bodies[i % SPECS]);
+            assert_eq!(status, 200, "steady-state batch must hit the cache");
+        }
+    };
+    let mut times: [Vec<Duration>; 2] = [const { Vec::new() }; 2];
+    for _ in 0..3 {
+        run_batch(traced.addr());
+        run_batch(untraced.addr());
+    }
+    for _ in 0..ROUNDS {
+        for (slot, addr) in times.iter_mut().zip([traced.addr(), untraced.addr()]) {
+            let t0 = Instant::now();
+            run_batch(addr);
+            slot.push(t0.elapsed());
+        }
+    }
+    let median = |series: &mut Vec<Duration>| {
+        series.sort_unstable();
+        series[series.len() / 2]
+    };
+    let [on, off] = times.each_mut().map(median);
+    let pct = (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0;
+    let retained = traced.flight().retained();
+    println!(
+        "workload: cache-hit is-xnf over {SPECS} specs, batches of {BATCH} (median of {ROUNDS} interleaved rounds)"
+    );
+    println!("  request obs disabled : {off:>12.3?}");
+    println!("  request obs enabled  : {on:>12.3?}  ({pct:+.2}% vs disabled)");
+    println!(
+        "  flight ring after the sweep: {retained} retained, {} sampled out, {} evicted",
+        traced.flight().sampled_out(),
+        traced.flight().evicted()
+    );
+    assert!(
+        retained > 0,
+        "the traced server must retain a sample of the boring 200s"
+    );
+    traced.shutdown();
+    untraced.shutdown();
+    println!("acceptance: enabled < +10% vs disabled, responses byte-identical either way (see EXPERIMENTS.md E25)");
+}
+
 /// Builds the BENCH_obs counter snapshot for one experiment: the
 /// recorder's named counters plus per-site checkpoint visit tallies
 /// (names never collide — counters are plural, sites singular).
@@ -1004,13 +1120,14 @@ fn main() {
         ("e22", |_| e22()),
         ("e23", e23),
         ("e24", |_| e24()),
+        ("e25", |_| e25()),
     ];
     let selected: Vec<&Experiment> = if arg == "all" {
         experiments.iter().collect()
     } else {
         let Some(exp) = experiments.iter().find(|(id, _)| *id == arg) else {
             eprintln!(
-                "unknown figure `{arg}`; use fig1..fig5, e17, e18, e19, e20, e21, e22, e23, e24, or all"
+                "unknown figure `{arg}`; use fig1..fig5, e17, e18, e19, e20, e21, e22, e23, e24, e25, or all"
             );
             std::process::exit(1);
         };
@@ -1028,6 +1145,7 @@ fn main() {
         records.push(ExperimentRecord {
             id: (*id).to_string(),
             wall_micros: u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+            spans_dropped: recorder.spans_dropped(),
             counters: snapshot(&recorder),
         });
     }

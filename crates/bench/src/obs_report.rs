@@ -8,7 +8,8 @@
 //! {
 //!   "git_sha": "abc1234",
 //!   "experiments": [
-//!     {"id": "fig4", "wall_micros": 1234, "counters": {"chase.runs": 17}}
+//!     {"id": "fig4", "wall_micros": 1234, "spans_dropped": 0,
+//!      "counters": {"chase.runs": 17}}
 //!   ]
 //! }
 //! ```
@@ -25,6 +26,10 @@ pub struct ExperimentRecord {
     pub id: String,
     /// Wall-clock duration of the whole experiment, in microseconds.
     pub wall_micros: u64,
+    /// Span events the run's recorder discarded at its cap — nonzero
+    /// means the trace is incomplete and the record should be re-run
+    /// with a larger span cap before being trusted for span-level diffs.
+    pub spans_dropped: u64,
     /// Counter totals observed by the experiment's recorder.
     pub counters: CounterSnapshot,
 }
@@ -74,9 +79,10 @@ pub fn render(git_sha: &str, records: &[ExperimentRecord]) -> String {
         }
         let _ = write!(
             out,
-            "\n{{\"id\":\"{}\",\"wall_micros\":{},\"counters\":{{",
+            "\n{{\"id\":\"{}\",\"wall_micros\":{},\"spans_dropped\":{},\"counters\":{{",
             escape(&r.id),
-            r.wall_micros
+            r.wall_micros,
+            r.spans_dropped
         );
         for (j, (name, value)) in r.counters.iter().enumerate() {
             if j > 0 {
@@ -132,11 +138,14 @@ pub fn check_schema(json: &str) -> Result<(), String> {
             return Err(format!("missing top-level key {key}"));
         }
     }
-    // Every experiment record carries all three keys: equal counts.
+    // Every experiment record carries all four keys: equal counts.
     let count = |needle: &str| json.matches(needle).count();
     let ids = count("\"id\":");
-    if ids != count("\"wall_micros\":") || ids != count("\"counters\":{") {
-        return Err("an experiment record is missing id/wall_micros/counters".into());
+    if ids != count("\"wall_micros\":")
+        || ids != count("\"spans_dropped\":")
+        || ids != count("\"counters\":{")
+    {
+        return Err("an experiment record is missing id/wall_micros/spans_dropped/counters".into());
     }
     Ok(())
 }
@@ -155,11 +164,13 @@ mod tests {
                 ExperimentRecord {
                     id: "fig4".into(),
                     wall_micros: 1234,
+                    spans_dropped: 3,
                     counters,
                 },
                 ExperimentRecord {
                     id: "e19".into(),
                     wall_micros: 99,
+                    spans_dropped: 0,
                     counters: CounterSnapshot::default(),
                 },
             ],
@@ -172,6 +183,7 @@ mod tests {
         check_schema(&json).unwrap();
         assert!(json.contains("\"git_sha\":\"abc1234\""));
         assert!(json.contains("\"id\":\"fig4\""));
+        assert!(json.contains("\"spans_dropped\":3"));
         assert!(json.contains("\"chase.runs\":17"));
     }
 
@@ -182,6 +194,14 @@ mod tests {
         assert!(
             check_schema("{\"git_sha\":\"x\",\"experiments\":[{\"id\":\"a\"}]}").is_err(),
             "record missing wall_micros/counters must fail"
+        );
+        assert!(
+            check_schema(
+                "{\"git_sha\":\"x\",\"experiments\":[\
+                 {\"id\":\"a\",\"wall_micros\":1,\"counters\":{}}]}"
+            )
+            .is_err(),
+            "record missing spans_dropped must fail"
         );
     }
 

@@ -317,6 +317,10 @@ struct ObsFlags {
     metrics: Option<String>,
     format: Option<ObsFormat>,
     recorder: Recorder,
+    /// Minted alongside the recorder; failing governed runs report it so
+    /// the operator can correlate the report with the exported trace
+    /// file (the CLI twin of the `x-request-id` the service echoes).
+    trace_id: Option<String>,
 }
 
 impl ObsFlags {
@@ -351,7 +355,26 @@ impl ObsFlags {
             return budget_flags.build();
         }
         self.recorder = Recorder::enabled();
+        self.trace_id = Some(xnf_obs::mint_request_id());
         budget_flags.build_with(self.recorder.clone())
+    }
+
+    /// Appends the minted trace id to a failing run's report when
+    /// `--trace` was given, so the operator knows which exported trace
+    /// file belongs to the failure. Usage and I/O errors pass through
+    /// untouched — they have no trace worth pointing at.
+    fn tag_failure(&self, err: CliError) -> CliError {
+        let (Some(id), Some(path)) = (&self.trace_id, &self.trace) else {
+            return err;
+        };
+        let note = format!("trace id {id}: spans written to `{path}`");
+        match err {
+            CliError::Lib(m) => CliError::Lib(format!("{m}\n{note}")),
+            CliError::Lint(m) => CliError::Lint(format!("{m}{note}\n")),
+            CliError::Verify(m) => CliError::Verify(format!("{m}{note}\n")),
+            CliError::Exhausted(m) => CliError::Exhausted(format!("{m}{note}\n")),
+            other => other,
+        }
     }
 
     /// Writes the requested export files. Callers invoke this right after
@@ -500,7 +523,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let result = ops::is_xnf(&dtd_src, &fds_src, &options, &budget);
             obs_flags.write()?;
-            out.push_str(&result?);
+            out.push_str(&result.map_err(|e| obs_flags.tag_failure(e))?);
         }
         "normalize" => {
             if args.len() < 3 {
@@ -570,7 +593,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 &obs_flags.recorder,
             );
             obs_flags.write()?;
-            out.push_str(&result?);
+            out.push_str(&result.map_err(|e| obs_flags.tag_failure(e))?);
         }
         "verify" => {
             let mut docs: usize = 100;
@@ -632,7 +655,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let report = xnf_oracle::check_spec(&dtd, &sigma, &config);
             obs_flags.write()?;
-            let report = report?;
+            let report = report.map_err(|e| obs_flags.tag_failure(CliError::from(e)))?;
             writeln!(
                 out,
                 "verify {dtd_path} + {fds_path} ({} step(s))",
@@ -644,7 +667,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let generated = report.docs_checked + report.docs_skipped;
             if !report.ok() || generated < report.docs_requested {
                 out.push_str("verification FAILED\n");
-                return Err(CliError::Verify(out));
+                return Err(obs_flags.tag_failure(CliError::Verify(out)));
             }
             writeln!(out, "verification PASSED")?;
         }
@@ -756,7 +779,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let result = run();
             obs_flags.write()?;
-            let (payload, tables, rows) = result?;
+            let (payload, tables, rows) = result.map_err(|e| obs_flags.tag_failure(e))?;
             match out_path {
                 Some(path) => {
                     fs::write(path, &payload).map_err(|e| CliError::Io(path.to_string(), e))?;
@@ -829,7 +852,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let outcome = ops::analyze_spec(&dtd_src, &fds_src, &spec_options, &budget);
             obs_flags.write()?;
-            out.push_str(&outcome?.rendered);
+            out.push_str(&outcome.map_err(|e| obs_flags.tag_failure(e))?.rendered);
         }
         "lint" => {
             let mut format_json = false;
@@ -888,7 +911,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             };
             let rendered = ops::lint_sources(&dtd_src, fds_src.as_deref(), &options, &budget);
             obs_flags.write()?;
-            out.push_str(&rendered?);
+            out.push_str(&rendered.map_err(|e| obs_flags.tag_failure(e))?);
         }
         "keys" => {
             if args.len() < 4 {
@@ -1586,6 +1609,57 @@ courses.course.taken_by.student.@sno -> courses.course.taken_by.student.name.S";
         assert!(out.contains("round trip verified"), "{out}");
         let sql = std::fs::read_to_string(&out_file).unwrap();
         assert!(sql.contains("CREATE TABLE \"courses\""), "{sql}");
+    }
+
+    #[test]
+    fn failing_traced_runs_report_their_trace_id() {
+        let dtd = write_tmp("t9.dtd", UNIVERSITY_DTD);
+        let fds = write_tmp("t9.fds", UNIVERSITY_FDS);
+        let trace = write_tmp("t9.trace.json", "");
+        let args: Vec<String> = [
+            "normalize",
+            &dtd,
+            &fds,
+            "--no-lint",
+            "--fuel",
+            "20",
+            "--trace",
+            &trace,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let Err(CliError::Exhausted(report)) = run(&args) else {
+            panic!("fuel 20 must exhaust");
+        };
+        // The report names the trace id and the file it points at, and
+        // the id has the same 32-hex shape the service mints.
+        let line = report
+            .lines()
+            .find(|l| l.starts_with("trace id "))
+            .unwrap_or_else(|| panic!("no trace id in {report}"));
+        let id = line
+            .trim_start_matches("trace id ")
+            .split(':')
+            .next()
+            .unwrap();
+        assert_eq!(id.len(), 32, "{line}");
+        assert!(id
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert!(line.contains(&trace), "{line}");
+        // The trace file itself was still written.
+        let exported = std::fs::read_to_string(&trace).unwrap();
+        assert!(exported.contains("traceEvents"), "{exported}");
+        // Without --trace the same failure carries no trace id line.
+        let args: Vec<String> = ["normalize", &dtd, &fds, "--no-lint", "--fuel", "20"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let Err(CliError::Exhausted(report)) = run(&args) else {
+            panic!("fuel 20 must exhaust");
+        };
+        assert!(!report.contains("trace id "), "{report}");
     }
 
     #[test]

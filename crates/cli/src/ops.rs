@@ -109,6 +109,7 @@ pub fn is_xnf(
     options: &IsXnfOptions,
     budget: &Budget,
 ) -> Result<String, CliError> {
+    let _op_span = budget.recorder().span("op.is-xnf", "op");
     let mut out = String::new();
     if !options.no_lint {
         preflight_lint(dtd_src, Some(fds_src))?;
@@ -166,6 +167,7 @@ pub fn normalize_spec(
     budget: &Budget,
     recorder: &Recorder,
 ) -> Result<String, CliError> {
+    let _op_span = budget.recorder().span("op.normalize", "op");
     let mut out = String::new();
     if !options.no_lint {
         preflight_lint(dtd_src, Some(fds_src))?;
@@ -292,6 +294,7 @@ pub fn analyze_spec(
     options: &AnalyzeSpecOptions,
     budget: &Budget,
 ) -> Result<AnalyzeOutcome, CliError> {
+    let _op_span = budget.recorder().span("op.analyze", "op");
     let mut out = String::new();
     let trust = options.trust.unwrap_or(Trust::Local);
     let (dtd, sigma) = parse_spec(dtd_src, fds_src, trust, budget)?;
@@ -412,6 +415,7 @@ pub fn lint_sources(
     options: &LintSpecOptions,
     budget: &Budget,
 ) -> Result<String, CliError> {
+    let _op_span = budget.recorder().span("op.lint", "op");
     if options.predictive && fds_src.is_none() {
         return Err(CliError::Usage(
             "--predictive needs an FD file (the XNF2xx tier analyzes (D, \u{3a3}))".into(),

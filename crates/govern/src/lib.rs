@@ -316,6 +316,19 @@ pub struct Budget {
     inner: Option<Arc<Inner>>,
 }
 
+/// What a budget has consumed at one moment, from [`Budget::usage`]:
+/// the per-request "tick snapshot" a service stamps into its access log
+/// and flight-recorder records after the op finishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetUsage {
+    /// Checkpoints observed (0 for an ungoverned budget).
+    pub ticks: u64,
+    /// Remaining fuel, if fuel is metered.
+    pub remaining_fuel: Option<u64>,
+    /// Memory units charged (0 for an ungoverned budget).
+    pub memory_used: u64,
+}
+
 impl Budget {
     /// The ungoverned budget: nothing is metered, nothing can exhaust.
     pub const fn unlimited() -> Budget {
@@ -415,6 +428,18 @@ impl Budget {
         self.inner
             .as_ref()
             .map_or(0, |i| i.memory_used.load(Ordering::Relaxed))
+    }
+
+    /// A point-in-time [`BudgetUsage`] snapshot — what this budget has
+    /// consumed so far. A service layer takes one per finished request
+    /// to stamp fuel ticks into its access log and flight records
+    /// without holding onto the budget itself.
+    pub fn usage(&self) -> BudgetUsage {
+        BudgetUsage {
+            ticks: self.ticks(),
+            remaining_fuel: self.remaining_fuel(),
+            memory_used: self.memory_used(),
+        }
     }
 
     /// The distinct checkpoint site labels this budget has visited, in
@@ -524,6 +549,18 @@ impl TokenBucket {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn usage_snapshots_ticks_fuel_and_memory() {
+        assert_eq!(Budget::unlimited().usage(), BudgetUsage::default());
+        let b = Budget::builder().fuel(100).memory(1 << 20).build();
+        b.checkpoint("test.site").unwrap();
+        b.charge("test.site", 64).unwrap();
+        let usage = b.usage();
+        assert_eq!(usage.ticks, 2);
+        assert_eq!(usage.remaining_fuel, Some(98));
+        assert_eq!(usage.memory_used, 64);
+    }
 
     #[test]
     fn unlimited_never_exhausts() {

@@ -5,7 +5,7 @@
 //! of known shape, so the JSON is assembled by hand with proper string
 //! escaping.
 
-use crate::{Histogram, Recorder};
+use crate::{Histogram, Recorder, SpanEvent};
 use std::fmt::Write as _;
 
 /// Output format for an export file; parsed from the CLI's
@@ -36,7 +36,7 @@ impl ObsFormat {
 }
 
 /// Escapes `s` as the body of a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -71,6 +71,47 @@ fn sanitize_metric(name: &str) -> String {
         .collect()
 }
 
+/// Escapes `s` for use as a Prometheus label *value* per the text
+/// exposition format: backslash, double quote, and line feed are the
+/// only characters that need escaping (`\\`, `\"`, `\n`). Untrusted
+/// strings (e.g. tenant names) must pass through here before landing
+/// inside `label="…"`, or a name like `a"b` corrupts the exposition.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a span list as a complete Chrome trace event document — the
+/// shared body of [`Recorder::chrome_trace`] and the flight recorder's
+/// per-request trace endpoint.
+pub fn chrome_trace_events(spans: &[SpanEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            escape(span.name),
+            escape(span.cat),
+            micros(span.ts_ns),
+            micros(span.dur_ns),
+            span.tid
+        );
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
 impl Recorder {
     /// Renders one of the three export formats.
     pub fn export(&self, format: ObsFormat) -> String {
@@ -85,23 +126,7 @@ impl Recorder {
     /// object with a `traceEvents` array of complete (`ph:"X"`) events,
     /// loadable in `chrome://tracing` and Perfetto.
     pub fn chrome_trace(&self) -> String {
-        let mut out = String::from("{\"traceEvents\":[");
-        for (i, span) in self.spans().iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "\n{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
-                escape(span.name),
-                escape(span.cat),
-                micros(span.ts_ns),
-                micros(span.dur_ns),
-                span.tid
-            );
-        }
-        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-        out
+        chrome_trace_events(&self.spans())
     }
 
     /// Renders every recorded event as one JSON object per line: spans
@@ -159,7 +184,8 @@ impl Recorder {
             for (site, tally) in &sites {
                 let _ = writeln!(
                     out,
-                    "xnf_checkpoint_visits_total{{site=\"{site}\"}} {}",
+                    "xnf_checkpoint_visits_total{{site=\"{}\"}} {}",
+                    escape_label(site),
                     tally.visits
                 );
             }
@@ -167,7 +193,8 @@ impl Recorder {
             for (site, tally) in &sites {
                 let _ = writeln!(
                     out,
-                    "xnf_checkpoint_units_total{{site=\"{site}\"}} {}",
+                    "xnf_checkpoint_units_total{{site=\"{}\"}} {}",
+                    escape_label(site),
                     tally.units
                 );
             }
@@ -188,6 +215,7 @@ impl Recorder {
 }
 
 fn render_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let name = escape_label(name);
     let max = h.max_bucket().unwrap_or(0);
     let mut cumulative = 0u64;
     for (k, count) in h.buckets.iter().enumerate().take(max + 1) {
@@ -360,5 +388,15 @@ mod tests {
     fn escaping_covers_quotes_and_controls() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn label_escaping_neutralizes_hostile_values() {
+        // The exposition format escapes exactly `\`, `"`, and newline
+        // in label values; everything else passes through untouched.
+        assert_eq!(escape_label("a\"b\n"), "a\\\"b\\n");
+        assert_eq!(escape_label("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_label("chase.run"), "chase.run");
+        assert_eq!(escape_label("tab\tstays"), "tab\tstays");
     }
 }

@@ -36,9 +36,13 @@
 
 mod counter;
 mod export;
+mod flight;
 
 pub use counter::{Counter, CounterSnapshot};
-pub use export::ObsFormat;
+pub use export::{chrome_trace_events, escape_label, ObsFormat};
+pub use flight::{
+    mint_request_id, FlightRecorder, LabeledHistograms, RequestRecord, RequestSummary,
+};
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -100,6 +104,15 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
         let k = 64 - u64::leading_zeros(value) as usize;
         self.buckets[k] += 1;
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-wise sum).
+    pub fn merge_from(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
     }
 
     /// Index of the highest non-empty bucket, if any observation exists.
@@ -182,9 +195,18 @@ impl ThreadSites {
         }
     }
 
-    /// Records one visit. Single-writer: only the owning thread calls
-    /// this, which is what makes the plain load+store updates sound.
-    fn count(&self, site: &'static str, units: u64, names: &Mutex<BTreeMap<u64, &'static str>>) {
+    /// Records `visits` visits (and `units` charged units) in one
+    /// update — `visits = 1` is the checkpoint fast path; bulk adds come
+    /// from [`Recorder::absorb`] folding a per-request recorder in.
+    /// Single-writer: only the owning thread calls this, which is what
+    /// makes the plain load+store updates sound.
+    fn add(
+        &self,
+        site: &'static str,
+        visits: u64,
+        units: u64,
+        names: &Mutex<BTreeMap<u64, &'static str>>,
+    ) {
         let key = site.as_ptr() as usize as u64;
         // Fibonacci hashing of the address into the slot index space.
         let mut idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % SITE_SLOTS;
@@ -193,7 +215,7 @@ impl ThreadSites {
             let k = slot.key.load(Ordering::Relaxed);
             if k == key {
                 let v = slot.visits.load(Ordering::Relaxed);
-                slot.visits.store(v + 1, Ordering::Release);
+                slot.visits.store(v + visits, Ordering::Release);
                 if units != 0 {
                     let u = slot.units.load(Ordering::Relaxed);
                     slot.units.store(u + units, Ordering::Release);
@@ -207,7 +229,7 @@ impl ThreadSites {
                 if let Ok(mut names) = names.lock() {
                     names.insert(key, site);
                 }
-                slot.visits.store(1, Ordering::Release);
+                slot.visits.store(visits, Ordering::Release);
                 slot.units.store(units, Ordering::Release);
                 slot.key.store(key, Ordering::Release);
                 return;
@@ -216,7 +238,7 @@ impl ThreadSites {
         }
         if let Ok(mut overflow) = self.overflow.lock() {
             let tally = overflow.entry(site).or_default();
-            tally.visits += 1;
+            tally.visits += visits;
             tally.units += units;
         }
     }
@@ -263,10 +285,11 @@ impl RecorderInner {
         }
     }
 
-    /// The enabled half of [`Recorder::count_site`]: routes the visit to
-    /// this thread's single-writer table, creating and registering the
-    /// table on the thread's first checkpoint against this recorder.
-    fn count_site(&self, site: &'static str, units: u64) {
+    /// The enabled half of [`Recorder::count_site`] (and the bulk-add
+    /// path [`Recorder::absorb`] uses): routes the visits to this
+    /// thread's single-writer table, creating and registering the table
+    /// on the thread's first checkpoint against this recorder.
+    fn add_site(&self, site: &'static str, visits: u64, units: u64) {
         thread_local! {
             /// This thread's site tables, keyed by recorder id. Tiny in
             /// practice (one live recorder at a time); entries whose
@@ -277,7 +300,7 @@ impl RecorderInner {
         TABLES.with(|tables| {
             let mut tables = tables.borrow_mut();
             if let Some((_, table)) = tables.iter().find(|(id, _)| *id == self.id) {
-                table.count(site, units, &self.site_names);
+                table.add(site, visits, units, &self.site_names);
                 return;
             }
             // First checkpoint on this thread for this recorder:
@@ -287,7 +310,7 @@ impl RecorderInner {
                 registry.push(Arc::clone(&table));
             }
             tables.retain(|(_, t)| Arc::strong_count(t) > 1);
-            table.count(site, units, &self.site_names);
+            table.add(site, visits, units, &self.site_names);
             tables.push((self.id, table));
         });
     }
@@ -408,7 +431,40 @@ impl Recorder {
         // disabled path inlines across crates at every checkpoint; the
         // recording machinery lives out of line on `RecorderInner`.
         if let Some(inner) = &self.inner {
-            inner.count_site(site, units);
+            inner.add_site(site, 1, units);
+        }
+    }
+
+    /// Folds everything `other` recorded into `self`: counters and
+    /// checkpoint-site tallies add, `other`'s histograms (explicit plus
+    /// span-duration-derived) merge into `self`'s, and `other`'s
+    /// dropped-span count accumulates. Span events themselves are *not*
+    /// copied — a per-request recorder's span tree belongs in the
+    /// flight ring, while the shared recorder keeps aggregates, which is
+    /// what keeps a service's `/metrics` O(1) in request count.
+    pub fn absorb(&self, other: &Recorder) {
+        let (Some(inner), Some(other_inner)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(inner, other_inner) {
+            return;
+        }
+        for (name, value) in other.counters() {
+            self.add(name, value);
+        }
+        for (site, tally) in other.sites() {
+            if tally.visits != 0 || tally.units != 0 {
+                inner.add_site(site, tally.visits, tally.units);
+            }
+        }
+        if let Ok(mut histograms) = inner.histograms.lock() {
+            for (name, h) in other.histograms() {
+                histograms.entry(name).or_default().merge_from(&h);
+            }
+        }
+        let dropped = other_inner.spans_dropped.load(Ordering::Relaxed);
+        if dropped != 0 {
+            inner.spans_dropped.fetch_add(dropped, Ordering::Relaxed);
         }
     }
 
@@ -740,6 +796,66 @@ mod tests {
         assert_eq!(h.buckets[2], 1); // value 2
         assert_eq!(h.buckets[11], 1); // value 1024
         assert_eq!(h.max_bucket(), Some(11));
+    }
+
+    #[test]
+    fn absorb_folds_a_request_recorder_into_the_shared_one() {
+        let shared = Recorder::with_span_cap(0);
+        let request = Recorder::with_span_cap(1);
+        request.bump("serve.requests");
+        request.count_site("serve.request", 3);
+        request.observe("req.micros", 100);
+        {
+            let _kept = request.span("op.normalize", "serve");
+        }
+        {
+            let _dropped = request.span("op.normalize", "serve");
+        }
+        assert_eq!(request.spans_dropped(), 1);
+
+        shared.bump("serve.requests");
+        shared.absorb(&request);
+        assert_eq!(shared.counter("serve.requests"), 2);
+        let sites = shared.sites();
+        assert_eq!(
+            sites,
+            vec![(
+                "serve.request",
+                SiteTally {
+                    visits: 1,
+                    units: 3
+                }
+            )]
+        );
+        // The span's duration folded into the shared histograms even
+        // though the span event itself was not copied.
+        assert_eq!(shared.span_count(), 0);
+        let histograms = shared.histograms();
+        assert!(histograms
+            .iter()
+            .any(|(n, h)| *n == "op.normalize" && h.count == 1));
+        assert!(histograms
+            .iter()
+            .any(|(n, h)| *n == "req.micros" && h.sum == 100));
+        assert_eq!(shared.spans_dropped(), 1);
+        // Absorbing is idempotent-safe against self and no-op handles.
+        shared.absorb(&shared.clone());
+        shared.absorb(&Recorder::disabled());
+        assert_eq!(shared.counter("serve.requests"), 2);
+    }
+
+    #[test]
+    fn histogram_merge_is_bucketwise() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.observe(3);
+        b.observe(3);
+        b.observe(1000);
+        a.merge_from(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 1006);
+        assert_eq!(a.buckets[2], 2);
+        assert_eq!(a.buckets[10], 1);
     }
 
     #[test]

@@ -21,6 +21,10 @@ usage: xnf-serve [options]
   --max-body N           request-body byte cap (default 8388608)
   --cache-bytes N        result-cache resident byte cap (default 33554432)
   --io-timeout-ms N      socket read/write timeout (default 5000)
+  --access-log FILE      append one JSON object per request to FILE
+  --flight-cap N         flight-recorder ring capacity (default 256)
+  --flight-sample N      keep 1 in N boring 200s in the ring (default 8; 0 keeps none)
+  --no-request-obs       disable per-request recording (flight ring stays empty)
   --tenant SPEC          KEY:NAME:FUEL:DEADLINE_MS:RATE_PER_SEC:BURST (repeatable)
   --quiet                do not print the listening line
 
@@ -65,6 +69,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--io-timeout-ms" => {
                 config.io_timeout_ms = parse_num(&value("--io-timeout-ms")?, "--io-timeout-ms")?;
             }
+            "--access-log" => config.access_log = Some(value("--access-log")?),
+            "--flight-cap" => {
+                config.flight_cap = parse_num(&value("--flight-cap")?, "--flight-cap")?
+            }
+            "--flight-sample" => {
+                config.flight_sample = parse_num(&value("--flight-sample")?, "--flight-sample")?;
+            }
+            "--no-request-obs" => config.request_recording = false,
             "--tenant" => config.tenants.push(parse_tenant(&value("--tenant")?)?),
             "--quiet" => quiet = true,
             "--help" | "-h" => return Err(String::new()),

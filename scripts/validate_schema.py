@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
 """Validate a JSON document against a JSON-schema subset, stdlib only.
 
-Usage: validate_schema.py <schema.json> <instance.json | ->
+Usage: validate_schema.py <schema.json> <instance.json | -> [--jsonl]
+
+With --jsonl the instance is JSON Lines (e.g. an `xnf-serve
+--access-log` capture): every non-empty line must independently
+validate against the schema, and an empty file fails — a CI capture
+that logged nothing is a broken capture, not a clean one.
 
 CI uses this to pin machine-readable CLI output (e.g. `xnf-tool analyze
 --format json` against docs/analyze.schema.json) without adding a
@@ -103,21 +108,39 @@ def validate(value, schema, path):
 
 
 def main():
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    jsonl = "--jsonl" in args
+    args = [a for a in args if a != "--jsonl"]
+    if len(args) != 2:
         raise SystemExit(__doc__.strip().splitlines()[2])
-    with open(sys.argv[1], encoding="utf-8") as f:
+    with open(args[0], encoding="utf-8") as f:
         schema = json.load(f)
-    if sys.argv[2] == "-":
-        instance = json.load(sys.stdin)
+    if args[1] == "-":
+        text = sys.stdin.read()
     else:
-        with open(sys.argv[2], encoding="utf-8") as f:
-            instance = json.load(f)
-    errors = validate(instance, schema, "$")
+        with open(args[1], encoding="utf-8") as f:
+            text = f.read()
+    errors = []
+    if jsonl:
+        lines = [l for l in text.splitlines() if l.strip()]
+        if not lines:
+            raise SystemExit(f"{args[1]}: empty JSONL capture (nothing was logged)")
+        for n, line in enumerate(lines, 1):
+            try:
+                instance = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"line {n}: not JSON ({e})")
+                continue
+            errors.extend(validate(instance, schema, f"line {n} $"))
+        checked = f"{len(lines)} line(s)"
+    else:
+        errors = validate(json.loads(text), schema, "$")
+        checked = "document"
     if errors:
         for error in errors:
             print(error, file=sys.stderr)
-        raise SystemExit(f"{sys.argv[2]}: {len(errors)} schema violation(s)")
-    print(f"{sys.argv[2]}: valid against {sys.argv[1]}")
+        raise SystemExit(f"{args[1]}: {len(errors)} schema violation(s)")
+    print(f"{args[1]}: {checked} valid against {args[0]}")
 
 
 if __name__ == "__main__":

@@ -117,13 +117,21 @@ fn path_for(op: &str) -> String {
 
 /// One raw HTTP POST; returns (status, body) or panics on a malformed
 /// response — a dropped connection or non-HTTP bytes is a test failure
-/// by construction.
+/// by construction. Every request carries a unique `x-request-id` and
+/// asserts the response echoes exactly that id back, so the whole
+/// differential suite doubles as a concurrency test of the id plumbing
+/// (two in-flight requests must never swap ids).
 fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
+    static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let id = format!(
+        "diff-{:016x}",
+        NEXT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    );
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .write_all(
             format!(
-                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST {path} HTTP/1.1\r\nHost: t\r\nx-request-id: {id}\r\nContent-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
@@ -138,10 +146,18 @@ fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (u16, String) {
         .and_then(|r| r.split(' ').next())
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("malformed response: {response:?}"));
-    let body = response
+    let (head, body) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    let echoed = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("x-request-id").then(|| v.trim())
+        })
+        .unwrap_or_else(|| panic!("no x-request-id echoed in {head:?}"));
+    assert_eq!(echoed, id, "response carries a different request's id");
     (status, body)
 }
 
